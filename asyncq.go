@@ -1,0 +1,262 @@
+// Package asyncq automatically rewrites database application programs that
+// issue blocking (synchronous) queries from loops into equivalent programs
+// that submit the queries asynchronously and fetch the results later — the
+// program transformations of Chavan, Guravannavar, Ramachandra and
+// Sudarshan, "Program Transformations for Asynchronous Query Submission"
+// (ICDE 2011).
+//
+// Programs are written in a small imperative mini-language (see package
+// documentation in internal/minilang for the grammar); Transform returns the
+// rewritten source. The transformation is driven by a statement-level data
+// dependence graph and applies:
+//
+//   - Rule A, loop fission: the loop is split into a submit loop and a
+//     fetch/consume loop connected by a keyed record table;
+//   - Rule B, control-dependence conversion: conditionals around the query
+//     become guarded statements so fission can cut through them;
+//   - statement reordering (Rule C stubs + the reorder algorithm), which
+//     removes loop-carried flow dependences crossing the split whenever the
+//     query is not on a true-dependence cycle;
+//   - nested-loop fission, splitting enclosing loops at the boundary the
+//     inner fission leaves behind.
+//
+// The package also provides the asynchronous client runtime (worker pool +
+// handles, the observer model) and an interpreter to execute both original
+// and transformed programs against any QueryService.
+package asyncq
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/exec"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/minilang"
+)
+
+// Options control the transformation.
+type Options struct {
+	// Readable applies the §V regrouping pass, folding guarded statements
+	// back into if blocks. Default on in Transform.
+	Readable bool
+	// SplitNested enables nested-loop fission (§III-D).
+	SplitNested bool
+	// OnlyQueries limits transformation to the named prepared queries.
+	OnlyQueries []string
+	// Funcs declares extra application functions for dataflow analysis.
+	Funcs []FuncSig
+}
+
+// FuncSig declares an application function's dataflow behaviour.
+type FuncSig struct {
+	Name string
+	// NArgs is the arity (-1 variadic); NRet the number of results.
+	NArgs, NRet int
+	// MutatesArgs lists argument positions modified in place.
+	MutatesArgs []int
+	// ReadsDB / WritesDB / WritesIO declare external effects.
+	ReadsDB, WritesDB, WritesIO bool
+	// Barrier marks calls that can never be reordered or split across
+	// (e.g. recursive methods that themselves run queries).
+	Barrier bool
+}
+
+// Site reports the outcome for one loop containing query executions.
+type Site struct {
+	Loop        string
+	Queries     int
+	Converted   int
+	UsedReorder bool
+	UsedRuleB   bool
+	Reasons     []string
+}
+
+// Report summarizes a transformation (the applicability analysis of the
+// paper's Table I).
+type Report struct {
+	Proc  string
+	Sites []Site
+}
+
+// Opportunities counts loops containing query executions.
+func (r *Report) Opportunities() int { return len(r.Sites) }
+
+// Transformed counts exploited loops.
+func (r *Report) Transformed() int {
+	n := 0
+	for _, s := range r.Sites {
+		if s.Converted > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Transform rewrites src for asynchronous query submission with default
+// options (readable output, nested splitting) and returns the transformed
+// source plus the per-site report.
+func Transform(src string) (string, *Report, error) {
+	return TransformWithOptions(src, Options{Readable: true, SplitNested: true})
+}
+
+// TransformWithOptions is Transform with explicit options.
+func TransformWithOptions(src string, opt Options) (string, *Report, error) {
+	proc, err := minilang.Parse(src)
+	if err != nil {
+		return "", nil, err
+	}
+	reg := buildRegistry(opt.Funcs)
+	out, rep, err := core.Transform(proc, core.Options{
+		Registry:    reg,
+		Readable:    opt.Readable,
+		SplitNested: opt.SplitNested,
+		OnlyQueries: opt.OnlyQueries,
+	})
+	if err != nil {
+		return "", nil, err
+	}
+	return ir.Print(out), convertReport(rep), nil
+}
+
+// Analyze reports applicability without returning rewritten code.
+func Analyze(src string, opt Options) (*Report, error) {
+	proc, err := minilang.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	rep := core.Analyze(proc, core.Options{
+		Registry:    buildRegistry(opt.Funcs),
+		SplitNested: true, // analysis always considers the nested-loop rule
+		OnlyQueries: opt.OnlyQueries,
+	})
+	return convertReport(rep), nil
+}
+
+// DDG returns the Graphviz dot rendering of the data dependence graph of
+// the n-th loop (0-based) in src, including external and loop-carried
+// dependences — the paper's Figure 1 view.
+func DDG(src string, loopIndex int) (string, error) {
+	proc, err := minilang.Parse(src)
+	if err != nil {
+		return "", err
+	}
+	reg := ir.NewRegistry()
+	n := -1
+	var out string
+	ir.WalkStmts(proc.Body, func(s ir.Stmt) {
+		switch s.(type) {
+		case *ir.While, *ir.ForEach, *ir.Scan:
+			n++
+			if n == loopIndex && out == "" {
+				out = dataflow.BuildLoop(s, reg).Dot(fmt.Sprintf("%s_loop%d", proc.Name, n))
+			}
+		}
+	})
+	if out == "" {
+		return "", fmt.Errorf("asyncq: no loop %d in %s", loopIndex, proc.Name)
+	}
+	return out, nil
+}
+
+func buildRegistry(funcs []FuncSig) *ir.Registry {
+	reg := ir.NewRegistry()
+	for _, f := range funcs {
+		var ext ir.External
+		if f.ReadsDB {
+			ext |= ir.ExtReadsDB
+		}
+		if f.WritesDB {
+			ext |= ir.ExtWritesDB
+		}
+		if f.WritesIO {
+			ext |= ir.ExtIO
+		}
+		reg.Register(&ir.FuncSig{
+			Name: f.Name, NArgs: f.NArgs, NRet: f.NRet,
+			MutatesArgs: f.MutatesArgs, External: ext, Barrier: f.Barrier,
+		})
+	}
+	return reg
+}
+
+func convertReport(rep *core.Report) *Report {
+	out := &Report{Proc: rep.Proc}
+	for _, s := range rep.Sites {
+		out.Sites = append(out.Sites, Site{
+			Loop: s.Loop, Queries: s.Queries, Converted: s.Converted,
+			UsedReorder: s.UsedReorder, UsedRuleB: s.UsedFlatten,
+			Reasons: s.Reasons,
+		})
+	}
+	return out
+}
+
+// --- Runtime ---
+
+// Value is a runtime value of the mini-language (int64, string, bool, nil,
+// lists, rows).
+type Value = interp.Value
+
+// Handle is a pending asynchronous query (observer model): Fetch blocks
+// until the result is ready.
+type Handle = interp.Handle
+
+// QueryService executes queries for programs run with Run: Exec is the
+// blocking path, Submit the asynchronous one.
+type QueryService = interp.QueryService
+
+// Runner executes a single query; used to build services and pools.
+type Runner = exec.Runner
+
+// NewService builds a QueryService from a Runner with a worker pool of the
+// given size (0 = blocking only). Close it to drain the pool.
+type Service = exec.Service
+
+// NewPool returns a QueryService backed by `workers` concurrent executors of
+// run — the runtime the transformed programs use.
+func NewPool(workers int, run Runner) *Service {
+	return exec.NewService(workers, run)
+}
+
+// List builds a mini-language list value for program arguments.
+func List(items ...Value) Value { return interp.NewList(items...) }
+
+// Row builds a mini-language row value (query-result record).
+func Row(fields map[string]Value) Value {
+	r := interp.Row{}
+	for k, v := range fields {
+		r[k] = v
+	}
+	return r
+}
+
+// Rows builds a list-of-rows value.
+func Rows(rows ...interp.Row) Value { return interp.Rows(rows) }
+
+// FormatValue renders a value deterministically.
+func FormatValue(v Value) string { return interp.Format(v) }
+
+// RunResult is the outcome of running a program.
+type RunResult struct {
+	Returned []Value
+	Output   string
+}
+
+// Run executes a mini-language program against svc with the given
+// positional arguments. Both original and transformed programs run through
+// the same entry point; transformed programs need a service whose Submit is
+// backed by a pool (NewPool).
+func Run(src string, args []Value, svc QueryService, funcs ...FuncSig) (*RunResult, error) {
+	proc, err := minilang.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	in := interp.New(buildRegistry(funcs), svc)
+	res, err := in.Run(proc, args)
+	if err != nil {
+		return nil, err
+	}
+	return &RunResult{Returned: res.Returned, Output: res.Output}, nil
+}

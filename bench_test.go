@@ -1,0 +1,237 @@
+package asyncq
+
+// Benchmarks regenerating the paper's evaluation artifacts. One benchmark
+// per table/figure runs the corresponding experiment in quick mode (reduced
+// sweeps, small latency scale) and reports original vs transformed times as
+// custom metrics; `go run ./cmd/experiments` produces the full-size series
+// recorded in EXPERIMENTS.md. Micro-benchmarks for the transformation
+// machinery itself follow.
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/exec"
+	"repro/internal/experiments"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/minilang"
+	"repro/internal/server"
+	"repro/internal/testsvc"
+)
+
+// benchFigure runs one figure per benchmark iteration and reports the
+// last point's original/transformed times (simulated seconds ×1000) as
+// metrics, so regressions in either path are visible.
+func benchFigure(b *testing.B, f func(h *experiments.Harness) (*experiments.Figure, error)) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h := experiments.NewHarness()
+		h.Quick = true
+		h.Scale = 0.02
+		fig, err := f(h)
+		if err != nil {
+			h.Close()
+			b.Fatal(err)
+		}
+		if len(fig.Series) >= 2 {
+			so := fig.Series[0].Points
+			st := fig.Series[1].Points
+			if len(so) > 0 && len(st) > 0 {
+				b.ReportMetric(so[len(so)-1].Y*1000, "orig-ms")
+				b.ReportMetric(st[len(st)-1].Y*1000, "trans-ms")
+			}
+		}
+		h.Close()
+	}
+}
+
+func BenchmarkFig08RubisIterations(b *testing.B) {
+	benchFigure(b, func(h *experiments.Harness) (*experiments.Figure, error) { return h.Fig08() })
+}
+
+func BenchmarkFig09RubisThreadsSYS1(b *testing.B) {
+	benchFigure(b, func(h *experiments.Harness) (*experiments.Figure, error) { return h.Fig09() })
+}
+
+func BenchmarkFig10RubisThreadsPG(b *testing.B) {
+	benchFigure(b, func(h *experiments.Harness) (*experiments.Figure, error) { return h.Fig10() })
+}
+
+func BenchmarkFig11RubbosIterations(b *testing.B) {
+	benchFigure(b, func(h *experiments.Harness) (*experiments.Figure, error) { return h.Fig11() })
+}
+
+func BenchmarkFig12CategoryIterations(b *testing.B) {
+	benchFigure(b, func(h *experiments.Harness) (*experiments.Figure, error) { return h.Fig12() })
+}
+
+func BenchmarkFig13CategoryThreads(b *testing.B) {
+	benchFigure(b, func(h *experiments.Harness) (*experiments.Figure, error) { return h.Fig13() })
+}
+
+func BenchmarkFig14FormsInserts(b *testing.B) {
+	benchFigure(b, func(h *experiments.Harness) (*experiments.Figure, error) { return h.Fig14() })
+}
+
+func BenchmarkFig15WebServiceThreads(b *testing.B) {
+	benchFigure(b, func(h *experiments.Harness) (*experiments.Figure, error) { return h.Fig15() })
+}
+
+func BenchmarkTable1Applicability(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table1()
+		if rows[0].Transformed != 9 || rows[1].Transformed != 6 {
+			b.Fatalf("unexpected Table I: %+v", rows)
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md §7) ---
+
+// BenchmarkAblationNoReorder measures how much of Table I's applicability
+// the reordering algorithm provides: transforming the corpus with reordering
+// effectively disabled (every reorder-needing site fails).
+func BenchmarkAblationReorderApplicability(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		withReorder, withoutReorder := 0, 0
+		for _, c := range []*apps.CorpusApp{apps.AuctionCorpus(), apps.BulletinCorpus()} {
+			for _, p := range c.Procs {
+				rep := core.Analyze(p, core.Options{SplitNested: true})
+				if rep.TransformedCount() > 0 {
+					withReorder++
+					needed := false
+					for _, s := range rep.Sites {
+						if s.UsedReorder {
+							needed = true
+						}
+					}
+					if !needed {
+						withoutReorder++
+					}
+				}
+			}
+		}
+		b.ReportMetric(float64(withReorder), "sites-with-reorder")
+		b.ReportMetric(float64(withoutReorder), "sites-without-reorder")
+	}
+}
+
+// BenchmarkAblationThreadPool isolates the round-trip-overlap gain from the
+// concurrency gain: pool of 1 worker (overlap only) vs pool of 10.
+func BenchmarkAblationThreadPool(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := experiments.NewHarness()
+		h.Quick = true
+		h.Scale = 0.02
+		app := apps.RUBiS()
+		m1, err := h.Measure(app, server.SYS1(), 1, 400, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m10, err := h.Measure(app, server.SYS1(), 10, 400, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(m1.Transformed*1000, "trans-1thread-ms")
+		b.ReportMetric(m10.Transformed*1000, "trans-10threads-ms")
+		h.Close()
+	}
+}
+
+// --- Micro-benchmarks of the machinery ---
+
+func BenchmarkTransformRUBiS(b *testing.B) {
+	app := apps.RUBiS()
+	proc := app.Proc()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.Transform(proc, core.Options{Registry: app.Registry(), SplitNested: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTransformCategoryWithReorder(b *testing.B) {
+	app := apps.Category()
+	proc := app.Proc()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.Transform(proc, core.Options{Registry: app.Registry(), SplitNested: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	src := apps.Category().Source
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := minilang.Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDDGBuild(b *testing.B) {
+	proc := apps.Category().Proc()
+	reg := apps.Category().Registry()
+	var loop ir.Stmt
+	for _, s := range proc.Body.Stmts {
+		if _, ok := s.(*ir.While); ok {
+			loop = s
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := dataflow.BuildLoop(loop, reg)
+		if len(g.Edges) == 0 {
+			b.Fatal("no edges")
+		}
+	}
+}
+
+func BenchmarkInterpLoop(b *testing.B) {
+	src := `
+proc spin(n) {
+  i = 0;
+  s = 0;
+  while (i < n) {
+    s = s + i * 3 % 7;
+    i = i + 1;
+  }
+  return s;
+}`
+	proc := minilang.MustParse(src)
+	in := interp.New(ir.NewRegistry(), nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := in.Run(proc, []interp.Value{int64(1000)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExecutorThroughput(b *testing.B) {
+	e := exec.NewExecutor(8, testsvc.Runner())
+	defer e.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h, err := e.Submit("q", "select 1", []any{int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := h.Fetch(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

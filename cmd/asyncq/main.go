@@ -1,0 +1,150 @@
+// Command asyncq is the transformation tool: it parses a mini-language
+// program and rewrites it for asynchronous query submission, printing the
+// transformed source, the data dependence graph, or the applicability
+// analysis.
+//
+// Usage:
+//
+//	asyncq [-analyze] [-ddg] [-flat] [-run] [-threads N] file.mq
+//
+// With no flags the transformed program is printed (readable form, §V).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/exec"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/minilang"
+	"repro/internal/testsvc"
+)
+
+func main() {
+	analyze := flag.Bool("analyze", false, "print the applicability analysis instead of code")
+	ddg := flag.Bool("ddg", false, "print the DDG of each loop in Graphviz dot form")
+	flat := flag.Bool("flat", false, "print guarded-statement form (skip the §V regrouping)")
+	run := flag.Bool("run", false, "run original and transformed against a deterministic service and compare")
+	threads := flag.Int("threads", 8, "worker threads for -run")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: asyncq [flags] file.mq")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	proc, err := minilang.Parse(string(src))
+	if err != nil {
+		fatal(err)
+	}
+
+	if *ddg {
+		printDDGs(proc)
+		return
+	}
+
+	opts := core.Options{Readable: !*flat, SplitNested: true}
+	trans, rep, err := core.Transform(proc, opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *analyze {
+		fmt.Printf("procedure %s: %d opportunity site(s), %d transformed\n",
+			rep.Proc, rep.Opportunities(), rep.TransformedCount())
+		for i, s := range rep.Sites {
+			status := "transformed"
+			if !s.Transformed() {
+				status = "NOT transformed"
+			}
+			fmt.Printf("  site %d: %s — %s (queries: %d, converted: %d, reorder: %v, ruleB: %v)\n",
+				i+1, s.Loop, status, s.Queries, s.Converted, s.UsedReorder, s.UsedFlatten)
+			for _, r := range s.Reasons {
+				fmt.Printf("    reason: %s\n", r)
+			}
+		}
+		return
+	}
+
+	fmt.Print(ir.Print(trans))
+
+	if *run {
+		reg := ir.NewRegistry()
+		in1 := interp.New(reg, testsvc.NewSync())
+		args := defaultArgs(proc)
+		r1, err := in1.Run(proc, args)
+		if err != nil {
+			fatal(fmt.Errorf("run original: %w", err))
+		}
+		svc := exec.NewService(*threads, testsvc.Runner())
+		defer svc.Close()
+		in2 := interp.New(reg, svc)
+		r2, err := in2.Run(trans, args)
+		if err != nil {
+			fatal(fmt.Errorf("run transformed: %w", err))
+		}
+		same := r1.Output == r2.Output && len(r1.Returned) == len(r2.Returned)
+		for i := range r1.Returned {
+			same = same && interp.Equal(r1.Returned[i], r2.Returned[i])
+		}
+		fmt.Fprintf(os.Stderr, "\n-- run: results identical: %v; returns: %v\n",
+			same, formatVals(r1.Returned))
+	}
+}
+
+// defaultArgs supplies simple arguments so -run works on programs with
+// integer or list parameters: integers get 20, lists get [1..12].
+func defaultArgs(p *ir.Proc) []interp.Value {
+	args := make([]interp.Value, len(p.Params))
+	for i := range args {
+		items := make([]interp.Value, 12)
+		for j := range items {
+			items[j] = int64(j + 1)
+		}
+		if i%2 == 0 {
+			args[i] = int64(20)
+		} else {
+			args[i] = interp.NewList(items...)
+		}
+	}
+	return args
+}
+
+func formatVals(vals []interp.Value) string {
+	out := "["
+	for i, v := range vals {
+		if i > 0 {
+			out += ", "
+		}
+		out += interp.Format(v)
+	}
+	return out + "]"
+}
+
+func printDDGs(proc *ir.Proc) {
+	reg := ir.NewRegistry()
+	n := 0
+	ir.WalkStmts(proc.Body, func(s ir.Stmt) {
+		switch s.(type) {
+		case *ir.While, *ir.ForEach, *ir.Scan:
+			n++
+			g := dataflow.BuildLoop(s, reg)
+			fmt.Print(g.Dot(fmt.Sprintf("%s_loop%d", proc.Name, n)))
+		}
+	})
+	if n == 0 {
+		fmt.Fprintln(os.Stderr, "asyncq: no loops found")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "asyncq:", err)
+	os.Exit(1)
+}

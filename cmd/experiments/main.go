@@ -1,0 +1,65 @@
+// Command experiments regenerates the paper's evaluation artifacts
+// (Figures 8–15 and Table I) on the simulated database substrate.
+//
+// Usage:
+//
+//	experiments [-scale 0.2] [-quick] [-fig 8|9|10|11|12|13|14|15|all] [-table1]
+//
+// With no selection flags, everything runs. Times are reported in simulated
+// seconds (wall time divided by -scale), so results are comparable across
+// scale settings.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.2, "wall-clock scale for simulated latencies (1.0 = full)")
+	quick := flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
+	fig := flag.String("fig", "", "figure to run: 8..15 or 'all' (default: all)")
+	table1 := flag.Bool("table1", false, "run only Table I")
+	flag.Parse()
+
+	h := experiments.NewHarness()
+	h.Scale = *scale
+	h.Quick = *quick
+	defer h.Close()
+
+	if *table1 {
+		fmt.Print(experiments.RenderTable1(experiments.Table1()))
+		return
+	}
+
+	run := func(name string, f func() (*experiments.Figure, error)) {
+		figOut, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(experiments.Render(figOut))
+	}
+
+	figs := map[string]func() (*experiments.Figure, error){
+		"8": h.Fig08, "9": h.Fig09, "10": h.Fig10, "11": h.Fig11,
+		"12": h.Fig12, "13": h.Fig13, "14": h.Fig14, "15": h.Fig15,
+	}
+	switch *fig {
+	case "", "all":
+		for _, id := range []string{"8", "9", "10", "11", "12", "13", "14", "15"} {
+			run("Fig "+id, figs[id])
+		}
+		fmt.Print(experiments.RenderTable1(experiments.Table1()))
+	default:
+		f, ok := figs[*fig]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown figure %q\n", *fig)
+			os.Exit(2)
+		}
+		run("Fig "+*fig, f)
+	}
+}

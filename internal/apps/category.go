@@ -1,0 +1,129 @@
+package apps
+
+import (
+	"math/rand"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/server"
+	"repro/internal/storage"
+)
+
+// Category is Experiment 3 (taken from [3], as in the paper): find the
+// maximum part size under a set of categories by DFS over the category
+// hierarchy, querying the item table once per visited node. The traversal
+// frontier lives in client memory (childCategories walks the preloaded
+// hierarchy); the per-node aggregate query is the transformable statement.
+// The loop needs the reordering algorithm first — the frontier update is a
+// loop-carried flow dependence into the loop predicate — matching the
+// paper's note that "the reordering algorithm was first applied and then the
+// loop was split".
+func Category() *App {
+	return &App{
+		Name: "category",
+		Source: `
+proc categoryMaxSize(stack) {
+  query qi = "select max(psize) from item where category_id = ?";
+  best = 0;
+  visited = 0;
+  while (!empty(stack)) {
+    cur = pop(stack);
+    m = execQuery(qi, cur);
+    c = m != null;
+    c ? best = max(best, m);
+    visited = visited + 1;
+    kids = childCategories(cur);
+    stack = concat(stack, kids);
+  }
+  return best, visited;
+}`,
+		Setup: setupCategoryItems,
+		Sigs: []*ir.FuncSig{
+			{Name: "childCategories", NArgs: 1, NRet: 1},
+		},
+		Bind: func(in *interp.Interp, rng *rand.Rand) {
+			children := categoryChildren()
+			in.Bind("childCategories", func(a []interp.Value) ([]interp.Value, error) {
+				cid, ok := a[0].(int64)
+				if !ok {
+					return []interp.Value{interp.NewList()}, nil
+				}
+				kids := children[cid]
+				items := make([]interp.Value, len(kids))
+				for i, k := range kids {
+					items[i] = k
+				}
+				return []interp.Value{interp.NewList(items...)}, nil
+			})
+		},
+		Args: func(n int, rng *rand.Rand) []interp.Value {
+			// n leaf categories: the traversal visits exactly n nodes, so
+			// the iteration count matches the paper's x-axis.
+			leaves := leafCategories()
+			ids := make([]interp.Value, n)
+			for i := range ids {
+				ids[i] = leaves[rng.Intn(len(leaves))]
+			}
+			return []interp.Value{interp.NewList(ids...)}
+		},
+	}
+}
+
+// The category hierarchy of the paper: ~10 top-level, ~90 middle, ~900 leaf
+// categories. Category ids: 0..9 top, 10..99 middle, 100..999 leaf; the
+// parent of middle category m is m/10, of leaf l is l/10.
+func categoryChildren() map[int64][]int64 {
+	children := map[int64][]int64{}
+	for m := int64(10); m < 100; m++ {
+		children[m/10] = append(children[m/10], m)
+	}
+	for l := int64(100); l < int64(numCategories); l++ {
+		children[l/10] = append(children[l/10], l)
+	}
+	return children
+}
+
+func leafCategories() []int64 {
+	out := make([]int64, 0, 900)
+	for l := int64(100); l < int64(numCategories); l++ {
+		out = append(out, l)
+	}
+	return out
+}
+
+func setupCategoryItems(s *server.Server, rng *rand.Rand) error {
+	cat := s.Catalog()
+	category := cat.CreateTable("category", storage.NewSchema(
+		storage.Column{Name: "cid", Type: storage.TInt},
+		storage.Column{Name: "parent", Type: storage.TInt},
+	))
+	for c := int64(0); c < int64(numCategories); c++ {
+		parent := int64(-1)
+		if c >= 10 {
+			parent = c / 10
+		}
+		if _, err := category.Insert([]any{c, parent}); err != nil {
+			return err
+		}
+	}
+	// The TPC-H part table augmented with category-id (10M rows in the
+	// paper, scaled down; the secondary index on category-id matches the
+	// paper's physical design).
+	item := cat.CreateTable("item", storage.NewSchema(
+		storage.Column{Name: "iid", Type: storage.TInt},
+		storage.Column{Name: "category_id", Type: storage.TInt},
+		storage.Column{Name: "psize", Type: storage.TInt},
+	))
+	for i := 0; i < numItems; i++ {
+		if _, err := item.Insert([]any{
+			int64(i), int64(rng.Intn(numCategories)), int64(rng.Intn(50) + 1),
+		}); err != nil {
+			return err
+		}
+	}
+	s.FinishLoad()
+	if err := s.AddIndex("category", "cid", true); err != nil {
+		return err
+	}
+	return s.AddIndex("item", "category_id", false)
+}

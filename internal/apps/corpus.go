@@ -1,0 +1,236 @@
+package apps
+
+import (
+	"repro/internal/ir"
+	"repro/internal/minilang"
+)
+
+// CorpusApp is one benchmark application's inventory of query-in-loop sites
+// for the Table I applicability analysis. Each procedure contains exactly
+// one loop with query executions; the analysis runs the real transformation
+// machinery over each and counts exploited sites.
+type CorpusApp struct {
+	Name  string
+	Procs []*ir.Proc
+}
+
+// AuctionCorpus models the RUBiS auction system's nine query-in-loop sites
+// (§VI, Table I: 9 opportunities, 9 transformed). The loop shapes cover the
+// patterns found in the real application: plain per-item lookups, trailing
+// counter updates that need reordering, conditional queries needing Rule B,
+// chained double queries, nested loops, stack traversals and updates.
+func AuctionCorpus() *CorpusApp {
+	srcs := []string{
+		// 1. Item detail lookups over a result list (plain fission).
+		`proc auctionItemDetails(items) {
+  query q = "select name, price from item where iid = ?";
+  total = 0;
+  foreach it in items {
+    r = execQuery(q, it);
+    total = total + field(r, "price");
+  }
+  return total;
+}`,
+		// 2. Comment authors with a running index (reordering needed).
+		`proc auctionCommentAuthors(n) {
+  query q = "select rating from users where uid = ?";
+  i = 0;
+  sum = 0;
+  while (i < n) {
+    r = execQuery(q, i);
+    sum = sum + r;
+    i = i + 1;
+  }
+  return sum;
+}`,
+		// 3. Bid history: conditional fetch for high bids (Rule B + A).
+		`proc auctionBidHistory(bids) {
+  query q = "select bidder from bids where bid = ?";
+  hot = 0;
+  foreach b in bids {
+    big = b % 3 == 0;
+    if (big) {
+      w = execQuery(q, b);
+      hot = hot + w;
+    }
+  }
+  return hot;
+}`,
+		// 4. Seller rating page: chained user + region queries.
+		`proc auctionSellerPage(sellers) {
+  query qu = "select region, rating from users where uid = ?";
+  query qr = "select name from regions where rid = ?";
+  out = 0;
+  foreach s in sellers {
+    u = execQuery(qu, s);
+    rg = execQuery(qr, field(u, "region"));
+    out = out + size(field(rg, "name"));
+  }
+  return out;
+}`,
+		// 5. Items per category for the browse page (nested loops).
+		`proc auctionBrowseCategories(cats) {
+  query q = "select count(iid) from item where category_id = ?";
+  total = 0;
+  foreach c in cats {
+    sub = 0;
+    while (sub < 3) {
+      n = execQuery(q, c * 10 + sub);
+      total = total + n;
+      sub = sub + 1;
+    }
+  }
+  return total;
+}`,
+		// 6. About-me page: queries driven by a work stack (mutation +
+		// reorder).
+		`proc auctionAboutMe(stack) {
+  query q = "select count(bid) from bids where bidder = ?";
+  acc = 0;
+  while (!empty(stack)) {
+    u = pop(stack);
+    n = execQuery(q, u);
+    acc = acc + n;
+  }
+  return acc;
+}`,
+		// 7. Buy-now confirmations: insert per purchase (update loop).
+		`proc auctionBuyNow(purchases) {
+  query ins = "insert into buynow values (?, ?)";
+  k = 0;
+  foreach p in purchases {
+    execUpdate(ins, p, k);
+    k = k + 1;
+  }
+  return k;
+}`,
+		// 8. Watchlist refresh: guarded query plus trailing state update.
+		`proc auctionWatchlist(ids) {
+  query q = "select price from item where iid = ?";
+  last = 0;
+  moved = 0;
+  foreach w in ids {
+    active = w % 2 == 0;
+    active ? p = execQuery(q, w);
+    active ? moved = moved + p;
+    last = w;
+  }
+  return moved, last;
+}`,
+		// 9. Feedback summary: two-phase accumulation with reorder.
+		`proc auctionFeedback(users) {
+  query q = "select count(fid) from feedback where uid = ?";
+  pos = 0;
+  prev = 0;
+  foreach u in users {
+    c = execQuery(q, u);
+    pos = pos + c + prev;
+    prev = c % 5;
+  }
+  return pos;
+}`,
+	}
+	return &CorpusApp{Name: "Auction", Procs: parseAll(srcs)}
+}
+
+// BulletinCorpus models the RUBBoS bulletin board's eight sites (§VI,
+// Table I: 8 opportunities, 6 transformed). Two loops obtain their query
+// results through recursive method invocations (modelled by the `recurse`
+// barrier builtin), which prevents transformation, as in the paper.
+func BulletinCorpus() *CorpusApp {
+	srcs := []string{
+		// 1. Top stories with poster details.
+		`proc bbTopStories(ids) {
+  query q = "select author from stories where sid = ?";
+  n = 0;
+  foreach s in ids {
+    a = execQuery(q, s);
+    n = n + a;
+  }
+  return n;
+}`,
+		// 2. Story comments (counter loop; reorder).
+		`proc bbStoryComments(n) {
+  query q = "select count(cid) from comments where cid = ?";
+  i = 0;
+  total = 0;
+  while (i < n) {
+    c = execQuery(q, i);
+    total = total + c;
+    i = i + 1;
+  }
+  return total;
+}`,
+		// 3. Moderation queue: conditional review fetch.
+		`proc bbModeration(items) {
+  query q = "select rating from users where uid = ?";
+  flagged = 0;
+  foreach m in items {
+    bad = m % 7 == 0;
+    if (bad) {
+      r = execQuery(q, m);
+      flagged = flagged + r;
+    }
+  }
+  return flagged;
+}`,
+		// 4. User page: comment counts per month.
+		`proc bbUserPage(months) {
+  query q = "select count(cid) from comments where cid = ?";
+  acc = 0;
+  foreach mo in months {
+    c = execQuery(q, mo);
+    acc = acc + c;
+  }
+  return acc;
+}`,
+		// 5. Comment tree rendering: recursive descent (NOT transformable —
+		// the query executes inside the recursive callee).
+		`proc bbCommentTree(roots) {
+  depth = 0;
+  foreach r in roots {
+    depth = depth + recurse(r);
+  }
+  return depth;
+}`,
+		// 6. Sub-forum listing with per-forum story count.
+		`proc bbForums(forums) {
+  query q = "select count(sid) from stories where sid = ?";
+  shown = 0;
+  foreach f in forums {
+    c = execQuery(q, f);
+    shown = shown + c;
+    print(f, c);
+  }
+  return shown;
+}`,
+		// 7. Archive rebuild: insert per archived story.
+		`proc bbArchive(stories) {
+  query ins = "insert into archive values (?)";
+  moved = 0;
+  foreach s in stories {
+    execUpdate(ins, s);
+    moved = moved + 1;
+  }
+  return moved;
+}`,
+		// 8. Nested reply expansion: recursive invocation again (NOT
+		// transformable).
+		`proc bbReplyExpansion(threads) {
+  total = 0;
+  foreach t in threads {
+    total = total + recurse(t, 0);
+  }
+  return total;
+}`,
+	}
+	return &CorpusApp{Name: "Bulletin Board", Procs: parseAll(srcs)}
+}
+
+func parseAll(srcs []string) []*ir.Proc {
+	out := make([]*ir.Proc, len(srcs))
+	for i, s := range srcs {
+		out[i] = minilang.MustParse(s)
+	}
+	return out
+}

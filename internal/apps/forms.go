@@ -1,0 +1,71 @@
+package apps
+
+import (
+	"math/rand"
+
+	"repro/internal/interp"
+	"repro/internal/server"
+	"repro/internal/storage"
+)
+
+// Forms is Experiment 4 (from [3], as in the paper): value range expansion.
+// Form-issue records arrive as (agent-id, start-form-number,
+// end-form-number); the program expands each range and inserts one
+// forms-master row per form number. The inner INSERT loop needs the
+// reordering algorithm (the counter update follows the insert) and both
+// loop levels are split, so all inserts across all ranges are submitted
+// before any completion is awaited.
+func Forms() *App {
+	return &App{
+		Name:        "forms",
+		MutatesData: true,
+		Source: `
+proc expandForms(ranges) {
+  query ins = "insert into formsmaster values (?, ?)";
+  n = 0;
+  foreach r in ranges {
+    agent = field(r, "agent");
+    lo = field(r, "lo");
+    hi = field(r, "hi");
+    i = lo;
+    while (i <= hi) {
+      execUpdate(ins, agent, i);
+      i = i + 1;
+      n = n + 1;
+    }
+  }
+  return n;
+}`,
+		Setup: func(s *server.Server, rng *rand.Rand) error {
+			s.Catalog().CreateTable("formsmaster", storage.NewSchema(
+				storage.Column{Name: "agent", Type: storage.TInt},
+				storage.Column{Name: "formno", Type: storage.TInt},
+			))
+			s.FinishLoad()
+			return nil
+		},
+		// Args builds ranges whose total expansion is exactly n inserts,
+		// in chunks of 50 forms per issue record (the paper's iteration
+		// count is the number of INSERT operations).
+		Args: func(n int, rng *rand.Rand) []interp.Value {
+			const chunk = 50
+			var ranges interp.Rows
+			issued := 0
+			next := int64(1)
+			for issued < n {
+				c := chunk
+				if n-issued < c {
+					c = n - issued
+				}
+				ranges = append(ranges, interp.Row{
+					"agent": int64(rng.Intn(500)),
+					"lo":    next,
+					"hi":    next + int64(c) - 1,
+				})
+				next += int64(c)
+				issued += c
+			}
+			return []interp.Value{ranges}
+		},
+	}
+}

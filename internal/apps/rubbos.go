@@ -1,0 +1,66 @@
+package apps
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/interp"
+	"repro/internal/server"
+	"repro/internal/storage"
+)
+
+// RUBBoS is Experiment 2: the bulletin board's "top stories of the day"
+// listing, which loads each story and then the details of its poster. Two
+// chained queries per iteration, exercising repeated application of Rule A
+// (the second query's fission happens inside the scan loop the first one
+// generates).
+func RUBBoS() *App {
+	return &App{
+		Name: "rubbos",
+		Source: `
+proc rubbosTopStories(storyIds) {
+  query qs = "select author, rating from stories where sid = ?";
+  query qu = "select nickname, rating from users where uid = ?";
+  shown = 0;
+  sumRating = 0;
+  foreach sid in storyIds {
+    srows = execQuery(qs, sid);
+    author = field(srows, "author");
+    urows = execQuery(qu, author);
+    nick = field(urows, "nickname");
+    sumRating = sumRating + field(urows, "rating");
+    shown = shown + 1;
+    print(shown, nick);
+  }
+  return shown, sumRating;
+}`,
+		Setup: func(s *server.Server, rng *rand.Rand) error {
+			if err := setupUsersAndComments(s, rng); err != nil {
+				return err
+			}
+			stories := s.Catalog().CreateTable("stories", storage.NewSchema(
+				storage.Column{Name: "sid", Type: storage.TInt},
+				storage.Column{Name: "author", Type: storage.TInt},
+				storage.Column{Name: "rating", Type: storage.TInt},
+				storage.Column{Name: "title", Type: storage.TString},
+			))
+			for i := 0; i < numStories; i++ {
+				if _, err := stories.Insert([]any{
+					int64(i), int64(rng.Intn(numUsers)), int64(rng.Intn(100)),
+					fmt.Sprintf("story %d", i),
+				}); err != nil {
+					return err
+				}
+			}
+			s.RegisterExtent(stories.Extent, stories.NumPages())
+			return s.AddIndex("stories", "sid", true)
+		},
+		Args: func(n int, rng *rand.Rand) []interp.Value {
+			ids := make([]interp.Value, n)
+			for i := range ids {
+				ids[i] = int64(rng.Intn(numStories))
+			}
+			return []interp.Value{interp.NewList(ids...)}
+		},
+	}
+}

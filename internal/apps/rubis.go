@@ -1,0 +1,72 @@
+package apps
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/interp"
+	"repro/internal/server"
+	"repro/internal/storage"
+)
+
+// RUBiS is Experiment 1: the auction site's comment listing, which loads the
+// author record of each comment in a loop. One query per iteration, no
+// loop-carried flow dependence — the basic Rule A case.
+func RUBiS() *App {
+	return &App{
+		Name: "rubis",
+		Source: `
+proc rubisLoadAuthors(authorIds) {
+  query qu = "select nickname, rating from users where uid = ?";
+  total = 0;
+  foreach uid in authorIds {
+    urows = execQuery(qu, uid);
+    r = field(urows, "rating");
+    total = total + r;
+  }
+  return total;
+}`,
+		Setup: setupUsersAndComments,
+		Args: func(n int, rng *rand.Rand) []interp.Value {
+			ids := make([]interp.Value, n)
+			for i := range ids {
+				ids[i] = int64(rng.Intn(numUsers))
+			}
+			return []interp.Value{interp.NewList(ids...)}
+		},
+	}
+}
+
+// setupUsersAndComments loads the users and comments tables shared by the
+// RUBiS and RUBBoS experiments.
+func setupUsersAndComments(s *server.Server, rng *rand.Rand) error {
+	cat := s.Catalog()
+	users := cat.CreateTable("users", storage.NewSchema(
+		storage.Column{Name: "uid", Type: storage.TInt},
+		storage.Column{Name: "nickname", Type: storage.TString},
+		storage.Column{Name: "rating", Type: storage.TInt},
+	))
+	// User profiles are wide rows (bio text, preferences): few per page, so
+	// random author lookups on a cold cache fault heavily, as in the paper.
+	users.SetRowsPerPage(8)
+	for i := 0; i < numUsers; i++ {
+		if _, err := users.Insert([]any{int64(i), fmt.Sprintf("user%d", i), int64(rng.Intn(1000))}); err != nil {
+			return err
+		}
+	}
+	comments := cat.CreateTable("comments", storage.NewSchema(
+		storage.Column{Name: "cid", Type: storage.TInt},
+		storage.Column{Name: "author", Type: storage.TInt},
+		storage.Column{Name: "item", Type: storage.TInt},
+	))
+	for i := 0; i < numComments; i++ {
+		if _, err := comments.Insert([]any{int64(i), int64(rng.Intn(numUsers)), int64(rng.Intn(10000))}); err != nil {
+			return err
+		}
+	}
+	s.FinishLoad()
+	if err := s.AddIndex("users", "uid", true); err != nil {
+		return err
+	}
+	return s.AddIndex("comments", "cid", true)
+}

@@ -1,0 +1,55 @@
+package apps
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/interp"
+	"repro/internal/server"
+	"repro/internal/storage"
+)
+
+// WebServiceApp is Experiment 5: a client that fetches director/movie data
+// from a remote entity-graph service (Freebase in the paper). The service
+// API supports no joins and no set-oriented requests, so the client issues
+// one request per director from a loop; wide-area round-trip time dominates
+// and asynchronous submission hides it. The "database" here is the same
+// simulated server under the WebService profile (25ms RTT).
+func WebServiceApp() *App {
+	return &App{
+		Name: "webservice",
+		Source: `
+proc fetchFilmography(directors) {
+  query qm = "select count(mid) from movies where director = ?";
+  totalMovies = 0;
+  foreach d in directors {
+    c = execQuery(qm, d);
+    totalMovies = totalMovies + c;
+  }
+  return totalMovies;
+}`,
+		Setup: func(s *server.Server, rng *rand.Rand) error {
+			movies := s.Catalog().CreateTable("movies", storage.NewSchema(
+				storage.Column{Name: "mid", Type: storage.TInt},
+				storage.Column{Name: "director", Type: storage.TInt},
+				storage.Column{Name: "title", Type: storage.TString},
+			))
+			for i := 0; i < numMovies; i++ {
+				if _, err := movies.Insert([]any{
+					int64(i), int64(rng.Intn(numDirectors)), fmt.Sprintf("movie %d", i),
+				}); err != nil {
+					return err
+				}
+			}
+			s.FinishLoad()
+			return s.AddIndex("movies", "director", false)
+		},
+		Args: func(n int, rng *rand.Rand) []interp.Value {
+			ids := make([]interp.Value, n)
+			for i := range ids {
+				ids[i] = int64(rng.Intn(numDirectors))
+			}
+			return []interp.Value{interp.NewList(ids...)}
+		},
+	}
+}

@@ -1,0 +1,201 @@
+// Package buffer implements the database server's LRU buffer pool. The
+// paper's warm-vs-cold cache dimension falls out of this component: a warm
+// run starts with the working set resident (Preload), a cold run starts
+// empty and pays disk reads on first touch. Concurrently submitted queries
+// that touch overlapping pages also benefit here — the second request finds
+// the page already cached — which approximates the "shared scans" effect the
+// paper cites (§I).
+package buffer
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/disk"
+)
+
+// PageID identifies a page: a storage extent plus a page number within it.
+type PageID struct {
+	Extent int
+	Page   int
+}
+
+// Pool is a fixed-capacity LRU page cache backed by a simulated disk.
+type Pool struct {
+	mu       sync.Mutex
+	capacity int
+	lru      *list.List // front = most recent; values are PageID
+	index    map[PageID]*list.Element
+	disk     *disk.Disk
+	// extentTrack maps an extent to its starting disk track; pages lay out
+	// sequentially from there.
+	extentTrack map[int]int
+
+	hits    int64
+	misses  int64
+	pending map[PageID]*sync.WaitGroup // in-flight reads, to dedupe
+}
+
+// NewPool creates a pool of the given page capacity over d.
+func NewPool(capacity int, d *disk.Disk) *Pool {
+	return &Pool{
+		capacity:    capacity,
+		lru:         list.New(),
+		index:       make(map[PageID]*list.Element),
+		disk:        d,
+		extentTrack: make(map[int]int),
+		pending:     make(map[PageID]*sync.WaitGroup),
+	}
+}
+
+// MapExtent assigns an extent's starting track.
+func (p *Pool) MapExtent(extent, startTrack int) {
+	p.mu.Lock()
+	p.extentTrack[extent] = startTrack
+	p.mu.Unlock()
+}
+
+// Get faults the page in if needed (paying disk time on miss) and marks it
+// most-recently-used. Concurrent misses on the same page coalesce into one
+// disk read.
+func (p *Pool) Get(id PageID) {
+	p.mu.Lock()
+	if el, ok := p.index[id]; ok {
+		p.lru.MoveToFront(el)
+		p.hits++
+		p.mu.Unlock()
+		return
+	}
+	if wg, ok := p.pending[id]; ok {
+		// Another request is already reading this page: wait for it. This is
+		// the shared-read path.
+		p.hits++
+		p.mu.Unlock()
+		wg.Wait()
+		return
+	}
+	p.misses++
+	wg := &sync.WaitGroup{}
+	wg.Add(1)
+	p.pending[id] = wg
+	track := p.extentTrack[id.Extent] + id.Page
+	p.mu.Unlock()
+
+	p.disk.Read(track, 1)
+
+	p.mu.Lock()
+	delete(p.pending, id)
+	p.insertLocked(id)
+	p.mu.Unlock()
+	wg.Done()
+}
+
+// GetBatch faults in a contiguous run of pages of one extent, paying a
+// single batched disk request for the missing ones (sequential IO, e.g. a
+// table scan).
+func (p *Pool) GetBatch(extent, firstPage, n int) {
+	if n <= 0 {
+		return
+	}
+	p.mu.Lock()
+	missFirst, missLast, missCount := -1, -1, 0
+	for i := 0; i < n; i++ {
+		id := PageID{Extent: extent, Page: firstPage + i}
+		if el, ok := p.index[id]; ok {
+			p.lru.MoveToFront(el)
+			p.hits++
+			continue
+		}
+		p.misses++
+		if missFirst < 0 {
+			missFirst = firstPage + i
+		}
+		missLast = firstPage + i
+		missCount++
+	}
+	track := p.extentTrack[extent] + missFirst
+	p.mu.Unlock()
+
+	if missCount == 0 {
+		return
+	}
+	// Sequential IO reads the whole span from the first to the last missing
+	// page in one sweep (interior hits transfer for free under the head).
+	p.disk.Read(track, missLast-missFirst+1)
+
+	p.mu.Lock()
+	for pg := missFirst; pg <= missLast; pg++ {
+		p.insertLocked(PageID{Extent: extent, Page: pg})
+	}
+	p.mu.Unlock()
+}
+
+// Put marks a page dirty-resident without disk IO (write-back model for
+// inserts; background flushing is not simulated, matching the paper's
+// Experiment 4 observation that insert performance is cache-independent).
+func (p *Pool) Put(id PageID) {
+	p.mu.Lock()
+	if el, ok := p.index[id]; ok {
+		p.lru.MoveToFront(el)
+	} else {
+		p.insertLocked(id)
+	}
+	p.mu.Unlock()
+}
+
+// Preload marks a range of pages resident without disk time (warming the
+// cache before a warm-cache experiment).
+func (p *Pool) Preload(extent, firstPage, n int) {
+	p.mu.Lock()
+	for i := 0; i < n; i++ {
+		p.insertLocked(PageID{Extent: extent, Page: firstPage + i})
+	}
+	p.mu.Unlock()
+}
+
+// Reset empties the pool (cold start) and clears counters.
+func (p *Pool) Reset() {
+	p.mu.Lock()
+	p.lru.Init()
+	p.index = make(map[PageID]*list.Element)
+	p.hits, p.misses = 0, 0
+	p.mu.Unlock()
+}
+
+// Stats returns hit/miss counters.
+func (p *Pool) Stats() (hits, misses int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hits, p.misses
+}
+
+// Resident reports whether a page is currently cached (for tests).
+func (p *Pool) Resident(id PageID) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, ok := p.index[id]
+	return ok
+}
+
+// Len returns the number of cached pages.
+func (p *Pool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.lru.Len()
+}
+
+func (p *Pool) insertLocked(id PageID) {
+	if el, ok := p.index[id]; ok {
+		p.lru.MoveToFront(el)
+		return
+	}
+	for p.lru.Len() >= p.capacity && p.capacity > 0 {
+		back := p.lru.Back()
+		if back == nil {
+			break
+		}
+		delete(p.index, back.Value.(PageID))
+		p.lru.Remove(back)
+	}
+	p.index[id] = p.lru.PushFront(id)
+}

@@ -1,0 +1,154 @@
+package buffer
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/simclock"
+)
+
+func newPool(capacity int) (*Pool, *disk.Disk) {
+	d := disk.New(disk.DefaultParams(), simclock.New(0))
+	p := NewPool(capacity, d)
+	p.MapExtent(0, 0)
+	p.MapExtent(1, 2048)
+	return p, d
+}
+
+func TestHitMiss(t *testing.T) {
+	p, d := newPool(16)
+	defer d.Close()
+	id := PageID{Extent: 0, Page: 3}
+	p.Get(id)
+	p.Get(id)
+	hits, misses := p.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", hits, misses)
+	}
+	if !p.Resident(id) {
+		t.Fatal("page not resident after get")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	p, d := newPool(3)
+	defer d.Close()
+	for i := 0; i < 3; i++ {
+		p.Get(PageID{Extent: 0, Page: i})
+	}
+	p.Get(PageID{Extent: 0, Page: 0}) // touch 0: now 1 is LRU
+	p.Get(PageID{Extent: 0, Page: 9}) // evicts 1
+	if p.Resident(PageID{Extent: 0, Page: 1}) {
+		t.Fatal("LRU page not evicted")
+	}
+	if !p.Resident(PageID{Extent: 0, Page: 0}) {
+		t.Fatal("recently used page evicted")
+	}
+	if p.Len() != 3 {
+		t.Fatalf("capacity exceeded: %d", p.Len())
+	}
+}
+
+func TestPreloadWarmsWithoutDisk(t *testing.T) {
+	p, d := newPool(64)
+	defer d.Close()
+	p.Preload(0, 0, 32)
+	for i := 0; i < 32; i++ {
+		p.Get(PageID{Extent: 0, Page: i})
+	}
+	hits, misses := p.Stats()
+	if misses != 0 || hits != 32 {
+		t.Fatalf("preload did not warm: hits=%d misses=%d", hits, misses)
+	}
+	if st := d.Stats(); st.Requests != 0 {
+		t.Fatalf("preload must not touch the disk: %+v", st)
+	}
+}
+
+func TestReset(t *testing.T) {
+	p, d := newPool(8)
+	defer d.Close()
+	p.Get(PageID{Extent: 0, Page: 1})
+	p.Reset()
+	if p.Len() != 0 {
+		t.Fatal("reset did not empty pool")
+	}
+	hits, misses := p.Stats()
+	if hits != 0 || misses != 0 {
+		t.Fatal("reset did not clear counters")
+	}
+}
+
+func TestGetBatchSequential(t *testing.T) {
+	p, d := newPool(128)
+	p.Get(PageID{Extent: 0, Page: 2}) // one page already resident
+	before := d.Stats().Requests
+	p.GetBatch(0, 0, 10)
+	after := d.Stats().Requests
+	d.Close()
+	if after-before != 1 {
+		t.Fatalf("batch read must issue one disk request, got %d", after-before)
+	}
+	for i := 0; i < 10; i++ {
+		if !p.Resident(PageID{Extent: 0, Page: i}) {
+			t.Fatalf("page %d not resident after batch", i)
+		}
+	}
+}
+
+func TestPutDirtyNoDisk(t *testing.T) {
+	p, d := newPool(8)
+	defer d.Close()
+	p.Put(PageID{Extent: 1, Page: 5})
+	if st := d.Stats(); st.Requests != 0 {
+		t.Fatal("Put must not read from disk (write-back model)")
+	}
+	p.Get(PageID{Extent: 1, Page: 5})
+	hits, misses := p.Stats()
+	if hits != 1 || misses != 0 {
+		t.Fatalf("dirty page should hit: %d/%d", hits, misses)
+	}
+}
+
+// TestConcurrentMissCoalescing: two concurrent misses on one page issue a
+// single disk read (the shared-read path approximating shared scans).
+func TestConcurrentMissCoalescing(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		p, d := newPool(16)
+		var wg sync.WaitGroup
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				p.Get(PageID{Extent: 0, Page: 7})
+			}()
+		}
+		wg.Wait()
+		st := d.Stats()
+		d.Close()
+		if st.Requests > 1 {
+			t.Fatalf("round %d: %d disk reads for one page; want coalescing", round, st.Requests)
+		}
+	}
+}
+
+func TestConcurrentGetsRace(t *testing.T) {
+	p, d := newPool(32)
+	defer d.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				p.Get(PageID{Extent: g % 2, Page: i % 40})
+			}
+		}(g)
+	}
+	wg.Wait()
+	hits, misses := p.Stats()
+	if hits+misses != 1600 {
+		t.Fatalf("lost accesses: %d", hits+misses)
+	}
+}

@@ -1,0 +1,203 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSubmitFetch(t *testing.T) {
+	e := NewExecutor(4, func(name, sql string, args []any) (any, error) {
+		return args[0].(int64) * 2, nil
+	})
+	defer e.Close()
+	var handles []*Handle
+	for i := int64(0); i < 100; i++ {
+		h, err := e.Submit("q", "", []any{i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	for i, h := range handles {
+		v, err := h.Fetch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != int64(i*2) {
+			t.Fatalf("handle %d: got %v", i, v)
+		}
+	}
+	sub, comp := e.Stats()
+	if sub != 100 || comp != 100 {
+		t.Fatalf("stats %d/%d", sub, comp)
+	}
+}
+
+func TestFetchIdempotent(t *testing.T) {
+	e := NewExecutor(1, func(name, sql string, args []any) (any, error) { return int64(7), nil })
+	defer e.Close()
+	h, _ := e.Submit("q", "", nil)
+	for i := 0; i < 3; i++ {
+		v, err := h.Fetch()
+		if err != nil || v != int64(7) {
+			t.Fatalf("fetch %d: %v %v", i, v, err)
+		}
+	}
+}
+
+func TestErrorsPropagate(t *testing.T) {
+	want := errors.New("boom")
+	e := NewExecutor(2, func(name, sql string, args []any) (any, error) { return nil, want })
+	defer e.Close()
+	h, _ := e.Submit("q", "", nil)
+	if _, err := h.Fetch(); !errors.Is(err, want) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestConcurrencyBound(t *testing.T) {
+	const workers = 3
+	var cur, maxSeen atomic.Int64
+	e := NewExecutor(workers, func(name, sql string, args []any) (any, error) {
+		n := cur.Add(1)
+		for {
+			m := maxSeen.Load()
+			if n <= m || maxSeen.CompareAndSwap(m, n) {
+				break
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+		cur.Add(-1)
+		return nil, nil
+	})
+	var hs []*Handle
+	for i := 0; i < 30; i++ {
+		h, _ := e.Submit("q", "", nil)
+		hs = append(hs, h)
+	}
+	for _, h := range hs {
+		h.Fetch()
+	}
+	e.Close()
+	if maxSeen.Load() > workers {
+		t.Fatalf("concurrency %d exceeded pool size %d", maxSeen.Load(), workers)
+	}
+	if maxSeen.Load() < 2 {
+		t.Fatalf("pool never ran concurrently (max %d)", maxSeen.Load())
+	}
+}
+
+func TestSubmitNeverBlocks(t *testing.T) {
+	block := make(chan struct{})
+	e := NewExecutor(1, func(name, sql string, args []any) (any, error) {
+		<-block
+		return nil, nil
+	})
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 10_000; i++ {
+			if _, err := e.Submit("q", "", nil); err != nil {
+				t.Error(err)
+				break
+			}
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("submissions blocked despite unbounded queue")
+	}
+	close(block)
+	e.Close()
+}
+
+func TestCloseDrains(t *testing.T) {
+	var completed atomic.Int64
+	e := NewExecutor(2, func(name, sql string, args []any) (any, error) {
+		time.Sleep(time.Millisecond)
+		completed.Add(1)
+		return nil, nil
+	})
+	for i := 0; i < 20; i++ {
+		e.Submit("q", "", nil)
+	}
+	e.Close()
+	if completed.Load() != 20 {
+		t.Fatalf("close did not drain: %d/20", completed.Load())
+	}
+	if _, err := e.Submit("q", "", nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close: %v", err)
+	}
+}
+
+func TestDone(t *testing.T) {
+	block := make(chan struct{})
+	e := NewExecutor(1, func(name, sql string, args []any) (any, error) {
+		<-block
+		return int64(1), nil
+	})
+	defer e.Close()
+	h, _ := e.Submit("q", "", nil)
+	if h.Done() {
+		t.Fatal("done before completion")
+	}
+	close(block)
+	h.Fetch()
+	if !h.Done() {
+		t.Fatal("not done after fetch")
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	var mu sync.Mutex
+	var order []int64
+	e := NewExecutor(1, func(name, sql string, args []any) (any, error) {
+		mu.Lock()
+		order = append(order, args[0].(int64))
+		mu.Unlock()
+		return nil, nil
+	})
+	var hs []*Handle
+	for i := int64(0); i < 50; i++ {
+		h, _ := e.Submit("q", "", []any{i})
+		hs = append(hs, h)
+	}
+	for _, h := range hs {
+		h.Fetch()
+	}
+	e.Close()
+	for i, v := range order {
+		if v != int64(i) {
+			t.Fatalf("single worker must preserve FIFO: %v", order)
+		}
+	}
+}
+
+func TestServiceDegradedMode(t *testing.T) {
+	s := NewService(0, func(name, sql string, args []any) (any, error) { return int64(9), nil })
+	defer s.Close()
+	h, err := s.Submit("q", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := h.Fetch()
+	if err != nil || v != int64(9) {
+		t.Fatalf("degraded submit: %v %v", v, err)
+	}
+}
+
+func TestServiceExec(t *testing.T) {
+	s := NewService(2, func(name, sql string, args []any) (any, error) {
+		return fmt.Sprintf("%s:%v", name, args[0]), nil
+	})
+	defer s.Close()
+	v, err := s.Exec("q", "", []any{int64(3)})
+	if err != nil || v != "q:3" {
+		t.Fatalf("exec: %v %v", v, err)
+	}
+}

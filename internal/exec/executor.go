@@ -1,0 +1,149 @@
+// Package exec is the asynchronous client runtime: a fixed-size worker pool
+// that plays the role of java.util.concurrent's Executor framework in the
+// paper's rewritten programs (§VI). Submitted queries are queued and executed
+// by the pool; Fetch blocks on the per-query handle (the observer model of
+// §II).
+package exec
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("exec: executor closed")
+
+// Runner executes one query; it is the bridge to the database client
+// session (or any other request transport, e.g. a web-service client).
+type Runner func(name, sql string, args []any) (any, error)
+
+// Handle is a pending asynchronous request.
+type Handle struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// Fetch blocks until the request completes and returns its result. It may be
+// called multiple times; subsequent calls return immediately.
+func (h *Handle) Fetch() (any, error) {
+	<-h.done
+	return h.val, h.err
+}
+
+// Done reports (without blocking) whether the result is available — the
+// polling side of the observer model.
+func (h *Handle) Done() bool {
+	select {
+	case <-h.done:
+		return true
+	default:
+		return false
+	}
+}
+
+type job struct {
+	name string
+	sql  string
+	args []any
+	h    *Handle
+}
+
+// Executor is a fixed-size worker pool with an unbounded FIFO submission
+// queue, so that submit loops never block regardless of the number of
+// iterations (memory for pending state is the documented cost, §VII).
+type Executor struct {
+	run     Runner
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []*job
+	closed  bool
+	workers int
+	wg      sync.WaitGroup
+
+	statMu    sync.Mutex
+	submitted int64
+	completed int64
+}
+
+// NewExecutor starts a pool of the given size. workers is the paper's
+// "number of threads" experimental parameter.
+func NewExecutor(workers int, run Runner) *Executor {
+	if workers < 1 {
+		workers = 1
+	}
+	e := &Executor{run: run, workers: workers}
+	e.cond = sync.NewCond(&e.mu)
+	e.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go e.worker()
+	}
+	return e
+}
+
+// Workers returns the pool size.
+func (e *Executor) Workers() int { return e.workers }
+
+// Submit enqueues a request and returns its handle immediately.
+func (e *Executor) Submit(name, sql string, args []any) (*Handle, error) {
+	h := &Handle{done: make(chan struct{})}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, ErrClosed
+	}
+	e.queue = append(e.queue, &job{name: name, sql: sql, args: args, h: h})
+	e.cond.Signal()
+	e.mu.Unlock()
+
+	e.statMu.Lock()
+	e.submitted++
+	e.statMu.Unlock()
+	return h, nil
+}
+
+// Stats returns the total submitted and completed request counts.
+func (e *Executor) Stats() (submitted, completed int64) {
+	e.statMu.Lock()
+	defer e.statMu.Unlock()
+	return e.submitted, e.completed
+}
+
+// Close drains the queue: pending requests still execute, then workers exit.
+// It blocks until all workers have stopped.
+func (e *Executor) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		e.wg.Wait()
+		return
+	}
+	e.closed = true
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	e.wg.Wait()
+}
+
+func (e *Executor) worker() {
+	defer e.wg.Done()
+	for {
+		e.mu.Lock()
+		for len(e.queue) == 0 && !e.closed {
+			e.cond.Wait()
+		}
+		if len(e.queue) == 0 && e.closed {
+			e.mu.Unlock()
+			return
+		}
+		j := e.queue[0]
+		e.queue = e.queue[1:]
+		e.mu.Unlock()
+
+		j.h.val, j.h.err = e.run(j.name, j.sql, j.args)
+		close(j.h.done)
+
+		e.statMu.Lock()
+		e.completed++
+		e.statMu.Unlock()
+	}
+}

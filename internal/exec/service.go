@@ -1,0 +1,58 @@
+package exec
+
+import (
+	"repro/internal/interp"
+)
+
+// Service adapts an Executor (plus a synchronous runner for blocking calls)
+// to the interpreter's QueryService. Blocking executeQuery calls run on the
+// calling goroutine — exactly like the original JDBC programs — while
+// submitQuery goes through the pool.
+type Service struct {
+	exec *Executor
+	sync Runner
+}
+
+// NewService builds a query service. If workers is 0 the service supports
+// only blocking execution (submissions fail), modelling an untransformed
+// program's environment.
+func NewService(workers int, run Runner) *Service {
+	s := &Service{sync: run}
+	if workers > 0 {
+		s.exec = NewExecutor(workers, run)
+	}
+	return s
+}
+
+// Exec implements interp.QueryService.
+func (s *Service) Exec(name, sql string, args []interp.Value) (interp.Value, error) {
+	return s.sync(name, sql, args)
+}
+
+// Submit implements interp.QueryService.
+func (s *Service) Submit(name, sql string, args []interp.Value) (interp.Handle, error) {
+	if s.exec == nil {
+		// Degraded mode: run synchronously and wrap the result, so programs
+		// transformed for asynchrony still run correctly with no pool.
+		v, err := s.sync(name, sql, args)
+		h := &Handle{done: make(chan struct{}), val: v, err: err}
+		close(h.done)
+		return h, nil
+	}
+	return s.exec.Submit(name, sql, args)
+}
+
+// Close shuts down the pool (if any), waiting for pending requests.
+func (s *Service) Close() {
+	if s.exec != nil {
+		s.exec.Close()
+	}
+}
+
+// Stats proxies Executor.Stats; zero values when no pool exists.
+func (s *Service) Stats() (submitted, completed int64) {
+	if s.exec == nil {
+		return 0, 0
+	}
+	return s.exec.Stats()
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/server"
+)
+
+// TestTable1 checks the paper's applicability numbers: auction 9/9 (100%),
+// bulletin board 6/8 (75%).
+func TestTable1(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 2 {
+		t.Fatalf("want 2 rows, got %d", len(rows))
+	}
+	if rows[0].Opportunities != 9 || rows[0].Transformed != 9 {
+		t.Errorf("auction: got %d/%d, want 9/9", rows[0].Transformed, rows[0].Opportunities)
+	}
+	if rows[1].Opportunities != 8 || rows[1].Transformed != 6 {
+		t.Errorf("bulletin: got %d/%d, want 6/8", rows[1].Transformed, rows[1].Opportunities)
+	}
+}
+
+// TestAllAppsTransform checks that each evaluation app's kernel transforms.
+func TestAllAppsTransform(t *testing.T) {
+	for _, app := range apps.All() {
+		_, rep, err := core.Transform(app.Proc(), core.Options{
+			Registry: app.Registry(), SplitNested: true,
+		})
+		if err != nil {
+			t.Errorf("%s: %v", app.Name, err)
+			continue
+		}
+		if rep.TransformedCount() == 0 {
+			t.Errorf("%s: no site transformed: %+v", app.Name, rep.Sites)
+		}
+	}
+}
+
+// TestMeasureSmall runs tiny measurements of every app end to end (zero
+// scale: no sleeping) and relies on Measure's built-in result comparison.
+func TestMeasureSmall(t *testing.T) {
+	h := NewHarness()
+	h.Scale = 0 // logic only
+	defer h.Close()
+	cases := []struct {
+		app  *apps.App
+		prof server.Profile
+	}{
+		{apps.RUBiS(), server.SYS1()},
+		{apps.RUBBoS(), server.Postgres()},
+		{apps.Category(), server.SYS1()},
+		{apps.Forms(), server.SYS1()},
+		{apps.WebServiceApp(), server.WebService()},
+	}
+	for _, c := range cases {
+		m, err := h.Measure(c.app, c.prof, 4, 25, true)
+		if err != nil {
+			t.Errorf("%s: %v", c.app.Name, err)
+			continue
+		}
+		if m.Iterations != 25 {
+			t.Errorf("%s: bad measurement %+v", c.app.Name, m)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/server"
+)
+
+// Point is one x/y pair of a series.
+type Point struct {
+	X int
+	Y float64
+}
+
+// Series is one labelled line of a figure.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Figure is one reproduced evaluation artifact.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Notes  []string
+}
+
+func (h *Harness) sweepIterations(fig, title string, app *apps.App, prof server.Profile,
+	threads int, iters []int, caches []bool) (*Figure, error) {
+
+	f := &Figure{
+		ID:     fig,
+		Title:  title,
+		XLabel: "Number of iterations",
+		YLabel: "Time (in sec)",
+	}
+	for _, warm := range caches {
+		cacheName := "Cold Cache"
+		if warm {
+			cacheName = "Warm Cache"
+		}
+		var orig, trans Series
+		orig.Label = "Original Program (" + cacheName + ")"
+		trans.Label = "Transformed Program (" + cacheName + ")"
+		for _, n := range iters {
+			m, err := h.Measure(app, prof, threads, n, warm)
+			if err != nil {
+				return nil, fmt.Errorf("%s n=%d: %w", fig, n, err)
+			}
+			orig.Points = append(orig.Points, Point{X: n, Y: m.Original})
+			trans.Points = append(trans.Points, Point{X: n, Y: m.Transformed})
+		}
+		f.Series = append(f.Series, orig, trans)
+	}
+	f.Notes = append(f.Notes,
+		fmt.Sprintf("Database: %s, Threads: %d", prof.Name, threads))
+	return f, nil
+}
+
+func (h *Harness) sweepThreads(fig, title string, app *apps.App, prof server.Profile,
+	iterations int, threads []int, warm bool) (*Figure, error) {
+
+	cacheName := "Cold"
+	if warm {
+		cacheName = "Warm"
+	}
+	f := &Figure{
+		ID:     fig,
+		Title:  title,
+		XLabel: "Number of threads",
+		YLabel: "Time (in sec)",
+		Notes: []string{fmt.Sprintf("Database: %s, Cache: %s, Iterations: %d",
+			prof.Name, cacheName, iterations)},
+	}
+	var orig, trans Series
+	orig.Label = "Original Program"
+	trans.Label = "Transformed Program"
+	for _, t := range threads {
+		m, err := h.Measure(app, prof, t, iterations, warm)
+		if err != nil {
+			return nil, fmt.Errorf("%s threads=%d: %w", fig, t, err)
+		}
+		orig.Points = append(orig.Points, Point{X: t, Y: m.Original})
+		trans.Points = append(trans.Points, Point{X: t, Y: m.Transformed})
+	}
+	f.Series = append(f.Series, orig, trans)
+	return f, nil
+}
+
+// Fig08 — Experiment 1 (RUBiS auction) on SYS1, 10 threads, varying the
+// number of iterations, warm and cold caches.
+func (h *Harness) Fig08() (*Figure, error) {
+	iters := h.pick([]int{4, 40, 400, 4000, 40000}, []int{4, 40, 400})
+	return h.sweepIterations("Fig 8", "Experiment 1 with varying number of iterations",
+		apps.RUBiS(), server.SYS1(), 10, iters, []bool{false, true})
+}
+
+// Fig09 — Experiment 1 on SYS1, 40k iterations, warm cache, varying threads.
+func (h *Harness) Fig09() (*Figure, error) {
+	threads := h.pick([]int{1, 2, 5, 10, 20, 30, 40, 50}, []int{1, 5, 20})
+	iters := h.iters(40000, 2000)
+	return h.sweepThreads("Fig 9", "Experiment 1 with varying number of threads",
+		apps.RUBiS(), server.SYS1(), iters, threads, true)
+}
+
+// Fig10 — Experiment 1 on the PostgreSQL profile, varying threads.
+func (h *Harness) Fig10() (*Figure, error) {
+	threads := h.pick([]int{1, 2, 5, 10, 20, 30, 40, 50}, []int{1, 5, 20})
+	iters := h.iters(40000, 2000)
+	return h.sweepThreads("Fig 10", "Experiment 1 with varying number of threads",
+		apps.RUBiS(), server.Postgres(), iters, threads, true)
+}
+
+// Fig11 — Experiment 2 (RUBBoS bulletin board) on PostgreSQL, 10 threads,
+// warm cache, varying iterations.
+func (h *Harness) Fig11() (*Figure, error) {
+	iters := h.pick([]int{6, 60, 600, 6000}, []int{6, 60})
+	return h.sweepIterations("Fig 11", "Experiment 2 with varying number of iterations",
+		apps.RUBBoS(), server.Postgres(), 10, iters, []bool{true})
+}
+
+// Fig12 — Experiment 3 (category traversal) on SYS1, 10 threads, varying
+// iterations, warm and cold.
+func (h *Harness) Fig12() (*Figure, error) {
+	iters := h.pick([]int{1, 11, 100}, []int{1, 11})
+	return h.sweepIterations("Fig 12", "Experiment 3 with varying iterations",
+		apps.Category(), server.SYS1(), 10, iters, []bool{false, true})
+}
+
+// Fig13 — Experiment 3 on SYS1, cold cache, 100 iterations, varying threads.
+func (h *Harness) Fig13() (*Figure, error) {
+	threads := h.pick([]int{1, 2, 5, 10, 20, 30, 40, 50}, []int{1, 5, 20})
+	return h.sweepThreads("Fig 13", "Experiment 3 with varying number of threads",
+		apps.Category(), server.SYS1(), h.iters(100, 40), threads, false)
+}
+
+// Fig14 — Experiment 4 (value range expansion, INSERTs) on SYS1, 30
+// threads, varying iterations. Results are cache-independent (write-back).
+func (h *Harness) Fig14() (*Figure, error) {
+	iters := h.pick([]int{10, 100, 1000, 10000, 100000}, []int{10, 100, 1000})
+	return h.sweepIterations("Fig 14", "Experiment 4 with varying number of iterations",
+		apps.Forms(), server.SYS1(), 30, iters, []bool{true})
+}
+
+// Fig15 — Experiment 5 (web service invocation), 240 iterations, varying
+// threads.
+func (h *Harness) Fig15() (*Figure, error) {
+	threads := h.pick([]int{1, 2, 5, 10, 15, 20, 25}, []int{1, 5, 15})
+	return h.sweepThreads("Fig 15", "Experiment 5 with varying number of threads",
+		apps.WebServiceApp(), server.WebService(), h.iters(240, 60), threads, true)
+}
+
+func (h *Harness) iters(full, quick int) int {
+	if h.Quick {
+		return quick
+	}
+	return full
+}
+
+// TableRow is one application of Table I.
+type TableRow struct {
+	Application   string
+	Opportunities int
+	Transformed   int
+}
+
+// Applicability returns Opportunities percentage.
+func (r TableRow) Applicability() float64 {
+	if r.Opportunities == 0 {
+		return 0
+	}
+	return 100 * float64(r.Transformed) / float64(r.Opportunities)
+}
+
+// Table1 — applicability of the transformation rules over the two benchmark
+// applications' query-in-loop sites.
+func Table1() []TableRow {
+	var rows []TableRow
+	for _, c := range []*apps.CorpusApp{apps.AuctionCorpus(), apps.BulletinCorpus()} {
+		row := TableRow{Application: c.Name}
+		for _, p := range c.Procs {
+			rep := core.Analyze(p, core.Options{SplitNested: true})
+			row.Opportunities += rep.Opportunities()
+			row.Transformed += rep.TransformedCount()
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// AllFigures runs every figure in order.
+func (h *Harness) AllFigures() ([]*Figure, error) {
+	funcs := []func() (*Figure, error){
+		h.Fig08, h.Fig09, h.Fig10, h.Fig11, h.Fig12, h.Fig13, h.Fig14, h.Fig15,
+	}
+	var out []*Figure
+	for _, f := range funcs {
+		fig, err := f()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, fig)
+	}
+	return out, nil
+}

@@ -1,0 +1,203 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§VI): Figures 8–15 and Table I. Each figure function returns
+// the measured series in the paper's coordinates; Render prints them as
+// aligned text tables. Absolute times differ from the paper (the substrate
+// is a simulator, see DESIGN.md), but the shapes — who wins, crossover
+// points, saturation behaviour — are the reproduction targets recorded in
+// EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/server"
+)
+
+// Harness runs measurements, caching loaded servers per (app, profile).
+type Harness struct {
+	// Scale is the wall-clock scale factor for simulated latencies.
+	Scale float64
+	// Quick shrinks the sweeps (used by `go test -bench` so a full bench
+	// run stays tractable); the full sweeps match the paper's axes.
+	Quick bool
+
+	servers map[string]*loadedServer
+	procs   map[string]*procPair
+}
+
+type loadedServer struct {
+	srv *server.Server
+	app *apps.App
+}
+
+type procPair struct {
+	orig  *ir.Proc
+	trans *ir.Proc
+	rep   *core.Report
+}
+
+// NewHarness returns a harness with the default scale (0.2: one simulated
+// microsecond costs 200ns of wall clock).
+func NewHarness() *Harness {
+	return &Harness{Scale: 0.2, servers: map[string]*loadedServer{}, procs: map[string]*procPair{}}
+}
+
+// Measurement is one (app, config) data point.
+type Measurement struct {
+	App        string
+	Profile    string
+	Threads    int
+	Warm       bool
+	Iterations int
+	// Original and Transformed are wall-clock seconds, rescaled to
+	// simulated seconds (i.e. divided by Scale) so numbers are comparable
+	// across scale settings.
+	Original    float64
+	Transformed float64
+}
+
+// Speedup is Original/Transformed.
+func (m Measurement) Speedup() float64 {
+	if m.Transformed == 0 {
+		return 0
+	}
+	return m.Original / m.Transformed
+}
+
+func (h *Harness) proc(app *apps.App) (*procPair, error) {
+	if p, ok := h.procs[app.Name]; ok {
+		return p, nil
+	}
+	orig := app.Proc()
+	trans, rep, err := core.Transform(orig, core.Options{
+		Registry:    app.Registry(),
+		SplitNested: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("transform %s: %w", app.Name, err)
+	}
+	if rep.TransformedCount() == 0 {
+		return nil, fmt.Errorf("transform %s: no site transformed (%+v)", app.Name, rep.Sites)
+	}
+	p := &procPair{orig: orig, trans: trans, rep: rep}
+	h.procs[app.Name] = p
+	return p, nil
+}
+
+func (h *Harness) server(app *apps.App, prof server.Profile) (*server.Server, error) {
+	key := app.Name + "/" + prof.Name
+	if !app.MutatesData {
+		if ls, ok := h.servers[key]; ok {
+			ls.srv.Clock.SetScale(h.Scale)
+			return ls.srv, nil
+		}
+	}
+	srv := server.New(prof, h.Scale)
+	if err := app.Setup(srv, apps.SeededRand()); err != nil {
+		srv.Close()
+		return nil, fmt.Errorf("setup %s: %w", app.Name, err)
+	}
+	if !app.MutatesData {
+		h.servers[key] = &loadedServer{srv: srv, app: app}
+	}
+	return srv, nil
+}
+
+// Close shuts down all cached servers.
+func (h *Harness) Close() {
+	for _, ls := range h.servers {
+		ls.srv.Close()
+	}
+	h.servers = map[string]*loadedServer{}
+}
+
+// Measure times the original and transformed kernels under one
+// configuration, verifying that both produce identical results.
+func (h *Harness) Measure(app *apps.App, prof server.Profile, threads, iterations int, warm bool) (Measurement, error) {
+	m := Measurement{
+		App: app.Name, Profile: prof.Name,
+		Threads: threads, Warm: warm, Iterations: iterations,
+	}
+	pp, err := h.proc(app)
+	if err != nil {
+		return m, err
+	}
+	reg := app.Registry()
+
+	runOne := func(p *ir.Proc, workers int) (*interp.Result, float64, error) {
+		srv, err := h.server(app, prof)
+		if err != nil {
+			return nil, 0, err
+		}
+		if app.MutatesData {
+			defer srv.Close()
+		}
+		if warm {
+			srv.Warm()
+		} else {
+			srv.ColdStart()
+		}
+		svc := exec.NewService(workers, srv.Exec)
+		defer svc.Close()
+		in := interp.New(reg, svc)
+		if app.Bind != nil {
+			app.Bind(in, apps.SeededRand())
+		}
+		args := app.Args(iterations, rand.New(rand.NewSource(int64(iterations)+7)))
+		start := time.Now()
+		res, err := in.Run(p, args)
+		elapsed := time.Since(start).Seconds()
+		if err != nil {
+			return nil, 0, fmt.Errorf("run %s: %w", p.Name, err)
+		}
+		if h.Scale > 0 {
+			elapsed /= h.Scale
+		}
+		return res, elapsed, nil
+	}
+
+	origRes, origSec, err := runOne(pp.orig, 0)
+	if err != nil {
+		return m, err
+	}
+	transRes, transSec, err := runOne(pp.trans, threads)
+	if err != nil {
+		return m, err
+	}
+	if err := sameResult(origRes, transRes); err != nil {
+		return m, fmt.Errorf("%s: transformed program produced different results: %w", app.Name, err)
+	}
+	m.Original, m.Transformed = origSec, transSec
+	return m, nil
+}
+
+func sameResult(a, b *interp.Result) error {
+	if len(a.Returned) != len(b.Returned) {
+		return fmt.Errorf("return arity %d vs %d", len(a.Returned), len(b.Returned))
+	}
+	for i := range a.Returned {
+		if !interp.Equal(a.Returned[i], b.Returned[i]) {
+			return fmt.Errorf("return %d: %v vs %v", i,
+				interp.Format(a.Returned[i]), interp.Format(b.Returned[i]))
+		}
+	}
+	if a.Output != b.Output {
+		return fmt.Errorf("output streams differ")
+	}
+	return nil
+}
+
+// pick returns full when the harness runs full-size, quick otherwise.
+func (h *Harness) pick(full, quick []int) []int {
+	if h.Quick {
+		return quick
+	}
+	return full
+}

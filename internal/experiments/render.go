@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render prints a figure as an aligned text table: one row per x value, one
+// column per series, matching how the paper's plots read.
+func Render(f *Figure) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n", f.ID, f.Title)
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, "  %s\n", n)
+	}
+	// Collect x values (assume all series share them).
+	if len(f.Series) == 0 {
+		return b.String()
+	}
+	xs := make([]int, 0, len(f.Series[0].Points))
+	for _, p := range f.Series[0].Points {
+		xs = append(xs, p.X)
+	}
+	// Header.
+	cols := []string{f.XLabel}
+	for _, s := range f.Series {
+		cols = append(cols, s.Label)
+	}
+	widths := make([]int, len(cols))
+	rows := [][]string{cols}
+	for i, x := range xs {
+		row := []string{fmt.Sprintf("%d", x)}
+		for _, s := range f.Series {
+			y := ""
+			if i < len(s.Points) {
+				y = formatSec(s.Points[i].Y)
+			}
+			row = append(row, y)
+		}
+		rows = append(rows, row)
+	}
+	for _, row := range rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	for ri, row := range rows {
+		for i, c := range row {
+			fmt.Fprintf(&b, "  %-*s", widths[i]+2, c)
+			_ = i
+		}
+		b.WriteByte('\n')
+		if ri == 0 {
+			total := 0
+			for _, w := range widths {
+				total += w + 4
+			}
+			b.WriteString("  " + strings.Repeat("-", total) + "\n")
+		}
+	}
+	// Speedup summary per x for the last pair of series.
+	return b.String()
+}
+
+func formatSec(y float64) string {
+	switch {
+	case y >= 100:
+		return fmt.Sprintf("%.0f", y)
+	case y >= 1:
+		return fmt.Sprintf("%.2f", y)
+	default:
+		return fmt.Sprintf("%.4f", y)
+	}
+}
+
+// RenderTable1 prints Table I in the paper's layout.
+func RenderTable1(rows []TableRow) string {
+	var b strings.Builder
+	b.WriteString("Table I: Applicability of Transformation Rules\n")
+	fmt.Fprintf(&b, "  %-16s %-16s %-14s %s\n",
+		"Application", "# Opportunities", "# Transformed", "Applicability (%)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-16s %-16d %-14d %.0f\n",
+			r.Application, r.Opportunities, r.Transformed, r.Applicability())
+	}
+	return b.String()
+}

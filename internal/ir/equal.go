@@ -1,0 +1,144 @@
+package ir
+
+// EqualProc reports structural equality of two procedures.
+func EqualProc(a, b *Proc) bool {
+	if a.Name != b.Name || len(a.Params) != len(b.Params) || len(a.Queries) != len(b.Queries) {
+		return false
+	}
+	for i := range a.Params {
+		if a.Params[i] != b.Params[i] {
+			return false
+		}
+	}
+	for i := range a.Queries {
+		if a.Queries[i] != b.Queries[i] {
+			return false
+		}
+	}
+	return EqualBlock(a.Body, b.Body)
+}
+
+// EqualBlock reports structural equality of two blocks.
+func EqualBlock(a, b *Block) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	if len(a.Stmts) != len(b.Stmts) {
+		return false
+	}
+	for i := range a.Stmts {
+		if !EqualStmt(a.Stmts[i], b.Stmts[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualStmt reports structural equality of two statements.
+func EqualStmt(a, b Stmt) bool {
+	if !a.GetGuard().Equal(b.GetGuard()) {
+		return false
+	}
+	switch x := a.(type) {
+	case *Assign:
+		y, ok := b.(*Assign)
+		if !ok || len(x.Lhs) != len(y.Lhs) {
+			return false
+		}
+		for i := range x.Lhs {
+			if x.Lhs[i] != y.Lhs[i] {
+				return false
+			}
+		}
+		return EqualExpr(x.Rhs, y.Rhs)
+	case *ExecQuery:
+		y, ok := b.(*ExecQuery)
+		return ok && x.Lhs == y.Lhs && x.Query == y.Query && x.Kind == y.Kind && equalExprs(x.Args, y.Args)
+	case *Submit:
+		y, ok := b.(*Submit)
+		return ok && x.Lhs == y.Lhs && x.Query == y.Query && x.Kind == y.Kind && equalExprs(x.Args, y.Args)
+	case *Fetch:
+		y, ok := b.(*Fetch)
+		return ok && x.Lhs == y.Lhs && EqualExpr(x.Handle, y.Handle)
+	case *CallStmt:
+		y, ok := b.(*CallStmt)
+		return ok && EqualExpr(x.Call, y.Call)
+	case *Return:
+		y, ok := b.(*Return)
+		return ok && equalExprs(x.Vals, y.Vals)
+	case *DeclTable:
+		y, ok := b.(*DeclTable)
+		return ok && x.Name == y.Name
+	case *NewRecord:
+		y, ok := b.(*NewRecord)
+		return ok && x.Name == y.Name
+	case *SetField:
+		y, ok := b.(*SetField)
+		return ok && x.Record == y.Record && x.Field == y.Field && EqualExpr(x.Val, y.Val)
+	case *AppendRecord:
+		y, ok := b.(*AppendRecord)
+		return ok && x.Table == y.Table && x.Record == y.Record
+	case *LoadField:
+		y, ok := b.(*LoadField)
+		return ok && x.Var == y.Var && x.Record == y.Record && x.Field == y.Field
+	case *CopyField:
+		y, ok := b.(*CopyField)
+		return ok && x.DstRec == y.DstRec && x.DstField == y.DstField && x.SrcRec == y.SrcRec && x.SrcField == y.SrcField
+	case *While:
+		y, ok := b.(*While)
+		return ok && EqualExpr(x.Cond, y.Cond) && EqualBlock(x.Body, y.Body)
+	case *If:
+		y, ok := b.(*If)
+		return ok && EqualExpr(x.Cond, y.Cond) && EqualBlock(x.Then, y.Then) && EqualBlock(x.Else, y.Else)
+	case *ForEach:
+		y, ok := b.(*ForEach)
+		return ok && x.Var == y.Var && EqualExpr(x.Coll, y.Coll) && EqualBlock(x.Body, y.Body)
+	case *Scan:
+		y, ok := b.(*Scan)
+		return ok && x.Record == y.Record && x.Table == y.Table && EqualBlock(x.Body, y.Body)
+	}
+	return false
+}
+
+func equalExprs(a, b []Expr) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !EqualExpr(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualExpr reports structural equality of two expressions.
+func EqualExpr(a, b Expr) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	switch x := a.(type) {
+	case *Var:
+		y, ok := b.(*Var)
+		return ok && x.Name == y.Name
+	case *Lit:
+		y, ok := b.(*Lit)
+		return ok && x.V == y.V
+	case *Bin:
+		y, ok := b.(*Bin)
+		return ok && x.Op == y.Op && EqualExpr(x.L, y.L) && EqualExpr(x.R, y.R)
+	case *Un:
+		y, ok := b.(*Un)
+		return ok && x.Op == y.Op && EqualExpr(x.X, y.X)
+	case *Call:
+		y, ok := b.(*Call)
+		return ok && x.Fn == y.Fn && equalExprs(x.Args, y.Args)
+	}
+	return false
+}

@@ -1,0 +1,90 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// NameGen produces fresh variable names that do not collide with any name
+// already used in a procedure. The transformation rules (reader/writer stubs,
+// split tables, guard variables) all draw from one generator per procedure so
+// generated programs stay readable and deterministic.
+type NameGen struct {
+	used map[string]bool
+	seq  map[string]int
+}
+
+// NewNameGen collects every identifier appearing in p.
+func NewNameGen(p *Proc) *NameGen {
+	g := &NameGen{used: make(map[string]bool), seq: make(map[string]int)}
+	for _, prm := range p.Params {
+		g.used[prm] = true
+	}
+	for _, q := range p.Queries {
+		g.used[q.Name] = true
+	}
+	WalkStmts(p.Body, func(s Stmt) {
+		for _, n := range stmtNames(s) {
+			g.used[n] = true
+		}
+		WalkExprs(s, func(e Expr) {
+			switch x := e.(type) {
+			case *Var:
+				g.used[x.Name] = true
+			case *Call:
+				g.used[x.Fn] = true
+			}
+		})
+		if gd := s.GetGuard(); gd != nil {
+			g.used[gd.Var] = true
+		}
+	})
+	return g
+}
+
+func stmtNames(s Stmt) []string {
+	switch x := s.(type) {
+	case *Assign:
+		return x.Lhs
+	case *ExecQuery:
+		return []string{x.Lhs}
+	case *Submit:
+		return []string{x.Lhs}
+	case *Fetch:
+		return []string{x.Lhs}
+	case *DeclTable:
+		return []string{x.Name}
+	case *NewRecord:
+		return []string{x.Name}
+	case *SetField:
+		return []string{x.Record}
+	case *AppendRecord:
+		return []string{x.Table, x.Record}
+	case *LoadField:
+		return []string{x.Var, x.Record}
+	case *CopyField:
+		return []string{x.DstRec, x.SrcRec}
+	case *ForEach:
+		return []string{x.Var}
+	case *Scan:
+		return []string{x.Record, x.Table}
+	}
+	return nil
+}
+
+// Fresh returns a new unique name derived from base: base1, base2, ...
+// (matching the paper's v', v” convention, spelled ASCII).
+func (g *NameGen) Fresh(base string) string {
+	base = strings.TrimRight(base, "0123456789")
+	if base == "" {
+		base = "v"
+	}
+	for {
+		g.seq[base]++
+		name := fmt.Sprintf("%s%d", base, g.seq[base])
+		if !g.used[name] {
+			g.used[name] = true
+			return name
+		}
+	}
+}

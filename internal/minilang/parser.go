@@ -1,0 +1,669 @@
+package minilang
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// Parse parses a single procedure from src.
+//
+// Grammar (informal):
+//
+//	proc      = "proc" IDENT "(" [IDENT {"," IDENT}] ")" block
+//	block     = "{" {stmt} "}"
+//	stmt      = while | if | foreach | scan | [guard "?"] simple ";"
+//	guard     = ["!"] IDENT
+//	while     = "while" "(" expr ")" block
+//	if        = "if" "(" expr ")" block ["else" block]
+//	foreach   = "foreach" IDENT "in" expr block
+//	scan      = "scan" IDENT "in" IDENT block
+//	simple    = "query" IDENT "=" STRING
+//	          | "table" IDENT | "record" IDENT
+//	          | "append" "(" IDENT "," IDENT ")"
+//	          | "load" IDENT "=" IDENT "." IDENT
+//	          | "return" [expr {"," expr}]
+//	          | "execUpdate" "(" IDENT {"," expr} ")"
+//	          | IDENT "." IDENT "=" expr
+//	          | identlist "=" rhs
+//	          | call
+//	rhs       = "execQuery" "(" IDENT {"," expr} ")"
+//	          | "execUpdate" "(" IDENT {"," expr} ")"
+//	          | "submit" "(" IDENT {"," expr} ")"
+//	          | "submitUpdate" "(" IDENT {"," expr} ")"
+//	          | "fetch" "(" expr ")"
+//	          | expr
+//
+// Expressions use C-like precedence: || < && < comparisons < + - < * / % <
+// unary ! -.
+func Parse(src string) (*ir.Proc, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	proc, err := p.parseProc()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, p.errf("expected end of input, found %s", p.peek())
+	}
+	return proc, nil
+}
+
+// MustParse parses or panics; for tests and embedded app sources.
+func MustParse(src string) *ir.Proc {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) peek2() token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(kind tokKind, text string) bool {
+	t := p.peek()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokKind, text string) (token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	want := text
+	if want == "" {
+		switch kind {
+		case tokIdent:
+			want = "identifier"
+		case tokString:
+			want = "string literal"
+		case tokInt:
+			want = "integer"
+		}
+	}
+	return token{}, p.errf("expected %q, found %s", want, p.peek())
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	t := p.peek()
+	return &Error{Line: t.line, Col: t.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) parseProc() (*ir.Proc, error) {
+	if _, err := p.expect(tokIdent, "proc"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	proc := &ir.Proc{Name: name.text}
+	if !p.at(tokPunct, ")") {
+		for {
+			prm, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			proc.Params = append(proc.Params, prm.text)
+			if !p.accept(tokPunct, ",") {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock(proc, true)
+	if err != nil {
+		return nil, err
+	}
+	proc.Body = body
+	return proc, nil
+}
+
+// parseBlock parses "{ stmts }". Query declarations are only allowed at the
+// top level of the procedure body (topLevel), where they are hoisted into
+// proc.Queries. Return is only allowed as the final top-level statement.
+func (p *parser) parseBlock(proc *ir.Proc, topLevel bool) (*ir.Block, error) {
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	blk := &ir.Block{}
+	for !p.at(tokPunct, "}") {
+		if p.at(tokEOF, "") {
+			return nil, p.errf("unexpected end of input, missing '}'")
+		}
+		if topLevel && p.at(tokIdent, "query") && p.peek2().kind == tokIdent {
+			p.next()
+			qn, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, "="); err != nil {
+				return nil, err
+			}
+			qs, err := p.expect(tokString, "")
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, ";"); err != nil {
+				return nil, err
+			}
+			proc.Queries = append(proc.Queries, ir.QueryDecl{Name: qn.text, SQL: qs.str})
+			continue
+		}
+		s, err := p.parseStmt(proc)
+		if err != nil {
+			return nil, err
+		}
+		if r, ok := s.(*ir.Return); ok {
+			if !topLevel {
+				return nil, p.errf("return is only allowed at the top level of a procedure")
+			}
+			blk.Stmts = append(blk.Stmts, r)
+			if !p.at(tokPunct, "}") {
+				return nil, p.errf("return must be the final statement")
+			}
+			continue
+		}
+		blk.Stmts = append(blk.Stmts, s)
+	}
+	p.next() // consume '}'
+	return blk, nil
+}
+
+func (p *parser) parseStmt(proc *ir.Proc) (ir.Stmt, error) {
+	t := p.peek()
+	if t.kind == tokIdent {
+		switch t.text {
+		case "while":
+			p.next()
+			if _, err := p.expect(tokPunct, "("); err != nil {
+				return nil, err
+			}
+			cond, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return nil, err
+			}
+			body, err := p.parseBlock(proc, false)
+			if err != nil {
+				return nil, err
+			}
+			return &ir.While{Cond: cond, Body: body}, nil
+		case "if":
+			p.next()
+			if _, err := p.expect(tokPunct, "("); err != nil {
+				return nil, err
+			}
+			cond, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return nil, err
+			}
+			then, err := p.parseBlock(proc, false)
+			if err != nil {
+				return nil, err
+			}
+			var els *ir.Block
+			if p.accept(tokIdent, "else") {
+				els, err = p.parseBlock(proc, false)
+				if err != nil {
+					return nil, err
+				}
+			}
+			return &ir.If{Cond: cond, Then: then, Else: els}, nil
+		case "foreach":
+			p.next()
+			v, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokIdent, "in"); err != nil {
+				return nil, err
+			}
+			coll, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			body, err := p.parseBlock(proc, false)
+			if err != nil {
+				return nil, err
+			}
+			return &ir.ForEach{Var: v.text, Coll: coll, Body: body}, nil
+		case "scan":
+			p.next()
+			r, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokIdent, "in"); err != nil {
+				return nil, err
+			}
+			tbl, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			body, err := p.parseBlock(proc, false)
+			if err != nil {
+				return nil, err
+			}
+			return &ir.Scan{Record: r.text, Table: tbl.text, Body: body}, nil
+		}
+	}
+	// Guarded or simple statement, ending in ';'.
+	var g *ir.Guard
+	if t.kind == tokPunct && t.text == "!" && p.peek2().kind == tokIdent {
+		// "!cv ? stmt"
+		save := p.pos
+		p.next()
+		v := p.next()
+		if p.accept(tokPunct, "?") {
+			g = &ir.Guard{Var: v.text, Neg: true}
+		} else {
+			p.pos = save
+		}
+	} else if t.kind == tokIdent && p.peek2().kind == tokPunct && p.peek2().text == "?" {
+		p.next()
+		p.next()
+		g = &ir.Guard{Var: t.text}
+	}
+	s, err := p.parseSimple()
+	if err != nil {
+		return nil, err
+	}
+	if g != nil {
+		s.SetGuard(g)
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (p *parser) parseSimple() (ir.Stmt, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return nil, p.errf("expected statement, found %s", t)
+	}
+	switch t.text {
+	case "table":
+		p.next()
+		n, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		return &ir.DeclTable{Name: n.text}, nil
+	case "record":
+		p.next()
+		n, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		return &ir.NewRecord{Name: n.text}, nil
+	case "append":
+		p.next()
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		tbl, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ","); err != nil {
+			return nil, err
+		}
+		rec, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return &ir.AppendRecord{Table: tbl.text, Record: rec.text}, nil
+	case "load":
+		p.next()
+		v, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "="); err != nil {
+			return nil, err
+		}
+		rec, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "."); err != nil {
+			return nil, err
+		}
+		f, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		return &ir.LoadField{Var: v.text, Record: rec.text, Field: f.text}, nil
+	case "copy":
+		p.next()
+		dst, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "."); err != nil {
+			return nil, err
+		}
+		df, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "="); err != nil {
+			return nil, err
+		}
+		src, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "."); err != nil {
+			return nil, err
+		}
+		sf, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		return &ir.CopyField{DstRec: dst.text, DstField: df.text, SrcRec: src.text, SrcField: sf.text}, nil
+	case "return":
+		p.next()
+		ret := &ir.Return{}
+		if !p.at(tokPunct, ";") {
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				ret.Vals = append(ret.Vals, e)
+				if !p.accept(tokPunct, ",") {
+					break
+				}
+			}
+		}
+		return ret, nil
+	case "execUpdate":
+		p.next()
+		q, args, err := p.parseQueryCallArgs()
+		if err != nil {
+			return nil, err
+		}
+		return &ir.ExecQuery{Query: q, Args: args, Kind: ir.QueryUpdate}, nil
+	case "fetch":
+		p.next()
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		h, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return &ir.Fetch{Handle: h}, nil
+	}
+	// SetField: IDENT '.' IDENT '=' expr
+	if p.peek2().kind == tokPunct && p.peek2().text == "." {
+		rec := p.next()
+		p.next() // '.'
+		f, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "="); err != nil {
+			return nil, err
+		}
+		val, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &ir.SetField{Record: rec.text, Field: f.text, Val: val}, nil
+	}
+	// Assignment (possibly multi) or call statement.
+	if p.peek2().kind == tokPunct && (p.peek2().text == "=" || p.peek2().text == ",") {
+		var lhs []string
+		for {
+			v, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			lhs = append(lhs, v.text)
+			if !p.accept(tokPunct, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tokPunct, "="); err != nil {
+			return nil, err
+		}
+		return p.parseAssignRhs(lhs)
+	}
+	// Call statement.
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	call, ok := e.(*ir.Call)
+	if !ok {
+		return nil, p.errf("expression statements must be calls")
+	}
+	return &ir.CallStmt{Call: call}, nil
+}
+
+func (p *parser) parseAssignRhs(lhs []string) (ir.Stmt, error) {
+	t := p.peek()
+	if t.kind == tokIdent {
+		switch t.text {
+		case "execQuery", "execUpdate":
+			p.next()
+			q, args, err := p.parseQueryCallArgs()
+			if err != nil {
+				return nil, err
+			}
+			if len(lhs) != 1 {
+				return nil, p.errf("%s assigns exactly one variable", t.text)
+			}
+			kind := ir.QuerySelect
+			if t.text == "execUpdate" {
+				kind = ir.QueryUpdate
+			}
+			return &ir.ExecQuery{Lhs: lhs[0], Query: q, Args: args, Kind: kind}, nil
+		case "submit", "submitUpdate":
+			p.next()
+			q, args, err := p.parseQueryCallArgs()
+			if err != nil {
+				return nil, err
+			}
+			if len(lhs) != 1 {
+				return nil, p.errf("%s assigns exactly one handle variable", t.text)
+			}
+			kind := ir.QuerySelect
+			if t.text == "submitUpdate" {
+				kind = ir.QueryUpdate
+			}
+			return &ir.Submit{Lhs: lhs[0], Query: q, Args: args, Kind: kind}, nil
+		case "fetch":
+			p.next()
+			if _, err := p.expect(tokPunct, "("); err != nil {
+				return nil, err
+			}
+			h, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return nil, err
+			}
+			if len(lhs) != 1 {
+				return nil, p.errf("fetch assigns exactly one variable")
+			}
+			return &ir.Fetch{Lhs: lhs[0], Handle: h}, nil
+		}
+	}
+	rhs, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &ir.Assign{Lhs: lhs, Rhs: rhs}, nil
+}
+
+// parseQueryCallArgs parses "( queryName {, expr} )".
+func (p *parser) parseQueryCallArgs() (string, []ir.Expr, error) {
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return "", nil, err
+	}
+	q, err := p.expect(tokIdent, "")
+	if err != nil {
+		return "", nil, err
+	}
+	var args []ir.Expr
+	for p.accept(tokPunct, ",") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return "", nil, err
+		}
+		args = append(args, e)
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return "", nil, err
+	}
+	return q.text, args, nil
+}
+
+// Expression parsing: precedence climbing.
+
+var binPrec = map[string]int{
+	"||": 1, "&&": 2,
+	"==": 3, "!=": 3, "<": 3, "<=": 3, ">": 3, ">=": 3,
+	"+": 4, "-": 4,
+	"*": 5, "/": 5, "%": 5,
+}
+
+func (p *parser) parseExpr() (ir.Expr, error) { return p.parseBin(1) }
+
+func (p *parser) parseBin(minPrec int) (ir.Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokPunct {
+			return lhs, nil
+		}
+		pr, ok := binPrec[t.text]
+		if !ok || pr < minPrec {
+			return lhs, nil
+		}
+		p.next()
+		rhs, err := p.parseBin(pr + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &ir.Bin{Op: t.text, L: lhs, R: rhs}
+	}
+}
+
+func (p *parser) parseUnary() (ir.Expr, error) {
+	t := p.peek()
+	if t.kind == tokPunct && (t.text == "!" || t.text == "-") {
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &ir.Un{Op: t.text, X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (ir.Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokInt:
+		p.next()
+		return ir.IntLit(t.int), nil
+	case tokString:
+		p.next()
+		return ir.StrLit(t.str), nil
+	case tokIdent:
+		switch t.text {
+		case "true":
+			p.next()
+			return ir.BoolLit(true), nil
+		case "false":
+			p.next()
+			return ir.BoolLit(false), nil
+		case "null":
+			p.next()
+			return ir.NullLit(), nil
+		}
+		p.next()
+		if p.accept(tokPunct, "(") {
+			call := &ir.Call{Fn: t.text}
+			if !p.at(tokPunct, ")") {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if !p.accept(tokPunct, ",") {
+						break
+					}
+				}
+			}
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		return ir.V(t.text), nil
+	case tokPunct:
+		if t.text == "(" {
+			p.next()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, p.errf("expected expression, found %s", t)
+}

@@ -1,0 +1,45 @@
+package rules
+
+import (
+	"repro/internal/ir"
+)
+
+// Regroup improves readability of transformed code (§V): maximal runs of
+// consecutive statements carrying the same guard are folded back into if
+// statements, so the generated loops resemble the original program. The
+// transformation is purely syntactic — "cv ? s" and "if (cv) { s }" have
+// identical semantics — and is applied recursively to nested blocks.
+func Regroup(b *ir.Block) {
+	if b == nil {
+		return
+	}
+	var out []ir.Stmt
+	i := 0
+	for i < len(b.Stmts) {
+		s := b.Stmts[i]
+		for _, nb := range ir.Blocks(s) {
+			Regroup(nb)
+		}
+		g := s.GetGuard()
+		if g == nil {
+			out = append(out, s)
+			i++
+			continue
+		}
+		j := i
+		var run []ir.Stmt
+		for j < len(b.Stmts) && b.Stmts[j].GetGuard().Equal(g) {
+			st := b.Stmts[j]
+			st.SetGuard(nil)
+			run = append(run, st)
+			j++
+		}
+		var cond ir.Expr = ir.V(g.Var)
+		if g.Neg {
+			cond = &ir.Un{Op: "!", X: cond}
+		}
+		out = append(out, &ir.If{Cond: cond, Then: &ir.Block{Stmts: run}})
+		i = j
+	}
+	b.Stmts = out
+}

@@ -1,0 +1,412 @@
+package rules
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dataflow"
+	"repro/internal/ir"
+)
+
+// CtrlLoc is the pseudo-location used for the flow dependences induced by the
+// loop predicate's control dependence on every body statement. The paper
+// (§IV-A) requires these to be taken into account when checking for
+// true-dependence cycles: a query whose execution in one iteration is
+// controlled by a predicate that reads its previous result is inherently
+// sequential.
+const CtrlLoc = "$ctrl"
+
+// loopGraph builds the DDG of a loop body and augments it with the
+// control-dependence flow edges from the header to every body statement.
+func loopGraph(loop ir.Stmt, reg *ir.Registry) *dataflow.Graph {
+	g := dataflow.BuildLoop(loop, reg)
+	for i := range g.Stmts {
+		g.Edges = append(g.Edges, dataflow.Edge{
+			From: dataflow.Header, To: i, Kind: dataflow.FD, Loc: CtrlLoc,
+		})
+	}
+	return g
+}
+
+// Reorder implements procedure reorder of the paper's Figure 2: it reorders
+// the statements of the (flat) body of loop so that no loop-carried flow
+// dependence crosses the split boundary of the query statement sq, enabling
+// Rule A. It fails with ReasonTrueDepCycle when sq lies on a true-dependence
+// cycle (Theorem 4.1's precondition) and with ReasonUnresolvable when an
+// adjacent-statement dependence cannot be shifted by the Rule C stubs.
+//
+// The body is mutated in place; sq is tracked by identity as it moves.
+func Reorder(loop ir.Stmt, sq ir.Stmt, reg *ir.Registry, gen *ir.NameGen) error {
+	body := loopBody(loop)
+	if body == nil {
+		return fmt.Errorf("rules: Reorder: not a loop: %T", loop)
+	}
+	for _, s := range body.Stmts {
+		if ir.IsCompound(s) {
+			return notApplicable("reorder", ReasonUnflattenable, "body not flat")
+		}
+	}
+	g := loopGraph(loop, reg)
+	q := indexOf(body, sq)
+	if q < 0 {
+		return fmt.Errorf("rules: Reorder: query statement not in loop body")
+	}
+	if g.OnTrueDepCycle(q) {
+		return notApplicable("reorder", ReasonTrueDepCycle, "")
+	}
+	return reorderToPivot(loop, sq, reg, gen, func(g *dataflow.Graph, q int) []dataflow.Edge {
+		return g.CrossingLCFD(q)
+	})
+}
+
+// ReorderBoundary is the pivot variant used before the boundary fission of
+// §III-D: it eliminates the loop-carried flow dependences that cross the
+// positional boundary at the pivot statement (the inner scan loop), treating
+// the whole pivot as part of the second loop.
+func ReorderBoundary(loop ir.Stmt, pivot ir.Stmt, reg *ir.Registry, gen *ir.NameGen) error {
+	return reorderToPivot(loop, pivot, reg, gen, func(g *dataflow.Graph, q int) []dataflow.Edge {
+		var out []dataflow.Edge
+		for _, e := range g.FissionBlockersAt(q) {
+			if e.Kind == dataflow.LCFD {
+				out = append(out, e)
+			}
+		}
+		return out
+	})
+}
+
+// reorderToPivot is the shared engine of Figure 2, parameterized by how
+// crossing edges are computed relative to the pivot statement.
+func reorderToPivot(loop ir.Stmt, pivot ir.Stmt, reg *ir.Registry, gen *ir.NameGen,
+	crossing func(*dataflow.Graph, int) []dataflow.Edge) error {
+
+	body := loopBody(loop)
+	if body == nil {
+		return fmt.Errorf("rules: reorder: not a loop: %T", loop)
+	}
+	g := loopGraph(loop, reg)
+	if g.HasBarrier() {
+		return notApplicable("reorder", ReasonBarrier, "")
+	}
+	n := len(body.Stmts) + 2
+	maxIter := 8*n + 32
+	// budget bounds the total work (adjacent swaps, stub insertions, and
+	// dependence-graph rebuilds) across the whole reordering, and maxStmts
+	// bounds body growth from Rule C stubs, so pathological dependence
+	// shapes fail cleanly with ReasonUnresolvable instead of thrashing.
+	// Failing is safe: the site is simply reported untransformable. Real
+	// programs (all of §VI's applications and every paper example) stay far
+	// below these caps.
+	budget := 12*n + 64
+	maxStmts := 2*n + 12
+	for iter := 0; ; iter++ {
+		if iter > maxIter || len(body.Stmts) > maxStmts {
+			return notApplicable("reorder", ReasonUnresolvable, "did not converge")
+		}
+		g = loopGraph(loop, reg)
+		q := indexOf(body, pivot)
+		edges := crossing(g, q)
+		if len(edges) == 0 {
+			return nil
+		}
+		e := pickEdge(edges)
+		// Figure 2's case analysis. e = (v1, v2) with v1 on the P2 side and
+		// v2 on the P1 side. Note v2 may be the loop header (the predicate),
+		// which can never move; in that case the true-dependence path
+		// v1 -> header -> (ctrl) -> pivot always exists and we move the
+		// pivot instead.
+		v1, v2 := e.From, e.To
+		var stmtToMove, target ir.Stmt
+		if v1 != q && g.TrueDepPath(v1, q) {
+			if g.TrueDepPath(q, v1) {
+				// Both directions: the pivot is entangled in a cycle with
+				// v1; no reordering can separate them.
+				return notApplicable("reorder", ReasonTrueDepCycle, "")
+			}
+			stmtToMove, target = pivot, body.Stmts[v1]
+		} else {
+			if v2 == dataflow.Header {
+				return notApplicable("reorder", ReasonUnresolvable,
+					"carried dependence into the loop predicate with no path to the pivot")
+			}
+			stmtToMove, target = body.Stmts[v2], pivot
+		}
+		if err := movePastWithDeps(body, stmtToMove, target, pivot, reg, gen, &budget); err != nil {
+			return err
+		}
+	}
+}
+
+// pickEdge selects a deterministic edge from the crossing set so transforms
+// are reproducible.
+func pickEdge(edges []dataflow.Edge) dataflow.Edge {
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		if edges[i].To != edges[j].To {
+			return edges[i].To < edges[j].To
+		}
+		return edges[i].Loc < edges[j].Loc
+	})
+	return edges[0]
+}
+
+// movePastWithDeps implements the srcDeps loop of Figure 2: before moving
+// stmtToMove past target, every statement between them that has a
+// flow-dependence path from stmtToMove is moved past the target first
+// (closest to the target first).
+func movePastWithDeps(body *ir.Block, stmtToMove, target, sq ir.Stmt, reg *ir.Registry, gen *ir.NameGen, budget *int) error {
+	for {
+		*budget = *budget - 1
+		if *budget < 0 {
+			return notApplicable("reorder", ReasonUnresolvable, "reordering budget exhausted")
+		}
+		g := rebuild(body, reg)
+		si := indexOf(body, stmtToMove)
+		ti := indexOf(body, target)
+		if si < 0 || ti < 0 {
+			return fmt.Errorf("rules: movePastWithDeps: statement vanished")
+		}
+		if si > ti {
+			return nil // already past
+		}
+		dep := closestSrcDep(g, si, ti)
+		if dep < 0 {
+			break
+		}
+		if err := moveAfter(body, body.Stmts[dep], target, sq, reg, gen, budget); err != nil {
+			return err
+		}
+	}
+	return moveAfter(body, stmtToMove, target, sq, reg, gen, budget)
+}
+
+// closestSrcDep finds the statement between si and ti (exclusive) nearest to
+// ti that has an intra-iteration flow-dependence path from si.
+func closestSrcDep(g *dataflow.Graph, si, ti int) int {
+	// Forward FD reachability from si among body statements.
+	reach := map[int]bool{si: true}
+	for {
+		grew := false
+		for _, e := range g.Edges {
+			if e.Kind == dataflow.FD && e.From >= 0 && e.To >= 0 && reach[e.From] && !reach[e.To] {
+				reach[e.To] = true
+				grew = true
+			}
+		}
+		if !grew {
+			break
+		}
+	}
+	for j := ti - 1; j > si; j-- {
+		if reach[j] {
+			return j
+		}
+	}
+	return -1
+}
+
+// rebuild constructs a body-only dependence view for adjacency decisions in
+// moveAfter. Loop-carried edges and the header are irrelevant there, so a
+// plain block graph suffices.
+func rebuild(body *ir.Block, reg *ir.Registry) *dataflow.Graph {
+	return dataflow.BuildBlock(body.Stmts, reg)
+}
+
+// moveAfter implements procedure moveAfter of Figure 4: move statement s to
+// the position immediately after t by repeated adjacent swaps, shifting anti
+// and output dependences out of the way with Rule C2/C3 stub statements.
+func moveAfter(body *ir.Block, s, t, sq ir.Stmt, reg *ir.Registry, gen *ir.NameGen, budget *int) error {
+	for {
+		si := indexOf(body, s)
+		ti := indexOf(body, t)
+		if si < 0 || ti < 0 {
+			return fmt.Errorf("rules: moveAfter: statement vanished")
+		}
+		if si > ti {
+			return nil
+		}
+		*budget = *budget - 1
+		if *budget < 0 {
+			return notApplicable("moveAfter", ReasonUnresolvable, "reordering budget exhausted")
+		}
+		next := body.Stmts[si+1]
+		if err := resolveAdjacent(body, s, next, sq, t, reg, gen, budget); err != nil {
+			return err
+		}
+		// Indices may have shifted while inserting stubs; refresh and swap.
+		si = indexOf(body, s)
+		ni := si + 1
+		body.Stmts[si], body.Stmts[ni] = body.Stmts[ni], body.Stmts[si]
+		if body.Stmts[si] == t { // s has just moved past t
+			return nil
+		}
+	}
+}
+
+// resolveAdjacent removes all intra-iteration dependences between adjacent
+// statements s and next so they can be swapped (Rule C1). Anti dependences
+// are shifted with reader or writer stubs (Rule C2), output dependences with
+// writer stubs (Rule C3). Flow dependences and dependences on external
+// locations cannot be shifted and yield ReasonUnresolvable.
+func resolveAdjacent(body *ir.Block, s, next, sq, t ir.Stmt, reg *ir.Registry, gen *ir.NameGen, budget *int) error {
+	for round := 0; ; round++ {
+		if round > 8 {
+			return notApplicable("moveAfter", ReasonUnresolvable, "stub cascade did not converge")
+		}
+		edges := dataflow.PairEdges(s, next, reg)
+		if len(edges) == 0 {
+			return nil
+		}
+		// Flow or external dependences between neighbours are fatal.
+		for _, e := range edges {
+			if e.Kind == dataflow.FD {
+				return notApplicable("moveAfter", ReasonUnresolvable,
+					fmt.Sprintf("flow dependence on %s between adjacent statements", e.Loc))
+			}
+			if dataflow.IsExternal(e.Loc) {
+				return notApplicable("moveAfter", ReasonExternal,
+					fmt.Sprintf("external dependence on %s", e.Loc))
+			}
+		}
+		progressed := false
+		// Rule C3: shift output dependences first (this may also clear an
+		// anti dependence on the same variable).
+		for _, e := range edges {
+			if e.Kind != dataflow.OD {
+				continue
+			}
+			if err := writerStub(body, next, t, sq, e.Loc, reg, gen, budget); err != nil {
+				return err
+			}
+			progressed = true
+			break
+		}
+		if progressed {
+			continue
+		}
+		// Rule C2: shift anti dependences. Per Figure 4: when sq also reads
+		// the variable that next writes, renaming next's write would leave
+		// sq's read pointing at the renamed variable's stale original, so a
+		// reader stub on s is used instead; otherwise next's write is
+		// shifted. A reader stub requires that s reads v without also
+		// writing it (a write by s would have produced an OD edge, already
+		// shifted above).
+		for _, e := range edges {
+			if e.Kind != dataflow.AD {
+				continue
+			}
+			// "AD edge from sq to next" holds when sq precedes next and
+			// reads the variable next writes.
+			qi := indexOf(body, sq)
+			ni := indexOf(body, next)
+			sqReadsLoc := qi >= 0 && qi < ni && readsVar(sq, e.Loc, reg)
+			useReader := sqReadsLoc &&
+				readsVar(s, e.Loc, reg) && !writesVar(s, e.Loc, reg)
+			if useReader {
+				readerStub(body, s, e.Loc, gen)
+			} else if err := writerStub(body, next, t, sq, e.Loc, reg, gen, budget); err != nil {
+				return err
+			}
+			progressed = true
+			break
+		}
+		if !progressed {
+			return notApplicable("moveAfter", ReasonUnresolvable, "unknown adjacent dependence")
+		}
+	}
+}
+
+// readerStub applies Rule C2's reader form: insert "v1 = v" immediately
+// before s and rename s's reads of v to v1.
+func readerStub(body *ir.Block, s ir.Stmt, v string, gen *ir.NameGen) {
+	v1 := gen.Fresh(v)
+	stub := &ir.Assign{Lhs: []string{v1}, Rhs: ir.V(v)}
+	insertBefore(body, s, stub)
+	ir.RenameReads(s, v, v1)
+}
+
+// writerStub applies Rule C3 (and C2's writer form): rename next's write of v
+// to a fresh v1 and insert "v = v1" immediately after next, then move the
+// stub past t so the restored value lands after the reordering window. When
+// next mutates v in place, a copy-in "v1 = v" is inserted before next so the
+// mutation applies to the copy (the mini-language has value semantics for
+// collections). The restoring stub inherits next's guard so a skipped guarded
+// write stays skipped.
+func writerStub(body *ir.Block, next, t, sq ir.Stmt, v string, reg *ir.Registry, gen *ir.NameGen, budget *int) error {
+	if next == sq {
+		return notApplicable("moveAfter", ReasonUnresolvable,
+			"would need to rename the query statement's write")
+	}
+	v1 := gen.Fresh(v)
+	if dataflow.MutatesInPlace(next, reg) && readsVar(next, v, reg) && writesVar(next, v, reg) {
+		copyIn := &ir.Assign{Lhs: []string{v1}, Rhs: ir.V(v)}
+		if g := next.GetGuard(); g != nil {
+			cp := *g
+			copyIn.SetGuard(&cp)
+		}
+		insertBefore(body, next, copyIn)
+		ir.RenameReads(next, v, v1)
+	}
+	ir.RenameWrites(next, v, v1, reg)
+	stub := &ir.Assign{Lhs: []string{v}, Rhs: ir.V(v1)}
+	if g := next.GetGuard(); g != nil {
+		cp := *g
+		stub.SetGuard(&cp)
+	}
+	insertAfter(body, next, stub)
+	return moveAfter(body, stub, t, sq, reg, gen, budget)
+}
+
+func hasEdge(g *dataflow.Graph, from, to int, kind dataflow.EdgeKind, loc string) bool {
+	for _, e := range g.Edges {
+		if e.From == from && e.To == to && e.Kind == kind && e.Loc == loc {
+			return true
+		}
+	}
+	return false
+}
+
+func readsVar(s ir.Stmt, v string, reg *ir.Registry) bool {
+	return dataflow.StmtSets(s, reg).Reads[v]
+}
+
+func writesVar(s ir.Stmt, v string, reg *ir.Registry) bool {
+	return dataflow.StmtSets(s, reg).Writes[v]
+}
+
+func loopBody(loop ir.Stmt) *ir.Block {
+	switch l := loop.(type) {
+	case *ir.While:
+		return l.Body
+	case *ir.ForEach:
+		return l.Body
+	case *ir.Scan:
+		return l.Body
+	}
+	return nil
+}
+
+func indexOf(body *ir.Block, s ir.Stmt) int {
+	for i, x := range body.Stmts {
+		if x == s {
+			return i
+		}
+	}
+	return -1
+}
+
+func insertBefore(body *ir.Block, anchor ir.Stmt, s ir.Stmt) {
+	i := indexOf(body, anchor)
+	body.Stmts = append(body.Stmts, nil)
+	copy(body.Stmts[i+1:], body.Stmts[i:])
+	body.Stmts[i] = s
+}
+
+func insertAfter(body *ir.Block, anchor ir.Stmt, s ir.Stmt) {
+	i := indexOf(body, anchor)
+	body.Stmts = append(body.Stmts, nil)
+	copy(body.Stmts[i+2:], body.Stmts[i+1:])
+	body.Stmts[i+1] = s
+}

@@ -1,0 +1,267 @@
+// Package server simulates the database server of the paper's experiments:
+// K worker cores, an LRU buffer pool over a seek-modelled disk, prepared
+// mini-SQL statements, and a client-visible network round-trip per request.
+// Two profiles mirror the paper's systems (SYS1, a commercial dual-core
+// server, and PostgreSQL on a two-processor machine), plus a high-latency
+// web-service profile for Experiment 5.
+//
+// The mechanisms — not constants — produce the paper's phenomena:
+//
+//   - network round-trip latency is paid per request and hidden by
+//     concurrent submission (client worker pool),
+//   - warm vs cold cache emerges from the buffer pool's residency,
+//   - concurrent cold-cache queries queue at the disk, whose elevator
+//     scheduling cuts per-request seek time as depth grows,
+//   - multiple cores let CPU work proceed in parallel.
+package server
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/buffer"
+	"repro/internal/disk"
+	"repro/internal/simclock"
+	"repro/internal/sqlmini"
+	"repro/internal/storage"
+)
+
+// Profile is a server configuration.
+type Profile struct {
+	Name        string
+	Cores       int
+	BufferPages int
+	RTT         time.Duration // client-observed network round trip
+	CPUFixed    time.Duration // per-statement planning/dispatch cost
+	CPUPerRow   time.Duration // per examined row
+	Disk        disk.Params
+}
+
+// SYS1 models the paper's commercial system: a dual-core machine with a
+// large buffer pool and fast dispatch.
+func SYS1() Profile {
+	return Profile{
+		Name:        "SYS1",
+		Cores:       2,
+		BufferPages: 1 << 17,
+		RTT:         500 * time.Microsecond,
+		CPUFixed:    8 * time.Microsecond,
+		CPUPerRow:   40 * time.Nanosecond,
+		Disk:        disk.DefaultParams(),
+	}
+}
+
+// Postgres models the paper's PostgreSQL deployment: two processors,
+// somewhat higher per-statement overhead.
+func Postgres() Profile {
+	p := Profile{
+		Name:        "PostgreSQL",
+		Cores:       2,
+		BufferPages: 1 << 17,
+		RTT:         500 * time.Microsecond,
+		CPUFixed:    14 * time.Microsecond,
+		CPUPerRow:   60 * time.Nanosecond,
+		Disk:        disk.DefaultParams(),
+	}
+	p.Disk.TransferPerPage = 70 * time.Microsecond
+	return p
+}
+
+// WebService models Experiment 5's remote JSON-over-HTTP service: wide-area
+// round trips dominate; the backing store is small and warm.
+func WebService() Profile {
+	return Profile{
+		Name:        "WebService",
+		Cores:       8,
+		BufferPages: 1 << 17,
+		RTT:         25 * time.Millisecond,
+		CPUFixed:    500 * time.Microsecond,
+		CPUPerRow:   100 * time.Nanosecond,
+		Disk:        disk.DefaultParams(),
+	}
+}
+
+// Server is one simulated database instance.
+type Server struct {
+	Profile Profile
+	Clock   *simclock.Clock
+
+	cat   *storage.Catalog
+	pool  *buffer.Pool
+	disk  *disk.Disk
+	cores chan struct{}
+
+	prepMu   sync.Mutex
+	prepared map[string]*sqlmini.Stmt
+
+	statMu  sync.Mutex
+	queries int64
+	inserts int64
+	rows    int64
+
+	// extents tracks (extent -> page count) for warming.
+	extMu   sync.Mutex
+	extents map[int]int
+}
+
+// New starts a server with the given profile; scale is the wall-clock
+// scaling factor for all simulated latencies (see simclock).
+func New(p Profile, scale float64) *Server {
+	clock := simclock.New(scale)
+	d := disk.New(p.Disk, clock)
+	s := &Server{
+		Profile:  p,
+		Clock:    clock,
+		cat:      storage.NewCatalog(),
+		pool:     buffer.NewPool(p.BufferPages, d),
+		disk:     d,
+		cores:    make(chan struct{}, max(1, p.Cores)),
+		prepared: make(map[string]*sqlmini.Stmt),
+		extents:  make(map[int]int),
+	}
+	return s
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Close stops the disk goroutine.
+func (s *Server) Close() { s.disk.Close() }
+
+// Catalog exposes the table catalog for data loading.
+func (s *Server) Catalog() *storage.Catalog { return s.cat }
+
+// Pool exposes the buffer pool (tests).
+func (s *Server) Pool() *buffer.Pool { return s.pool }
+
+// Disk exposes the disk (tests, stats).
+func (s *Server) Disk() *disk.Disk { return s.disk }
+
+// RegisterExtent lays an extent out on disk and remembers its size for
+// warming. Extents are spread across the disk surface so different tables'
+// pages interleave, producing realistic seek distances.
+func (s *Server) RegisterExtent(extent, pages int) {
+	startTrack := (extent * 1543) % s.Profile.Disk.Tracks
+	s.pool.MapExtent(extent, startTrack)
+	s.extMu.Lock()
+	s.extents[extent] = pages
+	s.extMu.Unlock()
+}
+
+// FinishLoad registers every table's data extent after bulk loading.
+// Index extents are registered by LoadIndex.
+func (s *Server) FinishLoad() {
+	for _, t := range s.cat.Tables() {
+		s.RegisterExtent(t.Extent, t.NumPages())
+	}
+}
+
+// AddIndex creates a hash index on a table column and registers its extent.
+func (s *Server) AddIndex(table, column string, unique bool) error {
+	t := s.cat.Table(table)
+	if t == nil {
+		return fmt.Errorf("server: no table %q", table)
+	}
+	pages := max(1, t.NumPages()/8)
+	ext := s.cat.NextExtent()
+	if err := t.AddIndex(column, unique, ext, pages); err != nil {
+		return err
+	}
+	s.RegisterExtent(ext, pages)
+	return nil
+}
+
+// Warm preloads every registered extent into the buffer pool (warm-cache
+// runs). Cold runs call ColdStart instead.
+func (s *Server) Warm() {
+	s.extMu.Lock()
+	defer s.extMu.Unlock()
+	for ext, pages := range s.extents {
+		s.pool.Preload(ext, 0, pages)
+	}
+}
+
+// ColdStart empties the buffer pool.
+func (s *Server) ColdStart() { s.pool.Reset() }
+
+// Exec is the blocking query path: one network round trip, then execution.
+// It implements exec.Runner's shape and is safe for concurrent use — the
+// concurrency benefits of asynchronous submission arise precisely because
+// multiple Execs can be in flight.
+func (s *Server) Exec(name, sql string, args []any) (any, error) {
+	s.Clock.Sleep(s.Profile.RTT)
+	st, err := s.prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	// IO phase: page faults ride the disk queue without holding a core.
+	res, info, err := sqlmini.Execute(st, s.cat, s.pool, args)
+	if err != nil {
+		return nil, err
+	}
+	// CPU phase: hold one of the K cores.
+	cpu := s.Profile.CPUFixed + time.Duration(info.RowsExamined)*s.Profile.CPUPerRow
+	s.cores <- struct{}{}
+	s.Clock.Sleep(cpu)
+	<-s.cores
+
+	s.statMu.Lock()
+	s.queries++
+	if st.Insert {
+		s.inserts++
+	}
+	s.rows += int64(info.RowsExamined)
+	s.statMu.Unlock()
+	return res, nil
+}
+
+// Runner adapts the server for the async executor.
+func (s *Server) Runner() func(name, sql string, args []any) (any, error) {
+	return s.Exec
+}
+
+func (s *Server) prepare(sql string) (*sqlmini.Stmt, error) {
+	s.prepMu.Lock()
+	defer s.prepMu.Unlock()
+	if st, ok := s.prepared[sql]; ok {
+		return st, nil
+	}
+	st, err := sqlmini.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	s.prepared[sql] = st
+	return st, nil
+}
+
+// Stats summarizes server activity.
+type Stats struct {
+	Queries     int64
+	Inserts     int64
+	RowsRead    int64
+	BufferHits  int64
+	BufferMiss  int64
+	Disk        disk.Stats
+	VirtualTime time.Duration
+}
+
+// Stats returns a snapshot.
+func (s *Server) Stats() Stats {
+	h, m := s.pool.Stats()
+	s.statMu.Lock()
+	defer s.statMu.Unlock()
+	return Stats{
+		Queries:     s.queries,
+		Inserts:     s.inserts,
+		RowsRead:    s.rows,
+		BufferHits:  h,
+		BufferMiss:  m,
+		Disk:        s.disk.Stats(),
+		VirtualTime: s.Clock.VirtualSpent(),
+	}
+}

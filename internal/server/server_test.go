@@ -1,0 +1,148 @@
+package server
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func loaded(t *testing.T) *Server {
+	t.Helper()
+	s := New(SYS1(), 0) // no sleeping: logic only
+	tbl := s.Catalog().CreateTable("kv", storage.NewSchema(
+		storage.Column{Name: "k", Type: storage.TInt},
+		storage.Column{Name: "v", Type: storage.TInt},
+	))
+	for i := int64(0); i < 500; i++ {
+		if _, err := tbl.Insert([]any{i, i * 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.FinishLoad()
+	if err := s.AddIndex("kv", "k", true); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestExecSelect(t *testing.T) {
+	s := loaded(t)
+	defer s.Close()
+	v, err := s.Exec("q", "select sum(v) from kv where k = ?", []any{int64(21)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != int64(42) {
+		t.Fatalf("got %v", v)
+	}
+	if st := s.Stats(); st.Queries != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestExecInsertAndStats(t *testing.T) {
+	s := loaded(t)
+	defer s.Close()
+	if _, err := s.Exec("ins", "insert into kv values (?, ?)", []any{int64(9000), int64(1)}); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Inserts != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	v, err := s.Exec("q", "select count(v) from kv where k = ?", []any{int64(9000)})
+	if err != nil || v != int64(1) {
+		t.Fatalf("%v %v", v, err)
+	}
+}
+
+func TestWarmVsColdHits(t *testing.T) {
+	s := loaded(t)
+	defer s.Close()
+	s.Warm()
+	for i := int64(0); i < 50; i++ {
+		if _, err := s.Exec("q", "select sum(v) from kv where k = ?", []any{i * 7 % 500}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.BufferMiss != 0 {
+		t.Fatalf("warm run missed %d pages", st.BufferMiss)
+	}
+	s.ColdStart()
+	if _, err := s.Exec("q", "select sum(v) from kv where k = ?", []any{int64(3)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, m := s.Pool().Stats(); m == 0 {
+		t.Fatal("cold run should miss")
+	}
+}
+
+func TestPreparedStatementCache(t *testing.T) {
+	s := loaded(t)
+	defer s.Close()
+	for i := 0; i < 10; i++ {
+		if _, err := s.Exec("q", "select sum(v) from kv where k = ?", []any{int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.prepMu.Lock()
+	n := len(s.prepared)
+	s.prepMu.Unlock()
+	if n != 1 {
+		t.Fatalf("prepared cache has %d entries, want 1", n)
+	}
+}
+
+func TestConcurrentExec(t *testing.T) {
+	s := loaded(t)
+	defer s.Close()
+	s.Warm()
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k := int64((g*50 + i) % 500)
+				v, err := s.Exec("q", "select sum(v) from kv where k = ?", []any{k})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if v != k*2 {
+					errs <- err
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Queries != 400 {
+		t.Fatalf("queries = %d", st.Queries)
+	}
+}
+
+func TestBadSQLError(t *testing.T) {
+	s := loaded(t)
+	defer s.Close()
+	if _, err := s.Exec("bad", "frobnicate the database", nil); err == nil {
+		t.Fatal("want parse error")
+	}
+}
+
+func TestProfiles(t *testing.T) {
+	for _, p := range []Profile{SYS1(), Postgres(), WebService()} {
+		if p.Cores < 1 || p.RTT <= 0 || p.BufferPages <= 0 {
+			t.Errorf("profile %s has degenerate parameters: %+v", p.Name, p)
+		}
+	}
+	if WebService().RTT <= SYS1().RTT {
+		t.Error("the web-service profile must have wide-area latency")
+	}
+}

@@ -1,0 +1,73 @@
+// Package simclock provides the scaled, precise sleeping used by the
+// simulated database substrate. All simulated latencies are expressed in
+// microsecond-scale base durations and multiplied by a configurable Scale,
+// so experiments can trade wall-clock time for resolution without changing
+// the modelled ratios. Sub-200µs sleeps are finished with a short spin to
+// avoid the OS timer-granularity floor distorting small latencies.
+package simclock
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Clock scales and executes simulated delays. A zero Scale disables sleeping
+// entirely (useful in logic tests), while still accounting the virtual time.
+type Clock struct {
+	scale atomic.Int64 // scale * 1e6
+	spent atomic.Int64 // accumulated virtual nanoseconds (unscaled)
+}
+
+// New returns a clock with the given scale factor (1.0 = real microseconds).
+func New(scale float64) *Clock {
+	c := &Clock{}
+	c.SetScale(scale)
+	return c
+}
+
+// SetScale changes the scale factor.
+func (c *Clock) SetScale(s float64) {
+	c.scale.Store(int64(s * 1e6))
+}
+
+// Scale returns the current scale factor.
+func (c *Clock) Scale() float64 {
+	return float64(c.scale.Load()) / 1e6
+}
+
+// Sleep pauses for d scaled by the clock's factor and accounts the unscaled
+// virtual time.
+func (c *Clock) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.spent.Add(int64(d))
+	s := c.scale.Load()
+	if s == 0 {
+		return
+	}
+	scaled := time.Duration(int64(d) * s / 1e6)
+	preciseSleep(scaled)
+}
+
+// VirtualSpent reports the total unscaled virtual time slept so far, for
+// diagnostics.
+func (c *Clock) VirtualSpent() time.Duration {
+	return time.Duration(c.spent.Load())
+}
+
+// preciseSleep sleeps with ~10µs accuracy: long waits use time.Sleep, the
+// final stretch spins. The spin ceiling keeps CPU burn bounded.
+func preciseSleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	const spinWindow = 150 * time.Microsecond
+	start := time.Now()
+	if d > spinWindow {
+		time.Sleep(d - spinWindow)
+	}
+	for time.Since(start) < d {
+		// spin
+	}
+}

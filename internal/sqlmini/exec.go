@@ -1,0 +1,201 @@
+package sqlmini
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/buffer"
+	"repro/internal/interp"
+	"repro/internal/storage"
+)
+
+// ExecInfo reports the work a statement performed, for CPU-cost accounting
+// and test assertions.
+type ExecInfo struct {
+	PagesTouched int
+	RowsExamined int
+	RowsReturned int
+	UsedIndex    bool
+	FullScan     bool
+}
+
+// Execute runs a parsed statement against the catalog, driving page accesses
+// through the buffer pool (which charges simulated disk time on misses).
+// Results use the interpreter's value vocabulary: aggregates return int64,
+// column selects return interp.Rows, inserts return the inserted row count.
+func Execute(st *Stmt, cat *storage.Catalog, pool *buffer.Pool, args []any) (any, ExecInfo, error) {
+	var info ExecInfo
+	t := cat.Table(st.Table)
+	if t == nil {
+		return nil, info, fmt.Errorf("sqlmini: no table %q", st.Table)
+	}
+	if len(args) != st.NumParams {
+		return nil, info, fmt.Errorf("sqlmini: %d parameters bound, want %d", len(args), st.NumParams)
+	}
+
+	if st.Insert {
+		if len(st.Values) != len(t.Schema.Cols) {
+			return nil, info, fmt.Errorf("sqlmini: insert arity %d, want %d",
+				len(st.Values), len(t.Schema.Cols))
+		}
+		row := make([]any, len(st.Values))
+		for i, ord := range st.Values {
+			if ord >= 0 {
+				row[i] = args[ord]
+			} else {
+				row[i] = st.Lits[i]
+			}
+		}
+		rid, err := t.Insert(row)
+		if err != nil {
+			return nil, info, err
+		}
+		pool.Put(buffer.PageID{Extent: t.Extent, Page: t.PageOf(rid)})
+		info.PagesTouched = 1
+		info.RowsReturned = 1
+		return int64(1), info, nil
+	}
+
+	// Bind predicates.
+	conds := make([]Cond, len(st.Where))
+	for i, c := range st.Where {
+		conds[i] = c
+		if c.Param >= 0 {
+			conds[i].Lit = args[c.Param]
+		}
+		if t.Schema.ColIndex(c.Col) < 0 {
+			return nil, info, fmt.Errorf("sqlmini: %s: no column %q", st.Table, c.Col)
+		}
+	}
+
+	// Access path: the first indexed equality predicate drives; otherwise a
+	// full scan.
+	rids, pages, usedIndex, err := choosePath(t, pool, conds, &info)
+	if err != nil {
+		return nil, info, err
+	}
+	info.UsedIndex = usedIndex
+	info.FullScan = !usedIndex
+
+	// Residual filter.
+	matched := rids[:0]
+	for _, rid := range rids {
+		row := t.Row(rid)
+		ok := true
+		for _, c := range conds {
+			if row[t.Schema.ColIndex(c.Col)] != c.Lit {
+				ok = false
+				break
+			}
+		}
+		info.RowsExamined++
+		if ok {
+			matched = append(matched, rid)
+		}
+	}
+	_ = pages
+
+	// Project / aggregate.
+	if st.Agg != AggNone {
+		v, err := aggregate(st, t, matched)
+		info.RowsReturned = 1
+		return v, info, err
+	}
+	out := make(interp.Rows, 0, len(matched))
+	for _, rid := range matched {
+		row := t.Row(rid)
+		r := interp.Row{}
+		if len(st.Cols) == 1 && st.Cols[0] == "*" {
+			for i, c := range t.Schema.Cols {
+				r[c.Name] = row[i]
+			}
+		} else {
+			for _, c := range st.Cols {
+				ci := t.Schema.ColIndex(c)
+				if ci < 0 {
+					return nil, info, fmt.Errorf("sqlmini: %s: no column %q", st.Table, c)
+				}
+				r[c] = row[ci]
+			}
+		}
+		out = append(out, r)
+	}
+	info.RowsReturned = len(out)
+	return out, info, nil
+}
+
+// choosePath picks index lookup or full scan, touching the corresponding
+// pages through the pool, and returns the candidate row ids.
+func choosePath(t *storage.Table, pool *buffer.Pool, conds []Cond, info *ExecInfo) ([]int, int, bool, error) {
+	for _, c := range conds {
+		rids, bucket, ok := t.Lookup(c.Col, c.Lit)
+		if !ok {
+			continue
+		}
+		ix := t.Index(c.Col)
+		// One bucket page of the index, then the distinct data pages of the
+		// matches in ascending order (the RID-ordering-before-fetch
+		// optimization the paper cites, §I).
+		pool.Get(buffer.PageID{Extent: ix.Extent, Page: bucket})
+		info.PagesTouched++
+		pageSet := map[int]bool{}
+		for _, rid := range rids {
+			pageSet[t.PageOf(rid)] = true
+		}
+		pageList := make([]int, 0, len(pageSet))
+		for p := range pageSet {
+			pageList = append(pageList, p)
+		}
+		sort.Ints(pageList)
+		for _, p := range pageList {
+			pool.Get(buffer.PageID{Extent: t.Extent, Page: p})
+			info.PagesTouched++
+		}
+		return append([]int(nil), rids...), len(pageList), true, nil
+	}
+	// Full scan: one sequential batched read.
+	n := t.NumPages()
+	pool.GetBatch(t.Extent, 0, n)
+	info.PagesTouched += n
+	rids := make([]int, t.NumRows())
+	for i := range rids {
+		rids[i] = i
+	}
+	return rids, n, false, nil
+}
+
+func aggregate(st *Stmt, t *storage.Table, rids []int) (any, error) {
+	if st.Agg == AggCount {
+		return int64(len(rids)), nil
+	}
+	ci := t.Schema.ColIndex(st.AggCol)
+	if ci < 0 {
+		return nil, fmt.Errorf("sqlmini: %s: no column %q", t.Name, st.AggCol)
+	}
+	var sum int64
+	var best int64
+	have := false
+	for _, rid := range rids {
+		v, ok := t.Row(rid)[ci].(int64)
+		if !ok {
+			return nil, fmt.Errorf("sqlmini: aggregate over non-int column %q", st.AggCol)
+		}
+		sum += v
+		if !have {
+			best = v
+			have = true
+		} else if (st.Agg == AggMax && v > best) || (st.Agg == AggMin && v < best) {
+			best = v
+		}
+	}
+	switch st.Agg {
+	case AggSum:
+		return sum, nil
+	case AggMax, AggMin:
+		if !have {
+			return nil, nil
+		}
+		return best, nil
+	}
+	return nil, fmt.Errorf("sqlmini: unsupported aggregate")
+}

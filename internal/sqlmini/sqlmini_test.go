@@ -1,0 +1,190 @@
+package sqlmini
+
+import (
+	"testing"
+
+	"repro/internal/buffer"
+	"repro/internal/disk"
+	"repro/internal/interp"
+	"repro/internal/simclock"
+	"repro/internal/storage"
+)
+
+func TestParseSelectAgg(t *testing.T) {
+	st, err := Parse("select count(partkey) from part where p_category = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Insert || st.Agg != AggCount || st.AggCol != "partkey" || st.Table != "part" {
+		t.Fatalf("%+v", st)
+	}
+	if len(st.Where) != 1 || st.Where[0].Col != "p_category" || st.Where[0].Param != 0 {
+		t.Fatalf("where: %+v", st.Where)
+	}
+	if st.NumParams != 1 {
+		t.Fatalf("params: %d", st.NumParams)
+	}
+}
+
+func TestParseSelectCols(t *testing.T) {
+	st, err := Parse("select nickname, rating from users where uid = ? and rating = 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Cols) != 2 || st.Cols[0] != "nickname" {
+		t.Fatalf("%+v", st)
+	}
+	if len(st.Where) != 2 || st.Where[1].Lit != int64(5) || st.Where[1].Param != -1 {
+		t.Fatalf("where: %+v", st.Where)
+	}
+}
+
+func TestParseStar(t *testing.T) {
+	st, err := Parse("select * from t")
+	if err != nil || st.Cols[0] != "*" || len(st.Where) != 0 {
+		t.Fatalf("%+v %v", st, err)
+	}
+}
+
+func TestParseInsert(t *testing.T) {
+	st, err := Parse("insert into forms values (?, ?, 7)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Insert || st.NumParams != 2 || len(st.Values) != 3 || st.Lits[2] != int64(7) {
+		t.Fatalf("%+v", st)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, sql := range []string{
+		"", "delete from t", "select from t", "select a from",
+		"select a from t where", "insert into t", "select max(*) from t",
+		"select a from t where b > ?",
+	} {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("expected error for %q", sql)
+		}
+	}
+}
+
+func testEnv(t *testing.T) (*storage.Catalog, *buffer.Pool, func()) {
+	t.Helper()
+	cat := storage.NewCatalog()
+	d := disk.New(disk.DefaultParams(), simclock.New(0))
+	pool := buffer.NewPool(1<<12, d)
+	tbl := cat.CreateTable("part", storage.NewSchema(
+		storage.Column{Name: "partkey", Type: storage.TInt},
+		storage.Column{Name: "p_category", Type: storage.TInt},
+		storage.Column{Name: "psize", Type: storage.TInt},
+	))
+	for i := int64(0); i < 1000; i++ {
+		if _, err := tbl.Insert([]any{i, i % 10, i % 50}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pool.MapExtent(tbl.Extent, 0)
+	if err := tbl.AddIndex("p_category", false, cat.NextExtent(), 4); err != nil {
+		t.Fatal(err)
+	}
+	return cat, pool, func() { d.Close() }
+}
+
+func exec(t *testing.T, cat *storage.Catalog, pool *buffer.Pool, sql string, args ...any) (any, ExecInfo) {
+	t.Helper()
+	st, err := Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, info, err := Execute(st, cat, pool, args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v, info
+}
+
+func TestExecuteCountWithIndex(t *testing.T) {
+	cat, pool, done := testEnv(t)
+	defer done()
+	v, info := exec(t, cat, pool, "select count(partkey) from part where p_category = ?", int64(3))
+	if v != int64(100) {
+		t.Fatalf("count = %v, want 100", v)
+	}
+	if !info.UsedIndex || info.FullScan {
+		t.Fatalf("expected index path: %+v", info)
+	}
+}
+
+func TestExecuteAggregates(t *testing.T) {
+	cat, pool, done := testEnv(t)
+	defer done()
+	if v, _ := exec(t, cat, pool, "select max(psize) from part where p_category = ?", int64(0)); v != int64(40) {
+		t.Fatalf("max = %v", v)
+	}
+	if v, _ := exec(t, cat, pool, "select min(psize) from part where p_category = ?", int64(0)); v != int64(0) {
+		t.Fatalf("min = %v", v)
+	}
+	if v, _ := exec(t, cat, pool, "select sum(psize) from part where p_category = ?", int64(0)); v != int64(2000) {
+		t.Fatalf("sum = %v", v)
+	}
+}
+
+func TestExecuteFullScanWithoutIndex(t *testing.T) {
+	cat, pool, done := testEnv(t)
+	defer done()
+	v, info := exec(t, cat, pool, "select count(partkey) from part where psize = ?", int64(7))
+	if v != int64(20) {
+		t.Fatalf("count = %v", v)
+	}
+	if !info.FullScan {
+		t.Fatalf("expected full scan: %+v", info)
+	}
+}
+
+func TestExecuteRowsProjection(t *testing.T) {
+	cat, pool, done := testEnv(t)
+	defer done()
+	v, _ := exec(t, cat, pool, "select partkey, psize from part where p_category = ?", int64(9))
+	rows, ok := v.(interp.Rows)
+	if !ok || len(rows) != 100 {
+		t.Fatalf("rows: %T %v", v, v)
+	}
+	if _, ok := rows[0]["partkey"]; !ok {
+		t.Fatal("missing projected column")
+	}
+	if _, ok := rows[0]["p_category"]; ok {
+		t.Fatal("unprojected column leaked")
+	}
+}
+
+func TestExecuteInsert(t *testing.T) {
+	cat, pool, done := testEnv(t)
+	defer done()
+	before := cat.Table("part").NumRows()
+	exec(t, cat, pool, "insert into part values (?, ?, ?)", int64(9999), int64(3), int64(1))
+	if cat.Table("part").NumRows() != before+1 {
+		t.Fatal("row not inserted")
+	}
+	// The index sees the new row.
+	v, _ := exec(t, cat, pool, "select count(partkey) from part where p_category = ?", int64(3))
+	if v != int64(101) {
+		t.Fatalf("index not maintained: %v", v)
+	}
+}
+
+func TestExecuteErrors(t *testing.T) {
+	cat, pool, done := testEnv(t)
+	defer done()
+	st, _ := Parse("select count(x) from nosuch where a = ?")
+	if _, _, err := Execute(st, cat, pool, []any{int64(1)}); err == nil {
+		t.Error("missing table must error")
+	}
+	st, _ = Parse("select count(partkey) from part where nocol = ?")
+	if _, _, err := Execute(st, cat, pool, []any{int64(1)}); err == nil {
+		t.Error("missing column must error")
+	}
+	st, _ = Parse("select count(partkey) from part where p_category = ?")
+	if _, _, err := Execute(st, cat, pool, nil); err == nil {
+		t.Error("parameter arity must be checked")
+	}
+}

@@ -1,0 +1,263 @@
+// Package storage implements the server's tables: typed schemas, row
+// storage laid out in fixed-fanout pages, hash indexes (unique and
+// secondary), and the page-access bookkeeping the buffer pool and disk model
+// consume. It is deliberately simple — heap files plus hash indexes — which
+// matches the access paths the paper's workloads exercise (point lookups by
+// key, secondary-index range-of-equals lookups, full scans, appends).
+package storage
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ColType is a column's type.
+type ColType int
+
+const (
+	// TInt is a 64-bit integer column.
+	TInt ColType = iota
+	// TString is a string column.
+	TString
+)
+
+// Column describes one column.
+type Column struct {
+	Name string
+	Type ColType
+}
+
+// Schema is an ordered column list.
+type Schema struct {
+	Cols []Column
+	by   map[string]int
+}
+
+// NewSchema builds a schema.
+func NewSchema(cols ...Column) *Schema {
+	s := &Schema{Cols: cols, by: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		s.by[c.Name] = i
+	}
+	return s
+}
+
+// ColIndex returns a column's position, or -1.
+func (s *Schema) ColIndex(name string) int {
+	if i, ok := s.by[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// DefaultRowsPerPage is the page fanout used when a table does not override
+// it. Wide rows (user profiles with text) use smaller fanouts.
+const DefaultRowsPerPage = 64
+
+// Table is a heap table plus its indexes.
+type Table struct {
+	Name   string
+	Schema *Schema
+	Extent int // buffer-pool extent id for data pages
+
+	mu          sync.RWMutex
+	rowsPerPage int
+	rows        [][]any
+	indexes     map[string]*Index
+}
+
+// Index is a hash index on one column. IndexExtent pages are modelled as
+// hash buckets spread over the index extent.
+type Index struct {
+	Column string
+	Unique bool
+	Extent int
+	Pages  int // bucket pages
+	m      map[any][]int
+}
+
+// NewTable creates an empty table. Extents are assigned by the catalog.
+func NewTable(name string, schema *Schema, extent int) *Table {
+	return &Table{
+		Name:        name,
+		Schema:      schema,
+		Extent:      extent,
+		rowsPerPage: DefaultRowsPerPage,
+		indexes:     make(map[string]*Index),
+	}
+}
+
+// SetRowsPerPage overrides the page fanout (call before loading data).
+func (t *Table) SetRowsPerPage(n int) {
+	if n > 0 {
+		t.mu.Lock()
+		t.rowsPerPage = n
+		t.mu.Unlock()
+	}
+}
+
+// RowsPerPage returns the table's page fanout.
+func (t *Table) RowsPerPage() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rowsPerPage
+}
+
+// AddIndex creates a hash index over an existing column, building it from
+// current rows.
+func (t *Table) AddIndex(column string, unique bool, extent, pages int) error {
+	ci := t.Schema.ColIndex(column)
+	if ci < 0 {
+		return fmt.Errorf("storage: %s: no column %q", t.Name, column)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ix := &Index{Column: column, Unique: unique, Extent: extent, Pages: pages, m: make(map[any][]int)}
+	for rid, row := range t.rows {
+		ix.m[row[ci]] = append(ix.m[row[ci]], rid)
+	}
+	t.indexes[column] = ix
+	return nil
+}
+
+// Index returns the index on column, or nil.
+func (t *Table) Index(column string) *Index {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.indexes[column]
+}
+
+// Insert appends a row, maintaining indexes, and returns its row id.
+func (t *Table) Insert(row []any) (int, error) {
+	if len(row) != len(t.Schema.Cols) {
+		return 0, fmt.Errorf("storage: %s: insert arity %d, want %d",
+			t.Name, len(row), len(t.Schema.Cols))
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rid := len(t.rows)
+	t.rows = append(t.rows, row)
+	for col, ix := range t.indexes {
+		ci := t.Schema.ColIndex(col)
+		ix.m[row[ci]] = append(ix.m[row[ci]], rid)
+	}
+	return rid, nil
+}
+
+// Row returns row rid (shared slice; callers must not mutate).
+func (t *Table) Row(rid int) []any {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows[rid]
+}
+
+// NumRows returns the row count.
+func (t *Table) NumRows() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// NumPages returns the data page count.
+func (t *Table) NumPages() int {
+	n := t.NumRows()
+	rpp := t.RowsPerPage()
+	return (n + rpp - 1) / rpp
+}
+
+// PageOf maps a row id to its data page number.
+func (t *Table) PageOf(rid int) int { return rid / t.RowsPerPage() }
+
+// Lookup returns the row ids matching value on an indexed column, plus the
+// index bucket page touched. ok is false when no index exists on the column.
+func (t *Table) Lookup(column string, value any) (rids []int, bucketPage int, ok bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ix := t.indexes[column]
+	if ix == nil {
+		return nil, 0, false
+	}
+	rids = ix.m[value]
+	bucketPage = bucketOf(value, ix.Pages)
+	return rids, bucketPage, true
+}
+
+// ScanEq returns row ids matching value by scanning (no index).
+func (t *Table) ScanEq(column string, value any) ([]int, error) {
+	ci := t.Schema.ColIndex(column)
+	if ci < 0 {
+		return nil, fmt.Errorf("storage: %s: no column %q", t.Name, column)
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []int
+	for rid, row := range t.rows {
+		if row[ci] == value {
+			out = append(out, rid)
+		}
+	}
+	return out, nil
+}
+
+func bucketOf(v any, pages int) int {
+	if pages <= 0 {
+		return 0
+	}
+	s := fmt.Sprintf("%v", v)
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return int(h % uint64(pages))
+}
+
+// Catalog is a named collection of tables with extent assignment.
+type Catalog struct {
+	mu         sync.RWMutex
+	tables     map[string]*Table
+	nextExtent int
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{tables: make(map[string]*Table)}
+}
+
+// CreateTable allocates a table and its data extent.
+func (c *Catalog) CreateTable(name string, schema *Schema) *Table {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ext := c.nextExtent
+	c.nextExtent++
+	t := NewTable(name, schema, ext)
+	c.tables[name] = t
+	return t
+}
+
+// NextExtent reserves a fresh extent id (for indexes).
+func (c *Catalog) NextExtent() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ext := c.nextExtent
+	c.nextExtent++
+	return ext
+}
+
+// Table returns a table by name, or nil.
+func (c *Catalog) Table(name string) *Table {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.tables[name]
+}
+
+// Tables lists all tables.
+func (c *Catalog) Tables() []*Table {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*Table, 0, len(c.tables))
+	for _, t := range c.tables {
+		out = append(out, t)
+	}
+	return out
+}

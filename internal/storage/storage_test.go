@@ -1,0 +1,125 @@
+package storage
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func newKV(t *testing.T) *Table {
+	t.Helper()
+	cat := NewCatalog()
+	tbl := cat.CreateTable("kv", NewSchema(
+		Column{Name: "k", Type: TInt},
+		Column{Name: "v", Type: TString},
+	))
+	return tbl
+}
+
+func TestInsertAndRow(t *testing.T) {
+	tbl := newKV(t)
+	rid, err := tbl.Insert([]any{int64(1), "a"})
+	if err != nil || rid != 0 {
+		t.Fatalf("%d %v", rid, err)
+	}
+	if tbl.Row(0)[1] != "a" || tbl.NumRows() != 1 {
+		t.Fatal("row content")
+	}
+	if _, err := tbl.Insert([]any{int64(1)}); err == nil {
+		t.Fatal("arity must be checked")
+	}
+}
+
+func TestIndexMaintenance(t *testing.T) {
+	tbl := newKV(t)
+	for i := int64(0); i < 100; i++ {
+		tbl.Insert([]any{i % 10, "x"})
+	}
+	if err := tbl.AddIndex("k", false, 1, 4); err != nil {
+		t.Fatal(err)
+	}
+	rids, _, ok := tbl.Lookup("k", int64(3))
+	if !ok || len(rids) != 10 {
+		t.Fatalf("lookup: %v %v", rids, ok)
+	}
+	// Inserts after index creation are indexed too.
+	tbl.Insert([]any{int64(3), "y"})
+	rids, _, _ = tbl.Lookup("k", int64(3))
+	if len(rids) != 11 {
+		t.Fatalf("index not maintained: %d", len(rids))
+	}
+	if err := tbl.AddIndex("nope", false, 2, 4); err == nil {
+		t.Fatal("bad column must error")
+	}
+}
+
+func TestScanEq(t *testing.T) {
+	tbl := newKV(t)
+	for i := int64(0); i < 20; i++ {
+		tbl.Insert([]any{i % 4, "x"})
+	}
+	rids, err := tbl.ScanEq("k", int64(1))
+	if err != nil || len(rids) != 5 {
+		t.Fatalf("%v %v", rids, err)
+	}
+}
+
+func TestPaging(t *testing.T) {
+	tbl := newKV(t)
+	tbl.SetRowsPerPage(8)
+	for i := int64(0); i < 50; i++ {
+		tbl.Insert([]any{i, "x"})
+	}
+	if tbl.NumPages() != 7 {
+		t.Fatalf("pages = %d, want 7", tbl.NumPages())
+	}
+	if tbl.PageOf(0) != 0 || tbl.PageOf(7) != 0 || tbl.PageOf(8) != 1 || tbl.PageOf(49) != 6 {
+		t.Fatal("PageOf mapping")
+	}
+}
+
+func TestCatalogExtents(t *testing.T) {
+	cat := NewCatalog()
+	a := cat.CreateTable("a", NewSchema(Column{Name: "x", Type: TInt}))
+	b := cat.CreateTable("b", NewSchema(Column{Name: "x", Type: TInt}))
+	if a.Extent == b.Extent {
+		t.Fatal("extents must be distinct")
+	}
+	if cat.NextExtent() == a.Extent || cat.Table("a") != a || cat.Table("zz") != nil {
+		t.Fatal("catalog bookkeeping")
+	}
+	if len(cat.Tables()) != 2 {
+		t.Fatal("table listing")
+	}
+}
+
+// Property: lookup after N inserts returns exactly the rows whose key
+// matches, whatever the key distribution.
+func TestLookupQuick(t *testing.T) {
+	prop := func(keys []uint8) bool {
+		tbl := newKV(t)
+		if err := tbl.AddIndex("k", false, 1, 4); err != nil {
+			return false
+		}
+		counts := map[int64]int{}
+		for _, k := range keys {
+			key := int64(k % 16)
+			tbl.Insert([]any{key, "x"})
+			counts[key]++
+		}
+		for key, want := range counts {
+			rids, _, ok := tbl.Lookup("k", key)
+			if !ok || len(rids) != want {
+				return false
+			}
+			for _, rid := range rids {
+				if tbl.Row(rid)[0] != key {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,86 @@
+// Package testsvc provides a deterministic in-memory query service used by
+// the transformation tests and property tests: results are a pure function
+// of the query name and arguments, so an original program and its
+// transformed version must produce identical outputs regardless of
+// submission interleaving.
+package testsvc
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/exec"
+	"repro/internal/interp"
+)
+
+// Runner returns a thread-safe exec.Runner whose result for (name, args) is
+// a small deterministic integer.
+func Runner() exec.Runner {
+	return func(name, sql string, args []any) (any, error) {
+		return Hash(name, args), nil
+	}
+}
+
+// Hash computes the deterministic result value.
+func Hash(name string, args []any) int64 {
+	s := name
+	for _, a := range args {
+		s += "|" + interp.Format(a)
+	}
+	var h int64 = 1469598103934665603
+	for i := 0; i < len(s); i++ {
+		h ^= int64(s[i])
+		h *= 1099511628211
+	}
+	if h < 0 {
+		h = -h
+	}
+	return h % 97
+}
+
+// LoggingRunner wraps Runner, recording every execution (name plus formatted
+// args) in submission order. Safe for concurrent use.
+type LoggingRunner struct {
+	mu  sync.Mutex
+	log []string
+}
+
+// Run is the exec.Runner method value to pass to services.
+func (l *LoggingRunner) Run(name, sql string, args []any) (any, error) {
+	l.mu.Lock()
+	entry := name
+	for _, a := range args {
+		entry += "|" + interp.Format(a)
+	}
+	l.log = append(l.log, entry)
+	l.mu.Unlock()
+	return Hash(name, args), nil
+}
+
+// Log returns a copy of the executions so far.
+func (l *LoggingRunner) Log() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]string(nil), l.log...)
+}
+
+// NewSync returns a blocking-only service (original programs).
+func NewSync() *exec.Service { return exec.NewService(0, Runner()) }
+
+// NewAsync returns a service with a worker pool (transformed programs).
+func NewAsync(workers int) *exec.Service { return exec.NewService(workers, Runner()) }
+
+// FailingRunner returns a runner that fails every query whose name is in
+// bad, for failure-injection tests.
+func FailingRunner(bad ...string) exec.Runner {
+	set := map[string]bool{}
+	for _, b := range bad {
+		set[b] = true
+	}
+	return func(name, sql string, args []any) (any, error) {
+		if set[name] {
+			return nil, fmt.Errorf("injected failure for %s", name)
+		}
+		return Hash(name, args), nil
+	}
+}
