@@ -27,6 +27,7 @@ package asyncq
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/dataflow"
@@ -247,16 +248,50 @@ type RunResult struct {
 // Run executes a mini-language program against svc with the given
 // positional arguments. Both original and transformed programs run through
 // the same entry point; transformed programs need a service whose Submit is
-// backed by a pool (NewPool).
+// backed by a pool (NewPool). Programs are parsed and slot-compiled once
+// per distinct source and cached, so callers that run the same program
+// millions of times pay compilation on the first call only.
 func Run(src string, args []Value, svc QueryService, funcs ...FuncSig) (*RunResult, error) {
-	proc, err := minilang.Parse(src)
+	prog, err := compiledProgram(src)
 	if err != nil {
 		return nil, err
 	}
 	in := interp.New(buildRegistry(funcs), svc)
-	res, err := in.Run(proc, args)
+	res, err := in.RunProgram(prog, args)
 	if err != nil {
 		return nil, err
 	}
 	return &RunResult{Returned: res.Returned, Output: res.Output}, nil
+}
+
+// progCache caches compiled programs by source text. The cache is bounded:
+// when it reaches progCacheMax entries it is reset wholesale, which keeps
+// the common case (a handful of programs run repeatedly) fast without
+// letting adversarial call patterns grow memory without bound.
+const progCacheMax = 256
+
+var (
+	progMu    sync.Mutex
+	progCache = make(map[string]*interp.Program)
+)
+
+func compiledProgram(src string) (*interp.Program, error) {
+	progMu.Lock()
+	prog, ok := progCache[src]
+	progMu.Unlock()
+	if ok {
+		return prog, nil
+	}
+	proc, err := minilang.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	prog = interp.Compile(proc)
+	progMu.Lock()
+	if len(progCache) >= progCacheMax {
+		progCache = make(map[string]*interp.Program)
+	}
+	progCache[src] = prog
+	progMu.Unlock()
+	return prog, nil
 }

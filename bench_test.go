@@ -199,8 +199,7 @@ func BenchmarkDDGBuild(b *testing.B) {
 	}
 }
 
-func BenchmarkInterpLoop(b *testing.B) {
-	src := `
+const spinSrc = `
 proc spin(n) {
   i = 0;
   s = 0;
@@ -210,12 +209,45 @@ proc spin(n) {
   }
   return s;
 }`
-	proc := minilang.MustParse(src)
+
+// BenchmarkInterpLoop measures the production evaluator (slot-compiled
+// path; the program is compiled once and cached by the Interp).
+func BenchmarkInterpLoop(b *testing.B) {
+	proc := minilang.MustParse(spinSrc)
 	in := interp.New(ir.NewRegistry(), nil)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := in.Run(proc, []interp.Value{int64(1000)}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInterpLoopTree measures the tree-walking reference evaluator on
+// the same kernel, keeping the compiled path's speedup visible.
+func BenchmarkInterpLoopTree(b *testing.B) {
+	proc := minilang.MustParse(spinSrc)
+	in := interp.New(ir.NewRegistry(), nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := in.RunTree(proc, []interp.Value{int64(1000)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompile measures the one-time cost of slot compilation (paid
+// once per program, then amortised by the caches in asyncq.Run, Interp.Run
+// and the experiments harness).
+func BenchmarkCompile(b *testing.B) {
+	proc := apps.Category().Proc()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if p := interp.Compile(proc); p == nil {
+			b.Fatal("nil program")
 		}
 	}
 }

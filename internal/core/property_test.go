@@ -156,6 +156,8 @@ func checkEquivalence(seed int64) error {
 }
 
 // TestPropertyEquivalence drives checkEquivalence through testing/quick.
+// In -short mode the sample shrinks so the suite finishes in seconds; the
+// full run keeps the original coverage.
 func TestPropertyEquivalence(t *testing.T) {
 	count := 0
 	prop := func(seed int64) bool {
@@ -166,8 +168,12 @@ func TestPropertyEquivalence(t *testing.T) {
 		}
 		return true
 	}
+	maxCount := 300
+	if testing.Short() {
+		maxCount = 40
+	}
 	cfg := &quick.Config{
-		MaxCount: 300,
+		MaxCount: maxCount,
 		Values: func(vals []reflect.Value, r *rand.Rand) {
 			vals[0] = reflect.ValueOf(int64(r.Intn(1_000_000)))
 		},
@@ -180,9 +186,14 @@ func TestPropertyEquivalence(t *testing.T) {
 	}
 }
 
-// TestPropertyEquivalenceFixedSeeds pins a deterministic regression corpus.
+// TestPropertyEquivalenceFixedSeeds pins a deterministic regression corpus
+// (reduced in -short mode).
 func TestPropertyEquivalenceFixedSeeds(t *testing.T) {
-	for seed := int64(0); seed < 150; seed++ {
+	n := int64(150)
+	if testing.Short() {
+		n = 25
+	}
+	for seed := int64(0); seed < n; seed++ {
 		if err := checkEquivalence(seed); err != nil {
 			t.Fatal(err)
 		}

@@ -3,11 +3,19 @@
 // paper's rewritten programs (§VI). Submitted queries are queued and executed
 // by the pool; Fetch blocks on the per-query handle (the observer model of
 // §II).
+//
+// The hot path is allocation-lean: one allocation per Submit (the Handle the
+// caller keeps). Job structs are pooled, the FIFO queue is a growable ring
+// buffer instead of an append+reslice slice, handles signal completion
+// through an embedded mutex/cond pair instead of a dedicated channel, and
+// the statistics counters are atomics folded into the enqueue/dequeue path
+// so observers can never see completed > submitted.
 package exec
 
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 )
 
 // ErrClosed is returned by Submit after Close.
@@ -19,28 +27,55 @@ type Runner func(name, sql string, args []any) (any, error)
 
 // Handle is a pending asynchronous request.
 type Handle struct {
-	done chan struct{}
+	mu   sync.Mutex
+	cond sync.Cond
+	done atomic.Bool
 	val  any
 	err  error
+}
+
+func newHandle() *Handle {
+	h := &Handle{}
+	h.cond.L = &h.mu
+	return h
+}
+
+// newDoneHandle returns an already-completed handle (used by the degraded
+// poolless service mode).
+func newDoneHandle(v any, err error) *Handle {
+	h := newHandle()
+	h.complete(v, err)
+	return h
+}
+
+// complete publishes the result and wakes all fetchers. val and err are
+// written before the atomic done flag, so the lock-free fast path in Fetch
+// observes them fully.
+func (h *Handle) complete(v any, err error) {
+	h.mu.Lock()
+	h.val, h.err = v, err
+	h.done.Store(true)
+	h.mu.Unlock()
+	h.cond.Broadcast()
 }
 
 // Fetch blocks until the request completes and returns its result. It may be
 // called multiple times; subsequent calls return immediately.
 func (h *Handle) Fetch() (any, error) {
-	<-h.done
+	if h.done.Load() {
+		return h.val, h.err
+	}
+	h.mu.Lock()
+	for !h.done.Load() {
+		h.cond.Wait()
+	}
+	h.mu.Unlock()
 	return h.val, h.err
 }
 
 // Done reports (without blocking) whether the result is available — the
 // polling side of the observer model.
-func (h *Handle) Done() bool {
-	select {
-	case <-h.done:
-		return true
-	default:
-		return false
-	}
-}
+func (h *Handle) Done() bool { return h.done.Load() }
 
 type job struct {
 	name string
@@ -49,21 +84,60 @@ type job struct {
 	h    *Handle
 }
 
+// jobRing is a growable FIFO ring buffer. Capacity is kept a power of two so
+// indexing is a mask; pushes grow by doubling, so steady-state submission
+// does no queue allocation at all.
+type jobRing struct {
+	buf  []*job
+	head int
+	n    int
+}
+
+func (q *jobRing) empty() bool { return q.n == 0 }
+
+func (q *jobRing) push(j *job) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = j
+	q.n++
+}
+
+func (q *jobRing) pop() *job {
+	j := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) & (len(q.buf) - 1)
+	q.n--
+	return j
+}
+
+func (q *jobRing) grow() {
+	newCap := 64
+	if len(q.buf) > 0 {
+		newCap = len(q.buf) * 2
+	}
+	nb := make([]*job, newCap)
+	for i := 0; i < q.n; i++ {
+		nb[i] = q.buf[(q.head+i)&(len(q.buf)-1)]
+	}
+	q.buf, q.head = nb, 0
+}
+
 // Executor is a fixed-size worker pool with an unbounded FIFO submission
 // queue, so that submit loops never block regardless of the number of
 // iterations (memory for pending state is the documented cost, §VII).
 type Executor struct {
 	run     Runner
 	mu      sync.Mutex
-	cond    *sync.Cond
-	queue   []*job
+	cond    sync.Cond
+	queue   jobRing
 	closed  bool
 	workers int
 	wg      sync.WaitGroup
+	jobs    sync.Pool
 
-	statMu    sync.Mutex
-	submitted int64
-	completed int64
+	submitted atomic.Int64
+	completed atomic.Int64
 }
 
 // NewExecutor starts a pool of the given size. workers is the paper's
@@ -73,7 +147,8 @@ func NewExecutor(workers int, run Runner) *Executor {
 		workers = 1
 	}
 	e := &Executor{run: run, workers: workers}
-	e.cond = sync.NewCond(&e.mu)
+	e.cond.L = &e.mu
+	e.jobs.New = func() any { return new(job) }
 	e.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go e.worker()
@@ -84,29 +159,34 @@ func NewExecutor(workers int, run Runner) *Executor {
 // Workers returns the pool size.
 func (e *Executor) Workers() int { return e.workers }
 
-// Submit enqueues a request and returns its handle immediately.
+// Submit enqueues a request and returns its handle immediately. The
+// submitted counter is incremented inside the queue critical section, before
+// any worker can see the job, so Stats never observes completed > submitted.
 func (e *Executor) Submit(name, sql string, args []any) (*Handle, error) {
-	h := &Handle{done: make(chan struct{})}
+	h := newHandle()
+	j := e.jobs.Get().(*job)
+	j.name, j.sql, j.args, j.h = name, sql, args, h
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
+		*j = job{}
+		e.jobs.Put(j)
 		return nil, ErrClosed
 	}
-	e.queue = append(e.queue, &job{name: name, sql: sql, args: args, h: h})
-	e.cond.Signal()
+	e.queue.push(j)
+	e.submitted.Add(1)
 	e.mu.Unlock()
-
-	e.statMu.Lock()
-	e.submitted++
-	e.statMu.Unlock()
+	e.cond.Signal()
 	return h, nil
 }
 
-// Stats returns the total submitted and completed request counts.
+// Stats returns the total submitted and completed request counts. The
+// completed counter is loaded first: both are monotonic, so this order
+// guarantees completed <= submitted in every observation.
 func (e *Executor) Stats() (submitted, completed int64) {
-	e.statMu.Lock()
-	defer e.statMu.Unlock()
-	return e.submitted, e.completed
+	c := e.completed.Load()
+	s := e.submitted.Load()
+	return s, c
 }
 
 // Close drains the queue: pending requests still execute, then workers exit.
@@ -128,22 +208,21 @@ func (e *Executor) worker() {
 	defer e.wg.Done()
 	for {
 		e.mu.Lock()
-		for len(e.queue) == 0 && !e.closed {
+		for e.queue.empty() && !e.closed {
 			e.cond.Wait()
 		}
-		if len(e.queue) == 0 && e.closed {
+		if e.queue.empty() {
 			e.mu.Unlock()
 			return
 		}
-		j := e.queue[0]
-		e.queue = e.queue[1:]
+		j := e.queue.pop()
 		e.mu.Unlock()
 
-		j.h.val, j.h.err = e.run(j.name, j.sql, j.args)
-		close(j.h.done)
-
-		e.statMu.Lock()
-		e.completed++
-		e.statMu.Unlock()
+		v, err := e.run(j.name, j.sql, j.args)
+		h := j.h
+		*j = job{} // drop references before pooling
+		e.jobs.Put(j)
+		h.complete(v, err)
+		e.completed.Add(1)
 	}
 }

@@ -35,9 +35,7 @@ func (s *Service) Submit(name, sql string, args []interp.Value) (interp.Handle, 
 		// Degraded mode: run synchronously and wrap the result, so programs
 		// transformed for asynchrony still run correctly with no pool.
 		v, err := s.sync(name, sql, args)
-		h := &Handle{done: make(chan struct{}), val: v, err: err}
-		close(h.done)
-		return h, nil
+		return newDoneHandle(v, err), nil
 	}
 	return s.exec.Submit(name, sql, args)
 }

@@ -41,6 +41,10 @@ type procPair struct {
 	orig  *ir.Proc
 	trans *ir.Proc
 	rep   *core.Report
+	// Slot-compiled forms, compiled once per app and reused across every
+	// measurement so the timed loops never pay compilation.
+	origProg  *interp.Program
+	transProg *interp.Program
 }
 
 // NewHarness returns a harness with the default scale (0.2: one simulated
@@ -86,7 +90,10 @@ func (h *Harness) proc(app *apps.App) (*procPair, error) {
 	if rep.TransformedCount() == 0 {
 		return nil, fmt.Errorf("transform %s: no site transformed (%+v)", app.Name, rep.Sites)
 	}
-	p := &procPair{orig: orig, trans: trans, rep: rep}
+	p := &procPair{
+		orig: orig, trans: trans, rep: rep,
+		origProg: interp.Compile(orig), transProg: interp.Compile(trans),
+	}
 	h.procs[app.Name] = p
 	return p, nil
 }
@@ -131,7 +138,7 @@ func (h *Harness) Measure(app *apps.App, prof server.Profile, threads, iteration
 	}
 	reg := app.Registry()
 
-	runOne := func(p *ir.Proc, workers int) (*interp.Result, float64, error) {
+	runOne := func(p *interp.Program, workers int) (*interp.Result, float64, error) {
 		srv, err := h.server(app, prof)
 		if err != nil {
 			return nil, 0, err
@@ -152,10 +159,10 @@ func (h *Harness) Measure(app *apps.App, prof server.Profile, threads, iteration
 		}
 		args := app.Args(iterations, rand.New(rand.NewSource(int64(iterations)+7)))
 		start := time.Now()
-		res, err := in.Run(p, args)
+		res, err := in.RunProgram(p, args)
 		elapsed := time.Since(start).Seconds()
 		if err != nil {
-			return nil, 0, fmt.Errorf("run %s: %w", p.Name, err)
+			return nil, 0, fmt.Errorf("run %s: %w", p.Proc().Name, err)
 		}
 		if h.Scale > 0 {
 			elapsed /= h.Scale
@@ -163,11 +170,11 @@ func (h *Harness) Measure(app *apps.App, prof server.Profile, threads, iteration
 		return res, elapsed, nil
 	}
 
-	origRes, origSec, err := runOne(pp.orig, 0)
+	origRes, origSec, err := runOne(pp.origProg, 0)
 	if err != nil {
 		return m, err
 	}
-	transRes, transSec, err := runOne(pp.trans, threads)
+	transRes, transSec, err := runOne(pp.transProg, threads)
 	if err != nil {
 		return m, err
 	}

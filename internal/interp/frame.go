@@ -1,0 +1,120 @@
+package interp
+
+import "fmt"
+
+// This file holds the runtime half of the slot-compiled evaluator: the flat
+// frame, the execution machine, and the boxed-constant pools. The compiler
+// that produces the closures the machine runs is in compile.go.
+
+// unsetType marks a frame slot whose variable has not been assigned yet. It
+// plays the role a missing map key plays in the tree-walking evaluator, so
+// "variable undefined" errors surface identically on both paths.
+type unsetType struct{}
+
+func (unsetType) String() string { return "<unset>" }
+
+var unsetVal Value = unsetType{}
+
+// smallInts interns boxed int64 values so hot arithmetic loops do not
+// allocate on every interface conversion (the Go runtime only caches
+// 0..255). 8192 covers the counters and accumulators of the benchmark
+// kernels.
+const smallIntCount = 8192
+
+var smallInts [smallIntCount]Value
+
+func init() {
+	for i := range smallInts {
+		smallInts[i] = int64(i)
+	}
+}
+
+func boxInt(i int64) Value {
+	if i >= 0 && i < smallIntCount {
+		return smallInts[i]
+	}
+	return i
+}
+
+var (
+	valTrue  Value = true
+	valFalse Value = false
+)
+
+func boxBool(b bool) Value {
+	if b {
+		return valTrue
+	}
+	return valFalse
+}
+
+// signal is a compiled statement's control-flow outcome.
+type signal uint8
+
+const (
+	sigNext   signal = iota // fall through to the next statement
+	sigReturn               // a Return executed; machine.ret holds the values
+)
+
+// machine is the per-run execution state of a compiled Program.
+type machine struct {
+	in    *Interp
+	prog  *Program
+	frame []Value   // slot-addressed variables (unsetVal = unassigned)
+	ret   []Value   // values of the Return statement that ended the run
+	calls []Builtin // per-call-site resolved builtins (lazy, nil = unresolved)
+	steps int
+	max   int
+}
+
+func (m *machine) step() error {
+	m.steps++
+	if m.steps > m.max {
+		return fmt.Errorf("step limit exceeded (%d)", m.max)
+	}
+	return nil
+}
+
+// resolve binds call site idx to its builtin, checking arity against the
+// registry exactly as the tree evaluator does on every call. Resolution is
+// cached per run, so rebinding builtins between runs stays visible.
+func (m *machine) resolve(idx int) (Builtin, error) {
+	cs := m.prog.calls[idx]
+	f, ok := m.in.Funcs[cs.fn]
+	if !ok {
+		return nil, fmt.Errorf("function %q not implemented", cs.fn)
+	}
+	if m.in.Reg != nil {
+		if sig := m.in.Reg.Lookup(cs.fn); sig != nil && sig.NArgs >= 0 && sig.NArgs != cs.nargs {
+			return nil, fmt.Errorf("%s expects %d args, got %d", cs.fn, sig.NArgs, cs.nargs)
+		}
+	}
+	m.calls[idx] = f
+	return f, nil
+}
+
+// recordAt reads slot as a *Record with the tree evaluator's error messages.
+func (m *machine) recordAt(slot int, name string) (*Record, error) {
+	v := m.frame[slot]
+	if v == unsetVal {
+		return nil, fmt.Errorf("record %q undefined", name)
+	}
+	r, ok := v.(*Record)
+	if !ok {
+		return nil, fmt.Errorf("%q is %s, not record", name, TypeName(v))
+	}
+	return r, nil
+}
+
+// tableAt reads slot as a *Table.
+func (m *machine) tableAt(slot int, name string) (*Table, error) {
+	v := m.frame[slot]
+	if v == unsetVal {
+		return nil, fmt.Errorf("table %q undefined", name)
+	}
+	t, ok := v.(*Table)
+	if !ok {
+		return nil, fmt.Errorf("%q is %s, not table", name, TypeName(v))
+	}
+	return t, nil
+}

@@ -25,6 +25,7 @@ type Interp struct {
 	Out strings.Builder
 
 	steps int
+	progs map[*ir.Proc]*Program // compiled-program cache for Run
 }
 
 // New builds an interpreter with the standard builtins bound.
@@ -44,8 +45,36 @@ type Result struct {
 	Output   string           // accumulated print/log output
 }
 
-// Run executes proc with the given positional arguments.
+// Run executes proc with the given positional arguments through the
+// slot-compiled fast path (see compile.go). Programs are compiled once per
+// Interp and cached by proc identity, so repeated runs of the same
+// procedure pay compilation only once. Because the cache is keyed by
+// identity, a proc must not be mutated in place between Runs on the same
+// Interp (clone first, as the transformation passes do) — the cached
+// program would keep executing the pre-mutation code.
 func (in *Interp) Run(proc *ir.Proc, args []Value) (*Result, error) {
+	prog, ok := in.progs[proc]
+	if !ok {
+		prog = Compile(proc)
+		if in.progs == nil {
+			in.progs = make(map[*ir.Proc]*Program)
+		} else if len(in.progs) >= progCacheMax {
+			// Bounded like asyncq's source cache: a long-lived Interp fed
+			// freshly parsed procs must not grow memory without limit.
+			in.progs = make(map[*ir.Proc]*Program)
+		}
+		in.progs[proc] = prog
+	}
+	return in.RunProgram(prog, args)
+}
+
+// progCacheMax bounds the per-Interp compiled-program cache.
+const progCacheMax = 256
+
+// RunTree executes proc on the original tree-walking evaluator. It is the
+// reference semantics the compiled path is differentially tested against
+// (internal/core and internal/experiments); production callers use Run.
+func (in *Interp) RunTree(proc *ir.Proc, args []Value) (*Result, error) {
 	if len(args) != len(proc.Params) {
 		return nil, fmt.Errorf("interp: %s expects %d args, got %d",
 			proc.Name, len(proc.Params), len(args))
@@ -160,7 +189,9 @@ func (in *Interp) execStmt(s ir.Stmt, env map[string]Value, queries map[string]s
 		if err != nil {
 			return nil, fmt.Errorf("submit %s: %w", x.Query, err)
 		}
-		env[x.Lhs] = h
+		if x.Lhs != "" {
+			env[x.Lhs] = h
+		}
 		return nil, nil
 	case *ir.Fetch:
 		hv, err := in.eval(x.Handle, env)

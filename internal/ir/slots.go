@@ -1,0 +1,61 @@
+package ir
+
+// SlotTable assigns a dense integer slot to every variable a procedure can
+// touch: parameters, assignment targets, guard variables, loop variables,
+// record/table names and every Var reference. It is the resolver half of the
+// slot-compiled evaluator in internal/interp — names are resolved to indices
+// once, so execution runs over a flat []Value frame instead of a
+// map[string]Value environment.
+//
+// Slot order is deterministic: parameters first (slot i is parameter i for
+// procedures without duplicate parameter names), then remaining names in
+// first-appearance order of a depth-first statement walk.
+type SlotTable struct {
+	names []string
+	index map[string]int
+}
+
+// BuildSlots resolves every variable name of p to a slot.
+func BuildSlots(p *Proc) *SlotTable {
+	t := &SlotTable{index: make(map[string]int)}
+	for _, prm := range p.Params {
+		t.add(prm)
+	}
+	WalkStmts(p.Body, func(s Stmt) {
+		if g := s.GetGuard(); g != nil {
+			t.add(g.Var)
+		}
+		for _, n := range stmtNames(s) {
+			t.add(n)
+		}
+		WalkExprs(s, func(e Expr) {
+			if v, ok := e.(*Var); ok {
+				t.add(v.Name)
+			}
+		})
+	})
+	return t
+}
+
+func (t *SlotTable) add(name string) {
+	if name == "" {
+		return
+	}
+	if _, ok := t.index[name]; ok {
+		return
+	}
+	t.index[name] = len(t.names)
+	t.names = append(t.names, name)
+}
+
+// Slot returns the slot of name and whether the name is known.
+func (t *SlotTable) Slot(name string) (int, bool) {
+	i, ok := t.index[name]
+	return i, ok
+}
+
+// Name returns the variable name occupying slot i.
+func (t *SlotTable) Name(i int) string { return t.names[i] }
+
+// Len is the number of slots (the frame size).
+func (t *SlotTable) Len() int { return len(t.names) }
