@@ -23,12 +23,21 @@
 // The package also provides the asynchronous client runtime (worker pool +
 // handles, the observer model) and an interpreter to execute both original
 // and transformed programs against any QueryService.
+//
+// Batched submission — the sibling of asynchronous submission in the paper —
+// rides the same transformed programs: NewBatchedPool returns a service
+// whose submissions are coalesced into set-oriented batches (one round trip
+// and one planning charge per batch, demultiplexed back onto the individual
+// handles; see internal/batch). Transformed programs run unchanged on
+// either service and produce identical results.
 package asyncq
 
 import (
 	"fmt"
 	"sync"
+	"time"
 
+	"repro/internal/batch"
 	"repro/internal/core"
 	"repro/internal/dataflow"
 	"repro/internal/exec"
@@ -219,6 +228,21 @@ type Service = exec.Service
 // run — the runtime the transformed programs use.
 func NewPool(workers int, run Runner) *Service {
 	return exec.NewService(workers, run)
+}
+
+// BatchRunner executes one prepared statement against a set of parameter
+// bindings in a single round trip (the set-oriented sibling of Runner).
+type BatchRunner = exec.BatchRunner
+
+// NewBatchedPool returns a QueryService like NewPool whose submissions are
+// additionally coalesced into set-oriented batches of up to maxBatch
+// requests per prepared statement, executed through runBatch; a partial
+// batch flushes after the linger window (0 = default). maxBatch 0 uses the
+// default batch size, any other maxBatch below 2 turns batching off, and
+// workers 0 degrades to synchronous execution exactly like NewPool. Transformed programs need
+// no changes and produce results identical to the per-query pool.
+func NewBatchedPool(workers int, run Runner, runBatch BatchRunner, maxBatch int, linger time.Duration) *Service {
+	return batch.NewService(workers, run, runBatch, batch.Options{MaxBatch: maxBatch, Linger: linger})
 }
 
 // List builds a mini-language list value for program arguments.

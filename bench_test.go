@@ -143,6 +143,33 @@ func BenchmarkAblationThreadPool(b *testing.B) {
 	}
 }
 
+// BenchmarkBatchedSubmission compares per-query asynchronous submission
+// against coalesced (batched) submission on the cold-cache category
+// traversal — the workload where batching amortizes both the network round
+// trips and the buffer-pool faults. Reported metrics: simulated times for
+// all three submission modes, batches issued, mean batch size, and the
+// server round trips each mode paid.
+func BenchmarkBatchedSubmission(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := experiments.NewHarness()
+		h.Quick = true
+		h.Scale = 0.02
+		m, err := h.MeasureBatched(apps.Category(), server.SYS1(), 10, 100, false, 16)
+		if err != nil {
+			h.Close()
+			b.Fatal(err)
+		}
+		b.ReportMetric(m.Sync*1000, "sync-ms")
+		b.ReportMetric(m.Async*1000, "async-ms")
+		b.ReportMetric(m.Batched*1000, "batched-ms")
+		b.ReportMetric(float64(m.BatchesIssued), "batches")
+		b.ReportMetric(m.AvgBatchSize, "avg-batch")
+		b.ReportMetric(float64(m.NetRequestsAsync), "rtt-async")
+		b.ReportMetric(float64(m.NetRequestsBatched), "rtt-batched")
+		h.Close()
+	}
+}
+
 // --- Micro-benchmarks of the machinery ---
 
 func BenchmarkTransformRUBiS(b *testing.B) {

@@ -5,9 +5,12 @@
 //
 // Usage:
 //
-//	asyncq [-analyze] [-ddg] [-flat] [-run] [-threads N] file.mq
+//	asyncq [-analyze] [-ddg] [-flat] [-run] [-threads N] [-batch N] file.mq
 //
 // With no flags the transformed program is printed (readable form, §V).
+// With -run -batch N the transformed program's submissions are coalesced
+// into batches of up to N requests (0 = batching off) and the batch
+// statistics are reported.
 package main
 
 import (
@@ -15,6 +18,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/batch"
 	"repro/internal/core"
 	"repro/internal/dataflow"
 	"repro/internal/exec"
@@ -30,6 +34,7 @@ func main() {
 	flat := flag.Bool("flat", false, "print guarded-statement form (skip the §V regrouping)")
 	run := flag.Bool("run", false, "run original and transformed against a deterministic service and compare")
 	threads := flag.Int("threads", 8, "worker threads for -run")
+	batchSize := flag.Int("batch", 0, "coalesce submissions into batches of up to N requests for -run (0 = off)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -83,7 +88,13 @@ func main() {
 		if err != nil {
 			fatal(fmt.Errorf("run original: %w", err))
 		}
-		svc := exec.NewService(*threads, testsvc.Runner())
+		var svc *exec.Service
+		if *batchSize > 1 {
+			svc = batch.NewService(*threads, testsvc.Runner(), testsvc.BatchRunner(),
+				batch.Options{MaxBatch: *batchSize})
+		} else {
+			svc = exec.NewService(*threads, testsvc.Runner())
+		}
 		defer svc.Close()
 		in2 := interp.New(reg, svc)
 		r2, err := in2.Run(trans, args)
@@ -96,6 +107,12 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "\n-- run: results identical: %v; returns: %v\n",
 			same, formatVals(r1.Returned))
+		if *batchSize > 1 {
+			submitted, _ := svc.Stats()
+			batches, avg := svc.BatchStats()
+			fmt.Fprintf(os.Stderr, "-- batch: %d submissions coalesced into %d batches (avg size %.1f)\n",
+				submitted, batches, avg)
+		}
 	}
 }
 

@@ -1,0 +1,298 @@
+package batch
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/exec"
+)
+
+// countingBatchRunner returns a BatchRunner that executes bindings with a
+// deterministic function and counts calls.
+func countingBatchRunner(calls *atomic.Int64) exec.BatchRunner {
+	return func(name, sql string, argSets [][]any) ([]any, []error) {
+		calls.Add(1)
+		vals := make([]any, len(argSets))
+		errs := make([]error, len(argSets))
+		for i, args := range argSets {
+			if len(args) == 1 {
+				if n, ok := args[0].(int64); ok {
+					vals[i] = n * 10
+					continue
+				}
+			}
+			errs[i] = fmt.Errorf("bad binding %d", i)
+		}
+		return vals, errs
+	}
+}
+
+func TestCoalescesFullBatches(t *testing.T) {
+	var calls atomic.Int64
+	ex := exec.NewBatchExecutor(2, nil, countingBatchRunner(&calls))
+	defer ex.Close()
+	c := New(ex, Options{MaxBatch: 8, Linger: time.Second})
+	defer c.Close()
+
+	var hs []*exec.Handle
+	for i := int64(0); i < 32; i++ {
+		h, err := c.Submit("q", "select ?", []any{i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs = append(hs, h)
+	}
+	for i, h := range hs {
+		v, err := h.Fetch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != int64(i*10) {
+			t.Fatalf("handle %d: got %v, want %d", i, v, i*10)
+		}
+	}
+	if got := calls.Load(); got != 4 {
+		t.Fatalf("batch runner called %d times, want 4", got)
+	}
+	b, avg := ex.BatchStats()
+	if b != 4 || avg != 8 {
+		t.Fatalf("BatchStats = %d batches, avg %.1f; want 4, 8", b, avg)
+	}
+}
+
+func TestLingerFlushesPartialBatch(t *testing.T) {
+	var calls atomic.Int64
+	ex := exec.NewBatchExecutor(1, nil, countingBatchRunner(&calls))
+	defer ex.Close()
+	c := New(ex, Options{MaxBatch: 100, Linger: 5 * time.Millisecond})
+	defer c.Close()
+
+	h, err := c.Submit("q", "select ?", []any{int64(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fetch must unblock via the linger timer, not MaxBatch.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if v, err := h.Fetch(); err != nil || v != int64(30) {
+			t.Errorf("fetch: %v %v", v, err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("partial batch never lingered out")
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("calls = %d, want 1", calls.Load())
+	}
+}
+
+func TestStatementsDoNotCrossCoalesce(t *testing.T) {
+	type call struct {
+		name string
+		n    int
+	}
+	var batches []call // appended by the single worker, so no lock needed
+	ex := exec.NewBatchExecutor(1, nil, func(name, sql string, argSets [][]any) ([]any, []error) {
+		batches = append(batches, call{name, len(argSets)})
+		return make([]any, len(argSets)), make([]error, len(argSets))
+	})
+	defer ex.Close()
+	c := New(ex, Options{MaxBatch: 4, Linger: time.Second})
+	var hs []*exec.Handle
+	for i := 0; i < 4; i++ {
+		h1, _ := c.Submit("a", "select a", nil)
+		h2, _ := c.Submit("b", "select b", nil)
+		hs = append(hs, h1, h2)
+	}
+	c.Flush()
+	for _, h := range hs {
+		if _, err := h.Fetch(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(batches) != 2 {
+		t.Fatalf("got %d batches, want 2 (one per statement): %+v", len(batches), batches)
+	}
+	for _, b := range batches {
+		if b.n != 4 {
+			t.Fatalf("statement %q batched %d requests, want 4", b.name, b.n)
+		}
+	}
+}
+
+func TestPerBindingErrorsDemux(t *testing.T) {
+	var calls atomic.Int64
+	ex := exec.NewBatchExecutor(1, nil, countingBatchRunner(&calls))
+	defer ex.Close()
+	c := New(ex, Options{MaxBatch: 2, Linger: time.Second})
+	defer c.Close()
+
+	good, _ := c.Submit("q", "select ?", []any{int64(5)})
+	bad, _ := c.Submit("q", "select ?", []any{"not-an-int"})
+	if v, err := good.Fetch(); err != nil || v != int64(50) {
+		t.Fatalf("good binding: %v %v", v, err)
+	}
+	if _, err := bad.Fetch(); err == nil || err.Error() != "bad binding 1" {
+		t.Fatalf("bad binding error = %v", err)
+	}
+}
+
+func TestCloseFlushesAndRejects(t *testing.T) {
+	var calls atomic.Int64
+	ex := exec.NewBatchExecutor(1, nil, countingBatchRunner(&calls))
+	defer ex.Close()
+	c := New(ex, Options{MaxBatch: 100, Linger: time.Hour})
+
+	h, _ := c.Submit("q", "select ?", []any{int64(1)})
+	c.Close()
+	if v, err := h.Fetch(); err != nil || v != int64(10) {
+		t.Fatalf("fetch after close: %v %v", v, err)
+	}
+	if _, err := c.Submit("q", "select ?", []any{int64(2)}); !errors.Is(err, exec.ErrClosed) {
+		t.Fatalf("submit after close: %v", err)
+	}
+}
+
+func TestExecutorClosedFailsPendingHandles(t *testing.T) {
+	ex := exec.NewBatchExecutor(1, nil, func(name, sql string, argSets [][]any) ([]any, []error) {
+		return make([]any, len(argSets)), make([]error, len(argSets))
+	})
+	c := New(ex, Options{MaxBatch: 100, Linger: time.Hour})
+	h, _ := c.Submit("q", "select ?", []any{int64(1)})
+	ex.Close() // wrong order on purpose: executor gone while a group lingers
+	c.Close()  // flush dispatches into the closed executor
+	if _, err := h.Fetch(); !errors.Is(err, exec.ErrClosed) {
+		t.Fatalf("fetch after executor close: %v (want ErrClosed)", err)
+	}
+}
+
+func TestNoBatchRunnerDegradesToPerBinding(t *testing.T) {
+	// An executor without a BatchRunner must still execute batch jobs
+	// correctly, one binding at a time.
+	var runs atomic.Int64
+	ex := exec.NewBatchExecutor(1, func(name, sql string, args []any) (any, error) {
+		runs.Add(1)
+		return args[0].(int64) + 1, nil
+	}, nil)
+	defer ex.Close()
+	c := New(ex, Options{MaxBatch: 4, Linger: time.Second})
+	defer c.Close()
+	var hs []*exec.Handle
+	for i := int64(0); i < 4; i++ {
+		h, _ := c.Submit("q", "select ?", []any{i})
+		hs = append(hs, h)
+	}
+	for i, h := range hs {
+		v, err := h.Fetch()
+		if err != nil || v != int64(i+1) {
+			t.Fatalf("handle %d: %v %v", i, v, err)
+		}
+	}
+	if runs.Load() != 4 {
+		t.Fatalf("runs = %d, want 4", runs.Load())
+	}
+	if b, _ := ex.BatchStats(); b != 1 {
+		t.Fatalf("batches = %d, want 1", b)
+	}
+}
+
+func TestServiceDegradedModeBatchingNoop(t *testing.T) {
+	// workers == 0: NewService degrades to synchronous fallback and the
+	// batching toggle is a no-op.
+	var syncRuns atomic.Int64
+	svc := NewService(0, func(name, sql string, args []any) (any, error) {
+		syncRuns.Add(1)
+		return int64(7), nil
+	}, func(name, sql string, argSets [][]any) ([]any, []error) {
+		t.Error("batch runner must not be called in degraded mode")
+		return nil, nil
+	}, Options{})
+	defer svc.Close()
+
+	h, err := svc.Submit("q", "select 1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := h.Fetch(); err != nil || v != int64(7) {
+		t.Fatalf("degraded submit: %v %v", v, err)
+	}
+	if syncRuns.Load() != 1 {
+		t.Fatalf("sync runs = %d, want 1", syncRuns.Load())
+	}
+	if b, avg := svc.BatchStats(); b != 0 || avg != 0 {
+		t.Fatalf("degraded BatchStats = %d, %.1f; want zeros", b, avg)
+	}
+}
+
+func TestEnableMaxBatchOneIsOff(t *testing.T) {
+	svc := exec.NewBatchService(2, func(name, sql string, args []any) (any, error) {
+		return int64(1), nil
+	}, nil)
+	defer svc.Close()
+	if c := Enable(svc, Options{MaxBatch: 1}); c != nil {
+		t.Fatal("MaxBatch 1 must disable coalescing")
+	}
+	h, err := svc.Submit("q", "select 1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := h.Fetch(); err != nil || v != int64(1) {
+		t.Fatalf("fetch: %v %v", v, err)
+	}
+	if b, _ := svc.BatchStats(); b != 0 {
+		t.Fatalf("batches = %d, want 0 (batching off)", b)
+	}
+}
+
+// TestCloseDrainContractUnderLingerRace stresses the window between a
+// linger-timer flush removing its group and handing it to the executor: a
+// Service.Close racing that window must still execute every pre-Close
+// submission (no ErrClosed on handles obtained before Close).
+func TestCloseDrainContractUnderLingerRace(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		svc := NewService(2, nil, func(name, sql string, argSets [][]any) ([]any, []error) {
+			vals := make([]any, len(argSets))
+			for i := range vals {
+				vals[i] = int64(1)
+			}
+			return vals, make([]error, len(argSets))
+		}, Options{MaxBatch: 100, Linger: time.Microsecond})
+		var hs []*exec.Handle
+		for i := 0; i < 8; i++ {
+			h, err := svc.Submit("q", "select 1", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hs = append(hs, h.(*exec.Handle))
+		}
+		svc.Close()
+		for i, h := range hs {
+			if v, err := h.Fetch(); err != nil || v != int64(1) {
+				t.Fatalf("round %d handle %d: (%v, %v) — pre-Close submission lost", round, i, v, err)
+			}
+		}
+	}
+}
+
+func TestNegativeMaxBatchIsOff(t *testing.T) {
+	svc := NewService(2, func(name, sql string, args []any) (any, error) {
+		return int64(2), nil
+	}, nil, Options{MaxBatch: -3})
+	defer svc.Close()
+	h, err := svc.Submit("q", "select 1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := h.Fetch(); err != nil || v != int64(2) {
+		t.Fatalf("fetch: %v %v", v, err)
+	}
+	if b, _ := svc.BatchStats(); b != 0 {
+		t.Fatalf("batches = %d, want 0 (negative MaxBatch must disable batching)", b)
+	}
+}

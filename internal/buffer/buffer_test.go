@@ -152,3 +152,34 @@ func TestConcurrentGetsRace(t *testing.T) {
 		t.Fatalf("lost accesses: %d", hits+misses)
 	}
 }
+
+// TestSharedAccessCounters pins the accounting the batched experiment
+// asserts on: repeated touches of one page — sequential or concurrent with
+// an in-flight read — cost exactly one miss (one disk read); every other
+// access counts as a hit. This is the shared page access that makes a
+// set-oriented batch cheaper than its per-query equivalent.
+func TestSharedAccessCounters(t *testing.T) {
+	p, d := newPool(64)
+	defer d.Close()
+	id := PageID{Extent: 0, Page: 9}
+	const readers = 8
+	var wg sync.WaitGroup
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Get(id)
+		}()
+	}
+	wg.Wait()
+	hits, misses := p.Stats()
+	if misses != 1 {
+		t.Fatalf("misses = %d, want 1 (concurrent reads must coalesce)", misses)
+	}
+	if hits != readers-1 {
+		t.Fatalf("hits = %d, want %d", hits, readers-1)
+	}
+	if got := d.Stats().Requests; got != 1 {
+		t.Fatalf("disk requests = %d, want 1", got)
+	}
+}

@@ -3,6 +3,7 @@ package exec
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -199,5 +200,251 @@ func TestServiceExec(t *testing.T) {
 	v, err := s.Exec("q", "", []any{int64(3)})
 	if err != nil || v != "q:3" {
 		t.Fatalf("exec: %v %v", v, err)
+	}
+}
+
+// --- Close shutdown semantics ---
+
+// TestClosePendingHandlesComplete: Close drains, so every handle obtained
+// before Close must complete with its real result — Fetch never blocks
+// forever and never observes a lost request.
+func TestClosePendingHandlesComplete(t *testing.T) {
+	e := NewExecutor(2, func(name, sql string, args []any) (any, error) {
+		time.Sleep(200 * time.Microsecond)
+		return args[0], nil
+	})
+	var hs []*Handle
+	for i := int64(0); i < 200; i++ {
+		h, err := e.Submit("q", "", []any{i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs = append(hs, h)
+	}
+	closed := make(chan struct{})
+	go func() {
+		e.Close()
+		close(closed)
+	}()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i, h := range hs {
+			v, err := h.Fetch()
+			if err != nil {
+				t.Errorf("handle %d failed: %v", i, err)
+				return
+			}
+			if v != int64(i) {
+				t.Errorf("handle %d: got %v", i, v)
+				return
+			}
+		}
+	}()
+	for _, ch := range []chan struct{}{done, closed} {
+		select {
+		case <-ch:
+		case <-time.After(10 * time.Second):
+			t.Fatal("Fetch or Close blocked past the drain")
+		}
+	}
+}
+
+// TestConcurrentCloseIdempotent: racing Closes and Submits never deadlock;
+// every successfully submitted handle completes.
+func TestConcurrentCloseIdempotent(t *testing.T) {
+	e := NewExecutor(3, func(name, sql string, args []any) (any, error) { return int64(1), nil })
+	var wg sync.WaitGroup
+	results := make(chan *Handle, 1000)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				h, err := e.Submit("q", "", nil)
+				if err != nil {
+					if !errors.Is(err, ErrClosed) {
+						t.Errorf("unexpected submit error: %v", err)
+					}
+					return
+				}
+				results <- h
+			}
+		}()
+	}
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e.Close()
+		}()
+	}
+	wg.Wait()
+	close(results)
+	deadline := time.After(10 * time.Second)
+	for h := range results {
+		fetched := make(chan struct{})
+		go func(h *Handle) { h.Fetch(); close(fetched) }(h)
+		select {
+		case <-fetched:
+		case <-deadline:
+			t.Fatal("a submitted handle never completed after Close")
+		}
+	}
+}
+
+// TestCloseNoGoroutineLeak: after Close returns, the pool's workers are
+// gone. Run with -race to catch teardown races.
+func TestCloseNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for round := 0; round < 10; round++ {
+		e := NewExecutor(8, func(name, sql string, args []any) (any, error) { return nil, nil })
+		for i := 0; i < 50; i++ {
+			e.Submit("q", "", nil)
+		}
+		e.Close()
+	}
+	// The workers exit asynchronously of wg.Wait observers only in the sense
+	// of scheduling; give the runtime a moment to reap them.
+	var after int
+	for i := 0; i < 100; i++ {
+		runtime.GC()
+		after = runtime.NumGoroutine()
+		if after <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines grew from %d to %d after closing 10 pools", before, after)
+}
+
+// TestSubmitBatchAfterClose: batch submissions are rejected once closed and
+// the caller keeps ownership of the (uncompleted) handles.
+func TestSubmitBatchAfterClose(t *testing.T) {
+	e := NewExecutor(1, func(name, sql string, args []any) (any, error) { return nil, nil })
+	e.Close()
+	h := NewPendingHandle()
+	err := e.SubmitBatch("q", "", [][]any{{int64(1)}}, []*Handle{h})
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("got %v, want ErrClosed", err)
+	}
+	if h.Done() {
+		t.Fatal("rejected batch must not complete the caller's handles")
+	}
+}
+
+// TestCloseDrainsBatchJobs: batch jobs queued before Close still execute.
+func TestCloseDrainsBatchJobs(t *testing.T) {
+	var ran atomic.Int64
+	e := NewBatchExecutor(1, nil, func(name, sql string, argSets [][]any) ([]any, []error) {
+		time.Sleep(time.Millisecond)
+		ran.Add(int64(len(argSets)))
+		return make([]any, len(argSets)), make([]error, len(argSets))
+	})
+	var hs []*Handle
+	for b := 0; b < 5; b++ {
+		pair := []*Handle{NewPendingHandle(), NewPendingHandle()}
+		if err := e.SubmitBatch("q", "", [][]any{{int64(b)}, {int64(b)}}, pair); err != nil {
+			t.Fatal(err)
+		}
+		hs = append(hs, pair...)
+	}
+	e.Close()
+	if ran.Load() != 10 {
+		t.Fatalf("close did not drain batch jobs: %d/10", ran.Load())
+	}
+	for i, h := range hs {
+		if !h.Done() {
+			t.Fatalf("handle %d not completed by drain", i)
+		}
+	}
+	sub, comp := e.Stats()
+	if sub != 10 || comp != 10 {
+		t.Fatalf("stats %d/%d, want 10/10", sub, comp)
+	}
+}
+
+// --- Degraded mode (workers == 0) ---
+
+// panicBatcher fails the test if the service ever routes through it.
+type panicBatcher struct{ t *testing.T }
+
+func (p panicBatcher) Submit(name, sql string, args []any) (*Handle, error) {
+	p.t.Error("degraded service must not use the batcher")
+	return nil, ErrClosed
+}
+func (p panicBatcher) Close() {}
+
+// TestServiceDegradedModeSyncFallback: with no pool, Submit executes
+// synchronously via an already-done handle, and the batching toggle is a
+// no-op.
+func TestServiceDegradedModeSyncFallback(t *testing.T) {
+	var calls atomic.Int64
+	s := NewService(0, func(name, sql string, args []any) (any, error) {
+		calls.Add(1)
+		return args[0].(int64) * 3, nil
+	})
+	defer s.Close()
+	s.SetBatcher(panicBatcher{t}) // must be ignored: no pool
+
+	h, err := s.Submit("q", "", []any{int64(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The handle must already be complete: degraded Submit runs inline.
+	if !h.(*Handle).Done() {
+		t.Fatal("degraded submit returned a pending handle")
+	}
+	if v, err := h.Fetch(); err != nil || v != int64(15) {
+		t.Fatalf("fetch: %v %v", v, err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("sync runner ran %d times, want 1", calls.Load())
+	}
+	if s.Executor() != nil {
+		t.Fatal("degraded service must have no pool")
+	}
+	if b, avg := s.BatchStats(); b != 0 || avg != 0 {
+		t.Fatalf("degraded BatchStats = %d, %.2f", b, avg)
+	}
+}
+
+// TestServiceDegradedModeErrorPropagates: the synchronous fallback carries
+// the runner's error through the handle, like the pooled path.
+func TestServiceDegradedModeErrorPropagates(t *testing.T) {
+	want := errors.New("kaput")
+	s := NewService(0, func(name, sql string, args []any) (any, error) { return nil, want })
+	defer s.Close()
+	h, err := s.Submit("q", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Fetch(); !errors.Is(err, want) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+// TestServiceConcurrentClose: racing Service.Close calls must serialize —
+// the second caller waits for the full shutdown instead of closing the
+// executor under a batcher that is still flushing.
+func TestServiceConcurrentClose(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		s := NewService(2, func(name, sql string, args []any) (any, error) { return int64(1), nil })
+		h, err := s.Submit("q", "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < 3; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				s.Close()
+			}()
+		}
+		wg.Wait()
+		if v, err := h.Fetch(); err != nil || v != int64(1) {
+			t.Fatalf("round %d: pre-Close submission lost: (%v, %v)", round, v, err)
+		}
 	}
 }

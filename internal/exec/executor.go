@@ -25,6 +25,12 @@ var ErrClosed = errors.New("exec: executor closed")
 // session (or any other request transport, e.g. a web-service client).
 type Runner func(name, sql string, args []any) (any, error)
 
+// BatchRunner executes one prepared statement against a set of parameter
+// bindings in a single server round trip (the set-oriented sibling of Runner;
+// see internal/batch and server.ExecBatch). It returns one result and one
+// error per binding, in binding order.
+type BatchRunner func(name, sql string, argSets [][]any) ([]any, []error)
+
 // Handle is a pending asynchronous request.
 type Handle struct {
 	mu   sync.Mutex
@@ -39,6 +45,16 @@ func newHandle() *Handle {
 	h.cond.L = &h.mu
 	return h
 }
+
+// NewPendingHandle returns an incomplete handle for front-ends (the batching
+// coalescer) that hand out handles at enqueue time and complete them later
+// via Complete.
+func NewPendingHandle() *Handle { return newHandle() }
+
+// Complete publishes the result and wakes all fetchers. It is exported for
+// demultiplexing layers that own pending handles (see NewPendingHandle); it
+// must be called at most once per handle.
+func (h *Handle) Complete(v any, err error) { h.complete(v, err) }
 
 // newDoneHandle returns an already-completed handle (used by the degraded
 // poolless service mode).
@@ -82,6 +98,10 @@ type job struct {
 	sql  string
 	args []any
 	h    *Handle
+	// Batch jobs carry one binding set per pending handle instead of
+	// args/h; hs non-nil marks the job as a batch.
+	argSets [][]any
+	hs      []*Handle
 }
 
 // jobRing is a growable FIFO ring buffer. Capacity is kept a power of two so
@@ -127,26 +147,37 @@ func (q *jobRing) grow() {
 // queue, so that submit loops never block regardless of the number of
 // iterations (memory for pending state is the documented cost, §VII).
 type Executor struct {
-	run     Runner
-	mu      sync.Mutex
-	cond    sync.Cond
-	queue   jobRing
-	closed  bool
-	workers int
-	wg      sync.WaitGroup
-	jobs    sync.Pool
+	run      Runner
+	runBatch BatchRunner // optional set-oriented path for batch jobs
+	mu       sync.Mutex
+	cond     sync.Cond
+	queue    jobRing
+	closed   bool
+	workers  int
+	wg       sync.WaitGroup
+	jobs     sync.Pool
 
 	submitted atomic.Int64
 	completed atomic.Int64
+	batches   atomic.Int64 // batch jobs issued
+	batched   atomic.Int64 // individual requests carried by batch jobs
 }
 
 // NewExecutor starts a pool of the given size. workers is the paper's
 // "number of threads" experimental parameter.
 func NewExecutor(workers int, run Runner) *Executor {
+	return NewBatchExecutor(workers, run, nil)
+}
+
+// NewBatchExecutor starts a pool whose batch jobs (SubmitBatch) execute
+// through runBatch in a single call. A nil runBatch degrades batch jobs to
+// per-binding run calls on the worker, preserving semantics without the
+// set-oriented saving.
+func NewBatchExecutor(workers int, run Runner, runBatch BatchRunner) *Executor {
 	if workers < 1 {
 		workers = 1
 	}
-	e := &Executor{run: run, workers: workers}
+	e := &Executor{run: run, runBatch: runBatch, workers: workers}
 	e.cond.L = &e.mu
 	e.jobs.New = func() any { return new(job) }
 	e.wg.Add(workers)
@@ -180,6 +211,33 @@ func (e *Executor) Submit(name, sql string, args []any) (*Handle, error) {
 	return h, nil
 }
 
+// SubmitBatch enqueues one batch job covering len(argSets) requests. The
+// handles must have been created with NewPendingHandle, one per binding set;
+// a worker completes each of them after the set-oriented call. On ErrClosed
+// the handles are NOT completed — the caller owns failing them.
+func (e *Executor) SubmitBatch(name, sql string, argSets [][]any, hs []*Handle) error {
+	if len(argSets) != len(hs) {
+		return errors.New("exec: SubmitBatch: len(argSets) != len(handles)")
+	}
+	if len(hs) == 0 {
+		return nil
+	}
+	j := e.jobs.Get().(*job)
+	j.name, j.sql, j.argSets, j.hs = name, sql, argSets, hs
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		*j = job{}
+		e.jobs.Put(j)
+		return ErrClosed
+	}
+	e.queue.push(j)
+	e.submitted.Add(int64(len(hs)))
+	e.mu.Unlock()
+	e.cond.Signal()
+	return nil
+}
+
 // Stats returns the total submitted and completed request counts. The
 // completed counter is loaded first: both are monotonic, so this order
 // guarantees completed <= submitted in every observation.
@@ -187,6 +245,17 @@ func (e *Executor) Stats() (submitted, completed int64) {
 	c := e.completed.Load()
 	s := e.submitted.Load()
 	return s, c
+}
+
+// BatchStats reports the batching activity: how many batch jobs were issued
+// and the mean number of requests per batch (0 when no batch was issued).
+func (e *Executor) BatchStats() (batchesIssued int64, avgBatchSize float64) {
+	b := e.batches.Load()
+	n := e.batched.Load()
+	if b == 0 {
+		return 0, 0
+	}
+	return b, float64(n) / float64(b)
 }
 
 // Close drains the queue: pending requests still execute, then workers exit.
@@ -218,10 +287,51 @@ func (e *Executor) worker() {
 		j := e.queue.pop()
 		e.mu.Unlock()
 
+		if j.hs != nil {
+			e.runBatchJob(j)
+			continue
+		}
 		v, err := e.run(j.name, j.sql, j.args)
 		h := j.h
 		*j = job{} // drop references before pooling
 		e.jobs.Put(j)
+		h.complete(v, err)
+		e.completed.Add(1)
+	}
+}
+
+// runBatchJob executes one batch job and demultiplexes the per-binding
+// results onto the pending handles.
+func (e *Executor) runBatchJob(j *job) {
+	name, sql, argSets, hs := j.name, j.sql, j.argSets, j.hs
+	*j = job{}
+	e.jobs.Put(j)
+
+	e.batches.Add(1)
+	e.batched.Add(int64(len(hs)))
+	if e.runBatch == nil {
+		// No set-oriented path configured: preserve semantics by running the
+		// bindings one by one on this worker.
+		for i, args := range argSets {
+			v, err := e.run(name, sql, args)
+			hs[i].complete(v, err)
+			e.completed.Add(1)
+		}
+		return
+	}
+	vals, errs := e.runBatch(name, sql, argSets)
+	for i, h := range hs {
+		var v any
+		var err error
+		if i < len(vals) {
+			v = vals[i]
+		}
+		if i < len(errs) {
+			err = errs[i]
+		}
+		if err == nil && i >= len(vals) {
+			err = errors.New("exec: batch runner returned too few results")
+		}
 		h.complete(v, err)
 		e.completed.Add(1)
 	}

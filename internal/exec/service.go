@@ -1,27 +1,68 @@
 package exec
 
 import (
+	"sync"
+
 	"repro/internal/interp"
 )
+
+// Batcher is a coalescing submission front-end (see internal/batch): Submit
+// hands back a pending handle immediately and groups requests into batch
+// jobs behind the scenes; Close flushes anything still buffered and must
+// complete every outstanding handle.
+type Batcher interface {
+	Submit(name, sql string, args []any) (*Handle, error)
+	Close()
+}
 
 // Service adapts an Executor (plus a synchronous runner for blocking calls)
 // to the interpreter's QueryService. Blocking executeQuery calls run on the
 // calling goroutine — exactly like the original JDBC programs — while
-// submitQuery goes through the pool.
+// submitQuery goes through the pool, optionally via a coalescing Batcher
+// that turns bursts of submissions into set-oriented batch calls.
 type Service struct {
 	exec *Executor
 	sync Runner
+
+	bmu     sync.Mutex // guards batcher: Submit may race SetBatcher/Close
+	batcher Batcher
+
+	closeOnce sync.Once
 }
 
 // NewService builds a query service. If workers is 0 the service supports
-// only blocking execution (submissions fail), modelling an untransformed
-// program's environment.
+// only blocking execution (submissions fall back to synchronous runs),
+// modelling an untransformed program's environment.
 func NewService(workers int, run Runner) *Service {
+	return NewBatchService(workers, run, nil)
+}
+
+// NewBatchService is NewService with a set-oriented batch path: batch jobs
+// submitted through the executor (via a Batcher front-end, see SetBatcher)
+// execute through runBatch in one call.
+func NewBatchService(workers int, run Runner, runBatch BatchRunner) *Service {
 	s := &Service{sync: run}
 	if workers > 0 {
-		s.exec = NewExecutor(workers, run)
+		s.exec = NewBatchExecutor(workers, run, runBatch)
 	}
 	return s
+}
+
+// Executor exposes the underlying pool (nil in degraded mode) so batching
+// front-ends can enqueue batch jobs on it.
+func (s *Service) Executor() *Executor { return s.exec }
+
+// SetBatcher installs a coalescing front-end: subsequent Submit calls route
+// through it. In degraded mode (no pool) the toggle is a no-op — submissions
+// keep falling back to synchronous execution. Passing nil turns batching
+// off again (without closing the previous batcher).
+func (s *Service) SetBatcher(b Batcher) {
+	if s.exec == nil {
+		return
+	}
+	s.bmu.Lock()
+	s.batcher = b
+	s.bmu.Unlock()
 }
 
 // Exec implements interp.QueryService.
@@ -37,14 +78,32 @@ func (s *Service) Submit(name, sql string, args []interp.Value) (interp.Handle, 
 		v, err := s.sync(name, sql, args)
 		return newDoneHandle(v, err), nil
 	}
+	s.bmu.Lock()
+	b := s.batcher
+	s.bmu.Unlock()
+	if b != nil {
+		return b.Submit(name, sql, args)
+	}
 	return s.exec.Submit(name, sql, args)
 }
 
-// Close shuts down the pool (if any), waiting for pending requests.
+// Close shuts down the batcher (flushing buffered submissions) and then the
+// pool (if any), waiting for pending requests. Concurrent and repeated
+// calls are safe: the batcher always finishes flushing before the executor
+// closes, so pre-Close submissions still execute.
 func (s *Service) Close() {
-	if s.exec != nil {
-		s.exec.Close()
-	}
+	s.closeOnce.Do(func() {
+		s.bmu.Lock()
+		b := s.batcher
+		s.batcher = nil
+		s.bmu.Unlock()
+		if b != nil {
+			b.Close()
+		}
+		if s.exec != nil {
+			s.exec.Close()
+		}
+	})
 }
 
 // Stats proxies Executor.Stats; zero values when no pool exists.
@@ -53,4 +112,12 @@ func (s *Service) Stats() (submitted, completed int64) {
 		return 0, 0
 	}
 	return s.exec.Stats()
+}
+
+// BatchStats proxies Executor.BatchStats; zero values when no pool exists.
+func (s *Service) BatchStats() (batchesIssued int64, avgBatchSize float64) {
+	if s.exec == nil {
+		return 0, 0
+	}
+	return s.exec.BatchStats()
 }

@@ -162,6 +162,67 @@ func (h *Harness) iters(full, quick int) int {
 	return full
 }
 
+// sweepBatch builds a three-series (synchronous / asynchronous / batched)
+// figure over an iteration sweep — the batched-submission experiment that
+// goes beyond the paper's figures (batching is the sibling transformation
+// the paper names in §I).
+func (h *Harness) sweepBatch(fig, title string, app *apps.App, prof server.Profile,
+	threads, maxBatch int, iters []int, warm bool) (*Figure, error) {
+
+	cacheName := "Cold"
+	if warm {
+		cacheName = "Warm"
+	}
+	f := &Figure{
+		ID:     fig,
+		Title:  title,
+		XLabel: "Number of iterations",
+		YLabel: "Time (in sec)",
+	}
+	var syn, asy, bat Series
+	syn.Label = "Original Program (blocking)"
+	asy.Label = "Transformed Program (async)"
+	bat.Label = "Transformed Program (batched)"
+	var lastBatches int64
+	var lastAvg float64
+	var lastAsyncRTT, lastBatchRTT int64
+	for _, n := range iters {
+		m, err := h.MeasureBatched(app, prof, threads, n, warm, maxBatch)
+		if err != nil {
+			return nil, fmt.Errorf("%s n=%d: %w", fig, n, err)
+		}
+		syn.Points = append(syn.Points, Point{X: n, Y: m.Sync})
+		asy.Points = append(asy.Points, Point{X: n, Y: m.Async})
+		bat.Points = append(bat.Points, Point{X: n, Y: m.Batched})
+		lastBatches, lastAvg = m.BatchesIssued, m.AvgBatchSize
+		lastAsyncRTT, lastBatchRTT = m.NetRequestsAsync, m.NetRequestsBatched
+	}
+	f.Series = append(f.Series, syn, asy, bat)
+	f.Notes = append(f.Notes,
+		fmt.Sprintf("Database: %s, Cache: %s, Threads: %d, MaxBatch: %d",
+			prof.Name, cacheName, threads, maxBatch),
+		fmt.Sprintf("Largest run: %d batches (avg size %.1f); round trips: %d async vs %d batched",
+			lastBatches, lastAvg, lastAsyncRTT, lastBatchRTT))
+	return f, nil
+}
+
+// FigBatchCategory — batched vs async vs sync submission on the
+// category-traversal workload, cold cache (the configuration where shared
+// page accesses matter most).
+func (h *Harness) FigBatchCategory() (*Figure, error) {
+	iters := h.pick([]int{1, 11, 100}, []int{1, 11})
+	return h.sweepBatch("Batch A", "Batched submission: category traversal",
+		apps.Category(), server.SYS1(), 10, 16, iters, false)
+}
+
+// FigBatchRUBiS — batched vs async vs sync submission on the RUBiS auction
+// workload, warm cache (round-trip amortization only).
+func (h *Harness) FigBatchRUBiS() (*Figure, error) {
+	iters := h.pick([]int{4, 40, 400, 4000}, []int{4, 40, 400})
+	return h.sweepBatch("Batch B", "Batched submission: RUBiS auction",
+		apps.RUBiS(), server.SYS1(), 10, 16, iters, true)
+}
+
 // TableRow is one application of Table I.
 type TableRow struct {
 	Application   string

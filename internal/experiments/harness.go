@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/apps"
+	"repro/internal/batch"
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/interp"
@@ -125,6 +126,58 @@ func (h *Harness) Close() {
 	h.servers = map[string]*loadedServer{}
 }
 
+// runInfo captures one kernel run's service and server counters.
+type runInfo struct {
+	NetRequests   int64
+	BatchesIssued int64
+	AvgBatchSize  float64
+}
+
+// runKernel executes one compiled kernel against a freshly warmed (or
+// cooled) server, with a query service built by mkSvc, and returns the
+// result, the elapsed simulated seconds, and the run's counters. It is the
+// single measurement path shared by Measure and MeasureBatched, so every
+// configuration (seeding, warm-up, scale handling) stays identical across
+// submission modes.
+func (h *Harness) runKernel(app *apps.App, prof server.Profile, p *interp.Program,
+	iterations int, warm bool, mkSvc func(srv *server.Server) *exec.Service) (*interp.Result, float64, runInfo, error) {
+
+	var ri runInfo
+	srv, err := h.server(app, prof)
+	if err != nil {
+		return nil, 0, ri, err
+	}
+	if app.MutatesData {
+		defer srv.Close()
+	}
+	if warm {
+		srv.Warm()
+	} else {
+		srv.ColdStart()
+	}
+	svc := mkSvc(srv)
+	defer svc.Close()
+	in := interp.New(app.Registry(), svc)
+	if app.Bind != nil {
+		app.Bind(in, apps.SeededRand())
+	}
+	args := app.Args(iterations, rand.New(rand.NewSource(int64(iterations)+7)))
+	before := srv.Stats().NetRequests
+	start := time.Now()
+	res, err := in.RunProgram(p, args)
+	elapsed := time.Since(start).Seconds()
+	if err != nil {
+		return nil, 0, ri, fmt.Errorf("run %s: %w", p.Proc().Name, err)
+	}
+	svc.Close() // drain so every round trip is accounted before reading stats
+	ri.NetRequests = srv.Stats().NetRequests - before
+	ri.BatchesIssued, ri.AvgBatchSize = svc.BatchStats()
+	if h.Scale > 0 {
+		elapsed /= h.Scale
+	}
+	return res, elapsed, ri, nil
+}
+
 // Measure times the original and transformed kernels under one
 // configuration, verifying that both produce identical results.
 func (h *Harness) Measure(app *apps.App, prof server.Profile, threads, iterations int, warm bool) (Measurement, error) {
@@ -136,45 +189,14 @@ func (h *Harness) Measure(app *apps.App, prof server.Profile, threads, iteration
 	if err != nil {
 		return m, err
 	}
-	reg := app.Registry()
 
-	runOne := func(p *interp.Program, workers int) (*interp.Result, float64, error) {
-		srv, err := h.server(app, prof)
-		if err != nil {
-			return nil, 0, err
-		}
-		if app.MutatesData {
-			defer srv.Close()
-		}
-		if warm {
-			srv.Warm()
-		} else {
-			srv.ColdStart()
-		}
-		svc := exec.NewService(workers, srv.Exec)
-		defer svc.Close()
-		in := interp.New(reg, svc)
-		if app.Bind != nil {
-			app.Bind(in, apps.SeededRand())
-		}
-		args := app.Args(iterations, rand.New(rand.NewSource(int64(iterations)+7)))
-		start := time.Now()
-		res, err := in.RunProgram(p, args)
-		elapsed := time.Since(start).Seconds()
-		if err != nil {
-			return nil, 0, fmt.Errorf("run %s: %w", p.Proc().Name, err)
-		}
-		if h.Scale > 0 {
-			elapsed /= h.Scale
-		}
-		return res, elapsed, nil
-	}
-
-	origRes, origSec, err := runOne(pp.origProg, 0)
+	origRes, origSec, _, err := h.runKernel(app, prof, pp.origProg, iterations, warm,
+		func(srv *server.Server) *exec.Service { return exec.NewService(0, srv.Exec) })
 	if err != nil {
 		return m, err
 	}
-	transRes, transSec, err := runOne(pp.transProg, threads)
+	transRes, transSec, _, err := h.runKernel(app, prof, pp.transProg, iterations, warm,
+		func(srv *server.Server) *exec.Service { return exec.NewService(threads, srv.Exec) })
 	if err != nil {
 		return m, err
 	}
@@ -182,6 +204,78 @@ func (h *Harness) Measure(app *apps.App, prof server.Profile, threads, iteration
 		return m, fmt.Errorf("%s: transformed program produced different results: %w", app.Name, err)
 	}
 	m.Original, m.Transformed = origSec, transSec
+	return m, nil
+}
+
+// BatchMeasurement is one (app, config) data point comparing synchronous
+// (original program), asynchronous (transformed, per-query submission) and
+// batched (transformed, coalesced submission) execution.
+type BatchMeasurement struct {
+	App        string
+	Profile    string
+	Threads    int
+	Warm       bool
+	Iterations int
+	MaxBatch   int
+	// Sync, Async and Batched are simulated seconds (see Measurement).
+	Sync    float64
+	Async   float64
+	Batched float64
+	// BatchesIssued / AvgBatchSize report the executor's coalescing
+	// activity during the batched run.
+	BatchesIssued int64
+	AvgBatchSize  float64
+	// NetRequestsAsync / NetRequestsBatched count the server round trips
+	// each submission mode paid — the per-request overhead batching
+	// amortizes.
+	NetRequestsAsync   int64
+	NetRequestsBatched int64
+}
+
+// MeasureBatched times the original kernel synchronously and the transformed
+// kernel both per-query (async) and batched, verifying that all three
+// produce identical results.
+func (h *Harness) MeasureBatched(app *apps.App, prof server.Profile, threads, iterations int, warm bool, maxBatch int) (BatchMeasurement, error) {
+	m := BatchMeasurement{
+		App: app.Name, Profile: prof.Name,
+		Threads: threads, Warm: warm, Iterations: iterations, MaxBatch: maxBatch,
+	}
+	pp, err := h.proc(app)
+	if err != nil {
+		return m, err
+	}
+
+	syncRes, syncSec, _, err := h.runKernel(app, prof, pp.origProg, iterations, warm,
+		func(srv *server.Server) *exec.Service { return exec.NewService(0, srv.Exec) })
+	if err != nil {
+		return m, err
+	}
+	asyncRes, asyncSec, asyncInfo, err := h.runKernel(app, prof, pp.transProg, iterations, warm,
+		func(srv *server.Server) *exec.Service { return exec.NewService(threads, srv.Exec) })
+	if err != nil {
+		return m, err
+	}
+	batchRes, batchSec, batchInfo, err := h.runKernel(app, prof, pp.transProg, iterations, warm,
+		func(srv *server.Server) *exec.Service {
+			// The linger window is wall time; scale it like every simulated
+			// latency so batched series stay comparable across -scale.
+			linger := time.Duration(float64(batch.DefaultLinger) * h.Scale)
+			return batch.NewService(threads, srv.Exec, srv.ExecBatch,
+				batch.Options{MaxBatch: maxBatch, Linger: linger})
+		})
+	if err != nil {
+		return m, err
+	}
+	m.NetRequestsAsync = asyncInfo.NetRequests
+	m.NetRequestsBatched = batchInfo.NetRequests
+	m.BatchesIssued, m.AvgBatchSize = batchInfo.BatchesIssued, batchInfo.AvgBatchSize
+	if err := sameResult(syncRes, asyncRes); err != nil {
+		return m, fmt.Errorf("%s: async results diverge from sync: %w", app.Name, err)
+	}
+	if err := sameResult(asyncRes, batchRes); err != nil {
+		return m, fmt.Errorf("%s: batched results diverge from async: %w", app.Name, err)
+	}
+	m.Sync, m.Async, m.Batched = syncSec, asyncSec, batchSec
 	return m, nil
 }
 

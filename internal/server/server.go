@@ -99,6 +99,8 @@ type Server struct {
 	queries int64
 	inserts int64
 	rows    int64
+	netReqs int64 // client-visible round trips (one per Exec or ExecBatch)
+	batches int64 // ExecBatch calls
 
 	// extents tracks (extent -> page count) for warming.
 	extMu   sync.Mutex
@@ -195,6 +197,9 @@ func (s *Server) ColdStart() { s.pool.Reset() }
 // multiple Execs can be in flight.
 func (s *Server) Exec(name, sql string, args []any) (any, error) {
 	s.Clock.Sleep(s.Profile.RTT)
+	s.statMu.Lock()
+	s.netReqs++ // the round trip is paid whether or not the statement succeeds
+	s.statMu.Unlock()
 	st, err := s.prepare(sql)
 	if err != nil {
 		return nil, err
@@ -220,9 +225,69 @@ func (s *Server) Exec(name, sql string, args []any) (any, error) {
 	return res, nil
 }
 
+// ExecBatch is the set-oriented query path (batched submission): one network
+// round trip and one planning/dispatch charge cover the whole binding set,
+// and execution shares page accesses across bindings (sqlmini.ExecuteBatch).
+// It returns one result and one error per binding, in binding order, each
+// identical to what Exec would have returned for that binding. Its shape
+// matches exec.BatchRunner.
+func (s *Server) ExecBatch(name, sql string, argSets [][]any) ([]any, []error) {
+	s.Clock.Sleep(s.Profile.RTT)
+	s.statMu.Lock()
+	s.netReqs++ // one round trip per batch, paid whether or not it succeeds
+	s.batches++
+	s.statMu.Unlock()
+	st, err := s.prepare(sql)
+	if err != nil {
+		errs := make([]error, len(argSets))
+		for i := range errs {
+			errs[i] = err
+		}
+		return make([]any, len(argSets)), errs
+	}
+	// IO phase: page faults ride the disk queue without holding a core; the
+	// batch dedupes page accesses across bindings before touching the pool.
+	results, errs, info := sqlmini.ExecuteBatch(st, s.cat, s.pool, argSets)
+	// CPU phase: one fixed planning charge for the whole batch, then the
+	// per-row work, holding one of the K cores. A batch whose bindings all
+	// failed validation charges nothing, like N failing per-query calls.
+	anyLive := false
+	for _, e := range errs {
+		if e == nil {
+			anyLive = true
+			break
+		}
+	}
+	if anyLive {
+		cpu := s.Profile.CPUFixed + time.Duration(info.RowsExamined)*s.Profile.CPUPerRow
+		s.cores <- struct{}{}
+		s.Clock.Sleep(cpu)
+		<-s.cores
+	}
+
+	s.statMu.Lock()
+	for i := range argSets {
+		if errs[i] != nil {
+			continue
+		}
+		s.queries++
+		if st.Insert {
+			s.inserts++
+		}
+	}
+	s.rows += int64(info.RowsExamined)
+	s.statMu.Unlock()
+	return results, errs
+}
+
 // Runner adapts the server for the async executor.
 func (s *Server) Runner() func(name, sql string, args []any) (any, error) {
 	return s.Exec
+}
+
+// BatchRunner adapts the server's set-oriented path for the batch executor.
+func (s *Server) BatchRunner() func(name, sql string, argSets [][]any) ([]any, []error) {
+	return s.ExecBatch
 }
 
 func (s *Server) prepare(sql string) (*sqlmini.Stmt, error) {
@@ -239,11 +304,15 @@ func (s *Server) prepare(sql string) (*sqlmini.Stmt, error) {
 	return st, nil
 }
 
-// Stats summarizes server activity.
+// Stats summarizes server activity. NetRequests counts client-visible round
+// trips (each paying Profile.RTT); with batching it falls below Queries,
+// which keeps counting logical statements.
 type Stats struct {
 	Queries     int64
 	Inserts     int64
 	RowsRead    int64
+	NetRequests int64
+	Batches     int64
 	BufferHits  int64
 	BufferMiss  int64
 	Disk        disk.Stats
@@ -259,6 +328,8 @@ func (s *Server) Stats() Stats {
 		Queries:     s.queries,
 		Inserts:     s.inserts,
 		RowsRead:    s.rows,
+		NetRequests: s.netReqs,
+		Batches:     s.batches,
 		BufferHits:  h,
 		BufferMiss:  m,
 		Disk:        s.disk.Stats(),

@@ -146,3 +146,102 @@ func TestProfiles(t *testing.T) {
 		t.Error("the web-service profile must have wide-area latency")
 	}
 }
+
+func TestExecBatchMatchesExec(t *testing.T) {
+	s := loaded(t)
+	defer s.Close()
+	argSets := [][]any{{int64(1)}, {int64(21)}, {int64(499)}, {int64(9999)}}
+	vals, errs := s.ExecBatch("q", "select sum(v) from kv where k = ?", argSets)
+	if len(vals) != len(argSets) || len(errs) != len(argSets) {
+		t.Fatalf("arity: %d vals, %d errs", len(vals), len(errs))
+	}
+	for i, args := range argSets {
+		want, wantErr := s.Exec("q", "select sum(v) from kv where k = ?", args)
+		if (errs[i] == nil) != (wantErr == nil) || vals[i] != want {
+			t.Fatalf("binding %d: (%v, %v), want (%v, %v)", i, vals[i], errs[i], want, wantErr)
+		}
+	}
+}
+
+func TestExecBatchOneRoundTripAndPlanning(t *testing.T) {
+	s := loaded(t)
+	defer s.Close()
+	if _, errs := s.ExecBatch("q", "select sum(v) from kv where k = ?",
+		[][]any{{int64(1)}, {int64(2)}, {int64(3)}}); errs[0] != nil || errs[1] != nil || errs[2] != nil {
+		t.Fatalf("batch errors: %v", errs)
+	}
+	st := s.Stats()
+	if st.NetRequests != 1 {
+		t.Fatalf("batch paid %d round trips, want 1", st.NetRequests)
+	}
+	if st.Batches != 1 {
+		t.Fatalf("batches = %d, want 1", st.Batches)
+	}
+	if st.Queries != 3 {
+		t.Fatalf("logical queries = %d, want 3", st.Queries)
+	}
+	// A per-query run of the same statements pays three round trips.
+	for i := int64(1); i <= 3; i++ {
+		if _, err := s.Exec("q", "select sum(v) from kv where k = ?", []any{i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := s.Stats(); st.NetRequests != 4 {
+		t.Fatalf("net requests = %d, want 4", st.NetRequests)
+	}
+}
+
+func TestExecBatchParseError(t *testing.T) {
+	s := loaded(t)
+	defer s.Close()
+	_, errs := s.ExecBatch("bad", "frobnicate the database", [][]any{nil, nil})
+	if len(errs) != 2 || errs[0] == nil || errs[1] == nil {
+		t.Fatalf("want parse error per binding: %v", errs)
+	}
+}
+
+// TestExecBatchSharedBufferAccesses asserts the cold-cache saving the
+// batched experiment relies on: duplicate keys in one batch fault their
+// pages once.
+func TestExecBatchSharedBufferAccesses(t *testing.T) {
+	s := loaded(t)
+	defer s.Close()
+	s.ColdStart()
+	if _, err := s.Exec("q", "select sum(v) from kv where k = ?", []any{int64(7)}); err != nil {
+		t.Fatal(err)
+	}
+	_, missesSingle := s.Pool().Stats()
+
+	s.ColdStart()
+	_, errs := s.ExecBatch("q", "select sum(v) from kv where k = ?",
+		[][]any{{int64(7)}, {int64(7)}, {int64(7)}})
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, misses := s.Pool().Stats(); misses != missesSingle {
+		t.Fatalf("batch of duplicates missed %d pages, single query missed %d", misses, missesSingle)
+	}
+}
+
+// TestRoundTripsCountedOnErrorPaths: the RTT is paid before the statement
+// runs, so failing statements must still count their round trips — both
+// submission modes, symmetrically.
+func TestRoundTripsCountedOnErrorPaths(t *testing.T) {
+	s := loaded(t)
+	defer s.Close()
+	if _, err := s.Exec("bad", "select sum(v) from nosuch where k = ?", []any{int64(1)}); err == nil {
+		t.Fatal("want error")
+	}
+	if st := s.Stats(); st.NetRequests != 1 {
+		t.Fatalf("failed Exec counted %d round trips, want 1", st.NetRequests)
+	}
+	_, errs := s.ExecBatch("bad", "frobnicate", [][]any{nil, nil})
+	if errs[0] == nil {
+		t.Fatal("want parse error")
+	}
+	if st := s.Stats(); st.NetRequests != 2 || st.Batches != 1 {
+		t.Fatalf("failed ExecBatch accounting: %+v", st)
+	}
+}

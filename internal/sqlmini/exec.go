@@ -10,7 +10,8 @@ import (
 )
 
 // ExecInfo reports the work a statement performed, for CPU-cost accounting
-// and test assertions.
+// and test assertions. For ExecuteBatch it aggregates over the whole batch
+// (RowsExamined sums, PagesTouched counts distinct page accesses).
 type ExecInfo struct {
 	PagesTouched int
 	RowsExamined int
@@ -34,29 +35,185 @@ func Execute(st *Stmt, cat *storage.Catalog, pool *buffer.Pool, args []any) (any
 	}
 
 	if st.Insert {
-		if len(st.Values) != len(t.Schema.Cols) {
-			return nil, info, fmt.Errorf("sqlmini: insert arity %d, want %d",
-				len(st.Values), len(t.Schema.Cols))
-		}
-		row := make([]any, len(st.Values))
-		for i, ord := range st.Values {
-			if ord >= 0 {
-				row[i] = args[ord]
-			} else {
-				row[i] = st.Lits[i]
-			}
-		}
-		rid, err := t.Insert(row)
-		if err != nil {
-			return nil, info, err
-		}
-		pool.Put(buffer.PageID{Extent: t.Extent, Page: t.PageOf(rid)})
-		info.PagesTouched = 1
-		info.RowsReturned = 1
-		return int64(1), info, nil
+		return executeInsert(st, t, pool, args, &info)
 	}
 
-	// Bind predicates.
+	conds, err := bindConds(st, t, args)
+	if err != nil {
+		return nil, info, err
+	}
+
+	// Access path: the first indexed equality predicate drives; otherwise a
+	// full scan.
+	rids, usedIndex := choosePath(t, pool, conds, &info)
+	info.UsedIndex = usedIndex
+	info.FullScan = !usedIndex
+
+	v, err := finish(st, t, conds, rids, &info, true)
+	return v, info, err
+}
+
+// ExecuteBatch evaluates one parameterized statement against a set of
+// bindings set-orientedly: index lookups probe with all keys in one pass,
+// touching each distinct bucket and data page once for the whole batch;
+// full-scan statements scan the table once and partition the rows by
+// binding. Results and errors come back per binding, in binding order, and
+// are identical to what len(argSets) individual Execute calls would return;
+// the returned ExecInfo aggregates the (shared) work of the whole batch.
+func ExecuteBatch(st *Stmt, cat *storage.Catalog, pool *buffer.Pool, argSets [][]any) ([]any, []error, ExecInfo) {
+	n := len(argSets)
+	results := make([]any, n)
+	errs := make([]error, n)
+	var agg ExecInfo
+
+	t := cat.Table(st.Table)
+	if t == nil {
+		for i := range errs {
+			errs[i] = fmt.Errorf("sqlmini: no table %q", st.Table)
+		}
+		return results, errs, agg
+	}
+
+	if st.Insert {
+		// Inserts do not share IO (each appends its own row); the batch still
+		// amortizes the round trip and planning charge at the server layer.
+		for i, args := range argSets {
+			v, info, err := Execute(st, cat, pool, args)
+			results[i], errs[i] = v, err
+			agg.add(info)
+		}
+		return results, errs, agg
+	}
+
+	// Bind every set of predicates first; bindings with errors drop out of
+	// the shared phases but keep their per-binding error text.
+	conds := make([][]Cond, n)
+	live := 0
+	for i, args := range argSets {
+		if len(args) != st.NumParams {
+			errs[i] = fmt.Errorf("sqlmini: %d parameters bound, want %d", len(args), st.NumParams)
+			continue
+		}
+		c, err := bindConds(st, t, args)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		conds[i] = c
+		live++
+	}
+	if live == 0 {
+		// Every binding failed validation: like N per-query executions, no
+		// page is touched and no scan runs.
+		return results, errs, agg
+	}
+
+	// The access path is uniform across the batch — every binding shares the
+	// statement's predicate columns, so either one indexed column drives all
+	// lookups or every binding full-scans.
+	driver := pickDriver(t, st.Where)
+
+	rids := make([][]int, n)
+	if driver >= 0 {
+		// Set-oriented index path: probe with all keys, then touch the
+		// distinct bucket pages and distinct data pages once each, in
+		// ascending order (the shared, RID-ordered fetch of §I).
+		ix := t.Index(st.Where[driver].Col)
+		bucketPages := map[int]bool{}
+		dataPages := map[int]bool{}
+		for i := range argSets {
+			if errs[i] != nil {
+				continue
+			}
+			r, bucket, _ := t.Lookup(st.Where[driver].Col, conds[i][driver].Lit)
+			rids[i] = append([]int(nil), r...)
+			bucketPages[bucket] = true
+			for _, rid := range r {
+				dataPages[t.PageOf(rid)] = true
+			}
+		}
+		for _, p := range sortedPages(bucketPages) {
+			pool.Get(buffer.PageID{Extent: ix.Extent, Page: p})
+			agg.PagesTouched++
+		}
+		for _, p := range sortedPages(dataPages) {
+			pool.Get(buffer.PageID{Extent: t.Extent, Page: p})
+			agg.PagesTouched++
+		}
+		agg.UsedIndex = true
+	} else {
+		// Shared scan: one sequential read of the table for the whole batch;
+		// every live binding partitions the same row set.
+		pages := t.NumPages()
+		pool.GetBatch(t.Extent, 0, pages)
+		agg.PagesTouched += pages
+		agg.FullScan = true
+		all := make([]int, t.NumRows())
+		for i := range all {
+			all[i] = i
+		}
+		for i := range argSets {
+			if errs[i] == nil {
+				rids[i] = all
+			}
+		}
+	}
+
+	for i := range argSets {
+		if errs[i] != nil {
+			continue
+		}
+		// The index path owns its per-binding rid copies; the scan path
+		// shares one rid slice across bindings and must not scribble on it.
+		var info ExecInfo
+		results[i], errs[i] = finish(st, t, conds[i], rids[i], &info, driver >= 0)
+		if errs[i] != nil {
+			// A failing per-query execution charges nothing (Exec returns
+			// before its stat update and CPU phase); keep the batch's
+			// row accounting symmetric.
+			continue
+		}
+		agg.RowsExamined += info.RowsExamined
+		agg.RowsReturned += info.RowsReturned
+	}
+	return results, errs, agg
+}
+
+// add folds one per-statement ExecInfo into an aggregate.
+func (info *ExecInfo) add(o ExecInfo) {
+	info.PagesTouched += o.PagesTouched
+	info.RowsExamined += o.RowsExamined
+	info.RowsReturned += o.RowsReturned
+	info.UsedIndex = info.UsedIndex || o.UsedIndex
+	info.FullScan = info.FullScan || o.FullScan
+}
+
+func executeInsert(st *Stmt, t *storage.Table, pool *buffer.Pool, args []any, info *ExecInfo) (any, ExecInfo, error) {
+	if len(st.Values) != len(t.Schema.Cols) {
+		return nil, *info, fmt.Errorf("sqlmini: insert arity %d, want %d",
+			len(st.Values), len(t.Schema.Cols))
+	}
+	row := make([]any, len(st.Values))
+	for i, ord := range st.Values {
+		if ord >= 0 {
+			row[i] = args[ord]
+		} else {
+			row[i] = st.Lits[i]
+		}
+	}
+	rid, err := t.Insert(row)
+	if err != nil {
+		return nil, *info, err
+	}
+	pool.Put(buffer.PageID{Extent: t.Extent, Page: t.PageOf(rid)})
+	info.PagesTouched = 1
+	info.RowsReturned = 1
+	return int64(1), *info, nil
+}
+
+// bindConds substitutes parameter values into the statement's predicates and
+// validates the predicate columns.
+func bindConds(st *Stmt, t *storage.Table, args []any) ([]Cond, error) {
 	conds := make([]Cond, len(st.Where))
 	for i, c := range st.Where {
 		conds[i] = c
@@ -64,21 +221,22 @@ func Execute(st *Stmt, cat *storage.Catalog, pool *buffer.Pool, args []any) (any
 			conds[i].Lit = args[c.Param]
 		}
 		if t.Schema.ColIndex(c.Col) < 0 {
-			return nil, info, fmt.Errorf("sqlmini: %s: no column %q", st.Table, c.Col)
+			return nil, fmt.Errorf("sqlmini: %s: no column %q", st.Table, c.Col)
 		}
 	}
+	return conds, nil
+}
 
-	// Access path: the first indexed equality predicate drives; otherwise a
-	// full scan.
-	rids, pages, usedIndex, err := choosePath(t, pool, conds, &info)
-	if err != nil {
-		return nil, info, err
-	}
-	info.UsedIndex = usedIndex
-	info.FullScan = !usedIndex
-
-	// Residual filter.
+// finish applies the residual filter to the candidate rows and projects or
+// aggregates the matches. It is shared by the per-query and batched paths so
+// their observable results cannot diverge. ownsRids callers let the filter
+// compact in place (no allocation); the batched full scan shares one rid
+// slice across bindings and passes false.
+func finish(st *Stmt, t *storage.Table, conds []Cond, rids []int, info *ExecInfo, ownsRids bool) (any, error) {
 	matched := rids[:0]
+	if !ownsRids {
+		matched = make([]int, 0, len(rids))
+	}
 	for _, rid := range rids {
 		row := t.Row(rid)
 		ok := true
@@ -93,13 +251,11 @@ func Execute(st *Stmt, cat *storage.Catalog, pool *buffer.Pool, args []any) (any
 			matched = append(matched, rid)
 		}
 	}
-	_ = pages
 
-	// Project / aggregate.
 	if st.Agg != AggNone {
 		v, err := aggregate(st, t, matched)
 		info.RowsReturned = 1
-		return v, info, err
+		return v, err
 	}
 	out := make(interp.Rows, 0, len(matched))
 	for _, rid := range matched {
@@ -113,7 +269,7 @@ func Execute(st *Stmt, cat *storage.Catalog, pool *buffer.Pool, args []any) (any
 			for _, c := range st.Cols {
 				ci := t.Schema.ColIndex(c)
 				if ci < 0 {
-					return nil, info, fmt.Errorf("sqlmini: %s: no column %q", st.Table, c)
+					return nil, fmt.Errorf("sqlmini: %s: no column %q", st.Table, c)
 				}
 				r[c] = row[ci]
 			}
@@ -121,17 +277,28 @@ func Execute(st *Stmt, cat *storage.Catalog, pool *buffer.Pool, args []any) (any
 		out = append(out, r)
 	}
 	info.RowsReturned = len(out)
-	return out, info, nil
+	return out, nil
+}
+
+// pickDriver returns the position of the first predicate whose column is
+// indexed — the driving access path — or -1 for a full scan. It is shared
+// by the per-query and batched paths so their access-path policy cannot
+// diverge (the batch==per-query result identity depends on it).
+func pickDriver(t *storage.Table, conds []Cond) int {
+	for i, c := range conds {
+		if t.Index(c.Col) != nil {
+			return i
+		}
+	}
+	return -1
 }
 
 // choosePath picks index lookup or full scan, touching the corresponding
 // pages through the pool, and returns the candidate row ids.
-func choosePath(t *storage.Table, pool *buffer.Pool, conds []Cond, info *ExecInfo) ([]int, int, bool, error) {
-	for _, c := range conds {
-		rids, bucket, ok := t.Lookup(c.Col, c.Lit)
-		if !ok {
-			continue
-		}
+func choosePath(t *storage.Table, pool *buffer.Pool, conds []Cond, info *ExecInfo) ([]int, bool) {
+	if di := pickDriver(t, conds); di >= 0 {
+		c := conds[di]
+		rids, bucket, _ := t.Lookup(c.Col, c.Lit)
 		ix := t.Index(c.Col)
 		// One bucket page of the index, then the distinct data pages of the
 		// matches in ascending order (the RID-ordering-before-fetch
@@ -142,16 +309,11 @@ func choosePath(t *storage.Table, pool *buffer.Pool, conds []Cond, info *ExecInf
 		for _, rid := range rids {
 			pageSet[t.PageOf(rid)] = true
 		}
-		pageList := make([]int, 0, len(pageSet))
-		for p := range pageSet {
-			pageList = append(pageList, p)
-		}
-		sort.Ints(pageList)
-		for _, p := range pageList {
+		for _, p := range sortedPages(pageSet) {
 			pool.Get(buffer.PageID{Extent: t.Extent, Page: p})
 			info.PagesTouched++
 		}
-		return append([]int(nil), rids...), len(pageList), true, nil
+		return append([]int(nil), rids...), true
 	}
 	// Full scan: one sequential batched read.
 	n := t.NumPages()
@@ -161,7 +323,16 @@ func choosePath(t *storage.Table, pool *buffer.Pool, conds []Cond, info *ExecInf
 	for i := range rids {
 		rids[i] = i
 	}
-	return rids, n, false, nil
+	return rids, false
+}
+
+func sortedPages(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
 }
 
 func aggregate(st *Stmt, t *storage.Table, rids []int) (any, error) {

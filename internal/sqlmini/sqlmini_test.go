@@ -188,3 +188,203 @@ func TestExecuteErrors(t *testing.T) {
 		t.Error("parameter arity must be checked")
 	}
 }
+
+// execBatch parses and batch-executes one statement.
+func execBatch(t *testing.T, cat *storage.Catalog, pool *buffer.Pool, sql string, argSets [][]any) ([]any, []error, ExecInfo) {
+	t.Helper()
+	st, err := Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, errs, info := ExecuteBatch(st, cat, pool, argSets)
+	return vals, errs, info
+}
+
+// TestExecuteBatchMatchesExecute pins the batched path to the per-query
+// path: every binding's result and error text must be identical.
+func TestExecuteBatchMatchesExecute(t *testing.T) {
+	cases := []struct {
+		sql     string
+		argSets [][]any
+	}{
+		{"select count(partkey) from part where p_category = ?",
+			[][]any{{int64(0)}, {int64(3)}, {int64(3)}, {int64(42)}}},
+		{"select max(psize) from part where p_category = ?",
+			[][]any{{int64(0)}, {int64(9)}}},
+		{"select partkey, psize from part where p_category = ?",
+			[][]any{{int64(1)}, {int64(2)}}},
+		{"select count(partkey) from part where psize = ?", // full scan
+			[][]any{{int64(7)}, {int64(8)}, {int64(7)}}},
+		{"select count(partkey) from part where p_category = ?", // arity error mixed in
+			[][]any{{int64(1)}, {}, {int64(2)}}},
+		{"select count(partkey) from part where nocol = ?", // per-binding column error
+			[][]any{{int64(1)}, {int64(2)}}},
+	}
+	for _, c := range cases {
+		cat, pool, done := testEnv(t)
+		st, err := Parse(c.sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals, errs, _ := ExecuteBatch(st, cat, pool, c.argSets)
+		for i, args := range c.argSets {
+			wantV, _, wantErr := Execute(st, cat, pool, args)
+			if (errs[i] == nil) != (wantErr == nil) {
+				t.Errorf("%s binding %d: err %v, want %v", c.sql, i, errs[i], wantErr)
+				continue
+			}
+			if wantErr != nil {
+				if errs[i].Error() != wantErr.Error() {
+					t.Errorf("%s binding %d: error text %q, want %q", c.sql, i, errs[i], wantErr)
+				}
+				continue
+			}
+			if !interp.Equal(vals[i], wantV) {
+				t.Errorf("%s binding %d: %v, want %v", c.sql, i,
+					interp.Format(vals[i]), interp.Format(wantV))
+			}
+		}
+		done()
+	}
+}
+
+// TestExecuteBatchSharesIndexPages asserts the set-oriented saving: probing
+// with duplicate keys touches each bucket/data page once for the batch, so
+// the cold-cache miss count equals that of a single per-query execution.
+func TestExecuteBatchSharesIndexPages(t *testing.T) {
+	catA, poolA, doneA := testEnv(t)
+	defer doneA()
+	_, infoSingle := exec(t, catA, poolA, "select count(partkey) from part where p_category = ?", int64(3))
+	_, missesSingle := poolA.Stats()
+
+	catB, poolB, doneB := testEnv(t)
+	defer doneB()
+	_, errs, infoBatch := execBatch(t, catB, poolB,
+		"select count(partkey) from part where p_category = ?",
+		[][]any{{int64(3)}, {int64(3)}, {int64(3)}})
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("binding %d: %v", i, err)
+		}
+	}
+	if infoBatch.PagesTouched != infoSingle.PagesTouched {
+		t.Fatalf("batch touched %d pages, want %d (shared probes)",
+			infoBatch.PagesTouched, infoSingle.PagesTouched)
+	}
+	if _, misses := poolB.Stats(); misses != missesSingle {
+		t.Fatalf("batch missed %d pages, single query missed %d", misses, missesSingle)
+	}
+	if infoBatch.RowsExamined != 3*infoSingle.RowsExamined {
+		t.Fatalf("rows examined %d, want %d", infoBatch.RowsExamined, 3*infoSingle.RowsExamined)
+	}
+}
+
+// TestExecuteBatchSharedScan: a full-scan statement scans the table once for
+// the whole batch, not once per binding.
+func TestExecuteBatchSharedScan(t *testing.T) {
+	cat, pool, done := testEnv(t)
+	defer done()
+	pages := cat.Table("part").NumPages()
+	vals, errs, info := execBatch(t, cat, pool,
+		"select count(partkey) from part where psize = ?",
+		[][]any{{int64(7)}, {int64(8)}, {int64(9)}})
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("binding %d: %v", i, err)
+		}
+	}
+	if info.PagesTouched != pages {
+		t.Fatalf("batch touched %d pages, want one shared scan of %d", info.PagesTouched, pages)
+	}
+	if !info.FullScan || info.UsedIndex {
+		t.Fatalf("expected full scan: %+v", info)
+	}
+	if vals[0] != int64(20) || vals[1] != int64(20) || vals[2] != int64(20) {
+		t.Fatalf("partitioned counts: %v", vals)
+	}
+}
+
+// TestExecuteBatchInsert: inserts execute per binding but still come back in
+// order with the usual row-count results.
+func TestExecuteBatchInsert(t *testing.T) {
+	cat, pool, done := testEnv(t)
+	defer done()
+	before := cat.Table("part").NumRows()
+	vals, errs, _ := execBatch(t, cat, pool, "insert into part values (?, ?, ?)",
+		[][]any{
+			{int64(5000), int64(3), int64(1)},
+			{int64(5001), int64(3), int64(2)},
+		})
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("binding %d: %v", i, err)
+		}
+	}
+	if vals[0] != int64(1) || vals[1] != int64(1) {
+		t.Fatalf("insert results: %v", vals)
+	}
+	if cat.Table("part").NumRows() != before+2 {
+		t.Fatal("rows not inserted")
+	}
+}
+
+// TestExecuteBatchMissingTable: every binding reports the same error the
+// per-query path would.
+func TestExecuteBatchMissingTable(t *testing.T) {
+	cat, pool, done := testEnv(t)
+	defer done()
+	st, _ := Parse("select count(x) from nosuch where a = ?")
+	_, errs, _ := ExecuteBatch(st, cat, pool, [][]any{{int64(1)}, {int64(2)}})
+	_, _, want := Execute(st, cat, pool, []any{int64(1)})
+	for i, err := range errs {
+		if err == nil || err.Error() != want.Error() {
+			t.Fatalf("binding %d: %v, want %v", i, err, want)
+		}
+	}
+}
+
+// TestExecuteBatchAllFailedTouchesNoPages: a batch whose every binding fails
+// validation must not scan or fault pages — matching N failing per-query
+// executions.
+func TestExecuteBatchAllFailedTouchesNoPages(t *testing.T) {
+	cat, pool, done := testEnv(t)
+	defer done()
+	st, err := Parse("select count(partkey) from part where psize = ?") // no index: would full-scan
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, errs, info := ExecuteBatch(st, cat, pool, [][]any{{}, {}}) // arity errors
+	for i, e := range errs {
+		if e == nil {
+			t.Fatalf("binding %d: want arity error", i)
+		}
+	}
+	if info.PagesTouched != 0 || info.FullScan {
+		t.Fatalf("all-failed batch did IO: %+v", info)
+	}
+	if hits, misses := pool.Stats(); hits != 0 || misses != 0 {
+		t.Fatalf("pool touched: %d hits, %d misses", hits, misses)
+	}
+}
+
+// TestExecuteBatchFailedBindingChargesNoRows: bindings that error after the
+// access path (e.g. a bad projection column) must not contribute to the
+// aggregate row accounting, matching the per-query path where a failing
+// Execute charges nothing.
+func TestExecuteBatchFailedBindingChargesNoRows(t *testing.T) {
+	cat, pool, done := testEnv(t)
+	defer done()
+	st, err := Parse("select nocol from part where p_category = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, errs, info := ExecuteBatch(st, cat, pool, [][]any{{int64(1)}, {int64(2)}})
+	for i, e := range errs {
+		if e == nil {
+			t.Fatalf("binding %d: want projection error", i)
+		}
+	}
+	if info.RowsExamined != 0 || info.RowsReturned != 0 {
+		t.Fatalf("failed bindings charged rows: %+v", info)
+	}
+}

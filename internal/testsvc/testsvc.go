@@ -91,6 +91,18 @@ func (l *LoggingRunner) Log() []string {
 	return append([]string(nil), l.log...)
 }
 
+// BatchRunner returns the set-oriented sibling of Runner: every binding
+// yields the same deterministic Hash value a per-query execution would.
+func BatchRunner() exec.BatchRunner {
+	return func(name, sql string, argSets [][]any) ([]any, []error) {
+		vals := make([]any, len(argSets))
+		for i, args := range argSets {
+			vals[i] = Hash(name, args)
+		}
+		return vals, make([]error, len(argSets))
+	}
+}
+
 // NewSync returns a blocking-only service (original programs).
 func NewSync() *exec.Service { return exec.NewService(0, Runner()) }
 
