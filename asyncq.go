@@ -30,6 +30,15 @@
 // and one planning charge per batch, demultiplexed back onto the individual
 // handles; see internal/batch). Transformed programs run unchanged on
 // either service and produce identical results.
+//
+// Beyond one server, the internal/shard router partitions tables by a
+// declared shard key across N independent backends: point statements route
+// to the owning shard, everything else scatter-gathers with a deterministic
+// merge, and batched submissions split into per-shard sub-batches that
+// execute in parallel. Because the router exposes the same Runner and
+// BatchRunner shapes as a single server, a transformed program moves from
+// one server to an N-shard cluster by swapping the functions handed to
+// NewPool or NewBatchedPool — and still produces identical results.
 package asyncq
 
 import (

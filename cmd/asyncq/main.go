@@ -5,18 +5,23 @@
 //
 // Usage:
 //
-//	asyncq [-analyze] [-ddg] [-flat] [-run] [-threads N] [-batch N] file.mq
+//	asyncq [-analyze] [-ddg] [-flat] [-run] [-threads N] [-batch N] [-shards N] file.mq
 //
 // With no flags the transformed program is printed (readable form, §V).
 // With -run -batch N the transformed program's submissions are coalesced
 // into batches of up to N requests (0 = batching off) and the batch
-// statistics are reported.
+// statistics are reported. With -run -shards N each request is additionally
+// routed across N partitions by its first argument (internal/shard's hash
+// partitioner) and the per-shard request distribution is reported —
+// results are unchanged, since the deterministic test service is a pure
+// function of the request.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sync/atomic"
 
 	"repro/internal/batch"
 	"repro/internal/core"
@@ -25,6 +30,7 @@ import (
 	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/minilang"
+	"repro/internal/shard"
 	"repro/internal/testsvc"
 )
 
@@ -35,6 +41,7 @@ func main() {
 	run := flag.Bool("run", false, "run original and transformed against a deterministic service and compare")
 	threads := flag.Int("threads", 8, "worker threads for -run")
 	batchSize := flag.Int("batch", 0, "coalesce submissions into batches of up to N requests for -run (0 = off)")
+	shards := flag.Int("shards", 1, "partition -run requests across N shards by first argument (1 = off)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -88,12 +95,41 @@ func main() {
 		if err != nil {
 			fatal(fmt.Errorf("run original: %w", err))
 		}
+		// With -shards the deterministic backend is treated as N partitions:
+		// every request is routed by its first argument through the shard
+		// package's hash partitioner and counted, so the reported
+		// distribution shows how the transformed program's submissions
+		// would spread across a sharded cluster.
+		run := testsvc.Runner()
+		runBatch := testsvc.BatchRunner()
+		var perShard []int64
+		if *shards > 1 {
+			perShard = make([]int64, *shards)
+			route := func(args []any) {
+				s := 0
+				if len(args) > 0 {
+					s = shard.Partition(args[0], len(perShard))
+				}
+				atomic.AddInt64(&perShard[s], 1)
+			}
+			baseRun, baseBatch := run, runBatch
+			run = func(name, sql string, args []any) (any, error) {
+				route(args)
+				return baseRun(name, sql, args)
+			}
+			runBatch = func(name, sql string, argSets [][]any) ([]any, []error) {
+				for _, args := range argSets {
+					route(args)
+				}
+				return baseBatch(name, sql, argSets)
+			}
+		}
 		var svc *exec.Service
 		if *batchSize > 1 {
-			svc = batch.NewService(*threads, testsvc.Runner(), testsvc.BatchRunner(),
+			svc = batch.NewService(*threads, run, runBatch,
 				batch.Options{MaxBatch: *batchSize})
 		} else {
-			svc = exec.NewService(*threads, testsvc.Runner())
+			svc = exec.NewService(*threads, run)
 		}
 		defer svc.Close()
 		in2 := interp.New(reg, svc)
@@ -112,6 +148,9 @@ func main() {
 			batches, avg := svc.BatchStats()
 			fmt.Fprintf(os.Stderr, "-- batch: %d submissions coalesced into %d batches (avg size %.1f)\n",
 				submitted, batches, avg)
+		}
+		if perShard != nil {
+			fmt.Fprintf(os.Stderr, "-- shards: requests per shard: %v\n", perShard)
 		}
 	}
 }

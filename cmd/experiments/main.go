@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments [-scale 0.2] [-quick] [-fig 8|..|15|batch-category|batch-rubis|all] [-table1]
+//	experiments [-scale 0.2] [-quick] [-fig 8|..|15|batch-category|batch-rubis|shard-scale|all] [-table1]
 //
 // With no selection flags, everything runs. Times are reported in simulated
 // seconds (wall time divided by -scale), so results are comparable across
@@ -21,7 +21,7 @@ import (
 func main() {
 	scale := flag.Float64("scale", 0.2, "wall-clock scale for simulated latencies (1.0 = full)")
 	quick := flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
-	fig := flag.String("fig", "", "figure to run: 8..15, batch-category, batch-rubis or 'all' (default: all)")
+	fig := flag.String("fig", "", "figure to run: 8..15, batch-category, batch-rubis, shard-scale or 'all' (default: all)")
 	table1 := flag.Bool("table1", false, "run only Table I")
 	flag.Parse()
 
@@ -48,6 +48,7 @@ func main() {
 		"8": h.Fig08, "9": h.Fig09, "10": h.Fig10, "11": h.Fig11,
 		"12": h.Fig12, "13": h.Fig13, "14": h.Fig14, "15": h.Fig15,
 		"batch-category": h.FigBatchCategory, "batch-rubis": h.FigBatchRUBiS,
+		"shard-scale": h.FigShardScale,
 	}
 	label := func(id string) string {
 		if len(id) <= 2 { // numeric paper figures keep their "Fig N" labels
@@ -58,7 +59,7 @@ func main() {
 	switch *fig {
 	case "", "all":
 		for _, id := range []string{"8", "9", "10", "11", "12", "13", "14", "15",
-			"batch-category", "batch-rubis"} {
+			"batch-category", "batch-rubis", "shard-scale"} {
 			run(label(id), figs[id])
 		}
 		fmt.Print(experiments.RenderTable1(experiments.Table1()))

@@ -37,6 +37,9 @@ type App struct {
 	// MutatesData marks apps whose run changes table contents (forms), so
 	// harnesses reload between runs.
 	MutatesData bool
+	// ShardKeys declares each table's shard key column (table -> column) for
+	// sharded execution (internal/shard). Tables not listed are replicated.
+	ShardKeys map[string]string
 }
 
 // Proc parses the app's kernel.

@@ -38,6 +38,9 @@ proc categoryMaxSize(stack) {
   return best, visited;
 }`,
 		Setup: setupCategoryItems,
+		// item shards by category_id: the per-node aggregate is a point query
+		// on the shard key, and one shard owns a whole category's items.
+		ShardKeys: map[string]string{"category": "cid", "item": "category_id"},
 		Sigs: []*ir.FuncSig{
 			{Name: "childCategories", NArgs: 1, NRet: 1},
 		},

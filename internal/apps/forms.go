@@ -19,6 +19,7 @@ func Forms() *App {
 	return &App{
 		Name:        "forms",
 		MutatesData: true,
+		ShardKeys:   map[string]string{"formsmaster": "agent"},
 		Source: `
 proc expandForms(ranges) {
   query ins = "insert into formsmaster values (?, ?)";

@@ -55,6 +55,7 @@ proc rubbosTopStories(storyIds) {
 			s.RegisterExtent(stories.Extent, stories.NumPages())
 			return s.AddIndex("stories", "sid", true)
 		},
+		ShardKeys: map[string]string{"users": "uid", "comments": "cid", "stories": "sid"},
 		Args: func(n int, rng *rand.Rand) []interp.Value {
 			ids := make([]interp.Value, n)
 			for i := range ids {

@@ -27,6 +27,9 @@ proc rubisLoadAuthors(authorIds) {
   return total;
 }`,
 		Setup: setupUsersAndComments,
+		// Both tables are point-queried by their unique key, so every lookup
+		// routes to a single shard.
+		ShardKeys: map[string]string{"users": "uid", "comments": "cid"},
 		Args: func(n int, rng *rand.Rand) []interp.Value {
 			ids := make([]interp.Value, n)
 			for i := range ids {

@@ -17,7 +17,8 @@ import (
 // simulated server under the WebService profile (25ms RTT).
 func WebServiceApp() *App {
 	return &App{
-		Name: "webservice",
+		Name:      "webservice",
+		ShardKeys: map[string]string{"movies": "director"},
 		Source: `
 proc fetchFilmography(directors) {
   query qm = "select count(mid) from movies where director = ?";

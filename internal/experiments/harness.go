@@ -19,9 +19,11 @@ import (
 	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/server"
+	"repro/internal/shard"
 )
 
-// Harness runs measurements, caching loaded servers per (app, profile).
+// Harness runs measurements, caching loaded servers and shard routers per
+// (app, profile[, shards]).
 type Harness struct {
 	// Scale is the wall-clock scale factor for simulated latencies.
 	Scale float64
@@ -30,12 +32,22 @@ type Harness struct {
 	Quick bool
 
 	servers map[string]*loadedServer
+	routers map[string]*shard.Router
 	procs   map[string]*procPair
 }
 
 type loadedServer struct {
 	srv *server.Server
 	app *apps.App
+}
+
+// target is the execution backend a kernel runs against: a single server or
+// a shard router. Both expose cache control and the aggregate counters the
+// measurements read.
+type target interface {
+	Warm()
+	ColdStart()
+	Stats() server.Stats
 }
 
 type procPair struct {
@@ -51,7 +63,12 @@ type procPair struct {
 // NewHarness returns a harness with the default scale (0.2: one simulated
 // microsecond costs 200ns of wall clock).
 func NewHarness() *Harness {
-	return &Harness{Scale: 0.2, servers: map[string]*loadedServer{}, procs: map[string]*procPair{}}
+	return &Harness{
+		Scale:   0.2,
+		servers: map[string]*loadedServer{},
+		routers: map[string]*shard.Router{},
+		procs:   map[string]*procPair{},
+	}
 }
 
 // Measurement is one (app, config) data point.
@@ -118,12 +135,47 @@ func (h *Harness) server(app *apps.App, prof server.Profile) (*server.Server, er
 	return srv, nil
 }
 
-// Close shuts down all cached servers.
+// router returns a shard router over `shards` backends loaded with the
+// app's data, cached per (app, profile, shards) for non-mutating apps.
+func (h *Harness) router(app *apps.App, prof server.Profile, shards int) (*shard.Router, error) {
+	key := fmt.Sprintf("%s/%s/%d", app.Name, prof.Name, shards)
+	if !app.MutatesData {
+		if r, ok := h.routers[key]; ok {
+			r.SetScale(h.Scale)
+			return r, nil
+		}
+	}
+	// The partitioner reads a loaded reference server; for cacheable apps the
+	// single-server cache already holds one, so sharded and single-server
+	// measurements also share the load cost.
+	ref, err := h.server(app, prof)
+	if err != nil {
+		return nil, err
+	}
+	if app.MutatesData {
+		defer ref.Close()
+	}
+	r := shard.New(prof, h.Scale, shard.Options{Shards: shards, Keys: app.ShardKeys})
+	if err := r.LoadFrom(ref); err != nil {
+		r.Close()
+		return nil, fmt.Errorf("shard load %s: %w", app.Name, err)
+	}
+	if !app.MutatesData {
+		h.routers[key] = r
+	}
+	return r, nil
+}
+
+// Close shuts down all cached servers and routers.
 func (h *Harness) Close() {
 	for _, ls := range h.servers {
 		ls.srv.Close()
 	}
 	h.servers = map[string]*loadedServer{}
+	for _, r := range h.routers {
+		r.Close()
+	}
+	h.routers = map[string]*shard.Router{}
 }
 
 // runInfo captures one kernel run's service and server counters.
@@ -142,27 +194,36 @@ type runInfo struct {
 func (h *Harness) runKernel(app *apps.App, prof server.Profile, p *interp.Program,
 	iterations int, warm bool, mkSvc func(srv *server.Server) *exec.Service) (*interp.Result, float64, runInfo, error) {
 
-	var ri runInfo
 	srv, err := h.server(app, prof)
 	if err != nil {
-		return nil, 0, ri, err
+		return nil, 0, runInfo{}, err
 	}
 	if app.MutatesData {
 		defer srv.Close()
 	}
+	return h.runOn(app, srv, p, iterations, warm, func() *exec.Service { return mkSvc(srv) })
+}
+
+// runOn is runKernel against an already-acquired target (single server or
+// shard router); mkSvc builds the query service after the cache state is
+// set, exactly as the single-server path always did.
+func (h *Harness) runOn(app *apps.App, tgt target, p *interp.Program,
+	iterations int, warm bool, mkSvc func() *exec.Service) (*interp.Result, float64, runInfo, error) {
+
+	var ri runInfo
 	if warm {
-		srv.Warm()
+		tgt.Warm()
 	} else {
-		srv.ColdStart()
+		tgt.ColdStart()
 	}
-	svc := mkSvc(srv)
+	svc := mkSvc()
 	defer svc.Close()
 	in := interp.New(app.Registry(), svc)
 	if app.Bind != nil {
 		app.Bind(in, apps.SeededRand())
 	}
 	args := app.Args(iterations, rand.New(rand.NewSource(int64(iterations)+7)))
-	before := srv.Stats().NetRequests
+	before := tgt.Stats().NetRequests
 	start := time.Now()
 	res, err := in.RunProgram(p, args)
 	elapsed := time.Since(start).Seconds()
@@ -170,7 +231,7 @@ func (h *Harness) runKernel(app *apps.App, prof server.Profile, p *interp.Progra
 		return nil, 0, ri, fmt.Errorf("run %s: %w", p.Proc().Name, err)
 	}
 	svc.Close() // drain so every round trip is accounted before reading stats
-	ri.NetRequests = srv.Stats().NetRequests - before
+	ri.NetRequests = tgt.Stats().NetRequests - before
 	ri.BatchesIssued, ri.AvgBatchSize = svc.BatchStats()
 	if h.Scale > 0 {
 		elapsed /= h.Scale
@@ -293,6 +354,107 @@ func sameResult(a, b *interp.Result) error {
 		return fmt.Errorf("output streams differ")
 	}
 	return nil
+}
+
+// ShardMeasurement is one (app, config) data point comparing single-server
+// batched execution against a sharded cluster running the same batched
+// workload.
+type ShardMeasurement struct {
+	App        string
+	Profile    string
+	Threads    int
+	Warm       bool
+	Iterations int
+	MaxBatch   int
+	Shards     int
+	// Single and Sharded are simulated seconds for the transformed, batched
+	// kernel on one server vs the N-shard cluster.
+	Single  float64
+	Sharded float64
+	// Throughput is Iterations/Sharded: logical queries per simulated second
+	// on the cluster (the shard-scale figure's y axis).
+	Throughput float64
+	// NetRequestsSingle / NetRequestsSharded count client-visible round
+	// trips; sharding splits batches, so the sharded count is higher while
+	// the trips run in parallel.
+	NetRequestsSingle  int64
+	NetRequestsSharded int64
+	// ShardQueries is the per-shard logical statement count of the sharded
+	// run — the routing balance.
+	ShardQueries []int64
+}
+
+// Speedup is Single/Sharded.
+func (m ShardMeasurement) Speedup() float64 {
+	if m.Sharded == 0 {
+		return 0
+	}
+	return m.Single / m.Sharded
+}
+
+// MeasureSharded times the transformed kernel with batched submission on a
+// single server and on a cluster of `shards` backends, verifying that both
+// produce identical results.
+func (h *Harness) MeasureSharded(app *apps.App, prof server.Profile,
+	threads, iterations int, warm bool, maxBatch, shards int) (ShardMeasurement, error) {
+
+	m := ShardMeasurement{
+		App: app.Name, Profile: prof.Name,
+		Threads: threads, Warm: warm, Iterations: iterations,
+		MaxBatch: maxBatch, Shards: shards,
+	}
+	pp, err := h.proc(app)
+	if err != nil {
+		return m, err
+	}
+	// The linger window is wall time; scale it like every simulated latency.
+	linger := time.Duration(float64(batch.DefaultLinger) * h.Scale)
+	opts := batch.Options{MaxBatch: maxBatch, Linger: linger}
+
+	singleRes, singleSec, singleInfo, err := h.runKernel(app, prof, pp.transProg, iterations, warm,
+		func(srv *server.Server) *exec.Service {
+			return batch.NewService(threads, srv.Exec, srv.ExecBatch, opts)
+		})
+	if err != nil {
+		return m, err
+	}
+
+	rt, err := h.router(app, prof, shards)
+	if err != nil {
+		return m, err
+	}
+	if app.MutatesData {
+		defer rt.Close()
+	}
+	// Shard-aware coalescing: batches form per target shard, so the cluster
+	// pays the same number of round trips as the single server.
+	shOpts := opts
+	shOpts.GroupFn = rt.BatchGroup
+	beforeShard := rt.ShardStats()
+	shardRes, shardSec, shardInfo, err := h.runOn(app, rt, pp.transProg, iterations, warm,
+		func() *exec.Service {
+			return batch.NewService(threads, rt.Exec, rt.ExecBatch, shOpts)
+		})
+	if err != nil {
+		return m, err
+	}
+	if err := sameResult(singleRes, shardRes); err != nil {
+		return m, fmt.Errorf("%s: sharded results diverge from single-server: %w", app.Name, err)
+	}
+	m.Single, m.Sharded = singleSec, shardSec
+	if shardSec > 0 {
+		m.Throughput = float64(iterations) / shardSec
+	}
+	m.NetRequestsSingle = singleInfo.NetRequests
+	m.NetRequestsSharded = shardInfo.NetRequests
+	for i, s := range rt.ShardStats() {
+		q := s.Queries
+		if i < len(beforeShard) {
+			q -= beforeShard[i].Queries
+		}
+		m.ShardQueries = append(m.ShardQueries, q)
+	}
+	return m, nil
 }
 
 // pick returns full when the harness runs full-size, quick otherwise.

@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/batch"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/interp"
+	"repro/internal/server"
+	"repro/internal/shard"
+)
+
+// TestShardedExecutionMatchesSingleServerOnApps pins the sharded cluster to
+// the single-server path: for every evaluation app, running the transformed
+// program with batched submission against a 4-shard router must yield
+// byte-identical observable output (returns and print/log stream) to the
+// same batched run on one server holding all the data. Cold caches make the
+// scatter-gather and per-shard batch paths do real page work.
+func TestShardedExecutionMatchesSingleServerOnApps(t *testing.T) {
+	const iterations = 30
+	const workers = 4
+	const shards = 4
+	prof := server.SYS1()
+	for _, app := range apps.All() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			trans, rep, err := core.Transform(app.Proc(), core.Options{
+				Registry:    app.Registry(),
+				SplitNested: true,
+			})
+			if err != nil {
+				t.Fatalf("transform: %v", err)
+			}
+			if rep.TransformedCount() == 0 {
+				t.Fatal("no site transformed")
+			}
+
+			// One reference load serves every side: the single-server run
+			// executes on it and each batching mode gets its own router
+			// partitioned from it — all built before any run, so a mutating
+			// app (forms) cannot leak one mode's inserts into the next.
+			ref := server.New(prof, 0.02)
+			defer ref.Close()
+			if err := app.Setup(ref, apps.SeededRand()); err != nil {
+				t.Fatalf("setup: %v", err)
+			}
+			newRouter := func() *shard.Router {
+				rt := shard.New(prof, 0.02, shard.Options{Shards: shards, Keys: app.ShardKeys})
+				if err := rt.LoadFrom(ref); err != nil {
+					rt.Close()
+					t.Fatalf("shard load: %v", err)
+				}
+				t.Cleanup(rt.Close)
+				return rt
+			}
+			rtSplit, rtGrouped := newRouter(), newRouter()
+
+			run := func(runr exec.Runner, batchRunr exec.BatchRunner, cold func(), opts batch.Options) (*interp.Result, string) {
+				t.Helper()
+				cold()
+				opts.MaxBatch = 8
+				svc := batch.NewService(workers, runr, batchRunr, opts)
+				defer svc.Close()
+				in := interp.New(app.Registry(), svc)
+				if app.Bind != nil {
+					app.Bind(in, apps.SeededRand())
+				}
+				args := app.Args(iterations, rand.New(rand.NewSource(iterations+7)))
+				res, err := in.Run(trans, args)
+				if err != nil {
+					return nil, err.Error()
+				}
+				return res, ""
+			}
+
+			singleRes, singleErr := run(ref.Exec, ref.ExecBatch, ref.ColdStart, batch.Options{})
+			// Two sharded modes: mixed batches that ExecBatch splits per
+			// shard, and shard-aware coalescing (GroupFn) where every batch
+			// already targets one shard.
+			modes := []struct {
+				label string
+				rt    *shard.Router
+				opts  batch.Options
+			}{
+				{"split", rtSplit, batch.Options{}},
+				{"grouped", rtGrouped, batch.Options{GroupFn: rtGrouped.BatchGroup}},
+			}
+			for _, mode := range modes {
+				rt := mode.rt
+				shardRes, shardErr := run(rt.Exec, rt.ExecBatch, rt.ColdStart, mode.opts)
+				if singleErr != shardErr {
+					t.Fatalf("%s: error text: sharded %q, single-server %q", mode.label, shardErr, singleErr)
+				}
+				if singleErr != "" {
+					continue
+				}
+				if err := sameResult(singleRes, shardRes); err != nil {
+					t.Errorf("%s: sharded run diverges from single-server: %v", mode.label, err)
+				}
+				if shardRes.Output != singleRes.Output {
+					t.Errorf("%s: output streams differ", mode.label)
+				}
+			}
+
+			// The cluster really is partitioned: for apps with immutable data,
+			// more than one shard must have answered queries.
+			if !app.MutatesData {
+				busy := 0
+				for _, s := range rtSplit.ShardStats() {
+					if s.Queries > 0 {
+						busy++
+					}
+				}
+				if busy < 2 {
+					t.Errorf("expected work on >= 2 shards, stats %+v", rtSplit.ShardStats())
+				}
+			}
+		})
+	}
+}
+
+// TestMeasureShardedSmall drives the harness path (router caching, warm-up,
+// verification) at zero scale for a fast logic check, including the
+// mutating forms app, which rebuilds its cluster per run.
+func TestMeasureShardedSmall(t *testing.T) {
+	h := NewHarness()
+	h.Scale = 0 // logic only
+	defer h.Close()
+	for _, app := range []*apps.App{apps.RUBiS(), apps.Forms()} {
+		for _, shards := range []int{1, 2, 4} {
+			m, err := h.MeasureSharded(app, server.SYS1(), 4, 25, true, 8, shards)
+			if err != nil {
+				t.Errorf("%s shards=%d: %v", app.Name, shards, err)
+				continue
+			}
+			if m.Shards != shards || m.Iterations != 25 {
+				t.Errorf("%s: bad measurement %+v", app.Name, m)
+			}
+			var q int64
+			for _, c := range m.ShardQueries {
+				q += c
+			}
+			if q < int64(25) {
+				t.Errorf("%s shards=%d: cluster answered %d queries, want >= 25", app.Name, shards, q)
+			}
+		}
+	}
+}

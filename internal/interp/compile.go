@@ -795,11 +795,11 @@ func (in *Interp) RunProgram(p *Program, args []Value) (*Result, error) {
 			proc.Name, len(proc.Params), len(args))
 	}
 	in.Out.Reset()
-	max := in.MaxSteps
-	if max == 0 {
-		max = 50_000_000
+	limit := in.MaxSteps
+	if limit == 0 {
+		limit = 50_000_000
 	}
-	m := machine{in: in, prog: p, frame: make([]Value, p.slots.Len()), max: max}
+	m := machine{in: in, prog: p, frame: make([]Value, p.slots.Len()), max: limit}
 	for i := range m.frame {
 		m.frame[i] = unsetVal
 	}

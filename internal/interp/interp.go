@@ -98,12 +98,12 @@ func (in *Interp) RunTree(proc *ir.Proc, args []Value) (*Result, error) {
 
 func (in *Interp) step() error {
 	in.steps++
-	max := in.MaxSteps
-	if max == 0 {
-		max = 50_000_000
+	limit := in.MaxSteps
+	if limit == 0 {
+		limit = 50_000_000
 	}
-	if in.steps > max {
-		return fmt.Errorf("step limit exceeded (%d)", max)
+	if in.steps > limit {
+		return fmt.Errorf("step limit exceeded (%d)", limit)
 	}
 	return nil
 }

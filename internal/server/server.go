@@ -125,13 +125,6 @@ func New(p Profile, scale float64) *Server {
 	return s
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 // Close stops the disk goroutine.
 func (s *Server) Close() { s.disk.Close() }
 
@@ -196,18 +189,27 @@ func (s *Server) ColdStart() { s.pool.Reset() }
 // concurrency benefits of asynchronous submission arise precisely because
 // multiple Execs can be in flight.
 func (s *Server) Exec(name, sql string, args []any) (any, error) {
+	res, _, err := s.ExecTraced(name, sql, args)
+	return res, err
+}
+
+// ExecTraced is Exec plus the execution trace (sqlmini.ExecInfo, including
+// the matched row ids). The shard router's scatter-gather merge consumes the
+// trace to restore the global row order; cost accounting is identical to
+// Exec.
+func (s *Server) ExecTraced(name, sql string, args []any) (any, sqlmini.ExecInfo, error) {
 	s.Clock.Sleep(s.Profile.RTT)
 	s.statMu.Lock()
 	s.netReqs++ // the round trip is paid whether or not the statement succeeds
 	s.statMu.Unlock()
 	st, err := s.prepare(sql)
 	if err != nil {
-		return nil, err
+		return nil, sqlmini.ExecInfo{}, err
 	}
 	// IO phase: page faults ride the disk queue without holding a core.
 	res, info, err := sqlmini.Execute(st, s.cat, s.pool, args)
 	if err != nil {
-		return nil, err
+		return nil, info, err
 	}
 	// CPU phase: hold one of the K cores.
 	cpu := s.Profile.CPUFixed + time.Duration(info.RowsExamined)*s.Profile.CPUPerRow
@@ -222,7 +224,7 @@ func (s *Server) Exec(name, sql string, args []any) (any, error) {
 	}
 	s.rows += int64(info.RowsExamined)
 	s.statMu.Unlock()
-	return res, nil
+	return res, info, nil
 }
 
 // ExecBatch is the set-oriented query path (batched submission): one network

@@ -1,0 +1,620 @@
+// Package shard partitions the simulated database across N independent
+// server.Server backends and routes queries to them — the scaling axis that
+// lets the batching layer's set-oriented submissions execute in parallel per
+// shard (see README.md).
+//
+// Tables declare a shard key (Options.Keys); rows live on the shard that
+// owns their key's hash. Point statements — an equality predicate on the
+// shard key, or an INSERT whose VALUES bind it — route to the owning shard.
+// Everything else scatter-gathers: the statement runs on every shard and the
+// router merges the partial results deterministically, so a sharded cluster
+// is observably identical to one big server. ExecBatch submissions are split
+// into per-shard sub-batches that execute in parallel and are demultiplexed
+// back into binding order.
+//
+// The Router exposes the same Runner/BatchRunner shapes as server.Server, so
+// exec.Service, the internal/batch coalescer, and transformed programs run
+// unchanged on top of it.
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/exec"
+	"repro/internal/interp"
+	"repro/internal/server"
+	"repro/internal/sqlmini"
+	"repro/internal/storage"
+)
+
+// Options configure a router.
+type Options struct {
+	// Shards is the number of backends (minimum 1).
+	Shards int
+	// Keys maps table name -> shard key column. Tables absent from the map
+	// are replicated on every shard: reads route to shard 0, writes broadcast.
+	Keys map[string]string
+}
+
+// tableInfo is the router's routing metadata for one table.
+type tableInfo struct {
+	key    string // shard key column; "" = replicated
+	keyPos int    // schema position of key (INSERT routing); -1 when replicated
+
+	mu sync.RWMutex
+	// global maps, per shard, local row id -> global row position: rows
+	// distributed by LoadFrom carry their original load position, and rows
+	// inserted at runtime through Exec are appended by notePos in completion
+	// order (exact for sequential programs; under concurrent submission the
+	// interleaving is as undefined as insertion order on one concurrent
+	// server). -1 marks a slot whose insert has not been observed yet.
+	global [][]int
+	loaded int // rows distributed by LoadFrom
+	noted  int // runtime inserts recorded by notePos
+}
+
+// notePos records one routed runtime insert: the shard-local row rid was
+// the noted-th row added after load, so scatter merges order it exactly
+// where a single server would have.
+func (ti *tableInfo) notePos(shard, rid int) {
+	ti.mu.Lock()
+	g := ti.global[shard]
+	for len(g) <= rid {
+		g = append(g, -1)
+	}
+	if g[rid] < 0 {
+		g[rid] = ti.loaded + ti.noted
+		ti.noted++
+	}
+	ti.global[shard] = g
+	ti.mu.Unlock()
+}
+
+// globalPos returns the merge key of one shard-local row: mapped rows carry
+// their recorded position; rows the router never saw insert (batched
+// inserts bypass the per-row trace) sort after every known row in a
+// deterministic (local rid, shard) order.
+func (ti *tableInfo) globalPos(shard, rid int) int {
+	ti.mu.RLock()
+	defer ti.mu.RUnlock()
+	if shard < len(ti.global) && rid < len(ti.global[shard]) && ti.global[shard][rid] >= 0 {
+		return ti.global[shard][rid]
+	}
+	return ti.loaded + ti.noted + rid*len(ti.global) + shard
+}
+
+// Router partitions tables across N backends and routes statements. It is
+// safe for concurrent use; its Exec/ExecBatch match the exec.Runner and
+// exec.BatchRunner shapes.
+type Router struct {
+	backends []*server.Server
+	keys     map[string]string
+
+	prepMu   sync.Mutex
+	prepared map[string]*sqlmini.Stmt
+
+	tmu    sync.RWMutex
+	tables map[string]*tableInfo
+}
+
+// New starts a router over n fresh backends of the given profile; scale is
+// the wall-clock factor for simulated latencies (as in server.New). Load
+// data with LoadFrom before executing queries.
+func New(prof server.Profile, scale float64, opts Options) *Router {
+	n := opts.Shards
+	if n < 1 {
+		n = 1
+	}
+	backends := make([]*server.Server, n)
+	for i := range backends {
+		backends[i] = server.New(prof, scale)
+	}
+	return NewWithBackends(backends, opts.Keys)
+}
+
+// NewWithBackends wraps existing backends (tests, heterogeneous clusters).
+func NewWithBackends(backends []*server.Server, keys map[string]string) *Router {
+	if keys == nil {
+		keys = map[string]string{}
+	}
+	return &Router{
+		backends: backends,
+		keys:     keys,
+		prepared: map[string]*sqlmini.Stmt{},
+		tables:   map[string]*tableInfo{},
+	}
+}
+
+// Shards returns the number of backends.
+func (r *Router) Shards() int { return len(r.backends) }
+
+// Backends exposes the per-shard servers (tests, stats drill-down).
+func (r *Router) Backends() []*server.Server { return r.backends }
+
+// Partition returns the shard owning a key value. The hash folds the value's
+// canonical string form (FNV-1a), so routing and data distribution cannot
+// disagree, and int64 keys avoid the formatting allocation.
+func Partition(v any, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	var h uint64 = 14695981039346656037
+	const prime = 1099511628211
+	if i, ok := v.(int64); ok {
+		u := uint64(i)
+		for b := 0; b < 8; b++ {
+			h ^= u & 0xff
+			h *= prime
+			u >>= 8
+		}
+		return int(h % uint64(shards))
+	}
+	s := fmt.Sprintf("%v", v)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return int(h % uint64(shards))
+}
+
+func (r *Router) owner(v any) *server.Server {
+	return r.backends[Partition(v, len(r.backends))]
+}
+
+// LoadFrom partitions a fully loaded reference server across the backends:
+// every table is recreated with the same schema, page fanout and indexes;
+// sharded tables send each row to its key's owner (remembering the global
+// row order for scatter-gather merges) and replicated tables copy every row
+// to every shard. Call once, after the reference load, before queries.
+func (r *Router) LoadFrom(ref *server.Server) error {
+	tables := ref.Catalog().Tables()
+	// Catalog.Tables is map-ordered; extent ids are assigned in creation
+	// order, so sorting by extent replays the original DDL order and keeps
+	// extent numbering identical on every shard.
+	sort.Slice(tables, func(i, j int) bool { return tables[i].Extent < tables[j].Extent })
+
+	for _, t := range tables {
+		key := r.keys[t.Name]
+		ti := &tableInfo{key: key, keyPos: -1, global: make([][]int, len(r.backends))}
+		if key != "" {
+			ti.keyPos = t.Schema.ColIndex(key)
+			if ti.keyPos < 0 {
+				return fmt.Errorf("shard: table %s has no shard key column %q", t.Name, key)
+			}
+		}
+		replicas := make([]*storage.Table, len(r.backends))
+		for i, b := range r.backends {
+			replicas[i] = b.Catalog().CreateTable(t.Name, t.Schema)
+			replicas[i].SetRowsPerPage(t.RowsPerPage())
+		}
+		n := t.NumRows()
+		for rid := 0; rid < n; rid++ {
+			row := t.Row(rid)
+			if key == "" {
+				for _, nt := range replicas {
+					if _, err := nt.Insert(row); err != nil {
+						return fmt.Errorf("shard: replicate %s: %w", t.Name, err)
+					}
+				}
+				continue
+			}
+			s := Partition(row[ti.keyPos], len(r.backends))
+			if _, err := replicas[s].Insert(row); err != nil {
+				return fmt.Errorf("shard: distribute %s: %w", t.Name, err)
+			}
+			ti.global[s] = append(ti.global[s], rid)
+		}
+		ti.loaded = n
+		r.tmu.Lock()
+		r.tables[t.Name] = ti
+		r.tmu.Unlock()
+	}
+	for _, b := range r.backends {
+		b.FinishLoad()
+	}
+	for _, t := range tables {
+		for _, ix := range t.Indexes() {
+			for _, b := range r.backends {
+				if err := b.AddIndex(t.Name, ix.Column, ix.Unique); err != nil {
+					return fmt.Errorf("shard: index %s(%s): %w", t.Name, ix.Column, err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// prepare parses and caches a statement client-side, for routing only; the
+// backends keep their own prepared caches and pay their own planning charge.
+func (r *Router) prepare(sql string) (*sqlmini.Stmt, error) {
+	r.prepMu.Lock()
+	defer r.prepMu.Unlock()
+	if st, ok := r.prepared[sql]; ok {
+		return st, nil
+	}
+	st, err := sqlmini.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	r.prepared[sql] = st
+	return st, nil
+}
+
+func (r *Router) table(name string) *tableInfo {
+	r.tmu.RLock()
+	defer r.tmu.RUnlock()
+	return r.tables[name]
+}
+
+// Exec routes one statement: to the owning shard for point statements, to
+// shard 0 for replicated-table reads and statements that will fail
+// validation (any backend produces the identical error), broadcast for
+// replicated-table writes, and scatter-gather for the rest. Its shape
+// matches exec.Runner.
+func (r *Router) Exec(name, sql string, args []any) (any, error) {
+	st, err := r.prepare(sql)
+	if err != nil {
+		// Ship the malformed statement to a real backend so the round trip
+		// and the error text match the single-server path exactly.
+		return r.backends[0].Exec(name, sql, args)
+	}
+	ti := r.table(st.Table)
+	if ti == nil {
+		// Unknown table: identical "no table" error from any backend.
+		return r.backends[0].Exec(name, sql, args)
+	}
+	if st.Insert {
+		if ti.key == "" {
+			return r.broadcast(name, sql, args)
+		}
+		if v, ok := st.InsertValue(ti.keyPos, args); ok {
+			s := Partition(v, len(r.backends))
+			res, info, err := r.backends[s].ExecTraced(name, sql, args)
+			if err == nil && len(info.Matched) == 1 {
+				// Record where the row landed so scatter merges keep the
+				// exact single-server insertion order.
+				ti.notePos(s, info.Matched[0])
+			}
+			return res, err
+		}
+		// Arity/parameter errors surface identically on any backend.
+		return r.backends[0].Exec(name, sql, args)
+	}
+	if ti.key != "" {
+		if v, ok := st.WhereEqValue(ti.key, args); ok {
+			return r.owner(v).Exec(name, sql, args)
+		}
+		return r.scatter(name, sql, st, ti, args)
+	}
+	// Replicated table: every shard holds the full data; read one.
+	return r.backends[0].Exec(name, sql, args)
+}
+
+// broadcast runs a replicated-table write on every shard in parallel so the
+// replicas stay identical, returning one representative result.
+func (r *Router) broadcast(name, sql string, args []any) (any, error) {
+	vals := make([]any, len(r.backends))
+	errs := make([]error, len(r.backends))
+	var wg sync.WaitGroup
+	for i, b := range r.backends {
+		wg.Add(1)
+		go func(i int, b *server.Server) {
+			defer wg.Done()
+			vals[i], errs[i] = b.Exec(name, sql, args)
+		}(i, b)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return vals[0], nil
+}
+
+// scatter runs one statement on every shard in parallel and merges the
+// partial results into exactly what a single server holding all the data
+// would return.
+func (r *Router) scatter(name, sql string, st *sqlmini.Stmt, ti *tableInfo, args []any) (any, error) {
+	n := len(r.backends)
+	vals := make([]any, n)
+	infos := make([]sqlmini.ExecInfo, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i, b := range r.backends {
+		wg.Add(1)
+		go func(i int, b *server.Server) {
+			defer wg.Done()
+			vals[i], infos[i], errs[i] = b.ExecTraced(name, sql, args)
+		}(i, b)
+	}
+	wg.Wait()
+	// Validation errors are schema-determined and the schema is identical on
+	// every shard, so all shards fail alike; data-dependent errors (bad
+	// aggregate column type) fire on whichever shard holds a matching row.
+	// Either way any non-nil error is the single-server error.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if st.Agg != sqlmini.AggNone {
+		return mergeAgg(st.Agg, vals)
+	}
+	return mergeRows(ti, vals, infos), nil
+}
+
+// mergeAgg combines per-shard aggregates. COUNT and SUM add (both are 0 on
+// an empty shard, the single-server empty result); MAX and MIN compare the
+// non-nil partials and return nil — the single-server no-match result — when
+// every shard came up empty.
+func mergeAgg(kind sqlmini.AggKind, vals []any) (any, error) {
+	switch kind {
+	case sqlmini.AggCount, sqlmini.AggSum:
+		var total int64
+		for _, v := range vals {
+			n, ok := v.(int64)
+			if !ok {
+				return nil, fmt.Errorf("shard: aggregate merge: unexpected partial %T", v)
+			}
+			total += n
+		}
+		return total, nil
+	case sqlmini.AggMax, sqlmini.AggMin:
+		var best int64
+		have := false
+		for _, v := range vals {
+			if v == nil {
+				continue
+			}
+			n, ok := v.(int64)
+			if !ok {
+				return nil, fmt.Errorf("shard: aggregate merge: unexpected partial %T", v)
+			}
+			if !have || (kind == sqlmini.AggMax && n > best) || (kind == sqlmini.AggMin && n < best) {
+				best = n
+				have = true
+			}
+		}
+		if !have {
+			return nil, nil
+		}
+		return best, nil
+	}
+	return nil, fmt.Errorf("shard: aggregate merge: unsupported kind %d", kind)
+}
+
+// mergeRows interleaves per-shard row results back into global row order.
+// Each shard returns its matches in ascending local rid order; the table's
+// global map translates (shard, local rid) into the original load order, so
+// the merged slice is byte-identical to the single-server result.
+func mergeRows(ti *tableInfo, vals []any, infos []sqlmini.ExecInfo) interp.Rows {
+	type tagged struct {
+		pos, shard int
+		row        interp.Row
+	}
+	var all []tagged
+	for s, v := range vals {
+		rows, _ := v.(interp.Rows)
+		matched := infos[s].Matched
+		for j, row := range rows {
+			// finish() guarantees one matched rid per returned row; the
+			// defensive branch keeps a malformed trace deterministic.
+			rid := j
+			if j < len(matched) {
+				rid = matched[j]
+			}
+			all = append(all, tagged{pos: ti.globalPos(s, rid), shard: s, row: row})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].pos != all[j].pos {
+			return all[i].pos < all[j].pos
+		}
+		return all[i].shard < all[j].shard
+	})
+	out := make(interp.Rows, len(all))
+	for i, t := range all {
+		out[i] = t.row
+	}
+	return out
+}
+
+// ExecBatch splits a set-oriented submission into per-shard sub-batches that
+// execute in parallel, plus individual scatter-gather calls for bindings
+// with no shard-key value, and demultiplexes everything back into binding
+// order. Each sub-batch pays its shard one round trip and one planning
+// charge, so an N-shard cluster executes a large batch roughly N-way
+// parallel. Its shape matches exec.BatchRunner.
+func (r *Router) ExecBatch(name, sql string, argSets [][]any) ([]any, []error) {
+	st, err := r.prepare(sql)
+	if err != nil {
+		return r.backends[0].ExecBatch(name, sql, argSets)
+	}
+	ti := r.table(st.Table)
+	if ti == nil {
+		return r.backends[0].ExecBatch(name, sql, argSets)
+	}
+	if ti.key == "" {
+		if st.Insert {
+			return r.broadcastBatch(name, sql, argSets)
+		}
+		return r.backends[0].ExecBatch(name, sql, argSets)
+	}
+
+	n := len(argSets)
+	results := make([]any, n)
+	errs := make([]error, n)
+	groups := make([][]int, len(r.backends)) // binding indices per shard
+	var scatterIdx []int
+	for i, args := range argSets {
+		var v any
+		var ok bool
+		if st.Insert {
+			if v, ok = st.InsertValue(ti.keyPos, args); !ok {
+				// Failing bindings execute (and fail identically) anywhere.
+				groups[0] = append(groups[0], i)
+				continue
+			}
+		} else if v, ok = st.WhereEqValue(ti.key, args); !ok {
+			scatterIdx = append(scatterIdx, i)
+			continue
+		}
+		s := Partition(v, len(r.backends))
+		groups[s] = append(groups[s], i)
+	}
+
+	var wg sync.WaitGroup
+	for s, idxs := range groups {
+		if len(idxs) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s int, idxs []int) {
+			defer wg.Done()
+			sub := make([][]any, len(idxs))
+			for j, i := range idxs {
+				sub[j] = argSets[i]
+			}
+			vals, es := r.backends[s].ExecBatch(name, sql, sub)
+			for j, i := range idxs {
+				if j < len(vals) {
+					results[i] = vals[j]
+				}
+				if j < len(es) {
+					errs[i] = es[j]
+				}
+			}
+		}(s, idxs)
+	}
+	for _, i := range scatterIdx {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = r.scatter(name, sql, st, ti, argSets[i])
+		}(i)
+	}
+	wg.Wait()
+	return results, errs
+}
+
+// broadcastBatch applies a replicated-table write batch to every shard in
+// parallel and returns shard 0's per-binding results.
+func (r *Router) broadcastBatch(name, sql string, argSets [][]any) ([]any, []error) {
+	type res struct {
+		vals []any
+		errs []error
+	}
+	out := make([]res, len(r.backends))
+	var wg sync.WaitGroup
+	for i, b := range r.backends {
+		wg.Add(1)
+		go func(i int, b *server.Server) {
+			defer wg.Done()
+			out[i].vals, out[i].errs = b.ExecBatch(name, sql, argSets)
+		}(i, b)
+	}
+	wg.Wait()
+	return out[0].vals, out[0].errs
+}
+
+// BatchGroup is the coalescing refinement for batched submission
+// (batch.Options.GroupFn): it returns the shard a request would route to,
+// or len(backends) for statements that scatter or fail, so the coalescer
+// forms single-shard batches that ExecBatch never has to split. Grouping is
+// an optimization only — ExecBatch re-derives the routing per binding, so a
+// mixed batch still executes correctly.
+func (r *Router) BatchGroup(name, sql string, args []any) int {
+	st, err := r.prepare(sql)
+	if err != nil {
+		return len(r.backends)
+	}
+	ti := r.table(st.Table)
+	if ti == nil || ti.key == "" {
+		return len(r.backends)
+	}
+	var v any
+	var ok bool
+	if st.Insert {
+		v, ok = st.InsertValue(ti.keyPos, args)
+	} else {
+		v, ok = st.WhereEqValue(ti.key, args)
+	}
+	if !ok {
+		return len(r.backends)
+	}
+	return Partition(v, len(r.backends))
+}
+
+// Runner adapts the router for the async executor.
+func (r *Router) Runner() exec.Runner { return r.Exec }
+
+// BatchRunner adapts the router's split/scatter batch path for the batch
+// executor.
+func (r *Router) BatchRunner() exec.BatchRunner { return r.ExecBatch }
+
+// Warm preloads every shard's registered extents.
+func (r *Router) Warm() {
+	for _, b := range r.backends {
+		b.Warm()
+	}
+}
+
+// ColdStart empties every shard's buffer pool.
+func (r *Router) ColdStart() {
+	for _, b := range r.backends {
+		b.ColdStart()
+	}
+}
+
+// SetScale updates the latency scale on every shard's clock.
+func (r *Router) SetScale(scale float64) {
+	for _, b := range r.backends {
+		b.Clock.SetScale(scale)
+	}
+}
+
+// Close shuts down every backend.
+func (r *Router) Close() {
+	for _, b := range r.backends {
+		b.Close()
+	}
+}
+
+// ShardStats returns each backend's counters, in shard order.
+func (r *Router) ShardStats() []server.Stats {
+	out := make([]server.Stats, len(r.backends))
+	for i, b := range r.backends {
+		out[i] = b.Stats()
+	}
+	return out
+}
+
+// Stats returns cluster-aggregate counters: sums of the per-shard counts
+// (round trips, batches, buffer and disk activity); VirtualTime is the
+// maximum across shards, since shards burn simulated time in parallel.
+func (r *Router) Stats() server.Stats {
+	var agg server.Stats
+	for _, s := range r.ShardStats() {
+		agg.Queries += s.Queries
+		agg.Inserts += s.Inserts
+		agg.RowsRead += s.RowsRead
+		agg.NetRequests += s.NetRequests
+		agg.Batches += s.Batches
+		agg.BufferHits += s.BufferHits
+		agg.BufferMiss += s.BufferMiss
+		agg.Disk.Requests += s.Disk.Requests
+		agg.Disk.PagesRead += s.Disk.PagesRead
+		agg.Disk.SeekTime += s.Disk.SeekTime
+		agg.Disk.BusyTime += s.Disk.BusyTime
+		if s.Disk.MaxQueue > agg.Disk.MaxQueue {
+			agg.Disk.MaxQueue = s.Disk.MaxQueue
+		}
+		if s.VirtualTime > agg.VirtualTime {
+			agg.VirtualTime = s.VirtualTime
+		}
+	}
+	return agg
+}

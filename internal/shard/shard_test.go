@@ -1,0 +1,308 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/server"
+	"repro/internal/storage"
+)
+
+// newFixture loads a reference server with a sharded users table (unique
+// index on uid, secondary on grp) and a replicated logs table, and a router
+// over n shards partitioned from it. Scale 0: no wall-clock sleeping.
+func newFixture(t *testing.T, n int) (*server.Server, *Router) {
+	t.Helper()
+	ref := server.New(server.SYS1(), 0)
+	t.Cleanup(ref.Close)
+	users := ref.Catalog().CreateTable("users", storage.NewSchema(
+		storage.Column{Name: "uid", Type: storage.TInt},
+		storage.Column{Name: "name", Type: storage.TString},
+		storage.Column{Name: "grp", Type: storage.TInt},
+	))
+	users.SetRowsPerPage(8)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		if _, err := users.Insert([]any{int64(i), fmt.Sprintf("u%d", i), int64(rng.Intn(20))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	logs := ref.Catalog().CreateTable("logs", storage.NewSchema(
+		storage.Column{Name: "id", Type: storage.TInt},
+		storage.Column{Name: "msg", Type: storage.TString},
+	))
+	for i := 0; i < 40; i++ {
+		if _, err := logs.Insert([]any{int64(i), fmt.Sprintf("m%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ref.FinishLoad()
+	if err := ref.AddIndex("users", "uid", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.AddIndex("users", "grp", false); err != nil {
+		t.Fatal(err)
+	}
+
+	r := New(server.SYS1(), 0, Options{Shards: n, Keys: map[string]string{"users": "uid"}})
+	t.Cleanup(r.Close)
+	if err := r.LoadFrom(ref); err != nil {
+		t.Fatal(err)
+	}
+	return ref, r
+}
+
+// same asserts the sharded result equals the single-server result.
+func same(t *testing.T, label string, want, got any, wantErr, gotErr error) {
+	t.Helper()
+	if (wantErr == nil) != (gotErr == nil) {
+		t.Fatalf("%s: error mismatch: single %v, sharded %v", label, wantErr, gotErr)
+	}
+	if wantErr != nil {
+		if wantErr.Error() != gotErr.Error() {
+			t.Fatalf("%s: error text: single %q, sharded %q", label, wantErr, gotErr)
+		}
+		return
+	}
+	if !interp.Equal(want, got) {
+		t.Fatalf("%s: result: single %s, sharded %s",
+			label, interp.Format(want), interp.Format(got))
+	}
+}
+
+func TestPartitionIsDeterministicAndSpreads(t *testing.T) {
+	counts := make([]int, 4)
+	for i := int64(0); i < 1000; i++ {
+		s := Partition(i, 4)
+		if s != Partition(i, 4) {
+			t.Fatalf("unstable partition for %d", i)
+		}
+		if s < 0 || s >= 4 {
+			t.Fatalf("partition out of range: %d", s)
+		}
+		counts[s]++
+	}
+	for s, c := range counts {
+		if c == 0 {
+			t.Fatalf("shard %d received no keys: %v", s, counts)
+		}
+	}
+	if Partition("abc", 3) != Partition("abc", 3) {
+		t.Fatal("unstable string partition")
+	}
+	if Partition(int64(42), 1) != 0 {
+		t.Fatal("single shard must own everything")
+	}
+}
+
+func TestPointQueryRoutesToOwningShard(t *testing.T) {
+	ref, r := newFixture(t, 3)
+	const q = "select name, grp from users where uid = ?"
+	for i := int64(0); i < 100; i++ {
+		want, wantErr := ref.Exec("q", q, []any{i})
+		got, gotErr := r.Exec("q", q, []any{i})
+		same(t, fmt.Sprintf("uid=%d", i), want, got, wantErr, gotErr)
+	}
+	// Point queries must not fan out: exactly one backend round trip each.
+	if n := r.Stats().NetRequests; n != 100 {
+		t.Fatalf("expected 100 round trips for 100 point queries, got %d", n)
+	}
+	perShard := r.ShardStats()
+	var spread int
+	for _, s := range perShard {
+		if s.Queries > 0 {
+			spread++
+		}
+	}
+	if spread < 2 {
+		t.Fatalf("expected point queries spread over shards, got %+v", perShard)
+	}
+}
+
+func TestScatterRowSelectPreservesGlobalOrder(t *testing.T) {
+	ref, r := newFixture(t, 4)
+	// grp is not the shard key: matching rows live on several shards and the
+	// single-server result interleaves them in insertion (rid) order.
+	const q = "select uid, name from users where grp = ?"
+	for g := int64(0); g < 20; g++ {
+		want, wantErr := ref.Exec("q", q, []any{g})
+		got, gotErr := r.Exec("q", q, []any{g})
+		same(t, fmt.Sprintf("grp=%d", g), want, got, wantErr, gotErr)
+		if rows, ok := want.(interp.Rows); !ok || len(rows) == 0 {
+			t.Fatalf("grp=%d: degenerate fixture, want non-empty rows", g)
+		}
+	}
+}
+
+func TestScatterAggregates(t *testing.T) {
+	ref, r := newFixture(t, 4)
+	queries := []string{
+		"select count(uid) from users where grp = ?",
+		"select sum(uid) from users where grp = ?",
+		"select max(uid) from users where grp = ?",
+		"select min(uid) from users where grp = ?",
+	}
+	for _, q := range queries {
+		for _, g := range []int64{0, 7, 19, 99} { // 99 matches nothing
+			want, wantErr := ref.Exec("q", q, []any{g})
+			got, gotErr := r.Exec("q", q, []any{g})
+			same(t, fmt.Sprintf("%s g=%d", q, g), want, got, wantErr, gotErr)
+		}
+	}
+	// Predicate-free full scans scatter too.
+	for _, q := range []string{
+		"select count(uid) from users",
+		"select sum(grp) from users",
+	} {
+		want, wantErr := ref.Exec("q", q, nil)
+		got, gotErr := r.Exec("q", q, nil)
+		same(t, q, want, got, wantErr, gotErr)
+	}
+}
+
+func TestRoutedInsertAndReadBack(t *testing.T) {
+	ref, r := newFixture(t, 3)
+	const ins = "insert into users values (?, ?, ?)"
+	const sel = "select name from users where uid = ?"
+	for i := int64(1000); i < 1020; i++ {
+		args := []any{i, fmt.Sprintf("new%d", i), int64(3)}
+		want, wantErr := ref.Exec("ins", ins, args)
+		got, gotErr := r.Exec("ins", ins, args)
+		same(t, "insert", want, got, wantErr, gotErr)
+	}
+	var total int
+	for _, b := range r.Backends() {
+		total += b.Catalog().Table("users").NumRows()
+	}
+	if total != ref.Catalog().Table("users").NumRows() {
+		t.Fatalf("sharded row total %d != single-server %d", total,
+			ref.Catalog().Table("users").NumRows())
+	}
+	for i := int64(1000); i < 1020; i++ {
+		want, wantErr := ref.Exec("q", sel, []any{i})
+		got, gotErr := r.Exec("q", sel, []any{i})
+		same(t, fmt.Sprintf("readback uid=%d", i), want, got, wantErr, gotErr)
+	}
+	// Scatter reads see the runtime-inserted rows in exact insertion order:
+	// the grp=3 result now interleaves loaded rows with the new ones (which
+	// landed on different shards), and the router's insert trace must merge
+	// them where a single server would.
+	want, wantErr := ref.Exec("q", "select uid, name from users where grp = ?", []any{int64(3)})
+	got, gotErr := r.Exec("q", "select uid, name from users where grp = ?", []any{int64(3)})
+	same(t, "scatter after inserts", want, got, wantErr, gotErr)
+}
+
+func TestReplicatedTableBroadcastsWritesAndReadsLocally(t *testing.T) {
+	ref, r := newFixture(t, 3)
+	want, wantErr := ref.Exec("ins", "insert into logs values (?, ?)", []any{int64(100), "hello"})
+	got, gotErr := r.Exec("ins", "insert into logs values (?, ?)", []any{int64(100), "hello"})
+	same(t, "replicated insert", want, got, wantErr, gotErr)
+	for s, b := range r.Backends() {
+		if n := b.Catalog().Table("logs").NumRows(); n != 41 {
+			t.Fatalf("shard %d: replicated logs has %d rows, want 41", s, n)
+		}
+	}
+	want, wantErr = ref.Exec("q", "select msg from logs where id = ?", []any{int64(100)})
+	got, gotErr = r.Exec("q", "select msg from logs where id = ?", []any{int64(100)})
+	same(t, "replicated read", want, got, wantErr, gotErr)
+}
+
+func TestExecBatchSplitsAndDemultiplexesInOrder(t *testing.T) {
+	ref, r := newFixture(t, 4)
+	const q = "select name, grp from users where uid = ?"
+	rng := rand.New(rand.NewSource(11))
+	argSets := make([][]any, 64)
+	for i := range argSets {
+		argSets[i] = []any{int64(rng.Intn(500))}
+	}
+	wantVals, wantErrs := ref.ExecBatch("q", q, argSets)
+	gotVals, gotErrs := r.ExecBatch("q", q, argSets)
+	if len(gotVals) != len(argSets) || len(gotErrs) != len(argSets) {
+		t.Fatalf("batch result arity: %d vals, %d errs", len(gotVals), len(gotErrs))
+	}
+	for i := range argSets {
+		same(t, fmt.Sprintf("binding %d", i), wantVals[i], gotVals[i], wantErrs[i], gotErrs[i])
+	}
+	// The batch must split into at most one sub-batch per shard, in parallel:
+	// round trips paid == number of shards hit, not number of bindings.
+	agg := r.Stats()
+	if agg.Batches < 2 || agg.Batches > int64(len(r.Backends())) {
+		t.Fatalf("expected 2..%d per-shard sub-batches, got %d", len(r.Backends()), agg.Batches)
+	}
+	if agg.NetRequests != agg.Batches {
+		t.Fatalf("round trips %d != sub-batches %d", agg.NetRequests, agg.Batches)
+	}
+}
+
+func TestExecBatchScatterBindings(t *testing.T) {
+	ref, r := newFixture(t, 3)
+	// grp is not the shard key, so every binding scatter-gathers; results
+	// still demultiplex back into binding order.
+	const q = "select uid from users where grp = ?"
+	argSets := [][]any{{int64(3)}, {int64(99)}, {int64(3)}, {int64(17)}}
+	wantVals, wantErrs := ref.ExecBatch("q", q, argSets)
+	gotVals, gotErrs := r.ExecBatch("q", q, argSets)
+	for i := range argSets {
+		same(t, fmt.Sprintf("scatter binding %d", i), wantVals[i], gotVals[i], wantErrs[i], gotErrs[i])
+	}
+}
+
+func TestErrorTextsMatchSingleServer(t *testing.T) {
+	ref, r := newFixture(t, 3)
+	cases := []struct {
+		label string
+		sql   string
+		args  []any
+	}{
+		{"parse error", "delete from users", nil},
+		{"unknown table", "select a from nosuch where a = ?", []any{int64(1)}},
+		{"unknown column", "select nope from users where uid = ?", []any{int64(1)}},
+		{"unknown where column", "select name from users where nope = ?", []any{int64(1)}},
+		{"param count", "select name from users where uid = ?", nil},
+		{"insert arity", "insert into users values (?)", []any{int64(1)}},
+	}
+	for _, c := range cases {
+		want, wantErr := ref.Exec("q", c.sql, c.args)
+		got, gotErr := r.Exec("q", c.sql, c.args)
+		if wantErr == nil {
+			t.Fatalf("%s: fixture expected an error", c.label)
+		}
+		same(t, c.label, want, got, wantErr, gotErr)
+	}
+	// Batch path: malformed statements fail every binding with the same text.
+	wantVals, wantErrs := ref.ExecBatch("q", "select a from nosuch where a = ?", [][]any{{int64(1)}, {int64(2)}})
+	gotVals, gotErrs := r.ExecBatch("q", "select a from nosuch where a = ?", [][]any{{int64(1)}, {int64(2)}})
+	for i := range wantErrs {
+		same(t, fmt.Sprintf("batch err %d", i), wantVals[i], gotVals[i], wantErrs[i], gotErrs[i])
+	}
+}
+
+func TestStatsAggregateAndWarm(t *testing.T) {
+	_, r := newFixture(t, 2)
+	r.ColdStart()
+	r.Warm()
+	if _, err := r.Exec("q", "select name from users where uid = ?", []any{int64(1)}); err != nil {
+		t.Fatal(err)
+	}
+	agg := r.Stats()
+	if agg.Queries != 1 || agg.NetRequests != 1 {
+		t.Fatalf("aggregate stats: %+v", agg)
+	}
+	per := r.ShardStats()
+	if len(per) != 2 {
+		t.Fatalf("want 2 shard stats, got %d", len(per))
+	}
+	var q int64
+	for _, s := range per {
+		q += s.Queries
+	}
+	if q != agg.Queries {
+		t.Fatalf("per-shard queries %d != aggregate %d", q, agg.Queries)
+	}
+	// Warm pools answer the point query without disk reads.
+	if agg.Disk.PagesRead != 0 {
+		t.Fatalf("warm read hit the disk: %+v", agg.Disk)
+	}
+}

@@ -7,6 +7,7 @@
 package simclock
 
 import (
+	"runtime"
 	"sync/atomic"
 	"time"
 )
@@ -57,7 +58,12 @@ func (c *Clock) VirtualSpent() time.Duration {
 }
 
 // preciseSleep sleeps with ~10µs accuracy: long waits use time.Sleep, the
-// final stretch spins. The spin ceiling keeps CPU burn bounded.
+// final stretch spins. The spin ceiling keeps CPU burn bounded. The spin
+// yields the processor on every check: simulated latencies model time
+// passing, not CPU consumption (CPU contention is modelled by core tokens),
+// so concurrent sleeps must make progress together even when the host has
+// fewer cores than sleepers — on a single-core machine a tight spin would
+// serialize every overlapping latency and distort all concurrency effects.
 func preciseSleep(d time.Duration) {
 	if d <= 0 {
 		return
@@ -68,6 +74,6 @@ func preciseSleep(d time.Duration) {
 		time.Sleep(d - spinWindow)
 	}
 	for time.Since(start) < d {
-		// spin
+		runtime.Gosched()
 	}
 }

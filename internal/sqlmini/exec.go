@@ -18,6 +18,13 @@ type ExecInfo struct {
 	RowsReturned int
 	UsedIndex    bool
 	FullScan     bool
+	// Matched lists the row ids that survived the residual filter, in result
+	// order (ascending rid); for INSERT statements it holds the inserted
+	// row's id. A shard router uses it to restore the global row order in
+	// scatter-gather merges and to track routed inserts; it aliases
+	// execution-internal storage, so callers must not mutate it. Unset by
+	// ExecuteBatch.
+	Matched []int
 }
 
 // Execute runs a parsed statement against the catalog, driving page accesses
@@ -208,6 +215,7 @@ func executeInsert(st *Stmt, t *storage.Table, pool *buffer.Pool, args []any, in
 	pool.Put(buffer.PageID{Extent: t.Extent, Page: t.PageOf(rid)})
 	info.PagesTouched = 1
 	info.RowsReturned = 1
+	info.Matched = []int{rid}
 	return int64(1), *info, nil
 }
 
@@ -251,6 +259,7 @@ func finish(st *Stmt, t *storage.Table, conds []Cond, rids []int, info *ExecInfo
 			matched = append(matched, rid)
 		}
 	}
+	info.Matched = matched
 
 	if st.Agg != AggNone {
 		v, err := aggregate(st, t, matched)

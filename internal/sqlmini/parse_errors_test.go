@@ -1,0 +1,174 @@
+package sqlmini
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/buffer"
+	"repro/internal/disk"
+	"repro/internal/simclock"
+	"repro/internal/storage"
+)
+
+// The differential corpus only ever runs well-formed statements against
+// loaded schemas, so these error paths — the parser's rejections and the
+// executor's unknown-table/column diagnostics — are pinned here, message
+// text included: server, batch and shard layers all forward these errors
+// verbatim, and the shard differential tests rely on every backend producing
+// the identical text.
+
+func TestParseMalformedStatements(t *testing.T) {
+	cases := []struct {
+		sql  string
+		want string // substring of the error text
+	}{
+		// Lexer rejections.
+		{"select a from t where b = 'unterminated", "unterminated string"},
+		{"select a from t; drop table t", "unexpected character"},
+		{"select a from t where b = 99999999999999999999", "bad number"},
+		// Malformed predicates.
+		{"select a from t where b > ?", "unexpected character"}, // no such operator in the subset
+		{"select a from t where b , ?", `expected "="`},
+		{"select a from t where = ?", "expected column in WHERE"},
+		{"select a from t where b = select", "expected ? or literal"},
+		{"select a from t where b = ? and", "expected column in WHERE"},
+		{"select a from t where b = ? or c = ?", "trailing input"},
+		// Malformed clauses.
+		{"", "expected SELECT or INSERT"},
+		{"update t", "expected SELECT or INSERT"},
+		// ("from" parses as a column name — the grammar has no reserved
+		// words — so these failures land on the missing FROM keyword.)
+		{"select from t", "expected FROM"},
+		{"select a, from t", "expected FROM"},
+		{"select a, = from t", "expected column name"},
+		{"select a b from t", "expected FROM"},
+		{"select a from", "expected table name"},
+		{"select max() from t", "bad aggregate argument"},
+		{"select sum(*) from t", "sum(*) not supported"},
+		{"select max(a from t", `expected ")"`},
+		// Malformed inserts.
+		{"insert t values (?)", "expected INTO"},
+		// ("values" parses as the table name; the failure lands on VALUES.)
+		{"insert into values (?)", "expected VALUES"},
+		{"insert into (x) values (?)", "expected table name"},
+		{"insert into t (?)", "expected VALUES"},
+		{"insert into t values ?", `expected "("`},
+		{"insert into t values (?,)", "expected value"},
+		{"insert into t values (?", `expected ")"`},
+		{"insert into t values (?) extra", "trailing input"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.sql)
+		if err == nil {
+			t.Errorf("Parse(%q): expected error containing %q, got nil", c.sql, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%q): error %q does not contain %q", c.sql, err, c.want)
+		}
+	}
+}
+
+func errEnv(t *testing.T) (*storage.Catalog, *buffer.Pool, func()) {
+	t.Helper()
+	cat := storage.NewCatalog()
+	d := disk.New(disk.DefaultParams(), simclock.New(0))
+	pool := buffer.NewPool(1<<10, d)
+	tbl := cat.CreateTable("item", storage.NewSchema(
+		storage.Column{Name: "iid", Type: storage.TInt},
+		storage.Column{Name: "label", Type: storage.TString},
+	))
+	for i := int64(0); i < 10; i++ {
+		if _, err := tbl.Insert([]any{i, "x"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pool.MapExtent(tbl.Extent, 0)
+	return cat, pool, func() { d.Close() }
+}
+
+func TestExecuteUnknownTableAndColumnTexts(t *testing.T) {
+	cat, pool, done := errEnv(t)
+	defer done()
+	cases := []struct {
+		sql  string
+		args []any
+		want string
+	}{
+		{"select iid from nosuch where iid = ?", []any{int64(1)}, `no table "nosuch"`},
+		{"select iid from item where ghost = ?", []any{int64(1)}, `no column "ghost"`},
+		{"select ghost from item where iid = ?", []any{int64(1)}, `no column "ghost"`},
+		{"select max(ghost) from item where iid = ?", []any{int64(1)}, `no column "ghost"`},
+		{"select max(label) from item where iid = ?", []any{int64(1)}, "aggregate over non-int column"},
+		{"select iid from item where iid = ?", nil, "0 parameters bound, want 1"},
+		{"insert into item values (?)", []any{int64(1)}, "insert arity 1, want 2"},
+		{"insert into nosuch values (?)", []any{int64(1)}, `no table "nosuch"`},
+	}
+	for _, c := range cases {
+		st, err := Parse(c.sql)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.sql, err)
+		}
+		_, _, err = Execute(st, cat, pool, c.args)
+		if err == nil {
+			t.Errorf("Execute(%q): expected error containing %q, got nil", c.sql, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Execute(%q): error %q does not contain %q", c.sql, err, c.want)
+		}
+		// The batched path must fail every binding with the identical text.
+		vals, errs, _ := ExecuteBatch(st, cat, pool, [][]any{c.args, c.args})
+		for i, be := range errs {
+			if be == nil || be.Error() != err.Error() {
+				t.Errorf("ExecuteBatch(%q) binding %d: error %v, want %q", c.sql, i, be, err)
+			}
+			if vals[i] != nil {
+				t.Errorf("ExecuteBatch(%q) binding %d: non-nil result %v alongside error", c.sql, i, vals[i])
+			}
+		}
+	}
+}
+
+func TestShardKeyExtraction(t *testing.T) {
+	sel, err := Parse("select a from t where k = ? and j = 7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := sel.WhereEqValue("k", []any{int64(42)}); !ok || v != int64(42) {
+		t.Errorf("WhereEqValue param: %v %v", v, ok)
+	}
+	if v, ok := sel.WhereEqValue("j", nil); !ok || v != int64(7) {
+		t.Errorf("WhereEqValue literal: %v %v", v, ok)
+	}
+	if _, ok := sel.WhereEqValue("missing", []any{int64(1)}); ok {
+		t.Error("WhereEqValue must miss on absent column")
+	}
+	if _, ok := sel.WhereEqValue("k", nil); ok {
+		t.Error("WhereEqValue must miss when the parameter is not bound")
+	}
+
+	ins, err := Parse("insert into t values (?, 'lit', ?)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := []any{int64(5), int64(9)}
+	if v, ok := ins.InsertValue(0, args); !ok || v != int64(5) {
+		t.Errorf("InsertValue param: %v %v", v, ok)
+	}
+	if v, ok := ins.InsertValue(1, args); !ok || v != "lit" {
+		t.Errorf("InsertValue literal: %v %v", v, ok)
+	}
+	if _, ok := ins.InsertValue(3, args); ok {
+		t.Error("InsertValue must miss outside the VALUES list")
+	}
+	if _, ok := ins.InsertValue(-1, args); ok {
+		t.Error("InsertValue must miss on negative positions")
+	}
+	if _, ok := ins.InsertValue(2, args[:1]); ok {
+		t.Error("InsertValue must miss when the parameter is not bound")
+	}
+	if _, ok := sel.InsertValue(0, args); ok {
+		t.Error("InsertValue must miss on non-INSERT statements")
+	}
+}

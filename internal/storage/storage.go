@@ -8,6 +8,7 @@ package storage
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -125,6 +126,20 @@ func (t *Table) Index(column string) *Index {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	return t.indexes[column]
+}
+
+// Indexes lists the table's indexes sorted by column name, so callers that
+// replicate a physical design (the shard router's partitioner) see a
+// deterministic order.
+func (t *Table) Indexes() []*Index {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]*Index, 0, len(t.indexes))
+	for _, ix := range t.indexes {
+		out = append(out, ix)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Column < out[j].Column })
+	return out
 }
 
 // Insert appends a row, maintaining indexes, and returns its row id.
