@@ -21,6 +21,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/minilang"
 	"repro/internal/server"
+	"repro/internal/storage"
 	"repro/internal/testsvc"
 )
 
@@ -215,6 +216,79 @@ func BenchmarkShardScale(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkServerHotPath measures the server's own execution loop — the
+// real-CPU cost left after round trips and planning charges were amortized
+// away — on a warm cache with simulated latencies disabled (Scale = 0), so
+// time/op and allocs/op are the engine's, not the simulator's. Sub-benchmarks
+// cover the batched index probe (aggregate and row-returning), the batched
+// shared scan, and the single point query.
+func BenchmarkServerHotPath(b *testing.B) {
+	newSrv := func(b *testing.B) *server.Server {
+		b.Helper()
+		srv := server.New(server.SYS1(), 0)
+		users := srv.Catalog().CreateTable("users", storage.NewSchema(
+			storage.Column{Name: "id", Type: storage.TInt},
+			storage.Column{Name: "name", Type: storage.TString},
+			storage.Column{Name: "rating", Type: storage.TInt},
+		))
+		for i := int64(0); i < 8192; i++ {
+			if _, err := users.Insert([]any{i, fmt.Sprintf("user%d", i), i % 32}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		srv.FinishLoad()
+		if err := srv.AddIndex("users", "id", true); err != nil {
+			b.Fatal(err)
+		}
+		if err := srv.AddIndex("users", "rating", false); err != nil {
+			b.Fatal(err)
+		}
+		srv.Warm()
+		return srv
+	}
+
+	const batchSize = 16
+	run := func(name, sql string, argOf func(i int) []any) {
+		b.Run(name, func(b *testing.B) {
+			srv := newSrv(b)
+			defer srv.Close()
+			argSets := make([][]any, batchSize)
+			for i := range argSets {
+				argSets[i] = argOf(i)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, errs := srv.ExecBatch("q", sql, argSets)
+				for _, err := range errs {
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+	run("batch-agg-index", "select count(id) from users where rating = ?",
+		func(i int) []any { return []any{int64(i % 32)} })
+	run("batch-rows-index", "select name, rating from users where id = ?",
+		func(i int) []any { return []any{int64(i * 37 % 8192)} })
+	run("batch-agg-scan", "select sum(rating) from users where name = ?",
+		func(i int) []any { return []any{fmt.Sprintf("user%d", i)} })
+
+	b.Run("exec-point", func(b *testing.B) {
+		srv := newSrv(b)
+		defer srv.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := srv.Exec("q", "select name, rating from users where id = ?",
+				[]any{int64(i % 8192)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // --- Micro-benchmarks of the machinery ---

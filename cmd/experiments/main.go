@@ -4,26 +4,65 @@
 // Usage:
 //
 //	experiments [-scale 0.2] [-quick] [-fig 8|..|15|batch-category|batch-rubis|shard-scale|all] [-table1]
+//	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // With no selection flags, everything runs. Times are reported in simulated
 // seconds (wall time divided by -scale), so results are comparable across
-// scale settings.
+// scale settings. The profile flags write pprof CPU/heap profiles covering
+// the selected experiments, so perf work can attach evidence without
+// ad-hoc patches: go tool pprof cpu.pprof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/experiments"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	scale := flag.Float64("scale", 0.2, "wall-clock scale for simulated latencies (1.0 = full)")
 	quick := flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
 	fig := flag.String("fig", "", "figure to run: 8..15, batch-category, batch-rubis, shard-scale or 'all' (default: all)")
 	table1 := flag.Bool("table1", false, "run only Table I")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to `file`")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to `file`")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: -cpuprofile: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: -cpuprofile: %v\n", err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // report live heap, not garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: -memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	h := experiments.NewHarness()
 	h.Scale = *scale
@@ -32,16 +71,17 @@ func main() {
 
 	if *table1 {
 		fmt.Print(experiments.RenderTable1(experiments.Table1()))
-		return
+		return 0
 	}
 
-	run := func(name string, f func() (*experiments.Figure, error)) {
+	run := func(name string, f func() (*experiments.Figure, error)) bool {
 		figOut, err := f()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
-			os.Exit(1)
+			return false
 		}
 		fmt.Println(experiments.Render(figOut))
+		return true
 	}
 
 	figs := map[string]func() (*experiments.Figure, error){
@@ -60,15 +100,20 @@ func main() {
 	case "", "all":
 		for _, id := range []string{"8", "9", "10", "11", "12", "13", "14", "15",
 			"batch-category", "batch-rubis", "shard-scale"} {
-			run(label(id), figs[id])
+			if !run(label(id), figs[id]) {
+				return 1
+			}
 		}
 		fmt.Print(experiments.RenderTable1(experiments.Table1()))
 	default:
 		f, ok := figs[*fig]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "experiments: unknown figure %q\n", *fig)
-			os.Exit(2)
+			return 2
 		}
-		run(label(*fig), f)
+		if !run(label(*fig), f) {
+			return 1
+		}
 	}
+	return 0
 }

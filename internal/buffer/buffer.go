@@ -1,14 +1,20 @@
-// Package buffer implements the database server's LRU buffer pool. The
-// paper's warm-vs-cold cache dimension falls out of this component: a warm
-// run starts with the working set resident (Preload), a cold run starts
-// empty and pays disk reads on first touch. Concurrently submitted queries
-// that touch overlapping pages also benefit here — the second request finds
-// the page already cached — which approximates the "shared scans" effect the
+// Package buffer implements the database server's buffer pool. The paper's
+// warm-vs-cold cache dimension falls out of this component: a warm run
+// starts with the working set resident (Preload), a cold run starts empty
+// and pays disk reads on first touch. Concurrently submitted queries that
+// touch overlapping pages also benefit here — the second request finds the
+// page already cached — which approximates the "shared scans" effect the
 // paper cites (§I).
+//
+// The pool is N-way striped by PageID hash: each stripe owns a fixed share
+// of the capacity behind its own mutex, so concurrent executions on
+// different pages never contend on a global lock. Within a stripe, eviction
+// is CLOCK (second chance) over a flat frame slice — hits set a reference
+// bit instead of relinking a list node, so a warm page touch is a map probe
+// plus a bit store, with no allocation and no pointer churn.
 package buffer
 
 import (
-	"container/list"
 	"sync"
 
 	"repro/internal/disk"
@@ -20,73 +26,147 @@ type PageID struct {
 	Page   int
 }
 
-// Pool is a fixed-capacity LRU page cache backed by a simulated disk.
-type Pool struct {
-	mu       sync.Mutex
-	capacity int
-	lru      *list.List // front = most recent; values are PageID
-	index    map[PageID]*list.Element
-	disk     *disk.Disk
-	// extentTrack maps an extent to its starting disk track; pages lay out
-	// sequentially from there.
-	extentTrack map[int]int
-
-	hits    int64
-	misses  int64
-	pending map[PageID]*sync.WaitGroup // in-flight reads, to dedupe
+// frame is one cached page slot: its identity plus the CLOCK reference bit.
+type frame struct {
+	id  PageID
+	ref bool
 }
 
-// NewPool creates a pool of the given page capacity over d.
+// stripe is one independently locked shard of the pool. The trailing pad
+// keeps adjacent stripes off each other's cache lines.
+type stripe struct {
+	mu       sync.Mutex
+	capacity int
+	frames   []frame // grows to capacity, then CLOCK recycles in place
+	index    map[PageID]int
+	hand     int
+	hits     int64
+	misses   int64
+	pending  map[PageID]*sync.WaitGroup // in-flight reads, to dedupe
+	_        [48]byte                   // rounds the struct to 128 bytes (two lines)
+}
+
+// Pool is a fixed-capacity striped page cache backed by a simulated disk.
+type Pool struct {
+	stripes []stripe
+	mask    uint64 // len(stripes) - 1; stripe count is a power of two
+	disk    *disk.Disk
+
+	// extentTrack maps an extent to its starting disk track; pages lay out
+	// sequentially from there. Written during load, read on every miss.
+	extMu       sync.RWMutex
+	extentTrack map[int]int
+}
+
+// defaultStripeTarget bounds the stripe count: enough ways that the shard
+// benchmarks' worker counts don't convoy, few enough that tiny test pools
+// keep whole-pool eviction semantics.
+const defaultStripeTarget = 64
+
+// NewPool creates a pool of the given page capacity over d, picking a
+// stripe count so each stripe holds at least a few dozen frames (a pool
+// smaller than that gets one stripe and behaves like the classic single-lock
+// pool).
 func NewPool(capacity int, d *disk.Disk) *Pool {
-	return &Pool{
-		capacity:    capacity,
-		lru:         list.New(),
-		index:       make(map[PageID]*list.Element),
+	n := 1
+	for n < defaultStripeTarget && n*128 <= capacity {
+		n *= 2
+	}
+	return NewPoolStripes(capacity, n, d)
+}
+
+// NewPoolStripes creates a pool with an explicit stripe count (rounded up to
+// a power of two; minimum 1; capped at the capacity so every stripe owns at
+// least one frame — a zero-capacity stripe would be unbounded). Tests use
+// stripes=1 to get deterministic whole-pool eviction.
+func NewPoolStripes(capacity, stripes int, d *disk.Disk) *Pool {
+	n := 1
+	for n < stripes {
+		n *= 2
+	}
+	if capacity > 0 {
+		for n > capacity {
+			n /= 2
+		}
+	}
+	p := &Pool{
+		stripes:     make([]stripe, n),
+		mask:        uint64(n - 1),
 		disk:        d,
 		extentTrack: make(map[int]int),
-		pending:     make(map[PageID]*sync.WaitGroup),
 	}
+	base, rem := capacity/n, capacity%n
+	for i := range p.stripes {
+		s := &p.stripes[i]
+		s.capacity = base
+		if i < rem {
+			s.capacity++
+		}
+		s.index = make(map[PageID]int)
+		s.pending = make(map[PageID]*sync.WaitGroup)
+	}
+	return p
+}
+
+// stripeOf hashes a page to its stripe (FNV-1a over the two coordinates).
+func (p *Pool) stripeOf(id PageID) *stripe {
+	h := uint64(14695981039346656037)
+	const prime = 1099511628211
+	u := uint64(id.Extent)<<32 ^ uint64(uint32(id.Page))
+	for b := 0; b < 8; b++ {
+		h ^= u & 0xff
+		h *= prime
+		u >>= 8
+	}
+	return &p.stripes[h&p.mask]
 }
 
 // MapExtent assigns an extent's starting track.
 func (p *Pool) MapExtent(extent, startTrack int) {
-	p.mu.Lock()
+	p.extMu.Lock()
 	p.extentTrack[extent] = startTrack
-	p.mu.Unlock()
+	p.extMu.Unlock()
 }
 
-// Get faults the page in if needed (paying disk time on miss) and marks it
-// most-recently-used. Concurrent misses on the same page coalesce into one
+func (p *Pool) track(id PageID) int {
+	p.extMu.RLock()
+	t := p.extentTrack[id.Extent] + id.Page
+	p.extMu.RUnlock()
+	return t
+}
+
+// Get faults the page in if needed (paying disk time on miss) and gives it a
+// CLOCK second chance. Concurrent misses on the same page coalesce into one
 // disk read.
 func (p *Pool) Get(id PageID) {
-	p.mu.Lock()
-	if el, ok := p.index[id]; ok {
-		p.lru.MoveToFront(el)
-		p.hits++
-		p.mu.Unlock()
+	s := p.stripeOf(id)
+	s.mu.Lock()
+	if fi, ok := s.index[id]; ok {
+		s.frames[fi].ref = true
+		s.hits++
+		s.mu.Unlock()
 		return
 	}
-	if wg, ok := p.pending[id]; ok {
+	if wg, ok := s.pending[id]; ok {
 		// Another request is already reading this page: wait for it. This is
 		// the shared-read path.
-		p.hits++
-		p.mu.Unlock()
+		s.hits++
+		s.mu.Unlock()
 		wg.Wait()
 		return
 	}
-	p.misses++
+	s.misses++
 	wg := &sync.WaitGroup{}
 	wg.Add(1)
-	p.pending[id] = wg
-	track := p.extentTrack[id.Extent] + id.Page
-	p.mu.Unlock()
+	s.pending[id] = wg
+	s.mu.Unlock()
 
-	p.disk.Read(track, 1)
+	p.disk.Read(p.track(id), 1)
 
-	p.mu.Lock()
-	delete(p.pending, id)
-	p.insertLocked(id)
-	p.mu.Unlock()
+	s.mu.Lock()
+	delete(s.pending, id)
+	s.insertLocked(id)
+	s.mu.Unlock()
 	wg.Done()
 }
 
@@ -97,105 +177,149 @@ func (p *Pool) GetBatch(extent, firstPage, n int) {
 	if n <= 0 {
 		return
 	}
-	p.mu.Lock()
-	missFirst, missLast, missCount := -1, -1, 0
+	missFirst, missLast := -1, -1
 	for i := 0; i < n; i++ {
 		id := PageID{Extent: extent, Page: firstPage + i}
-		if el, ok := p.index[id]; ok {
-			p.lru.MoveToFront(el)
-			p.hits++
+		s := p.stripeOf(id)
+		s.mu.Lock()
+		if fi, ok := s.index[id]; ok {
+			s.frames[fi].ref = true
+			s.hits++
+			s.mu.Unlock()
 			continue
 		}
-		p.misses++
+		s.misses++
+		s.mu.Unlock()
 		if missFirst < 0 {
 			missFirst = firstPage + i
 		}
 		missLast = firstPage + i
-		missCount++
 	}
-	track := p.extentTrack[extent] + missFirst
-	p.mu.Unlock()
-
-	if missCount == 0 {
+	if missFirst < 0 {
 		return
 	}
 	// Sequential IO reads the whole span from the first to the last missing
 	// page in one sweep (interior hits transfer for free under the head).
-	p.disk.Read(track, missLast-missFirst+1)
+	p.disk.Read(p.track(PageID{Extent: extent, Page: missFirst}), missLast-missFirst+1)
 
-	p.mu.Lock()
 	for pg := missFirst; pg <= missLast; pg++ {
-		p.insertLocked(PageID{Extent: extent, Page: pg})
+		id := PageID{Extent: extent, Page: pg}
+		s := p.stripeOf(id)
+		s.mu.Lock()
+		s.insertLocked(id)
+		s.mu.Unlock()
 	}
-	p.mu.Unlock()
 }
 
 // Put marks a page dirty-resident without disk IO (write-back model for
 // inserts; background flushing is not simulated, matching the paper's
 // Experiment 4 observation that insert performance is cache-independent).
 func (p *Pool) Put(id PageID) {
-	p.mu.Lock()
-	if el, ok := p.index[id]; ok {
-		p.lru.MoveToFront(el)
+	s := p.stripeOf(id)
+	s.mu.Lock()
+	if fi, ok := s.index[id]; ok {
+		s.frames[fi].ref = true
 	} else {
-		p.insertLocked(id)
+		s.insertLocked(id)
 	}
-	p.mu.Unlock()
+	s.mu.Unlock()
 }
 
 // Preload marks a range of pages resident without disk time (warming the
 // cache before a warm-cache experiment).
 func (p *Pool) Preload(extent, firstPage, n int) {
-	p.mu.Lock()
 	for i := 0; i < n; i++ {
-		p.insertLocked(PageID{Extent: extent, Page: firstPage + i})
+		id := PageID{Extent: extent, Page: firstPage + i}
+		s := p.stripeOf(id)
+		s.mu.Lock()
+		s.insertLocked(id)
+		s.mu.Unlock()
 	}
-	p.mu.Unlock()
 }
 
 // Reset empties the pool (cold start) and clears counters.
 func (p *Pool) Reset() {
-	p.mu.Lock()
-	p.lru.Init()
-	p.index = make(map[PageID]*list.Element)
-	p.hits, p.misses = 0, 0
-	p.mu.Unlock()
+	for i := range p.stripes {
+		s := &p.stripes[i]
+		s.mu.Lock()
+		s.frames = s.frames[:0]
+		s.index = make(map[PageID]int)
+		s.hand = 0
+		s.hits, s.misses = 0, 0
+		s.mu.Unlock()
+	}
 }
 
-// Stats returns hit/miss counters.
+// Stats returns hit/miss counters summed over the stripes.
 func (p *Pool) Stats() (hits, misses int64) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.hits, p.misses
+	for i := range p.stripes {
+		s := &p.stripes[i]
+		s.mu.Lock()
+		hits += s.hits
+		misses += s.misses
+		s.mu.Unlock()
+	}
+	return hits, misses
 }
 
 // Resident reports whether a page is currently cached (for tests).
 func (p *Pool) Resident(id PageID) bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	_, ok := p.index[id]
+	s := p.stripeOf(id)
+	s.mu.Lock()
+	_, ok := s.index[id]
+	s.mu.Unlock()
 	return ok
 }
 
 // Len returns the number of cached pages.
 func (p *Pool) Len() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.lru.Len()
+	n := 0
+	for i := range p.stripes {
+		s := &p.stripes[i]
+		s.mu.Lock()
+		n += len(s.frames)
+		s.mu.Unlock()
+	}
+	return n
 }
 
-func (p *Pool) insertLocked(id PageID) {
-	if el, ok := p.index[id]; ok {
-		p.lru.MoveToFront(el)
+// Stripes returns the stripe count (tests).
+func (p *Pool) Stripes() int { return len(p.stripes) }
+
+// insertLocked makes id resident in the stripe, evicting with CLOCK when the
+// stripe is at capacity. New pages enter with their reference bit set (one
+// second chance), matching the most-recently-used position a fresh LRU
+// insert would get. A non-positive capacity means unbounded, as before.
+func (s *stripe) insertLocked(id PageID) {
+	if fi, ok := s.index[id]; ok {
+		// Already resident: refresh the reference bit, matching the MRU
+		// promotion the old LRU gave resident pages on Preload/Put.
+		s.frames[fi].ref = true
 		return
 	}
-	for p.lru.Len() >= p.capacity && p.capacity > 0 {
-		back := p.lru.Back()
-		if back == nil {
-			break
-		}
-		delete(p.index, back.Value.(PageID))
-		p.lru.Remove(back)
+	if s.capacity <= 0 || len(s.frames) < s.capacity {
+		s.index[id] = len(s.frames)
+		s.frames = append(s.frames, frame{id: id, ref: true})
+		return
 	}
-	p.index[id] = p.lru.PushFront(id)
+	for {
+		f := &s.frames[s.hand]
+		if f.ref {
+			f.ref = false
+			s.hand++
+			if s.hand == len(s.frames) {
+				s.hand = 0
+			}
+			continue
+		}
+		delete(s.index, f.id)
+		f.id = id
+		f.ref = true
+		s.index[id] = s.hand
+		s.hand++
+		if s.hand == len(s.frames) {
+			s.hand = 0
+		}
+		return
+	}
 }

@@ -18,6 +18,7 @@ package server
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/buffer"
@@ -95,12 +96,14 @@ type Server struct {
 	prepMu   sync.Mutex
 	prepared map[string]*sqlmini.Stmt
 
-	statMu  sync.Mutex
-	queries int64
-	inserts int64
-	rows    int64
-	netReqs int64 // client-visible round trips (one per Exec or ExecBatch)
-	batches int64 // ExecBatch calls
+	// Activity counters are atomics: every Exec on every worker bumps them,
+	// and a shared mutex here was the last global serialization point on the
+	// warm hot path.
+	queries atomic.Int64
+	inserts atomic.Int64
+	rows    atomic.Int64
+	netReqs atomic.Int64 // client-visible round trips (one per Exec or ExecBatch)
+	batches atomic.Int64 // ExecBatch calls
 
 	// extents tracks (extent -> page count) for warming.
 	extMu   sync.Mutex
@@ -199,9 +202,7 @@ func (s *Server) Exec(name, sql string, args []any) (any, error) {
 // Exec.
 func (s *Server) ExecTraced(name, sql string, args []any) (any, sqlmini.ExecInfo, error) {
 	s.Clock.Sleep(s.Profile.RTT)
-	s.statMu.Lock()
-	s.netReqs++ // the round trip is paid whether or not the statement succeeds
-	s.statMu.Unlock()
+	s.netReqs.Add(1) // the round trip is paid whether or not the statement succeeds
 	st, err := s.prepare(sql)
 	if err != nil {
 		return nil, sqlmini.ExecInfo{}, err
@@ -217,13 +218,11 @@ func (s *Server) ExecTraced(name, sql string, args []any) (any, sqlmini.ExecInfo
 	s.Clock.Sleep(cpu)
 	<-s.cores
 
-	s.statMu.Lock()
-	s.queries++
+	s.queries.Add(1)
 	if st.Insert {
-		s.inserts++
+		s.inserts.Add(1)
 	}
-	s.rows += int64(info.RowsExamined)
-	s.statMu.Unlock()
+	s.rows.Add(int64(info.RowsExamined))
 	return res, info, nil
 }
 
@@ -235,10 +234,8 @@ func (s *Server) ExecTraced(name, sql string, args []any) (any, sqlmini.ExecInfo
 // matches exec.BatchRunner.
 func (s *Server) ExecBatch(name, sql string, argSets [][]any) ([]any, []error) {
 	s.Clock.Sleep(s.Profile.RTT)
-	s.statMu.Lock()
-	s.netReqs++ // one round trip per batch, paid whether or not it succeeds
-	s.batches++
-	s.statMu.Unlock()
+	s.netReqs.Add(1) // one round trip per batch, paid whether or not it succeeds
+	s.batches.Add(1)
 	st, err := s.prepare(sql)
 	if err != nil {
 		errs := make([]error, len(argSets))
@@ -267,18 +264,17 @@ func (s *Server) ExecBatch(name, sql string, argSets [][]any) ([]any, []error) {
 		<-s.cores
 	}
 
-	s.statMu.Lock()
+	var ok int64
 	for i := range argSets {
-		if errs[i] != nil {
-			continue
-		}
-		s.queries++
-		if st.Insert {
-			s.inserts++
+		if errs[i] == nil {
+			ok++
 		}
 	}
-	s.rows += int64(info.RowsExamined)
-	s.statMu.Unlock()
+	s.queries.Add(ok)
+	if st.Insert {
+		s.inserts.Add(ok)
+	}
+	s.rows.Add(int64(info.RowsExamined))
 	return results, errs
 }
 
@@ -324,14 +320,12 @@ type Stats struct {
 // Stats returns a snapshot.
 func (s *Server) Stats() Stats {
 	h, m := s.pool.Stats()
-	s.statMu.Lock()
-	defer s.statMu.Unlock()
 	return Stats{
-		Queries:     s.queries,
-		Inserts:     s.inserts,
-		RowsRead:    s.rows,
-		NetRequests: s.netReqs,
-		Batches:     s.batches,
+		Queries:     s.queries.Load(),
+		Inserts:     s.inserts.Load(),
+		RowsRead:    s.rows.Load(),
+		NetRequests: s.netReqs.Load(),
+		Batches:     s.batches.Load(),
 		BufferHits:  h,
 		BufferMiss:  m,
 		Disk:        s.disk.Stats(),

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/exec"
 	"repro/internal/interp"
@@ -97,6 +98,10 @@ type Router struct {
 
 	tmu    sync.RWMutex
 	tables map[string]*tableInfo
+
+	// pruned counts shard executions skipped by the scatter planner's
+	// index-statistics fast path (see pruneTargets).
+	pruned atomic.Int64
 }
 
 // New starts a router over n fresh backends of the given profile; scale is
@@ -314,21 +319,79 @@ func (r *Router) broadcast(name, sql string, args []any) (any, error) {
 	return vals[0], nil
 }
 
-// scatter runs one statement on every shard in parallel and merges the
-// partial results into exactly what a single server holding all the data
-// would return.
+// pruneTargets is the scatter planner's cheap fast path: a statement with a
+// bound equality predicate on a secondary-indexed column consults each
+// shard's index key statistics (the rid-count map every insert maintains)
+// and skips shards holding zero matching keys. The peek models a statistics
+// cache on the router — no round trip is charged, which is the point. It
+// returns the shard ids to visit, or nil when no indexed predicate prunes.
+// An empty result still keeps one representative shard so validation errors
+// (which are schema-determined and identical everywhere) surface exactly as
+// a full scatter would, and a zero-match execution stays observable.
+func (r *Router) pruneTargets(st *sqlmini.Stmt, args []any) []int {
+	var targets []int
+	for _, c := range st.Where {
+		v := c.Lit
+		if c.Param >= 0 {
+			if c.Param >= len(args) {
+				continue // fails parameter validation identically everywhere
+			}
+			v = args[c.Param]
+		}
+		if t0 := r.backends[0].Catalog().Table(st.Table); t0 == nil || t0.Index(c.Col) == nil {
+			continue
+		}
+		if targets == nil {
+			targets = make([]int, len(r.backends))
+			for i := range targets {
+				targets[i] = i
+			}
+		}
+		kept := targets[:0]
+		for _, s := range targets {
+			if n, ok := r.backends[s].Catalog().Table(st.Table).IndexKeyCount(c.Col, v); ok && n > 0 {
+				kept = append(kept, s)
+			}
+		}
+		targets = kept
+	}
+	if targets != nil && len(targets) == 0 {
+		targets = append(targets, 0)
+	}
+	return targets
+}
+
+// ScatterPruned reports how many per-shard executions the scatter planner's
+// index-statistics fast path has skipped.
+func (r *Router) ScatterPruned() int64 { return r.pruned.Load() }
+
+// scatter runs one statement on every shard holding candidate rows — in
+// parallel — and merges the partial results into exactly what a single
+// server holding all the data would return. Shards the index statistics
+// prove empty for the predicate are skipped (pruneTargets); an empty shard's
+// contribution to every merge is the identity, so pruning is invisible in
+// the results.
 func (r *Router) scatter(name, sql string, st *sqlmini.Stmt, ti *tableInfo, args []any) (any, error) {
-	n := len(r.backends)
+	targets := r.pruneTargets(st, args)
+	if targets == nil {
+		targets = make([]int, len(r.backends))
+		for i := range targets {
+			targets[i] = i
+		}
+	} else if skipped := len(r.backends) - len(targets); skipped > 0 {
+		r.pruned.Add(int64(skipped))
+	}
+	n := len(targets)
 	vals := make([]any, n)
 	infos := make([]sqlmini.ExecInfo, n)
 	errs := make([]error, n)
 	var wg sync.WaitGroup
-	for i, b := range r.backends {
+	for k, s := range targets {
 		wg.Add(1)
-		go func(i int, b *server.Server) {
+		go func(k, s int) {
 			defer wg.Done()
-			vals[i], infos[i], errs[i] = b.ExecTraced(name, sql, args)
-		}(i, b)
+			vals[k], infos[k], errs[k] = r.backends[s].ExecTraced(name, sql, args)
+		}(k, s)
 	}
 	wg.Wait()
 	// Validation errors are schema-determined and the schema is identical on
@@ -343,7 +406,7 @@ func (r *Router) scatter(name, sql string, st *sqlmini.Stmt, ti *tableInfo, args
 	if st.Agg != sqlmini.AggNone {
 		return mergeAgg(st.Agg, vals)
 	}
-	return mergeRows(ti, vals, infos), nil
+	return mergeRows(ti, targets, vals, infos), nil
 }
 
 // mergeAgg combines per-shard aggregates. COUNT and SUM add (both are 0 on
@@ -389,16 +452,18 @@ func mergeAgg(kind sqlmini.AggKind, vals []any) (any, error) {
 // mergeRows interleaves per-shard row results back into global row order.
 // Each shard returns its matches in ascending local rid order; the table's
 // global map translates (shard, local rid) into the original load order, so
-// the merged slice is byte-identical to the single-server result.
-func mergeRows(ti *tableInfo, vals []any, infos []sqlmini.ExecInfo) interp.Rows {
+// the merged slice is byte-identical to the single-server result. targets
+// names the shard each partial came from (a pruned scatter visits a subset).
+func mergeRows(ti *tableInfo, targets []int, vals []any, infos []sqlmini.ExecInfo) interp.Rows {
 	type tagged struct {
 		pos, shard int
 		row        interp.Row
 	}
 	var all []tagged
-	for s, v := range vals {
+	for k, v := range vals {
+		s := targets[k]
 		rows, _ := v.(interp.Rows)
-		matched := infos[s].Matched
+		matched := infos[k].Matched
 		for j, row := range rows {
 			// finish() guarantees one matched rid per returned row; the
 			// defensive branch keeps a malformed trace deterministic.

@@ -306,3 +306,92 @@ func TestStatsAggregateAndWarm(t *testing.T) {
 		t.Fatalf("warm read hit the disk: %+v", agg.Disk)
 	}
 }
+
+// TestScatterPrunesBySecondaryIndexStats pins the scatter planner's fast
+// path: a scatter whose equality predicate is on a secondary-indexed column
+// consults per-shard index key statistics and skips shards holding no
+// matching keys — without changing any result. Queries on unindexed columns
+// still fan out to every shard.
+func TestScatterPrunesBySecondaryIndexStats(t *testing.T) {
+	ref, r := newFixture(t, 4)
+
+	// Create a group that lives on exactly one shard: uids owned by shard 2.
+	var uids []int64
+	for i := int64(10000); len(uids) < 3; i++ {
+		if Partition(i, 4) == 2 {
+			uids = append(uids, i)
+		}
+	}
+	const ins = "insert into users values (?, ?, ?)"
+	for _, uid := range uids {
+		args := []any{uid, fmt.Sprintf("u%d", uid), int64(777)}
+		if _, err := ref.Exec("ins", ins, args); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Exec("ins", ins, args); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	netReqs := func() []int64 {
+		out := make([]int64, 0, 4)
+		for _, s := range r.ShardStats() {
+			out = append(out, s.NetRequests)
+		}
+		return out
+	}
+
+	// grp is secondary-indexed and grp=777 exists only on shard 2: the
+	// scatter must visit shard 2 alone.
+	before := netReqs()
+	const q = "select name, grp from users where grp = ?"
+	want, wantErr := ref.Exec("q", q, []any{int64(777)})
+	got, gotErr := r.Exec("q", q, []any{int64(777)})
+	same(t, "grp=777", want, got, wantErr, gotErr)
+	after := netReqs()
+	for s := 0; s < 4; s++ {
+		delta := after[s] - before[s]
+		switch {
+		case s == 2 && delta != 1:
+			t.Fatalf("owning shard 2 got %d requests, want 1", delta)
+		case s != 2 && delta != 0:
+			t.Fatalf("shard %d executed a pruned scatter (%d requests)", s, delta)
+		}
+	}
+
+	// A key no shard holds prunes down to one representative execution and
+	// still returns the single-server (empty) result.
+	before = after
+	want, wantErr = ref.Exec("q", q, []any{int64(888)})
+	got, gotErr = r.Exec("q", q, []any{int64(888)})
+	same(t, "grp=888", want, got, wantErr, gotErr)
+	after = netReqs()
+	var total int64
+	for s := 0; s < 4; s++ {
+		total += after[s] - before[s]
+	}
+	if total != 1 {
+		t.Fatalf("all-pruned scatter paid %d executions, want 1", total)
+	}
+
+	// An aggregate over the pruned predicate merges identically too.
+	want, wantErr = ref.Exec("q", "select count(uid) from users where grp = ?", []any{int64(777)})
+	got, gotErr = r.Exec("q", "select count(uid) from users where grp = ?", []any{int64(777)})
+	same(t, "count grp=777", want, got, wantErr, gotErr)
+
+	// name is unindexed: no statistics, no pruning — every shard executes.
+	before = netReqs()
+	want, wantErr = ref.Exec("q", "select uid from users where name = ?", []any{"u1"})
+	got, gotErr = r.Exec("q", "select uid from users where name = ?", []any{"u1"})
+	same(t, "name=u1", want, got, wantErr, gotErr)
+	after = netReqs()
+	for s := 0; s < 4; s++ {
+		if after[s]-before[s] != 1 {
+			t.Fatalf("unindexed scatter must fan out: shard %d delta %d", s, after[s]-before[s])
+		}
+	}
+
+	if r.ScatterPruned() == 0 {
+		t.Fatal("planner recorded no pruned executions")
+	}
+}

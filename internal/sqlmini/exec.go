@@ -2,7 +2,8 @@ package sqlmini
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+	"sync"
 
 	"repro/internal/buffer"
 	"repro/internal/interp"
@@ -21,10 +22,60 @@ type ExecInfo struct {
 	// Matched lists the row ids that survived the residual filter, in result
 	// order (ascending rid); for INSERT statements it holds the inserted
 	// row's id. A shard router uses it to restore the global row order in
-	// scatter-gather merges and to track routed inserts; it aliases
-	// execution-internal storage, so callers must not mutate it. Unset by
-	// ExecuteBatch.
+	// scatter-gather merges and to track routed inserts. The slice is owned
+	// by the caller — it never aliases execution-internal or pooled scratch
+	// storage, so holding or mutating it cannot corrupt later executions
+	// (pinned by TestExecInfoMatchedIsOwned). Unset by ExecuteBatch.
 	Matched []int
+}
+
+// scratch holds the pooled per-execution buffers: the table view, bound
+// filters, candidate rid headers, page lists and the batch's matched-rid
+// buffer. Everything in it is reset on reuse; nothing in it may escape
+// through results (Matched is always freshly allocated).
+type scratch struct {
+	view    storage.View
+	filt    condFilter
+	filters []condFilter
+	matched []int
+	pages   []int
+	pages2  []int
+	rids    [][]int
+	row     []any
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+func getScratch() *scratch { return scratchPool.Get().(*scratch) }
+
+func putScratch(sc *scratch) {
+	// Drop the references into table storage (column vectors, index rid
+	// lists, bound filters) so a pooled scratch does not pin a closed
+	// server's data.
+	clear(sc.view.Cols)
+	sc.view.Cols = sc.view.Cols[:0]
+	clear(sc.rids)
+	sc.rids = sc.rids[:0]
+	clear(sc.row)
+	sc.row = sc.row[:0]
+	sc.filt.release()
+	// Only the filters the last batch bound (the current length) can hold
+	// references; entries past the length were released before the slice
+	// was truncated, so point queries pay nothing for a wide batch's past.
+	for i := range sc.filters {
+		sc.filters[i].release()
+	}
+	sc.filters = sc.filters[:0]
+	scratchPool.Put(sc)
+}
+
+// filtersFor returns n reusable filters.
+func (sc *scratch) filtersFor(n int) []condFilter {
+	if cap(sc.filters) < n {
+		sc.filters = make([]condFilter, n)
+	}
+	sc.filters = sc.filters[:n]
+	return sc.filters
 }
 
 // Execute runs a parsed statement against the catalog, driving page accesses
@@ -45,18 +96,59 @@ func Execute(st *Stmt, cat *storage.Catalog, pool *buffer.Pool, args []any) (any
 		return executeInsert(st, t, pool, args, &info)
 	}
 
-	conds, err := bindConds(st, t, args)
-	if err != nil {
+	plan := st.planFor(t)
+	if err := validateWhere(st, plan); err != nil {
 		return nil, info, err
 	}
+	sc := getScratch()
+	defer putScratch(sc)
 
 	// Access path: the first indexed equality predicate drives; otherwise a
-	// full scan.
-	rids, usedIndex := choosePath(t, pool, conds, &info)
-	info.UsedIndex = usedIndex
-	info.FullScan = !usedIndex
+	// full scan. The view snapshot is taken after the index probe: Insert
+	// publishes column values before index rids under one table lock, so
+	// every candidate rid a probe returns is within a later snapshot.
+	rpp := t.RowsPerPage()
+	var matched []int
+	if di := pickDriver(t, st.Where); di >= 0 {
+		c := st.Where[di]
+		v := c.Lit
+		if c.Param >= 0 {
+			v = args[c.Param]
+		}
+		rids, bucket, _ := t.Lookup(c.Col, v)
+		ix := t.Index(c.Col)
+		// One bucket page of the index, then the distinct data pages of the
+		// matches in ascending order (the RID-ordering-before-fetch
+		// optimization the paper cites, §I).
+		pool.Get(buffer.PageID{Extent: ix.Extent, Page: bucket})
+		info.PagesTouched++
+		sc.pages = sc.pages[:0]
+		for _, rid := range rids {
+			sc.pages = append(sc.pages, rid/rpp)
+		}
+		for _, pg := range sortDedupe(sc.pages) {
+			pool.Get(buffer.PageID{Extent: t.Extent, Page: pg})
+			info.PagesTouched++
+		}
+		t.ViewInto(&sc.view)
+		sc.filt.bind(st, plan, &sc.view, args)
+		info.UsedIndex = true
+		info.RowsExamined += len(rids)
+		matched = sc.filt.appendMatches(make([]int, 0, len(rids)), rids)
+	} else {
+		// Full scan: one sequential batched read over the snapshot.
+		t.ViewInto(&sc.view)
+		sc.filt.bind(st, plan, &sc.view, args)
+		n := (sc.view.NumRows + rpp - 1) / rpp
+		pool.GetBatch(t.Extent, 0, n)
+		info.PagesTouched += n
+		info.FullScan = true
+		info.RowsExamined += sc.view.NumRows
+		matched = sc.filt.appendScanMatches(nil, sc.view.NumRows)
+	}
+	info.Matched = matched
 
-	v, err := finish(st, t, conds, rids, &info, true)
+	v, err := emit(st, plan, &sc.view, matched, &info)
 	return v, info, err
 }
 
@@ -92,21 +184,25 @@ func ExecuteBatch(st *Stmt, cat *storage.Catalog, pool *buffer.Pool, argSets [][
 		return results, errs, agg
 	}
 
-	// Bind every set of predicates first; bindings with errors drop out of
-	// the shared phases but keep their per-binding error text.
-	conds := make([][]Cond, n)
+	plan := st.planFor(t)
+	sc := getScratch()
+	defer putScratch(sc)
+
+	// Validate every binding first; bindings with errors drop out of the
+	// shared phases but keep their per-binding error text (arity first, then
+	// the statement-wide unknown-column diagnosis, matching the per-query
+	// order).
+	whereErr := validateWhere(st, plan)
 	live := 0
 	for i, args := range argSets {
 		if len(args) != st.NumParams {
 			errs[i] = fmt.Errorf("sqlmini: %d parameters bound, want %d", len(args), st.NumParams)
 			continue
 		}
-		c, err := bindConds(st, t, args)
-		if err != nil {
-			errs[i] = err
+		if whereErr != nil {
+			errs[i] = whereErr
 			continue
 		}
-		conds[i] = c
 		live++
 	}
 	if live == 0 {
@@ -114,66 +210,79 @@ func ExecuteBatch(st *Stmt, cat *storage.Catalog, pool *buffer.Pool, argSets [][
 		// page is touched and no scan runs.
 		return results, errs, agg
 	}
+	filters := sc.filtersFor(n)
 
 	// The access path is uniform across the batch — every binding shares the
 	// statement's predicate columns, so either one indexed column drives all
 	// lookups or every binding full-scans.
 	driver := pickDriver(t, st.Where)
-
-	rids := make([][]int, n)
+	rpp := t.RowsPerPage()
+	scanN := 0
 	if driver >= 0 {
 		// Set-oriented index path: probe with all keys, then touch the
 		// distinct bucket pages and distinct data pages once each, in
-		// ascending order (the shared, RID-ordered fetch of §I).
-		ix := t.Index(st.Where[driver].Col)
-		bucketPages := map[int]bool{}
-		dataPages := map[int]bool{}
-		for i := range argSets {
+		// ascending order (the shared, RID-ordered fetch of §I). Candidate
+		// rid lists alias the index's internal storage — they are read-only
+		// here and never escape the batch.
+		c := st.Where[driver]
+		ix := t.Index(c.Col)
+		sc.rids = sc.rids[:0]
+		sc.pages = sc.pages[:0]
+		sc.pages2 = sc.pages2[:0]
+		for i, args := range argSets {
 			if errs[i] != nil {
+				sc.rids = append(sc.rids, nil)
 				continue
 			}
-			r, bucket, _ := t.Lookup(st.Where[driver].Col, conds[i][driver].Lit)
-			rids[i] = append([]int(nil), r...)
-			bucketPages[bucket] = true
+			v := c.Lit
+			if c.Param >= 0 {
+				v = args[c.Param]
+			}
+			r, bucket, _ := t.Lookup(c.Col, v)
+			sc.rids = append(sc.rids, r)
+			sc.pages = append(sc.pages, bucket)
 			for _, rid := range r {
-				dataPages[t.PageOf(rid)] = true
+				sc.pages2 = append(sc.pages2, rid/rpp)
 			}
 		}
-		for _, p := range sortedPages(bucketPages) {
-			pool.Get(buffer.PageID{Extent: ix.Extent, Page: p})
+		for _, pg := range sortDedupe(sc.pages) {
+			pool.Get(buffer.PageID{Extent: ix.Extent, Page: pg})
 			agg.PagesTouched++
 		}
-		for _, p := range sortedPages(dataPages) {
-			pool.Get(buffer.PageID{Extent: t.Extent, Page: p})
+		for _, pg := range sortDedupe(sc.pages2) {
+			pool.Get(buffer.PageID{Extent: t.Extent, Page: pg})
 			agg.PagesTouched++
 		}
 		agg.UsedIndex = true
+		// Snapshot after every probe: all candidate rids are within it.
+		t.ViewInto(&sc.view)
 	} else {
 		// Shared scan: one sequential read of the table for the whole batch;
-		// every live binding partitions the same row set.
-		pages := t.NumPages()
+		// every live binding partitions the same snapshot.
+		t.ViewInto(&sc.view)
+		pages := (sc.view.NumRows + rpp - 1) / rpp
 		pool.GetBatch(t.Extent, 0, pages)
 		agg.PagesTouched += pages
 		agg.FullScan = true
-		all := make([]int, t.NumRows())
-		for i := range all {
-			all[i] = i
-		}
-		for i := range argSets {
-			if errs[i] == nil {
-				rids[i] = all
-			}
-		}
+		scanN = sc.view.NumRows
 	}
 
 	for i := range argSets {
 		if errs[i] != nil {
 			continue
 		}
-		// The index path owns its per-binding rid copies; the scan path
-		// shares one rid slice across bindings and must not scribble on it.
+		filters[i].bind(st, plan, &sc.view, argSets[i])
 		var info ExecInfo
-		results[i], errs[i] = finish(st, t, conds[i], rids[i], &info, driver >= 0)
+		sc.matched = sc.matched[:0]
+		if driver >= 0 {
+			cand := sc.rids[i]
+			info.RowsExamined = len(cand)
+			sc.matched = filters[i].appendMatches(sc.matched, cand)
+		} else {
+			info.RowsExamined = scanN
+			sc.matched = filters[i].appendScanMatches(sc.matched, scanN)
+		}
+		results[i], errs[i] = emit(st, plan, &sc.view, sc.matched, &info)
 		if errs[i] != nil {
 			// A failing per-query execution charges nothing (Exec returns
 			// before its stat update and CPU phase); keep the batch's
@@ -200,14 +309,17 @@ func executeInsert(st *Stmt, t *storage.Table, pool *buffer.Pool, args []any, in
 		return nil, *info, fmt.Errorf("sqlmini: insert arity %d, want %d",
 			len(st.Values), len(t.Schema.Cols))
 	}
-	row := make([]any, len(st.Values))
+	sc := getScratch()
+	defer putScratch(sc)
+	row := sc.row[:0]
 	for i, ord := range st.Values {
 		if ord >= 0 {
-			row[i] = args[ord]
+			row = append(row, args[ord])
 		} else {
-			row[i] = st.Lits[i]
+			row = append(row, st.Lits[i])
 		}
 	}
+	sc.row = row
 	rid, err := t.Insert(row)
 	if err != nil {
 		return nil, *info, err
@@ -219,71 +331,36 @@ func executeInsert(st *Stmt, t *storage.Table, pool *buffer.Pool, args []any, in
 	return int64(1), *info, nil
 }
 
-// bindConds substitutes parameter values into the statement's predicates and
-// validates the predicate columns.
-func bindConds(st *Stmt, t *storage.Table, args []any) ([]Cond, error) {
-	conds := make([]Cond, len(st.Where))
-	for i, c := range st.Where {
-		conds[i] = c
-		if c.Param >= 0 {
-			conds[i].Lit = args[c.Param]
-		}
-		if t.Schema.ColIndex(c.Col) < 0 {
-			return nil, fmt.Errorf("sqlmini: %s: no column %q", st.Table, c.Col)
-		}
-	}
-	return conds, nil
-}
-
-// finish applies the residual filter to the candidate rows and projects or
-// aggregates the matches. It is shared by the per-query and batched paths so
-// their observable results cannot diverge. ownsRids callers let the filter
-// compact in place (no allocation); the batched full scan shares one rid
-// slice across bindings and passes false.
-func finish(st *Stmt, t *storage.Table, conds []Cond, rids []int, info *ExecInfo, ownsRids bool) (any, error) {
-	matched := rids[:0]
-	if !ownsRids {
-		matched = make([]int, 0, len(rids))
-	}
-	for _, rid := range rids {
-		row := t.Row(rid)
-		ok := true
-		for _, c := range conds {
-			if row[t.Schema.ColIndex(c.Col)] != c.Lit {
-				ok = false
-				break
-			}
-		}
-		info.RowsExamined++
-		if ok {
-			matched = append(matched, rid)
-		}
-	}
-	info.Matched = matched
-
+// emit applies the projection or aggregate to the matched rows. It is shared
+// by the per-query and batched paths so their observable results cannot
+// diverge. matched may be pooled scratch; emit only reads it.
+func emit(st *Stmt, plan *stmtPlan, view *storage.View, matched []int, info *ExecInfo) (any, error) {
 	if st.Agg != AggNone {
-		v, err := aggregate(st, t, matched)
+		v, err := aggregate(st, plan, view, matched)
 		info.RowsReturned = 1
 		return v, err
 	}
+	cols := view.Cols
 	out := make(interp.Rows, 0, len(matched))
-	for _, rid := range matched {
-		row := t.Row(rid)
-		r := interp.Row{}
-		if len(st.Cols) == 1 && st.Cols[0] == "*" {
-			for i, c := range t.Schema.Cols {
-				r[c.Name] = row[i]
+	if plan.star {
+		for _, rid := range matched {
+			r := make(interp.Row, len(cols))
+			for i, c := range plan.table.Schema.Cols {
+				r[c.Name] = cols[i].Any(rid)
 			}
-		} else {
-			for _, c := range st.Cols {
-				ci := t.Schema.ColIndex(c)
-				if ci < 0 {
-					return nil, fmt.Errorf("sqlmini: %s: no column %q", st.Table, c)
-				}
-				r[c] = row[ci]
-			}
+			out = append(out, r)
 		}
-		out = append(out, r)
+	} else {
+		for _, rid := range matched {
+			r := make(interp.Row, len(plan.selCI))
+			for k, ci := range plan.selCI {
+				if ci < 0 {
+					return nil, fmt.Errorf("sqlmini: %s: no column %q", st.Table, st.Cols[k])
+				}
+				r[st.Cols[k]] = cols[ci].Any(rid)
+			}
+			out = append(out, r)
+		}
 	}
 	info.RowsReturned = len(out)
 	return out, nil
@@ -302,80 +379,63 @@ func pickDriver(t *storage.Table, conds []Cond) int {
 	return -1
 }
 
-// choosePath picks index lookup or full scan, touching the corresponding
-// pages through the pool, and returns the candidate row ids.
-func choosePath(t *storage.Table, pool *buffer.Pool, conds []Cond, info *ExecInfo) ([]int, bool) {
-	if di := pickDriver(t, conds); di >= 0 {
-		c := conds[di]
-		rids, bucket, _ := t.Lookup(c.Col, c.Lit)
-		ix := t.Index(c.Col)
-		// One bucket page of the index, then the distinct data pages of the
-		// matches in ascending order (the RID-ordering-before-fetch
-		// optimization the paper cites, §I).
-		pool.Get(buffer.PageID{Extent: ix.Extent, Page: bucket})
-		info.PagesTouched++
-		pageSet := map[int]bool{}
-		for _, rid := range rids {
-			pageSet[t.PageOf(rid)] = true
-		}
-		for _, p := range sortedPages(pageSet) {
-			pool.Get(buffer.PageID{Extent: t.Extent, Page: p})
-			info.PagesTouched++
-		}
-		return append([]int(nil), rids...), true
-	}
-	// Full scan: one sequential batched read.
-	n := t.NumPages()
-	pool.GetBatch(t.Extent, 0, n)
-	info.PagesTouched += n
-	rids := make([]int, t.NumRows())
-	for i := range rids {
-		rids[i] = i
-	}
-	return rids, false
+// sortDedupe sorts ps in place and compacts away duplicates, returning the
+// distinct prefix — the allocation-free replacement for the page-set maps.
+func sortDedupe(ps []int) []int {
+	slices.Sort(ps)
+	return slices.Compact(ps)
 }
 
-func sortedPages(set map[int]bool) []int {
-	out := make([]int, 0, len(set))
-	for p := range set {
-		out = append(out, p)
-	}
-	sort.Ints(out)
-	return out
-}
-
-func aggregate(st *Stmt, t *storage.Table, rids []int) (any, error) {
+func aggregate(st *Stmt, plan *stmtPlan, view *storage.View, rids []int) (any, error) {
 	if st.Agg == AggCount {
-		return int64(len(rids)), nil
+		return storage.BoxInt(int64(len(rids))), nil
 	}
-	ci := t.Schema.ColIndex(st.AggCol)
+	ci := plan.aggCI
 	if ci < 0 {
-		return nil, fmt.Errorf("sqlmini: %s: no column %q", t.Name, st.AggCol)
+		return nil, fmt.Errorf("sqlmini: %s: no column %q", plan.table.Name, st.AggCol)
 	}
 	var sum int64
 	var best int64
 	have := false
-	for _, rid := range rids {
-		v, ok := t.Row(rid)[ci].(int64)
-		if !ok {
-			return nil, fmt.Errorf("sqlmini: aggregate over non-int column %q", st.AggCol)
+	col := &view.Cols[ci]
+	if col.Anys == nil && col.Kind == storage.TInt {
+		// Typed path: sum/extremes over the int vector, no boxing.
+		ints := col.Ints
+		for _, rid := range rids {
+			v := ints[rid]
+			sum += v
+			if !have {
+				best = v
+				have = true
+			} else if (st.Agg == AggMax && v > best) || (st.Agg == AggMin && v < best) {
+				best = v
+			}
 		}
-		sum += v
-		if !have {
-			best = v
-			have = true
-		} else if (st.Agg == AggMax && v > best) || (st.Agg == AggMin && v < best) {
-			best = v
+	} else {
+		// String or degraded column: the boxed check (and its error) fires
+		// per matched row, exactly as the row-wise evaluator did.
+		for _, rid := range rids {
+			v, ok := col.Any(rid).(int64)
+			if !ok {
+				return nil, fmt.Errorf("sqlmini: aggregate over non-int column %q", st.AggCol)
+			}
+			sum += v
+			if !have {
+				best = v
+				have = true
+			} else if (st.Agg == AggMax && v > best) || (st.Agg == AggMin && v < best) {
+				best = v
+			}
 		}
 	}
 	switch st.Agg {
 	case AggSum:
-		return sum, nil
+		return storage.BoxInt(sum), nil
 	case AggMax, AggMin:
 		if !have {
 			return nil, nil
 		}
-		return best, nil
+		return storage.BoxInt(best), nil
 	}
 	return nil, fmt.Errorf("sqlmini: unsupported aggregate")
 }

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"unicode"
 )
 
@@ -51,6 +52,11 @@ type Stmt struct {
 	Lits   []any // literal per column when ordinal is -1
 	// NumParams is the number of '?' placeholders.
 	NumParams int
+
+	// plan caches the schema resolution against the table the statement
+	// last executed on (see compile.go). Stmts are shared by pointer; the
+	// atomic makes concurrent first executions race-free.
+	plan atomic.Pointer[stmtPlan]
 }
 
 type token struct {

@@ -1,6 +1,7 @@
 package sqlmini
 
 import (
+	"sync"
 	"testing"
 
 	"repro/internal/buffer"
@@ -387,4 +388,163 @@ func TestExecuteBatchFailedBindingChargesNoRows(t *testing.T) {
 	if info.RowsExamined != 0 || info.RowsReturned != 0 {
 		t.Fatalf("failed bindings charged rows: %+v", info)
 	}
+}
+
+// TestExecInfoMatchedIsOwned pins the Matched ownership contract: the rid
+// trace Execute returns never aliases pooled or execution-internal storage,
+// so a caller (the shard router's merge) mutating it cannot corrupt the
+// index or any later execution.
+func TestExecInfoMatchedIsOwned(t *testing.T) {
+	cat, pool, done := testEnv(t)
+	defer done()
+	st, err := Parse("select partkey from part where p_category = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, info1, err := Execute(st, cat, pool, []any{int64(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info1.Matched) != 100 {
+		t.Fatalf("matched %d rids, want 100", len(info1.Matched))
+	}
+	for i := range info1.Matched {
+		info1.Matched[i] = -999 // scribble all over the trace
+	}
+	v2, info2, err := Execute(st, cat, pool, []any{int64(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !interp.Equal(v1, v2) {
+		t.Fatalf("re-execution diverged after mutating Matched:\n%s\nvs\n%s",
+			interp.Format(v1), interp.Format(v2))
+	}
+	for i, rid := range info2.Matched {
+		if rid < 0 {
+			t.Fatalf("Matched[%d] = %d: trace aliases mutated storage", i, rid)
+		}
+	}
+	// The full-scan and insert traces are owned too.
+	_, infoScan, err := Execute(mustParse(t, "select partkey from part where psize = ?"), cat, pool, []any{int64(7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range infoScan.Matched {
+		infoScan.Matched[i] = -1
+	}
+	_, infoIns, err := Execute(mustParse(t, "insert into part values (?, ?, ?)"), cat, pool,
+		[]any{int64(7777), int64(3), int64(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infoIns.Matched) != 1 || infoIns.Matched[0] < 0 {
+		t.Fatalf("insert trace: %v", infoIns.Matched)
+	}
+	// ExecuteBatch leaves Matched unset (batch traces are not merged).
+	_, _, infoBatch := ExecuteBatch(st, cat, pool, [][]any{{int64(3)}})
+	if infoBatch.Matched != nil {
+		t.Fatalf("batch Matched must be unset, got %v", infoBatch.Matched)
+	}
+}
+
+func mustParse(t *testing.T, sql string) *Stmt {
+	t.Helper()
+	st, err := Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestConcurrentExecuteSharedScratch hammers Execute/ExecuteBatch from many
+// goroutines over one catalog — under -race this guards the pooled scratch,
+// the statement plan cache and the storage views against cross-request
+// leakage.
+func TestConcurrentExecuteSharedScratch(t *testing.T) {
+	cat, pool, done := testEnv(t)
+	defer done()
+	stIdx := mustParse(t, "select count(partkey) from part where p_category = ?")
+	stScan := mustParse(t, "select partkey, psize from part where psize = ?")
+	stIns := mustParse(t, "insert into part values (?, ?, ?)")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if v, _, err := Execute(stIdx, cat, pool, []any{int64(3)}); err != nil {
+					t.Errorf("idx: %v", err)
+				} else if v.(int64) < 100 {
+					t.Errorf("idx count shrank: %v", v)
+				}
+				if _, _, err := Execute(stScan, cat, pool, []any{int64(g)}); err != nil {
+					t.Errorf("scan: %v", err)
+				}
+				if g == 0 {
+					if _, _, err := Execute(stIns, cat, pool, []any{int64(20000 + i), int64(3), int64(1)}); err != nil {
+						t.Errorf("insert: %v", err)
+					}
+				}
+				if i%10 == 0 {
+					_, errs, _ := ExecuteBatch(stIdx, cat, pool, [][]any{{int64(1)}, {int64(2)}, {int64(3)}})
+					for _, err := range errs {
+						if err != nil {
+							t.Errorf("batch: %v", err)
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestConcurrentInsertWithIndexedSelect pins the snapshot-ordering fix: the
+// view snapshot is taken after the index probe, so an insert landing between
+// them can never yield candidate rids past the snapshot (which used to panic
+// the typed filter). Run with high iteration counts to cross the window.
+func TestConcurrentInsertWithIndexedSelect(t *testing.T) {
+	cat, pool, done := testEnv(t)
+	defer done()
+	stSel := mustParse(t, "select count(partkey) from part where p_category = ?")
+	stRows := mustParse(t, "select partkey from part where p_category = ?")
+	stIns := mustParse(t, "insert into part values (?, ?, ?)")
+	// The inserter paces itself against the selects (one insert per tick):
+	// an unthrottled inserter grows the p_category=3 rid list without bound
+	// and turns every select into an ever-longer scan.
+	tick := make(chan struct{}, 64)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := 0
+		for range tick {
+			if _, _, err := Execute(stIns, cat, pool, []any{int64(30000 + i), int64(3), int64(1)}); err != nil {
+				t.Errorf("insert: %v", err)
+				return
+			}
+			i++
+		}
+	}()
+	for i := 0; i < 2000; i++ {
+		tick <- struct{}{}
+		if v, _, err := Execute(stSel, cat, pool, []any{int64(3)}); err != nil {
+			t.Fatalf("select: %v", err)
+		} else if v.(int64) < 100 {
+			t.Fatalf("count shrank: %v", v)
+		}
+		if _, _, err := Execute(stRows, cat, pool, []any{int64(3)}); err != nil {
+			t.Fatalf("rows: %v", err)
+		}
+		if i%100 == 0 {
+			_, errs, _ := ExecuteBatch(stSel, cat, pool, [][]any{{int64(3)}, {int64(3)}})
+			for _, err := range errs {
+				if err != nil {
+					t.Fatalf("batch: %v", err)
+				}
+			}
+		}
+	}
+	close(tick)
+	wg.Wait()
 }

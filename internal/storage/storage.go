@@ -4,6 +4,13 @@
 // consume. It is deliberately simple — heap files plus hash indexes — which
 // matches the access paths the paper's workloads exercise (point lookups by
 // key, secondary-index range-of-equals lookups, full scans, appends).
+//
+// Rows are stored column-wise: each column keeps a typed vector ([]int64 or
+// []string), so execution reads unboxed values with no per-row slice or
+// interface dispatch. The []any-based accessors (Insert, Row) remain as the
+// compatibility boundary toward the interpreter's value vocabulary; the hot
+// path uses View/ColInt/ColStr instead. See README.md for the layout and the
+// accessor contract.
 package storage
 
 import (
@@ -51,6 +58,94 @@ func (s *Schema) ColIndex(name string) int {
 	return -1
 }
 
+// smallBoxCount mirrors the interpreter's small-integer interning: boxing an
+// int64 below this bound returns a shared, preallocated interface value, so
+// reading typed columns back into the []any vocabulary does not allocate for
+// the row ids, counts and category keys the workloads traffic in.
+const smallBoxCount = 8192
+
+var smallBox [smallBoxCount]any
+
+func init() {
+	for i := range smallBox {
+		smallBox[i] = int64(i)
+	}
+}
+
+// BoxInt boxes an int64 into an interface value, interning small values.
+func BoxInt(v int64) any {
+	if v >= 0 && v < smallBoxCount {
+		return smallBox[v]
+	}
+	return v
+}
+
+// colVec is one column's storage. The declared type picks the typed vector;
+// if a value that does not match the declared type is ever inserted the
+// column degrades to the boxed vector (anys), which preserves the exact
+// semantics the old row-wise []any storage had for type-confused data. The
+// evaluation apps never degrade a column, so the typed path is the only one
+// that runs hot.
+type colVec struct {
+	kind ColType
+	ints []int64
+	strs []string
+	anys []any // non-nil once degraded; then ints/strs are stale
+}
+
+func (c *colVec) degraded() bool { return c.anys != nil }
+
+// degrade switches the column to boxed storage, copying the typed prefix.
+func (c *colVec) degrade(n int) {
+	if c.anys != nil {
+		return
+	}
+	anys := make([]any, 0, n+1)
+	switch c.kind {
+	case TInt:
+		for _, v := range c.ints[:n] {
+			anys = append(anys, BoxInt(v))
+		}
+	case TString:
+		for _, v := range c.strs[:n] {
+			anys = append(anys, v)
+		}
+	}
+	c.anys = anys
+}
+
+// append stores one boxed value, degrading on type mismatch. n is the row
+// count before the append.
+func (c *colVec) append(v any, n int) {
+	if c.anys == nil {
+		switch c.kind {
+		case TInt:
+			if iv, ok := v.(int64); ok {
+				c.ints = append(c.ints, iv)
+				return
+			}
+		case TString:
+			if sv, ok := v.(string); ok {
+				c.strs = append(c.strs, sv)
+				return
+			}
+		}
+		c.degrade(n)
+	}
+	c.anys = append(c.anys, v)
+}
+
+// get returns the boxed value at rid.
+func (c *colVec) get(rid int) any {
+	if c.anys != nil {
+		return c.anys[rid]
+	}
+	if c.kind == TInt {
+		return BoxInt(c.ints[rid])
+	}
+	return c.strs[rid]
+}
+
 // DefaultRowsPerPage is the page fanout used when a table does not override
 // it. Wide rows (user profiles with text) use smaller fanouts.
 const DefaultRowsPerPage = 64
@@ -63,12 +158,16 @@ type Table struct {
 
 	mu          sync.RWMutex
 	rowsPerPage int
-	rows        [][]any
+	numRows     int
+	cols        []colVec
 	indexes     map[string]*Index
 }
 
 // Index is a hash index on one column. IndexExtent pages are modelled as
-// hash buckets spread over the index extent.
+// hash buckets spread over the index extent. The rid-list map doubles as the
+// index's key statistics: KeyCount answers "how many rows carry this key"
+// without touching a data page, which the shard router's scatter pruning
+// consults.
 type Index struct {
 	Column string
 	Unique bool
@@ -79,11 +178,16 @@ type Index struct {
 
 // NewTable creates an empty table. Extents are assigned by the catalog.
 func NewTable(name string, schema *Schema, extent int) *Table {
+	cols := make([]colVec, len(schema.Cols))
+	for i, c := range schema.Cols {
+		cols[i].kind = c.Type
+	}
 	return &Table{
 		Name:        name,
 		Schema:      schema,
 		Extent:      extent,
 		rowsPerPage: DefaultRowsPerPage,
+		cols:        cols,
 		indexes:     make(map[string]*Index),
 	}
 }
@@ -114,8 +218,10 @@ func (t *Table) AddIndex(column string, unique bool, extent, pages int) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	ix := &Index{Column: column, Unique: unique, Extent: extent, Pages: pages, m: make(map[any][]int)}
-	for rid, row := range t.rows {
-		ix.m[row[ci]] = append(ix.m[row[ci]], rid)
+	c := &t.cols[ci]
+	for rid := 0; rid < t.numRows; rid++ {
+		k := c.get(rid)
+		ix.m[k] = append(ix.m[k], rid)
 	}
 	t.indexes[column] = ix
 	return nil
@@ -142,7 +248,10 @@ func (t *Table) Indexes() []*Index {
 	return out
 }
 
-// Insert appends a row, maintaining indexes, and returns its row id.
+// Insert appends a row, maintaining indexes, and returns its row id. Values
+// matching the declared column types are stored unboxed; a mismatched value
+// degrades its column to boxed storage rather than erroring, preserving the
+// permissive semantics of the row-wise heap. The row slice is not retained.
 func (t *Table) Insert(row []any) (int, error) {
 	if len(row) != len(t.Schema.Cols) {
 		return 0, fmt.Errorf("storage: %s: insert arity %d, want %d",
@@ -150,8 +259,11 @@ func (t *Table) Insert(row []any) (int, error) {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	rid := len(t.rows)
-	t.rows = append(t.rows, row)
+	rid := t.numRows
+	for i := range t.cols {
+		t.cols[i].append(row[i], rid)
+	}
+	t.numRows++
 	for col, ix := range t.indexes {
 		ci := t.Schema.ColIndex(col)
 		ix.m[row[ci]] = append(ix.m[row[ci]], rid)
@@ -159,18 +271,107 @@ func (t *Table) Insert(row []any) (int, error) {
 	return rid, nil
 }
 
-// Row returns row rid (shared slice; callers must not mutate).
+// Row materializes row rid as a fresh boxed slice (compatibility shim for
+// load/replication and tests; execution reads columns through View instead).
 func (t *Table) Row(rid int) []any {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return t.rows[rid]
+	out := make([]any, len(t.cols))
+	for i := range t.cols {
+		out[i] = t.cols[i].get(rid)
+	}
+	return out
+}
+
+// ColInt returns the typed vector of an int column (and true), or nil and
+// false when the column is not typed-int (wrong declared type, or degraded
+// by a mismatched insert). The slice is shared, append-only storage: callers
+// must not mutate it and must bound reads by a row count observed under the
+// same View or NumRows call.
+func (t *Table) ColInt(ci int) ([]int64, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	c := &t.cols[ci]
+	if c.kind != TInt || c.degraded() {
+		return nil, false
+	}
+	return c.ints, true
+}
+
+// ColStr is ColInt for string columns.
+func (t *Table) ColStr(ci int) ([]string, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	c := &t.cols[ci]
+	if c.kind != TString || c.degraded() {
+		return nil, false
+	}
+	return c.strs, true
+}
+
+// ColView is one column of a View: exactly one of Ints, Strs, Anys is
+// non-nil (Anys for degraded columns).
+type ColView struct {
+	Kind ColType
+	Ints []int64
+	Strs []string
+	Anys []any
+}
+
+// Any returns the boxed value at rid (small ints interned).
+func (c *ColView) Any(rid int) any {
+	if c.Anys != nil {
+		return c.Anys[rid]
+	}
+	if c.Kind == TInt {
+		return BoxInt(c.Ints[rid])
+	}
+	return c.Strs[rid]
+}
+
+// View is a consistent read snapshot of a table: a row count and the column
+// vectors as of one instant. Reads through a View take no locks; the vectors
+// are append-only, so indexes below NumRows stay valid even while concurrent
+// inserts extend the table. Views are cheap (slice headers only) and must
+// not be retained across statements.
+type View struct {
+	NumRows int
+	Cols    []ColView
+}
+
+// ViewInto fills v with a snapshot of the table, reusing v.Cols' capacity so
+// a pooled View allocates nothing in steady state.
+func (t *Table) ViewInto(v *View) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	v.NumRows = t.numRows
+	if cap(v.Cols) < len(t.cols) {
+		v.Cols = make([]ColView, len(t.cols))
+	} else {
+		v.Cols = v.Cols[:len(t.cols)]
+	}
+	for i := range t.cols {
+		c := &t.cols[i]
+		v.Cols[i] = ColView{Kind: c.kind, Anys: c.anys}
+		if c.anys == nil {
+			v.Cols[i].Ints = c.ints
+			v.Cols[i].Strs = c.strs
+		}
+	}
+}
+
+// View returns a fresh snapshot (convenience for callers without a pool).
+func (t *Table) View() *View {
+	v := &View{}
+	t.ViewInto(v)
+	return v
 }
 
 // NumRows returns the row count.
 func (t *Table) NumRows() int {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return len(t.rows)
+	return t.numRows
 }
 
 // NumPages returns the data page count.
@@ -185,6 +386,8 @@ func (t *Table) PageOf(rid int) int { return rid / t.RowsPerPage() }
 
 // Lookup returns the row ids matching value on an indexed column, plus the
 // index bucket page touched. ok is false when no index exists on the column.
+// The rid slice aliases the index's internal storage: callers must treat it
+// as read-only and use it within the current statement only.
 func (t *Table) Lookup(column string, value any) (rids []int, bucketPage int, ok bool) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
@@ -197,6 +400,19 @@ func (t *Table) Lookup(column string, value any) (rids []int, bucketPage int, ok
 	return rids, bucketPage, true
 }
 
+// IndexKeyCount reports how many rows carry value in column's index — the
+// per-shard key statistic the scatter planner prunes with. ok is false when
+// the column has no index.
+func (t *Table) IndexKeyCount(column string, value any) (n int, ok bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ix := t.indexes[column]
+	if ix == nil {
+		return 0, false
+	}
+	return len(ix.m[value]), true
+}
+
 // ScanEq returns row ids matching value by scanning (no index).
 func (t *Table) ScanEq(column string, value any) ([]int, error) {
 	ci := t.Schema.ColIndex(column)
@@ -206,9 +422,33 @@ func (t *Table) ScanEq(column string, value any) ([]int, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	var out []int
-	for rid, row := range t.rows {
-		if row[ci] == value {
-			out = append(out, rid)
+	c := &t.cols[ci]
+	switch {
+	case c.degraded():
+		for rid := 0; rid < t.numRows; rid++ {
+			if c.anys[rid] == value {
+				out = append(out, rid)
+			}
+		}
+	case c.kind == TInt:
+		v, ok := value.(int64)
+		if !ok {
+			return nil, nil // an int column never equals a non-int value
+		}
+		for rid, x := range c.ints[:t.numRows] {
+			if x == v {
+				out = append(out, rid)
+			}
+		}
+	default:
+		v, ok := value.(string)
+		if !ok {
+			return nil, nil
+		}
+		for rid, x := range c.strs[:t.numRows] {
+			if x == v {
+				out = append(out, rid)
+			}
 		}
 	}
 	return out, nil

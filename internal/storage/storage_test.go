@@ -123,3 +123,121 @@ func TestLookupQuick(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestColumnarTypedAccessors pins the unboxed accessor contract: typed
+// columns expose their vectors, Row materializes the same values boxed, and
+// a View snapshot stays consistent while inserts continue.
+func TestColumnarTypedAccessors(t *testing.T) {
+	tbl := newKV(t)
+	for i := int64(0); i < 10; i++ {
+		tbl.Insert([]any{i * 2, "x"})
+	}
+	ints, ok := tbl.ColInt(0)
+	if !ok || len(ints) < 10 || ints[3] != 6 {
+		t.Fatalf("ColInt: %v %v", ints, ok)
+	}
+	strs, ok := tbl.ColStr(1)
+	if !ok || strs[0] != "x" {
+		t.Fatalf("ColStr: %v %v", strs, ok)
+	}
+	if _, ok := tbl.ColInt(1); ok {
+		t.Fatal("ColInt must refuse a string column")
+	}
+	if _, ok := tbl.ColStr(0); ok {
+		t.Fatal("ColStr must refuse an int column")
+	}
+
+	var v View
+	tbl.ViewInto(&v)
+	if v.NumRows != 10 {
+		t.Fatalf("view rows: %d", v.NumRows)
+	}
+	tbl.Insert([]any{int64(100), "y"}) // grows past the snapshot
+	if v.NumRows != 10 || v.Cols[0].Ints[9] != 18 {
+		t.Fatal("view must keep its snapshot bound")
+	}
+	if got := v.Cols[0].Any(3); got != int64(6) {
+		t.Fatalf("boxed view read: %v", got)
+	}
+	if got := tbl.Row(3); got[0] != int64(6) || got[1] != "x" {
+		t.Fatalf("Row shim: %v", got)
+	}
+	// Row returns a fresh slice: mutating it must not touch the table.
+	r := tbl.Row(3)
+	r[0] = int64(-1)
+	if tbl.Row(3)[0] != int64(6) {
+		t.Fatal("Row slice aliases storage")
+	}
+}
+
+// TestColumnDegradation: inserting a value that mismatches the declared type
+// degrades the column to boxed storage with identical read semantics — the
+// permissive behaviour the row-wise heap had.
+func TestColumnDegradation(t *testing.T) {
+	tbl := newKV(t)
+	tbl.Insert([]any{int64(1), "a"})
+	tbl.Insert([]any{"oops", "b"}) // string into the int column
+	tbl.Insert([]any{int64(3), "c"})
+	if _, ok := tbl.ColInt(0); ok {
+		t.Fatal("degraded column must refuse the typed accessor")
+	}
+	if tbl.Row(0)[0] != int64(1) || tbl.Row(1)[0] != "oops" || tbl.Row(2)[0] != int64(3) {
+		t.Fatal("degraded column lost values")
+	}
+	var v View
+	tbl.ViewInto(&v)
+	if v.Cols[0].Anys == nil || v.Cols[0].Any(1) != "oops" {
+		t.Fatal("view must expose the boxed vector for a degraded column")
+	}
+	// Scans and indexes still work over mixed values.
+	rids, err := tbl.ScanEq("k", int64(3))
+	if err != nil || len(rids) != 1 || rids[0] != 2 {
+		t.Fatalf("ScanEq on degraded: %v %v", rids, err)
+	}
+	if err := tbl.AddIndex("k", false, 1, 4); err != nil {
+		t.Fatal(err)
+	}
+	rids, _, ok := tbl.Lookup("k", "oops")
+	if !ok || len(rids) != 1 || rids[0] != 1 {
+		t.Fatalf("Lookup on degraded: %v", rids)
+	}
+}
+
+// TestIndexKeyCount: the scatter planner's statistic matches the rid lists
+// and tracks inserts.
+func TestIndexKeyCount(t *testing.T) {
+	tbl := newKV(t)
+	for i := int64(0); i < 30; i++ {
+		tbl.Insert([]any{i % 3, "x"})
+	}
+	if _, ok := tbl.IndexKeyCount("k", int64(0)); ok {
+		t.Fatal("no index yet: must report !ok")
+	}
+	if err := tbl.AddIndex("k", false, 1, 4); err != nil {
+		t.Fatal(err)
+	}
+	if n, ok := tbl.IndexKeyCount("k", int64(1)); !ok || n != 10 {
+		t.Fatalf("key count: %d %v", n, ok)
+	}
+	if n, ok := tbl.IndexKeyCount("k", int64(99)); !ok || n != 0 {
+		t.Fatalf("absent key count: %d %v", n, ok)
+	}
+	tbl.Insert([]any{int64(1), "y"})
+	if n, _ := tbl.IndexKeyCount("k", int64(1)); n != 11 {
+		t.Fatalf("stat not maintained on insert: %d", n)
+	}
+}
+
+// TestBoxIntInterning: small boxed ints are shared, and values compare
+// equal regardless of interning.
+func TestBoxIntInterning(t *testing.T) {
+	if BoxInt(5) != BoxInt(5) || BoxInt(5) != int64(5) {
+		t.Fatal("interned box must equal a fresh box")
+	}
+	if BoxInt(1<<40) != int64(1<<40) {
+		t.Fatal("large values box by value")
+	}
+	if BoxInt(-3) != int64(-3) {
+		t.Fatal("negative values box by value")
+	}
+}
