@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	asyncq [-analyze] [-ddg] [-flat] [-run] [-threads N] [-batch N] [-shards N] file.mq
+//	asyncq [-analyze] [-ddg] [-flat] [-run] [-threads N] [-batch N] [-shards N] [-replicas N] file.mq
 //
 // With no flags the transformed program is printed (readable form, §V).
 // With -run -batch N the transformed program's submissions are coalesced
@@ -14,7 +14,9 @@
 // routed across N partitions by its first argument (internal/shard's hash
 // partitioner) and the per-shard request distribution is reported —
 // results are unchanged, since the deterministic test service is a pure
-// function of the request.
+// function of the request. With -replicas R each shard's reads additionally
+// rotate round-robin over R read replicas (internal/replica's balancing
+// policy) and the per-shard, per-replica distribution is reported.
 package main
 
 import (
@@ -42,6 +44,7 @@ func main() {
 	threads := flag.Int("threads", 8, "worker threads for -run")
 	batchSize := flag.Int("batch", 0, "coalesce submissions into batches of up to N requests for -run (0 = off)")
 	shards := flag.Int("shards", 1, "partition -run requests across N shards by first argument (1 = off)")
+	replicas := flag.Int("replicas", 1, "rotate each shard's -run reads over N read replicas (1 = off)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -99,27 +102,58 @@ func main() {
 		// every request is routed by its first argument through the shard
 		// package's hash partitioner and counted, so the reported
 		// distribution shows how the transformed program's submissions
-		// would spread across a sharded cluster.
+		// would spread across a sharded cluster. With -replicas each
+		// partition's reads additionally rotate round-robin across R read
+		// replicas, modelling the replica group's balancing: a whole batch
+		// (or rather, its per-shard sub-batch) rides to ONE replica, exactly
+		// as internal/replica routes read batches.
 		run := testsvc.Runner()
 		runBatch := testsvc.BatchRunner()
 		var perShard []int64
-		if *shards > 1 {
-			perShard = make([]int64, *shards)
-			route := func(args []any) {
-				s := 0
-				if len(args) > 0 {
-					s = shard.Partition(args[0], len(perShard))
+		var perReplica [][]int64
+		var rr []atomic.Int64
+		if *shards > 1 || *replicas > 1 {
+			perShard = make([]int64, max(*shards, 1))
+			if *replicas > 1 {
+				perReplica = make([][]int64, len(perShard))
+				for i := range perReplica {
+					perReplica[i] = make([]int64, *replicas)
 				}
-				atomic.AddInt64(&perShard[s], 1)
+				rr = make([]atomic.Int64, len(perShard))
+			}
+			shardOf := func(args []any) int {
+				if len(args) > 0 {
+					return shard.Partition(args[0], len(perShard))
+				}
+				return 0
+			}
+			// countReads books n reads on the next replica of shard s's
+			// rotation: n == 1 for a single request, n == the sub-batch size
+			// for a batch, which visits one replica per round trip.
+			countReads := func(s, n int) {
+				if perReplica != nil {
+					r := int(rr[s].Add(1)-1) % *replicas
+					atomic.AddInt64(&perReplica[s][r], int64(n))
+				}
 			}
 			baseRun, baseBatch := run, runBatch
 			run = func(name, sql string, args []any) (any, error) {
-				route(args)
+				s := shardOf(args)
+				atomic.AddInt64(&perShard[s], 1)
+				countReads(s, 1)
 				return baseRun(name, sql, args)
 			}
 			runBatch = func(name, sql string, argSets [][]any) ([]any, []error) {
+				subBatch := make(map[int]int, len(perShard))
 				for _, args := range argSets {
-					route(args)
+					s := shardOf(args)
+					atomic.AddInt64(&perShard[s], 1)
+					subBatch[s]++
+				}
+				for s := 0; s < len(perShard); s++ {
+					if n := subBatch[s]; n > 0 {
+						countReads(s, n)
+					}
 				}
 				return baseBatch(name, sql, argSets)
 			}
@@ -149,8 +183,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "-- batch: %d submissions coalesced into %d batches (avg size %.1f)\n",
 				submitted, batches, avg)
 		}
-		if perShard != nil {
+		if *shards > 1 {
 			fmt.Fprintf(os.Stderr, "-- shards: requests per shard: %v\n", perShard)
+		}
+		if perReplica != nil {
+			fmt.Fprintf(os.Stderr, "-- replicas: reads per shard/replica: %v\n", perReplica)
 		}
 	}
 }

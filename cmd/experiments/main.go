@@ -3,14 +3,18 @@
 //
 // Usage:
 //
-//	experiments [-scale 0.2] [-quick] [-fig 8|..|15|batch-category|batch-rubis|shard-scale|all] [-table1]
+//	experiments [-scale 0.2] [-quick] [-seed N]
+//	            [-fig 8|..|15|batch-category|batch-rubis|shard-scale|replica-scale|all] [-table1]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // With no selection flags, everything runs. Times are reported in simulated
 // seconds (wall time divided by -scale), so results are comparable across
-// scale settings. The profile flags write pprof CPU/heap profiles covering
-// the selected experiments, so perf work can attach evidence without
-// ad-hoc patches: go tool pprof cpu.pprof
+// scale settings. -seed (or the ASYNCQ_SEED environment variable) offsets
+// the per-run workload argument generator so a reported anomaly reproduces
+// deterministically; 0 keeps the historical fixed seeding. The profile
+// flags write pprof CPU/heap profiles covering the selected experiments, so
+// perf work can attach evidence without ad-hoc patches: go tool pprof
+// cpu.pprof
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 
+	"repro/internal/apps"
 	"repro/internal/experiments"
 )
 
@@ -30,8 +35,9 @@ func main() {
 func run() int {
 	scale := flag.Float64("scale", 0.2, "wall-clock scale for simulated latencies (1.0 = full)")
 	quick := flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
-	fig := flag.String("fig", "", "figure to run: 8..15, batch-category, batch-rubis, shard-scale or 'all' (default: all)")
+	fig := flag.String("fig", "", "figure to run: 8..15, batch-category, batch-rubis, shard-scale, replica-scale or 'all' (default: all)")
 	table1 := flag.Bool("table1", false, "run only Table I")
+	seed := flag.Int64("seed", 0, "workload seed (0: ASYNCQ_SEED env, else the historical fixed seeding)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to `file`")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to `file`")
 	flag.Parse()
@@ -67,6 +73,11 @@ func run() int {
 	h := experiments.NewHarness()
 	h.Scale = *scale
 	h.Quick = *quick
+	h.Seed = apps.SeedFromEnv(*seed)
+	if h.Seed != 0 {
+		// Logged up front so a failing run's seed is always recoverable.
+		fmt.Fprintf(os.Stderr, "experiments: workload seed %d (rerun with -seed %d)\n", h.Seed, h.Seed)
+	}
 	defer h.Close()
 
 	if *table1 {
@@ -88,7 +99,7 @@ func run() int {
 		"8": h.Fig08, "9": h.Fig09, "10": h.Fig10, "11": h.Fig11,
 		"12": h.Fig12, "13": h.Fig13, "14": h.Fig14, "15": h.Fig15,
 		"batch-category": h.FigBatchCategory, "batch-rubis": h.FigBatchRUBiS,
-		"shard-scale": h.FigShardScale,
+		"shard-scale": h.FigShardScale, "replica-scale": h.FigReplicaScale,
 	}
 	label := func(id string) string {
 		if len(id) <= 2 { // numeric paper figures keep their "Fig N" labels
@@ -99,7 +110,7 @@ func run() int {
 	switch *fig {
 	case "", "all":
 		for _, id := range []string{"8", "9", "10", "11", "12", "13", "14", "15",
-			"batch-category", "batch-rubis", "shard-scale"} {
+			"batch-category", "batch-rubis", "shard-scale", "replica-scale"} {
 			if !run(label(id), figs[id]) {
 				return 1
 			}

@@ -1,8 +1,16 @@
 package apps
 
 import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+
 	"repro/internal/ir"
 	"repro/internal/minilang"
+	"repro/internal/server"
+	"repro/internal/storage"
 )
 
 // CorpusApp is one benchmark application's inventory of query-in-loop sites
@@ -233,4 +241,262 @@ func parseAll(srcs []string) []*ir.Proc {
 		out[i] = minilang.MustParse(s)
 	}
 	return out
+}
+
+// ---- randomized differential workloads ----
+//
+// The randomized differential harness (internal/replica/diff_test.go) pins
+// single-server, sharded, and sharded+replicated execution byte-identical
+// on seeded random workloads. The generator lives here, next to the Table I
+// corpus, because it is the shared query/insert vocabulary for every app:
+// it introspects whatever schema an app's Setup loaded and emits statements
+// in the sqlmini subset, deterministically in the rng.
+
+// WorkloadOp is one operation of a randomized differential workload: a
+// prepared statement plus its bindings. Ops with one binding run through
+// Exec; ops with several run through ExecBatch.
+type WorkloadOp struct {
+	SQL     string
+	ArgSets [][]any
+}
+
+// Batch reports whether the op is a set-oriented submission.
+func (op WorkloadOp) Batch() bool { return len(op.ArgSets) > 1 }
+
+// SeedFromEnv resolves a randomized-workload seed: an explicit non-zero
+// seed wins; otherwise the ASYNCQ_SEED environment variable when set and
+// parseable; otherwise 0, meaning the caller should pick one (and log it,
+// so failures reproduce).
+func SeedFromEnv(explicit int64) int64 {
+	if explicit != 0 {
+		return explicit
+	}
+	if env := os.Getenv("ASYNCQ_SEED"); env != "" {
+		if s, err := strconv.ParseInt(env, 10, 64); err == nil {
+			return s
+		}
+	}
+	return 0
+}
+
+// scanCap bounds which tables the generator full-scans (predicate-free
+// aggregates, unindexed predicates): a 400k-row scan per op per cluster
+// would dominate the suite's runtime without adding merge coverage.
+const scanCap = 100_000
+
+// RandomWorkload generates n seeded operations over the tables loaded into
+// ref: point selects on indexed columns (single and batched), aggregates
+// (with and without predicates, including zero-match keys), row selects
+// whose scatter merges must restore global order, single and batched
+// inserts (occasionally duplicating existing key values), and a sprinkle
+// of statements that fail — parse errors, unknown tables/columns, arity
+// mismatches — whose error text must match on every backend. The result is
+// a pure function of (loaded schema and rows, n, rng state).
+func RandomWorkload(ref *server.Server, n int, rng *rand.Rand) []WorkloadOp {
+	tables := ref.Catalog().Tables()
+	// Catalog.Tables is map-ordered; sort for rng-determinism.
+	sort.Slice(tables, func(i, j int) bool { return tables[i].Name < tables[j].Name })
+	g := &workloadGen{rng: rng, tables: tables}
+	ops := make([]WorkloadOp, 0, n)
+	for len(ops) < n {
+		ops = append(ops, g.next())
+	}
+	return ops
+}
+
+type workloadGen struct {
+	rng    *rand.Rand
+	tables []*storage.Table
+}
+
+func (g *workloadGen) next() WorkloadOp {
+	t := g.tables[g.rng.Intn(len(g.tables))]
+	roll := g.rng.Intn(100)
+	switch {
+	case roll < 22:
+		return g.pointSelect(t, 1)
+	case roll < 37:
+		return g.pointSelect(t, 4+g.rng.Intn(9))
+	case roll < 57:
+		return g.aggregate(t)
+	case roll < 67:
+		return g.orderedScatter(t)
+	case roll < 79:
+		return g.insert(t, 1)
+	case roll < 91:
+		return g.insert(t, 2+g.rng.Intn(7))
+	default:
+		return g.failing(t)
+	}
+}
+
+// intCols returns the positions of the table's int columns.
+func intCols(t *storage.Table) []int {
+	var out []int
+	for i, c := range t.Schema.Cols {
+		if c.Type == storage.TInt {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// indexedCol picks one indexed column, or "" when the table has none.
+func (g *workloadGen) indexedCol(t *storage.Table) string {
+	ixs := t.Indexes()
+	if len(ixs) == 0 {
+		return ""
+	}
+	return ixs[g.rng.Intn(len(ixs))].Column
+}
+
+// sample draws a predicate value for col: usually from a random existing
+// row, sometimes a miss (so zero-match merges stay covered).
+func (g *workloadGen) sample(t *storage.Table, col string) any {
+	ci := t.Schema.ColIndex(col)
+	if nr := t.NumRows(); nr > 0 && g.rng.Intn(10) < 8 {
+		return t.Row(g.rng.Intn(nr))[ci]
+	}
+	if t.Schema.Cols[ci].Type == storage.TInt {
+		return int64(10_000_000 + g.rng.Intn(1_000_000))
+	}
+	return fmt.Sprintf("miss%d", g.rng.Intn(1_000_000))
+}
+
+// colList picks a non-empty projection in a deterministic random order.
+func (g *workloadGen) colList(t *storage.Table) string {
+	cols := make([]string, len(t.Schema.Cols))
+	for i, c := range t.Schema.Cols {
+		cols[i] = c.Name
+	}
+	g.rng.Shuffle(len(cols), func(i, j int) { cols[i], cols[j] = cols[j], cols[i] })
+	k := 1 + g.rng.Intn(len(cols))
+	out := cols[0]
+	for _, c := range cols[1:k] {
+		out += ", " + c
+	}
+	return out
+}
+
+// pointSelect emits an equality select on an indexed column with k bindings
+// (k > 1 exercises the per-shard batch split and replica batch failover).
+func (g *workloadGen) pointSelect(t *storage.Table, k int) WorkloadOp {
+	col := g.indexedCol(t)
+	if col == "" {
+		if t.NumRows() > scanCap || t.NumRows() == 0 {
+			return g.insert(t, 1) // nothing cheap to read on this table
+		}
+		col = t.Schema.Cols[g.rng.Intn(len(t.Schema.Cols))].Name
+	}
+	op := WorkloadOp{SQL: fmt.Sprintf("select %s from %s where %s = ?", g.colList(t), t.Name, col)}
+	for j := 0; j < k; j++ {
+		op.ArgSets = append(op.ArgSets, []any{g.sample(t, col)})
+	}
+	return op
+}
+
+// aggregate emits COUNT/SUM/MAX/MIN over an int column, with an indexed
+// predicate, an unindexed one (small tables only), or none.
+func (g *workloadGen) aggregate(t *storage.Table) WorkloadOp {
+	ints := intCols(t)
+	if len(ints) == 0 {
+		return g.pointSelect(t, 1)
+	}
+	kind := []string{"count", "sum", "max", "min"}[g.rng.Intn(4)]
+	aggCol := t.Schema.Cols[ints[g.rng.Intn(len(ints))]].Name
+	sql := fmt.Sprintf("select %s(%s) from %s", kind, aggCol, t.Name)
+	small := t.NumRows() <= scanCap
+	pcol := g.indexedCol(t)
+	if small && (pcol == "" || g.rng.Intn(3) == 0) {
+		if g.rng.Intn(2) == 0 {
+			return WorkloadOp{SQL: sql, ArgSets: [][]any{nil}} // full-table aggregate
+		}
+		pcol = t.Schema.Cols[g.rng.Intn(len(t.Schema.Cols))].Name // unindexed predicate
+	}
+	if pcol == "" {
+		return g.pointSelect(t, 1)
+	}
+	return WorkloadOp{
+		SQL:     sql + fmt.Sprintf(" where %s = ?", pcol),
+		ArgSets: [][]any{{g.sample(t, pcol)}},
+	}
+}
+
+// orderedScatter emits a row select whose predicate is not usable for
+// routing on most backends, so the scatter-gather merge must restore the
+// exact global row order. Big tables fall back to indexed predicates (an
+// unindexed one would full-scan them).
+func (g *workloadGen) orderedScatter(t *storage.Table) WorkloadOp {
+	if t.NumRows() == 0 {
+		return g.insert(t, 1)
+	}
+	col := ""
+	if t.NumRows() <= scanCap {
+		col = t.Schema.Cols[g.rng.Intn(len(t.Schema.Cols))].Name
+	} else {
+		col = g.indexedCol(t)
+	}
+	if col == "" {
+		return g.insert(t, 1)
+	}
+	return WorkloadOp{
+		SQL:     fmt.Sprintf("select %s from %s where %s = ?", g.colList(t), t.Name, col),
+		ArgSets: [][]any{{g.sample(t, col)}},
+	}
+}
+
+// insert emits k inserted rows; int values occasionally duplicate existing
+// key values (duplicate shard keys must land on one shard and merge in
+// insertion order).
+func (g *workloadGen) insert(t *storage.Table, k int) WorkloadOp {
+	ph := ""
+	for i := range t.Schema.Cols {
+		if i > 0 {
+			ph += ", "
+		}
+		ph += "?"
+	}
+	op := WorkloadOp{SQL: fmt.Sprintf("insert into %s values (%s)", t.Name, ph)}
+	for j := 0; j < k; j++ {
+		row := make([]any, len(t.Schema.Cols))
+		for i, c := range t.Schema.Cols {
+			if c.Type == storage.TInt {
+				if nr := t.NumRows(); nr > 0 && g.rng.Intn(4) == 0 {
+					row[i] = t.Row(g.rng.Intn(nr))[i] // duplicate an existing value
+				} else {
+					row[i] = int64(1_000_000 + g.rng.Intn(8_000_000))
+				}
+			} else {
+				row[i] = fmt.Sprintf("w%d", g.rng.Intn(1_000_000))
+			}
+		}
+		op.ArgSets = append(op.ArgSets, row)
+	}
+	return op
+}
+
+// failing emits a statement that errors — identically on every backend.
+func (g *workloadGen) failing(t *storage.Table) WorkloadOp {
+	switch g.rng.Intn(5) {
+	case 0: // parse error
+		return WorkloadOp{SQL: "delete from " + t.Name, ArgSets: [][]any{nil}}
+	case 1: // unknown table
+		return WorkloadOp{SQL: "select x from nosuchtable where x = ?", ArgSets: [][]any{{int64(1)}}}
+	case 2: // unknown column
+		return WorkloadOp{
+			SQL:     fmt.Sprintf("select nosuchcol from %s where %s = ?", t.Name, t.Schema.Cols[0].Name),
+			ArgSets: [][]any{{g.sample(t, t.Schema.Cols[0].Name)}},
+		}
+	case 3: // arity mismatch: a parameter the binding never supplies
+		return WorkloadOp{
+			SQL:     fmt.Sprintf("select %s from %s where %s = ?", t.Schema.Cols[0].Name, t.Name, t.Schema.Cols[0].Name),
+			ArgSets: [][]any{nil},
+		}
+	default: // aggregate over a string column (or int when none: still fine)
+		col := t.Schema.Cols[len(t.Schema.Cols)-1].Name
+		return WorkloadOp{
+			SQL:     fmt.Sprintf("select sum(%s) from %s where %s = ?", col, t.Name, t.Schema.Cols[0].Name),
+			ArgSets: [][]any{{g.sample(t, t.Schema.Cols[0].Name)}},
+		}
+	}
 }

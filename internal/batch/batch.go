@@ -43,7 +43,11 @@ type Options struct {
 	// backend (internal/shard) supplies its partition function here so each
 	// batch targets a single shard and never has to be split downstream —
 	// the sharded run then pays exactly as many round trips as a
-	// single-server run, just spread over parallel backends.
+	// single-server run, just spread over parallel backends. Replicated
+	// backends (internal/replica) compose transparently: a whole read batch
+	// rides one round trip to one replica of its shard's group, so round
+	// trips still match the single server while successive batches spread
+	// over the replicas (pinned by TestReplicatedBackendRoundTripsMatchSingleServer).
 	GroupFn func(name, sql string, args []any) int
 }
 

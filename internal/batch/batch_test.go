@@ -8,6 +8,10 @@ import (
 	"time"
 
 	"repro/internal/exec"
+	"repro/internal/interp"
+	"repro/internal/replica"
+	"repro/internal/server"
+	"repro/internal/storage"
 )
 
 // countingBatchRunner returns a BatchRunner that executes bindings with a
@@ -294,5 +298,88 @@ func TestNegativeMaxBatchIsOff(t *testing.T) {
 	}
 	if b, _ := svc.BatchStats(); b != 0 {
 		t.Fatalf("batches = %d, want 0 (negative MaxBatch must disable batching)", b)
+	}
+}
+
+// TestReplicatedBackendRoundTripsMatchSingleServer pins replica-aware batch
+// routing: read batches submitted through the coalescer against a replica
+// group (one primary + R read copies, internal/replica) pay exactly the
+// round trips a single server pays — each batch rides whole to one replica —
+// while returning identical values.
+func TestReplicatedBackendRoundTripsMatchSingleServer(t *testing.T) {
+	schema := storage.NewSchema(
+		storage.Column{Name: "k", Type: storage.TInt},
+		storage.Column{Name: "v", Type: storage.TInt},
+	)
+	load := func(create func(name string, schema *storage.Schema, rowsPerPage int) error,
+		insert func(table string, row []any) error) {
+		if err := create("t", schema, 8); err != nil {
+			t.Fatal(err)
+		}
+		for i := int64(0); i < 64; i++ {
+			if err := insert("t", []any{i, i * 7}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	single := server.New(server.SYS1(), 0)
+	defer single.Close()
+	load(single.CreateTable, single.InsertRow)
+	single.FinishLoad()
+	group := replica.NewGroup(server.SYS1(), 0, replica.Options{Replicas: 2})
+	defer group.Close()
+	load(group.CreateTable, group.InsertRow)
+	group.FinishLoad()
+
+	// 16 submissions at MaxBatch 4: exactly 4 full batches on either
+	// backend, no linger dependence.
+	run := func(run exec.Runner, runBatch exec.BatchRunner) []any {
+		svc := NewService(2, run, runBatch, Options{MaxBatch: 4, Linger: time.Second})
+		defer svc.Close()
+		var hs []*exec.Handle
+		for i := int64(0); i < 16; i++ {
+			h, err := svc.Submit("q", "select v from t where k = ?", []any{i})
+			if err != nil {
+				t.Fatal(err)
+			}
+			hs = append(hs, h.(*exec.Handle))
+		}
+		out := make([]any, len(hs))
+		for i, h := range hs {
+			v, err := h.Fetch()
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[i] = v
+		}
+		return out
+	}
+
+	wantVals := run(single.Exec, single.ExecBatch)
+	gotVals := run(group.Exec, group.ExecBatch)
+	for i := range wantVals {
+		if !interp.Equal(wantVals[i], gotVals[i]) {
+			t.Fatalf("submission %d: single %v, replicated %v", i,
+				interp.Format(wantVals[i]), interp.Format(gotVals[i]))
+		}
+	}
+
+	singleTrips := single.Stats().NetRequests
+	var groupTrips int64
+	for _, s := range group.CopyStats() {
+		groupTrips += s.NetRequests
+	}
+	if singleTrips != 4 || groupTrips != singleTrips {
+		t.Fatalf("round trips: single %d, replicated group %d (want 4 and equal)", singleTrips, groupTrips)
+	}
+	// The batches actually spread over the replicas.
+	spread := 0
+	for _, reads := range group.ReadCounts() {
+		if reads > 0 {
+			spread++
+		}
+	}
+	if spread < 2 {
+		t.Fatalf("batches did not spread over replicas: %v", group.ReadCounts())
 	}
 }

@@ -224,6 +224,29 @@ func (h *Harness) FigBatchRUBiS() (*Figure, error) {
 		apps.RUBiS(), server.SYS1(), 10, 16, iters, true)
 }
 
+// BestOf runs measure reps times — forcing a collection between runs so a
+// GC mark phase over the loaded tables cannot land mid-measurement — and
+// returns the run with the highest score. On an oversubscribed host a
+// single run of a few milliseconds is scheduler-noise-bound, so the max is
+// the stable signal. The scale figures and their benchmark twins
+// (BenchmarkShardScale, BenchmarkReplicaScale) share this so figures and
+// benchmarks cannot drift onto different methodologies.
+func BestOf[T any](reps int, score func(T) float64, measure func() (T, error)) (T, error) {
+	var best T
+	have := false
+	for i := 0; i < reps; i++ {
+		runtime.GC()
+		m, err := measure()
+		if err != nil {
+			return best, err
+		}
+		if !have || score(m) > score(best) {
+			best, have = m, true
+		}
+	}
+	return best, nil
+}
+
 // FigShardScale — batched throughput of the RUBiS workload as the cluster
 // grows from 1 to 8 shards (the scaling experiment beyond the paper:
 // sharding lets the coalescer's batches execute in parallel per shard).
@@ -258,18 +281,11 @@ func (h *Harness) FigShardScale() (*Figure, error) {
 		var tput Series
 		tput.Label = fmt.Sprintf("Batched throughput (%s)", cacheName)
 		for _, n := range shards {
-			var best ShardMeasurement
-			for rep := 0; rep < 3; rep++ {
-				// The loaded tables are a large object graph; collect between
-				// reps so a GC mark phase cannot land mid-measurement.
-				runtime.GC()
-				m, err := h.MeasureSharded(apps.RUBiS(), server.SYS1(), threads, iters, warm, maxBatch, n)
-				if err != nil {
-					return nil, fmt.Errorf("shard-scale %s n=%d: %w", cacheName, n, err)
-				}
-				if best.Throughput == 0 || m.Throughput > best.Throughput {
-					best = m
-				}
+			best, err := BestOf(3, ShardMeasurement.speedScore, func() (ShardMeasurement, error) {
+				return h.MeasureSharded(apps.RUBiS(), server.SYS1(), threads, iters, warm, maxBatch, n)
+			})
+			if err != nil {
+				return nil, fmt.Errorf("shard-scale %s n=%d: %w", cacheName, n, err)
 			}
 			tput.Points = append(tput.Points, Point{X: n, Y: best.Throughput})
 			lastBalance = best.ShardQueries
@@ -279,6 +295,48 @@ func (h *Harness) FigShardScale() (*Figure, error) {
 	f.Notes = append(f.Notes,
 		fmt.Sprintf("Database: %s, Threads: %d, MaxBatch: %d", server.SYS1().Name, threads, maxBatch),
 		fmt.Sprintf("Largest cluster routing balance (queries per shard): %v", lastBalance))
+	return f, nil
+}
+
+// FigReplicaScale — read throughput of the RUBiS workload on one hot shard
+// as its read-replica count grows from 1 to 4 (the failover/read-scaling
+// experiment beyond the paper: every query hits the same shard — the
+// hot-shard regime the ROADMAP names — and the replica group spreads the
+// batched reads across copies). Cold caches make the replicas' independent
+// disks the scaling resource, exactly as independent shards are in
+// FigShardScale; each point verifies the replicated run byte-identical to
+// the single-server batched run. Best of five runs per point (BestOf) —
+// adjacent replica counts differ by only a few percent, so this figure
+// takes two more reps than FigShardScale's best-of-three.
+func (h *Harness) FigReplicaScale() (*Figure, error) {
+	replicas := h.pick([]int{1, 2, 3, 4}, []int{1, 2})
+	const threads, maxBatch = 50, 16
+	f := &Figure{
+		ID:     "Replica A",
+		Title:  "Replicated hot shard: batched read throughput vs number of replicas",
+		XLabel: "Number of read replicas",
+		YLabel: "Throughput (queries/sec)",
+	}
+	// 2000 iterations keep ~125 batches in flight behind 50 workers, enough
+	// concurrent batches that a fourth replica still has work to steal.
+	iters := h.iters(2000, 200)
+	var tput Series
+	tput.Label = "Batched read throughput (Cold Cache, 1 shard)"
+	var lastBalance [][]int64
+	for _, nrep := range replicas {
+		best, err := BestOf(5, ReplicaMeasurement.speedScore, func() (ReplicaMeasurement, error) {
+			return h.MeasureReplicated(apps.RUBiS(), server.SYS1(), threads, iters, false, maxBatch, 1, nrep)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("replica-scale r=%d: %w", nrep, err)
+		}
+		tput.Points = append(tput.Points, Point{X: nrep, Y: best.Throughput})
+		lastBalance = best.ReplicaReads
+	}
+	f.Series = append(f.Series, tput)
+	f.Notes = append(f.Notes,
+		fmt.Sprintf("Database: %s, Threads: %d, MaxBatch: %d, Shards: 1 (hot)", server.SYS1().Name, threads, maxBatch),
+		fmt.Sprintf("Largest group read balance (reads per replica): %v", lastBalance))
 	return f, nil
 }
 

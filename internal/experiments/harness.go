@@ -30,6 +30,10 @@ type Harness struct {
 	// Quick shrinks the sweeps (used by `go test -bench` so a full bench
 	// run stays tractable); the full sweeps match the paper's axes.
 	Quick bool
+	// Seed offsets the per-run workload argument generator (cmd/experiments
+	// -seed / ASYNCQ_SEED). Zero keeps the historical fixed seeding, so
+	// published series stay reproducible by default.
+	Seed int64
 
 	servers map[string]*loadedServer
 	routers map[string]*shard.Router
@@ -135,10 +139,11 @@ func (h *Harness) server(app *apps.App, prof server.Profile) (*server.Server, er
 	return srv, nil
 }
 
-// router returns a shard router over `shards` backends loaded with the
-// app's data, cached per (app, profile, shards) for non-mutating apps.
-func (h *Harness) router(app *apps.App, prof server.Profile, shards int) (*shard.Router, error) {
-	key := fmt.Sprintf("%s/%s/%d", app.Name, prof.Name, shards)
+// router returns a shard router over `shards` backends — each fronted by
+// `replicas` read replicas when replicas > 0 — loaded with the app's data,
+// cached per (app, profile, shards, replicas) for non-mutating apps.
+func (h *Harness) router(app *apps.App, prof server.Profile, shards, replicas int) (*shard.Router, error) {
+	key := fmt.Sprintf("%s/%s/%d/r%d", app.Name, prof.Name, shards, replicas)
 	if !app.MutatesData {
 		if r, ok := h.routers[key]; ok {
 			r.SetScale(h.Scale)
@@ -155,7 +160,7 @@ func (h *Harness) router(app *apps.App, prof server.Profile, shards int) (*shard
 	if app.MutatesData {
 		defer ref.Close()
 	}
-	r := shard.New(prof, h.Scale, shard.Options{Shards: shards, Keys: app.ShardKeys})
+	r := shard.New(prof, h.Scale, shard.Options{Shards: shards, Keys: app.ShardKeys, Replicas: replicas})
 	if err := r.LoadFrom(ref); err != nil {
 		r.Close()
 		return nil, fmt.Errorf("shard load %s: %w", app.Name, err)
@@ -222,7 +227,7 @@ func (h *Harness) runOn(app *apps.App, tgt target, p *interp.Program,
 	if app.Bind != nil {
 		app.Bind(in, apps.SeededRand())
 	}
-	args := app.Args(iterations, rand.New(rand.NewSource(int64(iterations)+7)))
+	args := app.Args(iterations, rand.New(rand.NewSource(h.Seed+int64(iterations)+7)))
 	before := tgt.Stats().NetRequests
 	start := time.Now()
 	res, err := in.RunProgram(p, args)
@@ -392,6 +397,9 @@ func (m ShardMeasurement) Speedup() float64 {
 	return m.Single / m.Sharded
 }
 
+// speedScore ranks repeated measurements for BestOf.
+func (m ShardMeasurement) speedScore() float64 { return m.Throughput }
+
 // MeasureSharded times the transformed kernel with batched submission on a
 // single server and on a cluster of `shards` backends, verifying that both
 // produce identical results.
@@ -419,7 +427,7 @@ func (h *Harness) MeasureSharded(app *apps.App, prof server.Profile,
 		return m, err
 	}
 
-	rt, err := h.router(app, prof, shards)
+	rt, err := h.router(app, prof, shards, 0)
 	if err != nil {
 		return m, err
 	}
@@ -453,6 +461,112 @@ func (h *Harness) MeasureSharded(app *apps.App, prof server.Profile,
 			q -= beforeShard[i].Queries
 		}
 		m.ShardQueries = append(m.ShardQueries, q)
+	}
+	return m, nil
+}
+
+// ReplicaMeasurement is one (app, config) data point comparing single-server
+// batched execution against a sharded cluster whose shards are replica
+// groups (one primary + Replicas read copies each).
+type ReplicaMeasurement struct {
+	App        string
+	Profile    string
+	Threads    int
+	Warm       bool
+	Iterations int
+	MaxBatch   int
+	Shards     int
+	Replicas   int
+	// Single and Replicated are simulated seconds for the transformed,
+	// batched kernel on one server vs the replicated cluster.
+	Single     float64
+	Replicated float64
+	// Throughput is Iterations/Replicated: logical queries per simulated
+	// second on the replicated cluster (the replica-scale figure's y axis).
+	Throughput float64
+	// NetRequestsSingle / NetRequestsReplicated count client-visible round
+	// trips. Read batches ride one trip to one replica, so a read-dominated
+	// workload pays the single-server count; only write replication fans
+	// out.
+	NetRequestsSingle     int64
+	NetRequestsReplicated int64
+	// ReplicaReads is, per shard, the reads each replica served during the
+	// run — the load-balancing evidence.
+	ReplicaReads [][]int64
+}
+
+// Speedup is Single/Replicated.
+func (m ReplicaMeasurement) Speedup() float64 {
+	if m.Replicated == 0 {
+		return 0
+	}
+	return m.Single / m.Replicated
+}
+
+// speedScore ranks repeated measurements for BestOf.
+func (m ReplicaMeasurement) speedScore() float64 { return m.Throughput }
+
+// MeasureReplicated times the transformed kernel with batched submission on
+// a single server and on a cluster of `shards` replica groups of `replicas`
+// read copies each, verifying that both produce identical results.
+func (h *Harness) MeasureReplicated(app *apps.App, prof server.Profile,
+	threads, iterations int, warm bool, maxBatch, shards, replicas int) (ReplicaMeasurement, error) {
+
+	m := ReplicaMeasurement{
+		App: app.Name, Profile: prof.Name,
+		Threads: threads, Warm: warm, Iterations: iterations,
+		MaxBatch: maxBatch, Shards: shards, Replicas: replicas,
+	}
+	pp, err := h.proc(app)
+	if err != nil {
+		return m, err
+	}
+	linger := time.Duration(float64(batch.DefaultLinger) * h.Scale)
+	opts := batch.Options{MaxBatch: maxBatch, Linger: linger}
+
+	singleRes, singleSec, singleInfo, err := h.runKernel(app, prof, pp.transProg, iterations, warm,
+		func(srv *server.Server) *exec.Service {
+			return batch.NewService(threads, srv.Exec, srv.ExecBatch, opts)
+		})
+	if err != nil {
+		return m, err
+	}
+
+	rt, err := h.router(app, prof, shards, replicas)
+	if err != nil {
+		return m, err
+	}
+	if app.MutatesData {
+		defer rt.Close()
+	}
+	shOpts := opts
+	shOpts.GroupFn = rt.BatchGroup
+	beforeReads := rt.ReplicaReads()
+	replRes, replSec, replInfo, err := h.runOn(app, rt, pp.transProg, iterations, warm,
+		func() *exec.Service {
+			return batch.NewService(threads, rt.Exec, rt.ExecBatch, shOpts)
+		})
+	if err != nil {
+		return m, err
+	}
+	if err := sameResult(singleRes, replRes); err != nil {
+		return m, fmt.Errorf("%s: replicated results diverge from single-server: %w", app.Name, err)
+	}
+	m.Single, m.Replicated = singleSec, replSec
+	if replSec > 0 {
+		m.Throughput = float64(iterations) / replSec
+	}
+	m.NetRequestsSingle = singleInfo.NetRequests
+	m.NetRequestsReplicated = replInfo.NetRequests
+	for s, reads := range rt.ReplicaReads() {
+		row := make([]int64, len(reads))
+		copy(row, reads)
+		if beforeReads != nil && s < len(beforeReads) {
+			for i := range row {
+				row[i] -= beforeReads[s][i]
+			}
+		}
+		m.ReplicaReads = append(m.ReplicaReads, row)
 	}
 	return m, nil
 }

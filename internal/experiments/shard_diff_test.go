@@ -122,6 +122,45 @@ func TestShardedExecutionMatchesSingleServerOnApps(t *testing.T) {
 	}
 }
 
+// TestMeasureReplicatedSmall drives the replicated harness path (replicated
+// router caching, warm-up, result verification, read-balance accounting) at
+// zero scale, including the mutating forms app, which rebuilds its cluster
+// per run.
+func TestMeasureReplicatedSmall(t *testing.T) {
+	h := NewHarness()
+	h.Scale = 0 // logic only
+	defer h.Close()
+	for _, app := range []*apps.App{apps.RUBiS(), apps.Forms()} {
+		for _, replicas := range []int{1, 2} {
+			m, err := h.MeasureReplicated(app, server.SYS1(), 4, 25, true, 8, 2, replicas)
+			if err != nil {
+				t.Errorf("%s replicas=%d: %v", app.Name, replicas, err)
+				continue
+			}
+			if m.Shards != 2 || m.Replicas != replicas || m.Iterations != 25 {
+				t.Errorf("%s: bad measurement %+v", app.Name, m)
+			}
+			if len(m.ReplicaReads) != 2 {
+				t.Errorf("%s: want read balance for 2 shards, got %v", app.Name, m.ReplicaReads)
+				continue
+			}
+			var reads int64
+			for _, shardReads := range m.ReplicaReads {
+				if len(shardReads) != replicas {
+					t.Errorf("%s: want %d replicas in balance row, got %v", app.Name, replicas, shardReads)
+				}
+				for _, r := range shardReads {
+					reads += r
+				}
+			}
+			// The read-only kernel's queries were all served by replicas.
+			if app.Name == "rubis" && reads < 25 {
+				t.Errorf("%s replicas=%d: replicas served %d reads, want >= 25", app.Name, replicas, reads)
+			}
+		}
+	}
+}
+
 // TestMeasureShardedSmall drives the harness path (router caching, warm-up,
 // verification) at zero scale for a fast logic check, including the
 // mutating forms app, which rebuilds its cluster per run.

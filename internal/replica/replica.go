@@ -1,0 +1,496 @@
+// Package replica fronts one database shard with a primary and R read
+// replicas, adding read scaling and failover to the sharded scatter-gather
+// backend (internal/shard) without changing any observable result.
+//
+// The consistency contract (see README.md):
+//
+//   - Writes (INSERTs) execute on the primary first and replicate to every
+//     replica synchronously, all under one group-wide write lock, so every
+//     copy applies writes in the identical order and shard-local row ids
+//     agree across copies — the property the scatter-gather merge's global
+//     row-order maps depend on.
+//   - Reads load-balance across healthy replicas (round-robin or
+//     least-loaded). A replica whose request comes back with an injected
+//     transport fault (server.IsFault) is failed out of the rotation and the
+//     read retries on a surviving copy, so a mid-workload replica failure
+//     never changes a result. With every replica down, the primary serves
+//     reads — and if it faults too, its error surfaces unchanged, which is
+//     exactly the text a failing single server produces.
+//   - A failed-out replica misses subsequent writes; the group queues them
+//     in order and Recover replays the backlog before readmitting the
+//     replica, so a rejoined copy is byte-identical to the primary.
+//
+// The Group exposes the same Exec/ExecTraced/ExecBatch shapes as
+// server.Server and satisfies shard.Backend, so a Router over replica groups
+// is a drop-in for a Router over bare servers.
+package replica
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/server"
+	"repro/internal/sqlmini"
+	"repro/internal/storage"
+)
+
+// Policy selects how reads spread over healthy replicas.
+type Policy int
+
+const (
+	// RoundRobin rotates reads across the healthy replicas in arrival order.
+	RoundRobin Policy = iota
+	// LeastLoaded sends each read to the healthy replica with the fewest
+	// requests in flight.
+	LeastLoaded
+)
+
+// Options configure a group.
+type Options struct {
+	// Replicas is the number of read replicas fronting the primary
+	// (minimum 1).
+	Replicas int
+	// Policy is the read load-balancing policy.
+	Policy Policy
+}
+
+// writeOp is one replicated write, queued verbatim for replicas that were
+// down when it committed. Single-statement writes are one-binding batches;
+// replay through ExecBatch applies the identical rows in the identical
+// order.
+type writeOp struct {
+	name, sql string
+	argSets   [][]any
+}
+
+// state is the health tracker's view of one replica.
+type state struct {
+	healthy  atomic.Bool
+	inflight atomic.Int64 // reads in flight (least-loaded policy)
+	reads    atomic.Int64 // read statements served
+	faults   atomic.Int64 // injected faults observed
+	// pending holds the writes this replica missed while failed out, in
+	// commit order. Guarded by the group write lock.
+	pending []writeOp
+}
+
+// Group is one replicated shard: a primary owning writes plus R read
+// replicas. It is safe for concurrent use.
+type Group struct {
+	primary  *server.Server
+	replicas []*server.Server
+	states   []*state
+	policy   Policy
+
+	// prep caches parses for routing (read vs write) only; the servers keep
+	// their own caches and pay their own planning charge.
+	prep sqlmini.PrepCache
+
+	rr atomic.Uint64 // round-robin cursor
+
+	// wmu serializes writes across the whole group: the primary and every
+	// replica apply them in one global order, keeping row ids identical on
+	// all copies (and making Recover's backlog replay race-free).
+	wmu sync.Mutex
+}
+
+// NewGroup starts a primary and opts.Replicas fresh replicas of the given
+// profile; scale is the wall-clock factor for simulated latencies (as in
+// server.New). Load data with the bulk-load methods before executing.
+func NewGroup(prof server.Profile, scale float64, opts Options) *Group {
+	n := opts.Replicas
+	if n < 1 {
+		n = 1
+	}
+	replicas := make([]*server.Server, n)
+	for i := range replicas {
+		replicas[i] = server.New(prof, scale)
+	}
+	return NewGroupWithServers(server.New(prof, scale), replicas, opts.Policy)
+}
+
+// NewGroupWithServers wraps existing servers (tests, heterogeneous copies).
+func NewGroupWithServers(primary *server.Server, replicas []*server.Server, policy Policy) *Group {
+	g := &Group{
+		primary:  primary,
+		replicas: replicas,
+		states:   make([]*state, len(replicas)),
+		policy:   policy,
+	}
+	for i := range g.states {
+		g.states[i] = &state{}
+		g.states[i].healthy.Store(true)
+	}
+	return g
+}
+
+// Primary exposes the write master (tests, fault drills).
+func (g *Group) Primary() *server.Server { return g.primary }
+
+// Replicas exposes the read copies (tests, fault drills).
+func (g *Group) Replicas() []*server.Server { return g.replicas }
+
+// Healthy reports each replica's rotation status.
+func (g *Group) Healthy() []bool {
+	out := make([]bool, len(g.states))
+	for i, st := range g.states {
+		out[i] = st.healthy.Load()
+	}
+	return out
+}
+
+// ReadCounts reports how many read statements each replica has served — the
+// load-balancing evidence the replica-scale figure prints.
+func (g *Group) ReadCounts() []int64 {
+	out := make([]int64, len(g.states))
+	for i, st := range g.states {
+		out[i] = st.reads.Load()
+	}
+	return out
+}
+
+// Faults reports how many injected faults each replica has been failed out
+// for.
+func (g *Group) Faults() []int64 {
+	out := make([]int64, len(g.states))
+	for i, st := range g.states {
+		out[i] = st.faults.Load()
+	}
+	return out
+}
+
+// FailOut administratively removes replica i from the read rotation (the
+// health tracker does this automatically on an observed fault).
+func (g *Group) FailOut(i int) { g.states[i].healthy.Store(false) }
+
+// Recover replays the writes replica i missed while failed out and, once
+// the backlog is drained, readmits it to the read rotation. If a replay
+// itself faults, the replica stays down with the unreplayed suffix intact
+// and the fault is returned.
+func (g *Group) Recover(i int) error {
+	g.wmu.Lock()
+	defer g.wmu.Unlock()
+	st := g.states[i]
+	for len(st.pending) > 0 {
+		op := st.pending[0]
+		_, errs := g.replicas[i].ExecBatch(op.name, op.sql, op.argSets)
+		for _, err := range errs {
+			if err != nil && server.IsFault(err) {
+				return err
+			}
+		}
+		st.pending = st.pending[1:]
+	}
+	st.healthy.Store(true)
+	return nil
+}
+
+// pick returns the next healthy replica under the read policy, or -1 when
+// every replica is failed out.
+func (g *Group) pick() int {
+	switch g.policy {
+	case LeastLoaded:
+		best, bestLoad := -1, int64(0)
+		for i, st := range g.states {
+			if !st.healthy.Load() {
+				continue
+			}
+			if load := st.inflight.Load(); best < 0 || load < bestLoad {
+				best, bestLoad = i, load
+			}
+		}
+		return best
+	default: // RoundRobin
+		n := len(g.states)
+		if n == 0 {
+			return -1
+		}
+		start := int(g.rr.Add(1) % uint64(n))
+		for k := 0; k < n; k++ {
+			i := (start + k) % n
+			if g.states[i].healthy.Load() {
+				return i
+			}
+		}
+		return -1
+	}
+}
+
+// Exec routes one statement: writes through the primary with synchronous
+// replication, reads to a healthy replica with failover. Its shape matches
+// exec.Runner.
+func (g *Group) Exec(name, sql string, args []any) (any, error) {
+	res, _, err := g.ExecTraced(name, sql, args)
+	return res, err
+}
+
+// ExecTraced is Exec plus the execution trace (the shard router's
+// scatter-gather merge consumes the matched row ids). Read traces come from
+// whichever replica served the read; write traces from the primary — row
+// ids agree across copies by the ordered-apply contract.
+func (g *Group) ExecTraced(name, sql string, args []any) (any, sqlmini.ExecInfo, error) {
+	if st, err := g.prep.Prepare(sql); err == nil && st.Insert {
+		return g.write(name, sql, args)
+	}
+	// Reads — and malformed statements, whose error text is identical on
+	// every copy.
+	return g.read(name, sql, args)
+}
+
+// ExecBatch is the set-oriented path: a write batch replicates like a write,
+// a read batch rides one round trip to one replica (round trips stay equal
+// to a single server's), failing over whole if that replica faults. Its
+// shape matches exec.BatchRunner.
+func (g *Group) ExecBatch(name, sql string, argSets [][]any) ([]any, []error) {
+	vals, errs, _ := g.ExecBatchTraced(name, sql, argSets)
+	return vals, errs
+}
+
+// ExecBatchTraced is ExecBatch plus the primary's batch trace for writes
+// (info.InsertRids, which the shard router's insertion-order bookkeeping
+// consumes; row ids agree on every copy by the ordered-apply contract).
+// Read batches return a zero trace — the router never needs one.
+func (g *Group) ExecBatchTraced(name, sql string, argSets [][]any) ([]any, []error, sqlmini.ExecInfo) {
+	if st, err := g.prep.Prepare(sql); err == nil && st.Insert {
+		return g.writeBatch(name, sql, argSets)
+	}
+	vals, errs := g.readBatch(name, sql, argSets)
+	return vals, errs, sqlmini.ExecInfo{}
+}
+
+// read serves one read with failover: injected faults fail the replica out
+// and retry on a surviving copy; statement errors return immediately (every
+// copy reproduces them identically). With no replicas left the primary
+// serves the read, so the shard keeps answering until the last copy dies.
+func (g *Group) read(name, sql string, args []any) (any, sqlmini.ExecInfo, error) {
+	for {
+		i := g.pick()
+		if i < 0 {
+			break
+		}
+		st := g.states[i]
+		st.inflight.Add(1)
+		res, info, err := g.replicas[i].ExecTraced(name, sql, args)
+		st.inflight.Add(-1)
+		if err != nil && server.IsFault(err) {
+			st.faults.Add(1)
+			st.healthy.Store(false)
+			continue
+		}
+		st.reads.Add(1)
+		return res, info, err
+	}
+	return g.primary.ExecTraced(name, sql, args)
+}
+
+// readBatch is read for a whole binding set: one replica, one round trip.
+func (g *Group) readBatch(name, sql string, argSets [][]any) ([]any, []error) {
+	for {
+		i := g.pick()
+		if i < 0 {
+			break
+		}
+		st := g.states[i]
+		st.inflight.Add(1)
+		vals, errs := g.replicas[i].ExecBatch(name, sql, argSets)
+		st.inflight.Add(-1)
+		if batchFaulted(errs) {
+			st.faults.Add(1)
+			st.healthy.Store(false)
+			continue
+		}
+		st.reads.Add(int64(len(argSets)))
+		return vals, errs
+	}
+	return g.primary.ExecBatch(name, sql, argSets)
+}
+
+// batchFaulted reports whether a batch died of an injected transport fault
+// (the server fails the whole call before executing any binding, so a
+// faulted batch is safe to retry elsewhere).
+func batchFaulted(errs []error) bool {
+	for _, err := range errs {
+		if err != nil && server.IsFault(err) {
+			return true
+		}
+	}
+	return false
+}
+
+// write commits one statement on the primary and replicates it. A primary
+// error — fault or validation — aborts before any replica is touched, so
+// the copies never diverge.
+func (g *Group) write(name, sql string, args []any) (any, sqlmini.ExecInfo, error) {
+	g.wmu.Lock()
+	defer g.wmu.Unlock()
+	res, info, err := g.primary.ExecTraced(name, sql, args)
+	if err != nil {
+		return nil, info, err
+	}
+	g.replicate(writeOp{name: name, sql: sql, argSets: [][]any{args}})
+	return res, info, nil
+}
+
+// writeBatch commits a binding set on the primary and replicates it. A
+// transport fault on the primary aborts the whole batch (no replica sees
+// it); per-binding validation errors replicate with the batch and fail
+// identically on every copy.
+func (g *Group) writeBatch(name, sql string, argSets [][]any) ([]any, []error, sqlmini.ExecInfo) {
+	g.wmu.Lock()
+	defer g.wmu.Unlock()
+	vals, errs, info := g.primary.ExecBatchTraced(name, sql, argSets)
+	if batchFaulted(errs) {
+		return vals, errs, info
+	}
+	g.replicate(writeOp{name: name, sql: sql, argSets: argSets})
+	return vals, errs, info
+}
+
+// replicate applies one committed write to every replica — in parallel, but
+// under the group write lock, so the per-replica order equals the primary's.
+// Down replicas queue the op for Recover; a replica that faults mid-apply is
+// failed out with the op queued, losing nothing.
+func (g *Group) replicate(op writeOp) {
+	faulted := make([]bool, len(g.replicas))
+	var wg sync.WaitGroup
+	for i, rep := range g.replicas {
+		st := g.states[i]
+		if !st.healthy.Load() {
+			st.pending = append(st.pending, op)
+			continue
+		}
+		wg.Add(1)
+		go func(i int, rep *server.Server) {
+			defer wg.Done()
+			_, errs := rep.ExecBatch(op.name, op.sql, op.argSets)
+			faulted[i] = batchFaulted(errs)
+		}(i, rep)
+	}
+	wg.Wait()
+	for i, f := range faulted {
+		if f {
+			st := g.states[i]
+			st.faults.Add(1)
+			st.healthy.Store(false)
+			st.pending = append(st.pending, op)
+		}
+	}
+}
+
+// ---- bulk load, cache and clock control (shard.Backend) ----
+
+// everyCopy visits the primary and all replicas, stopping on error.
+func (g *Group) everyCopy(f func(s *server.Server) error) error {
+	if err := f(g.primary); err != nil {
+		return err
+	}
+	for _, rep := range g.replicas {
+		if err := f(rep); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// copies returns every copy, primary first.
+func (g *Group) copies() []*server.Server {
+	return append([]*server.Server{g.primary}, g.replicas...)
+}
+
+// CreateTable creates the table on every copy.
+func (g *Group) CreateTable(name string, schema *storage.Schema, rowsPerPage int) error {
+	return g.everyCopy(func(s *server.Server) error {
+		return s.CreateTable(name, schema, rowsPerPage)
+	})
+}
+
+// InsertRow bulk-loads one row into every copy.
+func (g *Group) InsertRow(table string, row []any) error {
+	return g.everyCopy(func(s *server.Server) error {
+		return s.InsertRow(table, row)
+	})
+}
+
+// FinishLoad registers the loaded extents on every copy.
+func (g *Group) FinishLoad() {
+	for _, s := range g.copies() {
+		s.FinishLoad()
+	}
+}
+
+// AddIndex builds the index on every copy.
+func (g *Group) AddIndex(table, column string, unique bool) error {
+	return g.everyCopy(func(s *server.Server) error {
+		return s.AddIndex(table, column, unique)
+	})
+}
+
+// IndexKeyCount reads the primary's index statistics (every copy holds the
+// same data, so one answer speaks for the group).
+func (g *Group) IndexKeyCount(table, col string, v any) (int, bool) {
+	return g.primary.IndexKeyCount(table, col, v)
+}
+
+// Warm preloads every copy's registered extents.
+func (g *Group) Warm() {
+	for _, s := range g.copies() {
+		s.Warm()
+	}
+}
+
+// ColdStart empties every copy's buffer pool.
+func (g *Group) ColdStart() {
+	for _, s := range g.copies() {
+		s.ColdStart()
+	}
+}
+
+// SetScale updates the latency scale on every copy's clock.
+func (g *Group) SetScale(scale float64) {
+	for _, s := range g.copies() {
+		s.SetScale(scale)
+	}
+}
+
+// Close shuts down every copy.
+func (g *Group) Close() {
+	for _, s := range g.copies() {
+		s.Close()
+	}
+}
+
+// CopyStats returns per-copy counters, primary first.
+func (g *Group) CopyStats() []server.Stats {
+	out := make([]server.Stats, 0, 1+len(g.replicas))
+	for _, s := range g.copies() {
+		out = append(out, s.Stats())
+	}
+	return out
+}
+
+// Stats aggregates the group's counters: sums of the per-copy counts (a
+// replicated write is real work on every copy and counts per copy) with
+// VirtualTime the maximum, since copies burn simulated time in parallel.
+func (g *Group) Stats() server.Stats {
+	var agg server.Stats
+	for _, s := range g.CopyStats() {
+		agg.Queries += s.Queries
+		agg.Inserts += s.Inserts
+		agg.RowsRead += s.RowsRead
+		agg.NetRequests += s.NetRequests
+		agg.Batches += s.Batches
+		agg.BufferHits += s.BufferHits
+		agg.BufferMiss += s.BufferMiss
+		agg.Disk.Requests += s.Disk.Requests
+		agg.Disk.PagesRead += s.Disk.PagesRead
+		agg.Disk.SeekTime += s.Disk.SeekTime
+		agg.Disk.BusyTime += s.Disk.BusyTime
+		if s.Disk.MaxQueue > agg.Disk.MaxQueue {
+			agg.Disk.MaxQueue = s.Disk.MaxQueue
+		}
+		if s.VirtualTime > agg.VirtualTime {
+			agg.VirtualTime = s.VirtualTime
+		}
+	}
+	return agg
+}

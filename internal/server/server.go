@@ -16,6 +16,7 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -27,6 +28,18 @@ import (
 	"repro/internal/sqlmini"
 	"repro/internal/storage"
 )
+
+// ErrInjected is the transport-level fault FailNext injects: the request
+// reaches the server (the round trip is paid) but execution never starts.
+// It is deliberately free of any replica/shard vocabulary so a failing
+// single server and a fully failed replica group surface the identical
+// error text.
+var ErrInjected = errors.New("server: injected fault")
+
+// IsFault reports whether err is an injected transport fault (as opposed to
+// a statement error, which every copy of the data reproduces identically).
+// Failover layers (internal/replica) key their health tracking on this.
+func IsFault(err error) bool { return errors.Is(err, ErrInjected) }
 
 // Profile is a server configuration.
 type Profile struct {
@@ -93,8 +106,7 @@ type Server struct {
 	disk  *disk.Disk
 	cores chan struct{}
 
-	prepMu   sync.Mutex
-	prepared map[string]*sqlmini.Stmt
+	prep sqlmini.PrepCache
 
 	// Activity counters are atomics: every Exec on every worker bumps them,
 	// and a shared mutex here was the last global serialization point on the
@@ -104,6 +116,10 @@ type Server struct {
 	rows    atomic.Int64
 	netReqs atomic.Int64 // client-visible round trips (one per Exec or ExecBatch)
 	batches atomic.Int64 // ExecBatch calls
+
+	// failNext counts armed fault injections: while positive, each arriving
+	// Exec/ExecTraced/ExecBatch call consumes one and fails with ErrInjected.
+	failNext atomic.Int64
 
 	// extents tracks (extent -> page count) for warming.
 	extMu   sync.Mutex
@@ -116,14 +132,13 @@ func New(p Profile, scale float64) *Server {
 	clock := simclock.New(scale)
 	d := disk.New(p.Disk, clock)
 	s := &Server{
-		Profile:  p,
-		Clock:    clock,
-		cat:      storage.NewCatalog(),
-		pool:     buffer.NewPool(p.BufferPages, d),
-		disk:     d,
-		cores:    make(chan struct{}, max(1, p.Cores)),
-		prepared: make(map[string]*sqlmini.Stmt),
-		extents:  make(map[int]int),
+		Profile: p,
+		Clock:   clock,
+		cat:     storage.NewCatalog(),
+		pool:    buffer.NewPool(p.BufferPages, d),
+		disk:    d,
+		cores:   make(chan struct{}, max(1, p.Cores)),
+		extents: make(map[int]int),
 	}
 	return s
 }
@@ -174,6 +189,60 @@ func (s *Server) AddIndex(table, column string, unique bool) error {
 	return nil
 }
 
+// FailNext arms fault injection: the next n Exec/ExecTraced/ExecBatch calls
+// fail with ErrInjected after paying their round trip, modelling a server
+// that crashes mid-service (tests, failover drills). A batch call counts as
+// one fault and fails every binding.
+func (s *Server) FailNext(n int) { s.failNext.Store(int64(n)) }
+
+// takeFault consumes one armed fault, if any.
+func (s *Server) takeFault() bool {
+	for {
+		n := s.failNext.Load()
+		if n <= 0 {
+			return false
+		}
+		if s.failNext.CompareAndSwap(n, n-1) {
+			return true
+		}
+	}
+}
+
+// CreateTable creates an empty table with the given schema and page fanout —
+// the bulk-load path used by shard routers to partition a reference load
+// (no simulated cost; see shard.Backend).
+func (s *Server) CreateTable(name string, schema *storage.Schema, rowsPerPage int) error {
+	t := s.cat.CreateTable(name, schema)
+	t.SetRowsPerPage(rowsPerPage)
+	return nil
+}
+
+// InsertRow appends one row directly through storage (bulk-load path, no
+// simulated cost; see shard.Backend).
+func (s *Server) InsertRow(table string, row []any) error {
+	t := s.cat.Table(table)
+	if t == nil {
+		return fmt.Errorf("server: no table %q", table)
+	}
+	_, err := t.Insert(row)
+	return err
+}
+
+// IndexKeyCount reports how many rows of table hold value v in the indexed
+// column col; ok is false when the table or index does not exist (no
+// statistics). The scatter planner's pruning fast path reads this without a
+// simulated round trip, modelling a client-side statistics cache.
+func (s *Server) IndexKeyCount(table, col string, v any) (int, bool) {
+	t := s.cat.Table(table)
+	if t == nil || t.Index(col) == nil {
+		return 0, false
+	}
+	return t.IndexKeyCount(col, v)
+}
+
+// SetScale updates the wall-clock scale factor for simulated latencies.
+func (s *Server) SetScale(scale float64) { s.Clock.SetScale(scale) }
+
 // Warm preloads every registered extent into the buffer pool (warm-cache
 // runs). Cold runs call ColdStart instead.
 func (s *Server) Warm() {
@@ -203,7 +272,10 @@ func (s *Server) Exec(name, sql string, args []any) (any, error) {
 func (s *Server) ExecTraced(name, sql string, args []any) (any, sqlmini.ExecInfo, error) {
 	s.Clock.Sleep(s.Profile.RTT)
 	s.netReqs.Add(1) // the round trip is paid whether or not the statement succeeds
-	st, err := s.prepare(sql)
+	if s.takeFault() {
+		return nil, sqlmini.ExecInfo{}, ErrInjected
+	}
+	st, err := s.prep.Prepare(sql)
 	if err != nil {
 		return nil, sqlmini.ExecInfo{}, err
 	}
@@ -233,16 +305,32 @@ func (s *Server) ExecTraced(name, sql string, args []any) (any, sqlmini.ExecInfo
 // identical to what Exec would have returned for that binding. Its shape
 // matches exec.BatchRunner.
 func (s *Server) ExecBatch(name, sql string, argSets [][]any) ([]any, []error) {
+	results, errs, _ := s.ExecBatchTraced(name, sql, argSets)
+	return results, errs
+}
+
+// ExecBatchTraced is ExecBatch plus the batch's aggregate execution trace;
+// for INSERT batches info.InsertRids records where every binding's row
+// landed, which the shard router uses to keep scatter-gather merges in exact
+// single-server insertion order. Cost accounting is identical to ExecBatch.
+func (s *Server) ExecBatchTraced(name, sql string, argSets [][]any) ([]any, []error, sqlmini.ExecInfo) {
 	s.Clock.Sleep(s.Profile.RTT)
 	s.netReqs.Add(1) // one round trip per batch, paid whether or not it succeeds
 	s.batches.Add(1)
-	st, err := s.prepare(sql)
+	if s.takeFault() {
+		errs := make([]error, len(argSets))
+		for i := range errs {
+			errs[i] = ErrInjected
+		}
+		return make([]any, len(argSets)), errs, sqlmini.ExecInfo{}
+	}
+	st, err := s.prep.Prepare(sql)
 	if err != nil {
 		errs := make([]error, len(argSets))
 		for i := range errs {
 			errs[i] = err
 		}
-		return make([]any, len(argSets)), errs
+		return make([]any, len(argSets)), errs, sqlmini.ExecInfo{}
 	}
 	// IO phase: page faults ride the disk queue without holding a core; the
 	// batch dedupes page accesses across bindings before touching the pool.
@@ -275,7 +363,7 @@ func (s *Server) ExecBatch(name, sql string, argSets [][]any) ([]any, []error) {
 		s.inserts.Add(ok)
 	}
 	s.rows.Add(int64(info.RowsExamined))
-	return results, errs
+	return results, errs, info
 }
 
 // Runner adapts the server for the async executor.
@@ -286,20 +374,6 @@ func (s *Server) Runner() func(name, sql string, args []any) (any, error) {
 // BatchRunner adapts the server's set-oriented path for the batch executor.
 func (s *Server) BatchRunner() func(name, sql string, argSets [][]any) ([]any, []error) {
 	return s.ExecBatch
-}
-
-func (s *Server) prepare(sql string) (*sqlmini.Stmt, error) {
-	s.prepMu.Lock()
-	defer s.prepMu.Unlock()
-	if st, ok := s.prepared[sql]; ok {
-		return st, nil
-	}
-	st, err := sqlmini.Parse(sql)
-	if err != nil {
-		return nil, err
-	}
-	s.prepared[sql] = st
-	return st, nil
 }
 
 // Stats summarizes server activity. NetRequests counts client-visible round

@@ -87,10 +87,7 @@ func TestPreparedStatementCache(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	s.prepMu.Lock()
-	n := len(s.prepared)
-	s.prepMu.Unlock()
-	if n != 1 {
+	if n := s.prep.Len(); n != 1 {
 		t.Fatalf("prepared cache has %d entries, want 1", n)
 	}
 }

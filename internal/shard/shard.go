@@ -25,10 +25,35 @@ import (
 
 	"repro/internal/exec"
 	"repro/internal/interp"
+	"repro/internal/replica"
 	"repro/internal/server"
 	"repro/internal/sqlmini"
 	"repro/internal/storage"
 )
+
+// Backend is one shard's execution engine: a bare server.Server, or a
+// replica.Group fronting a primary with R read replicas (Options.Replicas).
+// The router needs statement execution (with traces for the scatter-gather
+// merge), the bulk-load path, the planner's index statistics, and cache /
+// clock / lifecycle control.
+type Backend interface {
+	Exec(name, sql string, args []any) (any, error)
+	ExecTraced(name, sql string, args []any) (any, sqlmini.ExecInfo, error)
+	ExecBatch(name, sql string, argSets [][]any) ([]any, []error)
+	ExecBatchTraced(name, sql string, argSets [][]any) ([]any, []error, sqlmini.ExecInfo)
+
+	CreateTable(name string, schema *storage.Schema, rowsPerPage int) error
+	InsertRow(table string, row []any) error
+	FinishLoad()
+	AddIndex(table, column string, unique bool) error
+	IndexKeyCount(table, col string, v any) (int, bool)
+
+	Warm()
+	ColdStart()
+	SetScale(scale float64)
+	Close()
+	Stats() server.Stats
+}
 
 // Options configure a router.
 type Options struct {
@@ -37,6 +62,14 @@ type Options struct {
 	// Keys maps table name -> shard key column. Tables absent from the map
 	// are replicated on every shard: reads route to shard 0, writes broadcast.
 	Keys map[string]string
+	// Replicas, when positive, fronts every shard with a replica.Group of
+	// one primary plus Replicas read replicas: reads load-balance across
+	// healthy replicas with failover, writes replicate synchronously
+	// (internal/replica). Zero keeps bare single-server shards.
+	Replicas int
+	// ReadPolicy selects the replica read load-balancing policy (only
+	// meaningful with Replicas > 0).
+	ReadPolicy replica.Policy
 }
 
 // tableInfo is the router's routing metadata for one table.
@@ -74,9 +107,10 @@ func (ti *tableInfo) notePos(shard, rid int) {
 }
 
 // globalPos returns the merge key of one shard-local row: mapped rows carry
-// their recorded position; rows the router never saw insert (batched
-// inserts bypass the per-row trace) sort after every known row in a
-// deterministic (local rid, shard) order.
+// their recorded position; rows the router never saw insert (both the
+// routed and the batched insert paths trace positions, so only rows
+// inserted behind the router's back land here) sort after every known row
+// in a deterministic (local rid, shard) order.
 func (ti *tableInfo) globalPos(shard, rid int) int {
 	ti.mu.RLock()
 	defer ti.mu.RUnlock()
@@ -90,11 +124,12 @@ func (ti *tableInfo) globalPos(shard, rid int) int {
 // safe for concurrent use; its Exec/ExecBatch match the exec.Runner and
 // exec.BatchRunner shapes.
 type Router struct {
-	backends []*server.Server
+	backends []Backend
 	keys     map[string]string
 
-	prepMu   sync.Mutex
-	prepared map[string]*sqlmini.Stmt
+	// prep caches parses client-side, for routing only; the backends keep
+	// their own prepared caches and pay their own planning charge.
+	prep sqlmini.PrepCache
 
 	tmu    sync.RWMutex
 	tables map[string]*tableInfo
@@ -105,29 +140,36 @@ type Router struct {
 }
 
 // New starts a router over n fresh backends of the given profile; scale is
-// the wall-clock factor for simulated latencies (as in server.New). Load
-// data with LoadFrom before executing queries.
+// the wall-clock factor for simulated latencies (as in server.New). With
+// Options.Replicas > 0 every backend is a replica group (one primary plus
+// Replicas read copies) instead of a bare server. Load data with LoadFrom
+// before executing queries.
 func New(prof server.Profile, scale float64, opts Options) *Router {
 	n := opts.Shards
 	if n < 1 {
 		n = 1
 	}
-	backends := make([]*server.Server, n)
+	backends := make([]Backend, n)
 	for i := range backends {
-		backends[i] = server.New(prof, scale)
+		if opts.Replicas > 0 {
+			backends[i] = replica.NewGroup(prof, scale, replica.Options{
+				Replicas: opts.Replicas, Policy: opts.ReadPolicy,
+			})
+		} else {
+			backends[i] = server.New(prof, scale)
+		}
 	}
 	return NewWithBackends(backends, opts.Keys)
 }
 
 // NewWithBackends wraps existing backends (tests, heterogeneous clusters).
-func NewWithBackends(backends []*server.Server, keys map[string]string) *Router {
+func NewWithBackends(backends []Backend, keys map[string]string) *Router {
 	if keys == nil {
 		keys = map[string]string{}
 	}
 	return &Router{
 		backends: backends,
 		keys:     keys,
-		prepared: map[string]*sqlmini.Stmt{},
 		tables:   map[string]*tableInfo{},
 	}
 }
@@ -135,8 +177,51 @@ func NewWithBackends(backends []*server.Server, keys map[string]string) *Router 
 // Shards returns the number of backends.
 func (r *Router) Shards() int { return len(r.backends) }
 
-// Backends exposes the per-shard servers (tests, stats drill-down).
-func (r *Router) Backends() []*server.Server { return r.backends }
+// Backends exposes the per-shard backends (tests, stats drill-down).
+func (r *Router) Backends() []Backend { return r.backends }
+
+// Groups returns the replica groups backing each shard, or nil when the
+// router runs bare servers (Options.Replicas == 0).
+func (r *Router) Groups() []*replica.Group {
+	out := make([]*replica.Group, 0, len(r.backends))
+	for _, b := range r.backends {
+		g, ok := b.(*replica.Group)
+		if !ok {
+			return nil
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+// ReplicaStats returns per-shard, per-copy server counters (primary first)
+// for replicated backends, or nil for bare servers.
+func (r *Router) ReplicaStats() [][]server.Stats {
+	groups := r.Groups()
+	if groups == nil {
+		return nil
+	}
+	out := make([][]server.Stats, len(groups))
+	for i, g := range groups {
+		out[i] = g.CopyStats()
+	}
+	return out
+}
+
+// ReplicaReads returns per-shard read counts served by each replica for
+// replicated backends (the read-balancing evidence), or nil for bare
+// servers.
+func (r *Router) ReplicaReads() [][]int64 {
+	groups := r.Groups()
+	if groups == nil {
+		return nil
+	}
+	out := make([][]int64, len(groups))
+	for i, g := range groups {
+		out[i] = g.ReadCounts()
+	}
+	return out
+}
 
 // Partition returns the shard owning a key value. The hash folds the value's
 // canonical string form (FNV-1a), so routing and data distribution cannot
@@ -164,7 +249,7 @@ func Partition(v any, shards int) int {
 	return int(h % uint64(shards))
 }
 
-func (r *Router) owner(v any) *server.Server {
+func (r *Router) owner(v any) Backend {
 	return r.backends[Partition(v, len(r.backends))]
 }
 
@@ -189,24 +274,24 @@ func (r *Router) LoadFrom(ref *server.Server) error {
 				return fmt.Errorf("shard: table %s has no shard key column %q", t.Name, key)
 			}
 		}
-		replicas := make([]*storage.Table, len(r.backends))
-		for i, b := range r.backends {
-			replicas[i] = b.Catalog().CreateTable(t.Name, t.Schema)
-			replicas[i].SetRowsPerPage(t.RowsPerPage())
+		for _, b := range r.backends {
+			if err := b.CreateTable(t.Name, t.Schema, t.RowsPerPage()); err != nil {
+				return fmt.Errorf("shard: create %s: %w", t.Name, err)
+			}
 		}
 		n := t.NumRows()
 		for rid := 0; rid < n; rid++ {
 			row := t.Row(rid)
 			if key == "" {
-				for _, nt := range replicas {
-					if _, err := nt.Insert(row); err != nil {
+				for _, b := range r.backends {
+					if err := b.InsertRow(t.Name, row); err != nil {
 						return fmt.Errorf("shard: replicate %s: %w", t.Name, err)
 					}
 				}
 				continue
 			}
 			s := Partition(row[ti.keyPos], len(r.backends))
-			if _, err := replicas[s].Insert(row); err != nil {
+			if err := r.backends[s].InsertRow(t.Name, row); err != nil {
 				return fmt.Errorf("shard: distribute %s: %w", t.Name, err)
 			}
 			ti.global[s] = append(ti.global[s], rid)
@@ -231,22 +316,6 @@ func (r *Router) LoadFrom(ref *server.Server) error {
 	return nil
 }
 
-// prepare parses and caches a statement client-side, for routing only; the
-// backends keep their own prepared caches and pay their own planning charge.
-func (r *Router) prepare(sql string) (*sqlmini.Stmt, error) {
-	r.prepMu.Lock()
-	defer r.prepMu.Unlock()
-	if st, ok := r.prepared[sql]; ok {
-		return st, nil
-	}
-	st, err := sqlmini.Parse(sql)
-	if err != nil {
-		return nil, err
-	}
-	r.prepared[sql] = st
-	return st, nil
-}
-
 func (r *Router) table(name string) *tableInfo {
 	r.tmu.RLock()
 	defer r.tmu.RUnlock()
@@ -259,7 +328,7 @@ func (r *Router) table(name string) *tableInfo {
 // replicated-table writes, and scatter-gather for the rest. Its shape
 // matches exec.Runner.
 func (r *Router) Exec(name, sql string, args []any) (any, error) {
-	st, err := r.prepare(sql)
+	st, err := r.prep.Prepare(sql)
 	if err != nil {
 		// Ship the malformed statement to a real backend so the round trip
 		// and the error text match the single-server path exactly.
@@ -305,7 +374,7 @@ func (r *Router) broadcast(name, sql string, args []any) (any, error) {
 	var wg sync.WaitGroup
 	for i, b := range r.backends {
 		wg.Add(1)
-		go func(i int, b *server.Server) {
+		go func(i int, b Backend) {
 			defer wg.Done()
 			vals[i], errs[i] = b.Exec(name, sql, args)
 		}(i, b)
@@ -338,8 +407,8 @@ func (r *Router) pruneTargets(st *sqlmini.Stmt, args []any) []int {
 			}
 			v = args[c.Param]
 		}
-		if t0 := r.backends[0].Catalog().Table(st.Table); t0 == nil || t0.Index(c.Col) == nil {
-			continue
+		if _, ok := r.backends[0].IndexKeyCount(st.Table, c.Col, v); !ok {
+			continue // no index on this column: no statistics to prune by
 		}
 		if targets == nil {
 			targets = make([]int, len(r.backends))
@@ -349,7 +418,7 @@ func (r *Router) pruneTargets(st *sqlmini.Stmt, args []any) []int {
 		}
 		kept := targets[:0]
 		for _, s := range targets {
-			if n, ok := r.backends[s].Catalog().Table(st.Table).IndexKeyCount(c.Col, v); ok && n > 0 {
+			if n, ok := r.backends[s].IndexKeyCount(st.Table, c.Col, v); ok && n > 0 {
 				kept = append(kept, s)
 			}
 		}
@@ -494,7 +563,7 @@ func mergeRows(ti *tableInfo, targets []int, vals []any, infos []sqlmini.ExecInf
 // charge, so an N-shard cluster executes a large batch roughly N-way
 // parallel. Its shape matches exec.BatchRunner.
 func (r *Router) ExecBatch(name, sql string, argSets [][]any) ([]any, []error) {
-	st, err := r.prepare(sql)
+	st, err := r.prep.Prepare(sql)
 	if err != nil {
 		return r.backends[0].ExecBatch(name, sql, argSets)
 	}
@@ -531,6 +600,18 @@ func (r *Router) ExecBatch(name, sql string, argSets [][]any) ([]any, []error) {
 		groups[s] = append(groups[s], i)
 	}
 
+	// landed records, per binding of an insert batch, the shard and local
+	// row id the insert produced, so the positions can be noted in exact
+	// binding order after the parallel sub-batches drain — a single server
+	// applies the bindings in that order.
+	var landed [][2]int
+	if st.Insert && ti.key != "" {
+		landed = make([][2]int, n)
+		for i := range landed {
+			landed[i] = [2]int{-1, -1}
+		}
+	}
+
 	var wg sync.WaitGroup
 	for s, idxs := range groups {
 		if len(idxs) == 0 {
@@ -543,13 +624,16 @@ func (r *Router) ExecBatch(name, sql string, argSets [][]any) ([]any, []error) {
 			for j, i := range idxs {
 				sub[j] = argSets[i]
 			}
-			vals, es := r.backends[s].ExecBatch(name, sql, sub)
+			vals, es, info := r.backends[s].ExecBatchTraced(name, sql, sub)
 			for j, i := range idxs {
 				if j < len(vals) {
 					results[i] = vals[j]
 				}
 				if j < len(es) {
 					errs[i] = es[j]
+				}
+				if landed != nil && j < len(info.InsertRids) && info.InsertRids[j] >= 0 {
+					landed[i] = [2]int{s, info.InsertRids[j]}
 				}
 			}
 		}(s, idxs)
@@ -562,6 +646,11 @@ func (r *Router) ExecBatch(name, sql string, argSets [][]any) ([]any, []error) {
 		}(i)
 	}
 	wg.Wait()
+	for i := range landed {
+		if landed[i][0] >= 0 {
+			ti.notePos(landed[i][0], landed[i][1])
+		}
+	}
 	return results, errs
 }
 
@@ -576,7 +665,7 @@ func (r *Router) broadcastBatch(name, sql string, argSets [][]any) ([]any, []err
 	var wg sync.WaitGroup
 	for i, b := range r.backends {
 		wg.Add(1)
-		go func(i int, b *server.Server) {
+		go func(i int, b Backend) {
 			defer wg.Done()
 			out[i].vals, out[i].errs = b.ExecBatch(name, sql, argSets)
 		}(i, b)
@@ -592,7 +681,7 @@ func (r *Router) broadcastBatch(name, sql string, argSets [][]any) ([]any, []err
 // an optimization only — ExecBatch re-derives the routing per binding, so a
 // mixed batch still executes correctly.
 func (r *Router) BatchGroup(name, sql string, args []any) int {
-	st, err := r.prepare(sql)
+	st, err := r.prep.Prepare(sql)
 	if err != nil {
 		return len(r.backends)
 	}
@@ -637,7 +726,7 @@ func (r *Router) ColdStart() {
 // SetScale updates the latency scale on every shard's clock.
 func (r *Router) SetScale(scale float64) {
 	for _, b := range r.backends {
-		b.Clock.SetScale(scale)
+		b.SetScale(scale)
 	}
 }
 

@@ -38,6 +38,12 @@ func newFixture(t *testing.T, n int) (*server.Server, *Router) {
 			t.Fatal(err)
 		}
 	}
+	// A sharded table with zero rows: scatter merges must treat every
+	// shard's empty contribution as the identity.
+	ref.Catalog().CreateTable("empty", storage.NewSchema(
+		storage.Column{Name: "eid", Type: storage.TInt},
+		storage.Column{Name: "tag", Type: storage.TString},
+	))
 	ref.FinishLoad()
 	if err := ref.AddIndex("users", "uid", true); err != nil {
 		t.Fatal(err)
@@ -46,12 +52,23 @@ func newFixture(t *testing.T, n int) (*server.Server, *Router) {
 		t.Fatal(err)
 	}
 
-	r := New(server.SYS1(), 0, Options{Shards: n, Keys: map[string]string{"users": "uid"}})
+	r := newRouter(t, ref, Options{Shards: n, Keys: fixtureKeys()})
+	return ref, r
+}
+
+func fixtureKeys() map[string]string {
+	return map[string]string{"users": "uid", "empty": "eid"}
+}
+
+// newRouter builds a router with the given options partitioned from ref.
+func newRouter(t *testing.T, ref *server.Server, opts Options) *Router {
+	t.Helper()
+	r := New(server.SYS1(), 0, opts)
 	t.Cleanup(r.Close)
 	if err := r.LoadFrom(ref); err != nil {
 		t.Fatal(err)
 	}
-	return ref, r
+	return r
 }
 
 // same asserts the sharded result equals the single-server result.
@@ -174,7 +191,7 @@ func TestRoutedInsertAndReadBack(t *testing.T) {
 	}
 	var total int
 	for _, b := range r.Backends() {
-		total += b.Catalog().Table("users").NumRows()
+		total += b.(*server.Server).Catalog().Table("users").NumRows()
 	}
 	if total != ref.Catalog().Table("users").NumRows() {
 		t.Fatalf("sharded row total %d != single-server %d", total,
@@ -200,7 +217,7 @@ func TestReplicatedTableBroadcastsWritesAndReadsLocally(t *testing.T) {
 	got, gotErr := r.Exec("ins", "insert into logs values (?, ?)", []any{int64(100), "hello"})
 	same(t, "replicated insert", want, got, wantErr, gotErr)
 	for s, b := range r.Backends() {
-		if n := b.Catalog().Table("logs").NumRows(); n != 41 {
+		if n := b.(*server.Server).Catalog().Table("logs").NumRows(); n != 41 {
 			t.Fatalf("shard %d: replicated logs has %d rows, want 41", s, n)
 		}
 	}
@@ -307,7 +324,192 @@ func TestStatsAggregateAndWarm(t *testing.T) {
 	}
 }
 
-// TestScatterPrunesBySecondaryIndexStats pins the scatter planner's fast
+// TestScatterMergeEdgeCases pins the merge identities: zero-match scatters,
+// aggregates over zero rows, and a sharded table that is entirely empty.
+func TestScatterMergeEdgeCases(t *testing.T) {
+	ref, r := newFixture(t, 4)
+	queries := []struct {
+		sql  string
+		args []any
+	}{
+		// grp=999 matches nothing anywhere: empty row merge, empty aggregates.
+		{"select uid, name from users where grp = ?", []any{int64(999)}},
+		{"select count(uid) from users where grp = ?", []any{int64(999)}},
+		{"select sum(uid) from users where grp = ?", []any{int64(999)}},
+		{"select max(uid) from users where grp = ?", []any{int64(999)}},
+		{"select min(uid) from users where grp = ?", []any{int64(999)}},
+		// The empty table holds zero rows on every shard.
+		{"select eid, tag from empty", nil},
+		{"select count(eid) from empty", nil},
+		{"select sum(eid) from empty", nil},
+		{"select max(eid) from empty", nil},
+		{"select min(eid) from empty", nil},
+		{"select tag from empty where eid = ?", []any{int64(1)}},
+	}
+	for _, q := range queries {
+		want, wantErr := ref.Exec("q", q.sql, q.args)
+		got, gotErr := r.Exec("q", q.sql, q.args)
+		same(t, q.sql, want, got, wantErr, gotErr)
+	}
+	// Batch over the empty table: every binding merges the identity.
+	argSets := [][]any{{int64(1)}, {int64(2)}, {int64(3)}}
+	wantVals, wantErrs := ref.ExecBatch("q", "select count(eid) from empty where eid = ?", argSets)
+	gotVals, gotErrs := r.ExecBatch("q", "select count(eid) from empty where eid = ?", argSets)
+	for i := range argSets {
+		same(t, fmt.Sprintf("empty batch %d", i), wantVals[i], gotVals[i], wantErrs[i], gotErrs[i])
+	}
+}
+
+// TestDuplicateShardKeyInserts pins duplicate-key routing: rows sharing a
+// shard key land on one shard, and point reads, scatter reads and
+// aggregates see them in exact single-server insertion order.
+func TestDuplicateShardKeyInserts(t *testing.T) {
+	ref, r := newFixture(t, 3)
+	const ins = "insert into users values (?, ?, ?)"
+	// uid 77 already exists from the load; insert two more copies, plus a
+	// duplicate pair for a brand-new uid.
+	dups := [][]any{
+		{int64(77), "dup1", int64(901)},
+		{int64(77), "dup2", int64(901)},
+		{int64(5000), "dup3", int64(901)},
+		{int64(5000), "dup4", int64(901)},
+	}
+	for _, args := range dups {
+		want, wantErr := ref.Exec("ins", ins, args)
+		got, gotErr := r.Exec("ins", ins, args)
+		same(t, "dup insert", want, got, wantErr, gotErr)
+	}
+	for _, q := range []struct {
+		sql  string
+		args []any
+	}{
+		{"select name, grp from users where uid = ?", []any{int64(77)}},
+		{"select name, grp from users where uid = ?", []any{int64(5000)}},
+		{"select uid, name from users where grp = ?", []any{int64(901)}},
+		{"select count(uid) from users where uid = ?", []any{int64(77)}},
+	} {
+		want, wantErr := ref.Exec("q", q.sql, q.args)
+		got, gotErr := r.Exec("q", q.sql, q.args)
+		same(t, q.sql, want, got, wantErr, gotErr)
+		if rows, ok := want.(interp.Rows); ok && len(rows) < 2 {
+			t.Fatalf("%s: degenerate fixture, want >= 2 rows, got %d", q.sql, len(rows))
+		}
+	}
+}
+
+// TestBatchedInsertsKeepScatterOrder pins the batched-insert position trace
+// (ExecBatchTraced.InsertRids): after a batch insert lands rows on several
+// shards, a scatter read interleaves them exactly as one server that
+// applied the bindings in binding order.
+func TestBatchedInsertsKeepScatterOrder(t *testing.T) {
+	ref, r := newFixture(t, 4)
+	const ins = "insert into users values (?, ?, ?)"
+	argSets := make([][]any, 24)
+	for i := range argSets {
+		argSets[i] = []any{int64(2000 + i), fmt.Sprintf("b%d", i), int64(555)}
+	}
+	wantVals, wantErrs := ref.ExecBatch("ins", ins, argSets)
+	gotVals, gotErrs := r.ExecBatch("ins", ins, argSets)
+	for i := range argSets {
+		same(t, fmt.Sprintf("batch insert %d", i), wantVals[i], gotVals[i], wantErrs[i], gotErrs[i])
+	}
+	// The scatter read's merge order is the single server's insertion order.
+	want, wantErr := ref.Exec("q", "select uid, name from users where grp = ?", []any{int64(555)})
+	got, gotErr := r.Exec("q", "select uid, name from users where grp = ?", []any{int64(555)})
+	same(t, "scatter after batched inserts", want, got, wantErr, gotErr)
+	if rows := want.(interp.Rows); len(rows) != len(argSets) {
+		t.Fatalf("degenerate fixture: %d rows", len(rows))
+	}
+}
+
+// TestReplicatedBackendsMatchSingleServer runs the fixture battery over a
+// router whose shards are replica groups (Options.Replicas), including
+// mid-test replica failures, and pins every result to the single server.
+func TestReplicatedBackendsMatchSingleServer(t *testing.T) {
+	ref := server.New(server.SYS1(), 0)
+	t.Cleanup(ref.Close)
+	users := ref.Catalog().CreateTable("users", storage.NewSchema(
+		storage.Column{Name: "uid", Type: storage.TInt},
+		storage.Column{Name: "name", Type: storage.TString},
+		storage.Column{Name: "grp", Type: storage.TInt},
+	))
+	users.SetRowsPerPage(8)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		if _, err := users.Insert([]any{int64(i), fmt.Sprintf("u%d", i), int64(rng.Intn(20))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ref.FinishLoad()
+	if err := ref.AddIndex("users", "uid", true); err != nil {
+		t.Fatal(err)
+	}
+	r := newRouter(t, ref, Options{Shards: 3, Keys: map[string]string{"users": "uid"}, Replicas: 2})
+
+	groups := r.Groups()
+	if len(groups) != 3 {
+		t.Fatalf("expected 3 replica groups, got %v", groups)
+	}
+	if rs := r.ReplicaStats(); len(rs) != 3 || len(rs[0]) != 3 {
+		t.Fatalf("ReplicaStats shape: %d shards x %d copies", len(rs), len(rs[0]))
+	}
+
+	battery := func(label string) {
+		t.Helper()
+		for i := int64(0); i < 40; i++ {
+			want, wantErr := ref.Exec("q", "select name, grp from users where uid = ?", []any{i * 13 % 600})
+			got, gotErr := r.Exec("q", "select name, grp from users where uid = ?", []any{i * 13 % 600})
+			same(t, fmt.Sprintf("%s point uid=%d", label, i*13%600), want, got, wantErr, gotErr)
+		}
+		for g := int64(0); g < 8; g++ {
+			want, wantErr := ref.Exec("q", "select uid, name from users where grp = ?", []any{g})
+			got, gotErr := r.Exec("q", "select uid, name from users where grp = ?", []any{g})
+			same(t, fmt.Sprintf("%s scatter grp=%d", label, g), want, got, wantErr, gotErr)
+		}
+		want, wantErr := ref.Exec("q", "select sum(uid) from users", nil)
+		got, gotErr := r.Exec("q", "select sum(uid) from users", nil)
+		same(t, label+" sum", want, got, wantErr, gotErr)
+	}
+
+	battery("healthy")
+
+	// Writes replicate: insert through the router, read through replicas.
+	for i := int64(600); i < 620; i++ {
+		args := []any{i, fmt.Sprintf("n%d", i), int64(3)}
+		want, wantErr := ref.Exec("ins", "insert into users values (?, ?, ?)", args)
+		got, gotErr := r.Exec("ins", "insert into users values (?, ?, ?)", args)
+		same(t, "replicated routed insert", want, got, wantErr, gotErr)
+	}
+	battery("after inserts")
+
+	// Kill one replica of every group mid-workload: reads fail over with no
+	// result change.
+	for _, g := range groups {
+		g.Replicas()[0].FailNext(1)
+	}
+	battery("replica 0 down")
+	for _, g := range groups {
+		healthy := g.Healthy()
+		if healthy[0] {
+			t.Fatal("faulted replica still in rotation")
+		}
+	}
+	// Recover and fail the other replica instead.
+	for _, g := range groups {
+		if err := g.Recover(0); err != nil {
+			t.Fatalf("recover: %v", err)
+		}
+		g.FailOut(1)
+	}
+	battery("replica 1 down, 0 rejoined")
+
+	// The rejoined replicas hold the writes they missed while down.
+	reads := r.ReplicaReads()
+	if len(reads) != 3 {
+		t.Fatalf("ReplicaReads shape: %v", reads)
+	}
+}
+
 // path: a scatter whose equality predicate is on a secondary-indexed column
 // consults per-shard index key statistics and skips shards holding no
 // matching keys — without changing any result. Queries on unindexed columns

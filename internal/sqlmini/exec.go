@@ -27,6 +27,13 @@ type ExecInfo struct {
 	// storage, so holding or mutating it cannot corrupt later executions
 	// (pinned by TestExecInfoMatchedIsOwned). Unset by ExecuteBatch.
 	Matched []int
+	// InsertRids lists, for an INSERT batch only, the inserted row id per
+	// binding in binding order (-1 for bindings that failed). A shard router
+	// uses it to record where every batched insert landed, so scatter-gather
+	// merges keep the exact single-server insertion order. Freshly allocated
+	// per batch, owned by the caller. Unset by Execute and for non-insert
+	// batches.
+	InsertRids []int
 }
 
 // scratch holds the pooled per-execution buffers: the table view, bound
@@ -176,10 +183,15 @@ func ExecuteBatch(st *Stmt, cat *storage.Catalog, pool *buffer.Pool, argSets [][
 	if st.Insert {
 		// Inserts do not share IO (each appends its own row); the batch still
 		// amortizes the round trip and planning charge at the server layer.
+		agg.InsertRids = make([]int, n)
 		for i, args := range argSets {
 			v, info, err := Execute(st, cat, pool, args)
 			results[i], errs[i] = v, err
 			agg.add(info)
+			agg.InsertRids[i] = -1
+			if err == nil && len(info.Matched) == 1 {
+				agg.InsertRids[i] = info.Matched[0]
+			}
 		}
 		return results, errs, agg
 	}
