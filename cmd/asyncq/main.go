@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	asyncq [-analyze] [-ddg] [-flat] [-run] [-threads N] [-batch N] [-shards N] [-replicas N] file.mq
+//	asyncq [-analyze] [-ddg] [-flat] [-run] [-threads N] [-batch N] [-shards N] [-replicas N]
+//	       [-durability off|group|strict] file.mq
 //
 // With no flags the transformed program is printed (readable form, §V).
 // With -run -batch N the transformed program's submissions are coalesced
@@ -16,7 +17,12 @@
 // results are unchanged, since the deterministic test service is a pure
 // function of the request. With -replicas R each shard's reads additionally
 // rotate round-robin over R read replicas (internal/replica's balancing
-// policy) and the per-shard, per-replica distribution is reported.
+// policy) and the per-shard, per-replica distribution is reported. With
+// -durability each modeled shard additionally runs a write-ahead log
+// (internal/wal) in the given commit mode and every submission is logged and
+// acknowledged per that mode; the per-shard record/fsync counts show how
+// group commit amortizes durability exactly as batching amortizes round
+// trips.
 package main
 
 import (
@@ -34,6 +40,7 @@ import (
 	"repro/internal/minilang"
 	"repro/internal/shard"
 	"repro/internal/testsvc"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -45,6 +52,7 @@ func main() {
 	batchSize := flag.Int("batch", 0, "coalesce submissions into batches of up to N requests for -run (0 = off)")
 	shards := flag.Int("shards", 1, "partition -run requests across N shards by first argument (1 = off)")
 	replicas := flag.Int("replicas", 1, "rotate each shard's -run reads over N read replicas (1 = off)")
+	durability := flag.String("durability", "", "log each modeled shard's -run submissions through a WAL in this commit mode (off|group|strict; empty = no WAL)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -158,6 +166,52 @@ func main() {
 				return baseBatch(name, sql, argSets)
 			}
 		}
+		// With -durability every successful submission is appended to its
+		// modeled shard's write-ahead log and acknowledged per the chosen
+		// commit mode before the runner returns, so the reported fsync
+		// counts show the group-commit amortization: a coalesced batch's
+		// per-shard sub-batch becomes one append of many records, and
+		// concurrent commits share fsyncs.
+		var walLogs []*wal.Log
+		if *durability != "" {
+			mode, err := wal.ParseMode(*durability)
+			if err != nil {
+				fatal(err)
+			}
+			walLogs = make([]*wal.Log, max(*shards, 1))
+			for i := range walLogs {
+				walLogs[i] = wal.New(wal.Options{Mode: mode})
+			}
+			logOf := func(args []any) *wal.Log {
+				if len(args) > 0 {
+					return walLogs[shard.Partition(args[0], len(walLogs))]
+				}
+				return walLogs[0]
+			}
+			baseRun, baseBatch := run, runBatch
+			run = func(name, sql string, args []any) (any, error) {
+				res, err := baseRun(name, sql, args)
+				if err == nil {
+					l := logOf(args)
+					l.Commit(l.Append(name, sql, [][]any{args}))
+				}
+				return res, err
+			}
+			runBatch = func(name, sql string, argSets [][]any) ([]any, []error) {
+				vals, errs := baseBatch(name, sql, argSets)
+				sub := make(map[*wal.Log][][]any, len(walLogs))
+				for i, args := range argSets {
+					if errs == nil || errs[i] == nil {
+						l := logOf(args)
+						sub[l] = append(sub[l], args)
+					}
+				}
+				for l, sets := range sub {
+					l.Commit(l.Append(name, sql, sets))
+				}
+				return vals, errs
+			}
+		}
 		var svc *exec.Service
 		if *batchSize > 1 {
 			svc = batch.NewService(*threads, run, runBatch,
@@ -188,6 +242,24 @@ func main() {
 		}
 		if perReplica != nil {
 			fmt.Fprintf(os.Stderr, "-- replicas: reads per shard/replica: %v\n", perReplica)
+		}
+		if walLogs != nil {
+			var recs, syncs int64
+			perLog := make([]int64, len(walLogs))
+			for i, l := range walLogs {
+				l.SyncTo(l.LastLSN())
+				st := l.Stats()
+				perLog[i] = st.Appends
+				recs += st.SyncedRecords
+				syncs += st.Syncs
+				l.Close()
+			}
+			avg := 0.0
+			if syncs > 0 {
+				avg = float64(recs) / float64(syncs)
+			}
+			fmt.Fprintf(os.Stderr, "-- durability %s: %d records durable in %d fsyncs (%.1f records/fsync); records per shard: %v\n",
+				*durability, recs, syncs, avg, perLog)
 		}
 	}
 }

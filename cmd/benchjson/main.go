@@ -1,0 +1,77 @@
+// Command benchjson converts `go test -bench` text output into the
+// BENCH_<n>.json artifact format and back, so each PR's bench-smoke run
+// leaves a structured, benchstat-comparable trace.
+//
+// Usage:
+//
+//	go test -run XXX -bench . ./... | benchjson -o BENCH_6.json
+//	benchjson -text BENCH_6.json > new.txt    # back to benchstat input
+//
+// Values are kept verbatim (no float round-tripping), so
+// `benchjson -text old.json` / `benchjson -text new.json` feed benchstat
+// exactly what the original runs printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/benchfmt"
+)
+
+func main() {
+	out := flag.String("o", "", "write output to `file` (default stdout)")
+	text := flag.Bool("text", false, "input is BENCH_<n>.json; emit benchstat text instead")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "usage: benchjson [-o file] [-text] [input]")
+		os.Exit(2)
+	}
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	if *text {
+		f, err := benchfmt.Decode(in)
+		if err != nil {
+			fatal(err)
+		}
+		if err := f.Text(w); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	f, err := benchfmt.Parse(in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(f.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines in input"))
+	}
+	if err := f.Encode(w); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -3,9 +3,9 @@
 //
 // Usage:
 //
-//	experiments [-scale 0.2] [-quick] [-seed N]
-//	            [-fig 8|..|15|batch-category|batch-rubis|shard-scale|replica-scale|all] [-table1]
-//	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	experiments [-scale 0.2] [-quick] [-seed N] [-durability off|group|strict]
+//	            [-fig 8|..|15|batch-category|batch-rubis|shard-scale|replica-scale|durability|all]
+//	            [-table1] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // With no selection flags, everything runs. Times are reported in simulated
 // seconds (wall time divided by -scale), so results are comparable across
@@ -35,9 +35,10 @@ func main() {
 func run() int {
 	scale := flag.Float64("scale", 0.2, "wall-clock scale for simulated latencies (1.0 = full)")
 	quick := flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
-	fig := flag.String("fig", "", "figure to run: 8..15, batch-category, batch-rubis, shard-scale, replica-scale or 'all' (default: all)")
+	fig := flag.String("fig", "", "figure to run: 8..15, batch-category, batch-rubis, shard-scale, replica-scale, durability or 'all' (default: all)")
 	table1 := flag.Bool("table1", false, "run only Table I")
 	seed := flag.Int64("seed", 0, "workload seed (0: ASYNCQ_SEED env, else the historical fixed seeding)")
+	durability := flag.String("durability", "", "restrict the durability figure's fsync-policy sweep to one WAL mode (off|group|strict; empty = all)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to `file`")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to `file`")
 	flag.Parse()
@@ -74,6 +75,7 @@ func run() int {
 	h.Scale = *scale
 	h.Quick = *quick
 	h.Seed = apps.SeedFromEnv(*seed)
+	h.Durability = *durability
 	if h.Seed != 0 {
 		// Logged up front so a failing run's seed is always recoverable.
 		fmt.Fprintf(os.Stderr, "experiments: workload seed %d (rerun with -seed %d)\n", h.Seed, h.Seed)
@@ -100,6 +102,7 @@ func run() int {
 		"12": h.Fig12, "13": h.Fig13, "14": h.Fig14, "15": h.Fig15,
 		"batch-category": h.FigBatchCategory, "batch-rubis": h.FigBatchRUBiS,
 		"shard-scale": h.FigShardScale, "replica-scale": h.FigReplicaScale,
+		"durability": h.FigDurability,
 	}
 	label := func(id string) string {
 		if len(id) <= 2 { // numeric paper figures keep their "Fig N" labels
@@ -110,7 +113,7 @@ func run() int {
 	switch *fig {
 	case "", "all":
 		for _, id := range []string{"8", "9", "10", "11", "12", "13", "14", "15",
-			"batch-category", "batch-rubis", "shard-scale", "replica-scale"} {
+			"batch-category", "batch-rubis", "shard-scale", "replica-scale", "durability"} {
 			if !run(label(id), figs[id]) {
 				return 1
 			}

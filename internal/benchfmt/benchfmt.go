@@ -1,0 +1,154 @@
+// Package benchfmt converts `go test -bench` text output to a structured
+// JSON form and back. The JSON keeps every numeric token verbatim
+// (json.Number), so a round trip through Text reproduces benchmark lines
+// benchstat accepts unchanged: two PRs' BENCH_<n>.json artifacts compare
+// with
+//
+//	benchjson -text BENCH_5.json > old.txt
+//	benchjson -text BENCH_6.json > new.txt
+//	benchstat old.txt new.txt
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// File is one benchmark run: the machine configuration lines go test
+// prints once, plus every benchmark result in input order.
+type File struct {
+	Format     string  `json:"format"` // "go-bench-json/v1"
+	Goos       string  `json:"goos,omitempty"`
+	Goarch     string  `json:"goarch,omitempty"`
+	CPU        string  `json:"cpu,omitempty"`
+	Benchmarks []Bench `json:"benchmarks"`
+}
+
+// Bench is one result line. Name keeps the -<procs> suffix go test
+// appends, so reconstructed lines match the original byte for byte.
+type Bench struct {
+	Pkg     string   `json:"pkg,omitempty"`
+	Name    string   `json:"name"`
+	Runs    int64    `json:"runs"`
+	Metrics []Metric `json:"metrics"`
+}
+
+// Metric is one (value, unit) pair such as 1234 ns/op. Value is the raw
+// numeric token so nothing is lost to float formatting.
+type Metric struct {
+	Value json.Number `json:"value"`
+	Unit  string      `json:"unit"`
+}
+
+// FormatV1 is the format tag written into every File.
+const FormatV1 = "go-bench-json/v1"
+
+// Parse reads `go test -bench` output (any number of packages) and
+// collects the benchmark lines. Non-benchmark noise — test output,
+// ok/FAIL/PASS lines — is skipped; a benchmark line whose metrics do not
+// parse is an error, since silently dropping results would make a
+// regression look like an improvement.
+func Parse(r io.Reader) (*File, error) {
+	f := &File{Format: FormatV1}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			f.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			f.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			f.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			b, err := parseBench(line)
+			if err != nil {
+				return nil, err
+			}
+			b.Pkg = pkg
+			f.Benchmarks = append(f.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func parseBench(line string) (Bench, error) {
+	fields := strings.Fields(line)
+	// Name, iteration count, then (value, unit) pairs.
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Bench{}, fmt.Errorf("benchfmt: malformed benchmark line %q", line)
+	}
+	b := Bench{Name: fields[0]}
+	if _, err := fmt.Sscanf(fields[1], "%d", &b.Runs); err != nil {
+		return Bench{}, fmt.Errorf("benchfmt: bad run count in %q", line)
+	}
+	for i := 2; i < len(fields); i += 2 {
+		v := json.Number(fields[i])
+		if _, err := v.Float64(); err != nil {
+			return Bench{}, fmt.Errorf("benchfmt: bad metric value %q in %q", fields[i], line)
+		}
+		b.Metrics = append(b.Metrics, Metric{Value: v, Unit: fields[i+1]})
+	}
+	return b, nil
+}
+
+// Text writes the file back in the benchmark text format. Configuration
+// lines come first and `pkg:` is re-emitted whenever it changes, so
+// benchstat keys same-named benchmarks from different packages apart.
+func (f *File) Text(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if f.Goos != "" {
+		fmt.Fprintf(bw, "goos: %s\n", f.Goos)
+	}
+	if f.Goarch != "" {
+		fmt.Fprintf(bw, "goarch: %s\n", f.Goarch)
+	}
+	if f.CPU != "" {
+		fmt.Fprintf(bw, "cpu: %s\n", f.CPU)
+	}
+	pkg := ""
+	for _, b := range f.Benchmarks {
+		if b.Pkg != pkg {
+			pkg = b.Pkg
+			fmt.Fprintf(bw, "pkg: %s\n", pkg)
+		}
+		fmt.Fprintf(bw, "%s\t%d", b.Name, b.Runs)
+		for _, m := range b.Metrics {
+			fmt.Fprintf(bw, "\t%s %s", m.Value, m.Unit)
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// Encode writes the file as indented JSON (the BENCH_<n>.json artifact
+// format).
+func (f *File) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// Decode reads a BENCH_<n>.json artifact.
+func Decode(r io.Reader) (*File, error) {
+	dec := json.NewDecoder(r)
+	dec.UseNumber()
+	f := &File{}
+	if err := dec.Decode(f); err != nil {
+		return nil, err
+	}
+	if f.Format != FormatV1 {
+		return nil, fmt.Errorf("benchfmt: unknown format %q (want %s)", f.Format, FormatV1)
+	}
+	return f, nil
+}

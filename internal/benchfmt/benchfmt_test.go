@@ -1,0 +1,131 @@
+package benchfmt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro/internal/exec
+cpu: Intel(R) Xeon(R) CPU
+BenchmarkExecutorThroughput-8   	       1	   1234567 ns/op	     456 B/op	       7 allocs/op
+BenchmarkSubmit-8               	 1000000	      1050 ns/op
+PASS
+ok  	repro/internal/exec	1.234s
+pkg: repro/internal/batch
+BenchmarkBatchedSubmission-8    	       1	   2088000000 ns/op
+some stray test log line
+ok  	repro/internal/batch	2.1s
+`
+
+func TestParseCollectsBenchmarksAndConfig(t *testing.T) {
+	f, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Format != FormatV1 {
+		t.Fatalf("format = %q", f.Format)
+	}
+	if f.Goos != "linux" || f.Goarch != "amd64" || f.CPU != "Intel(R) Xeon(R) CPU" {
+		t.Fatalf("config = %q/%q/%q", f.Goos, f.Goarch, f.CPU)
+	}
+	if len(f.Benchmarks) != 3 {
+		t.Fatalf("want 3 benchmarks, got %d: %+v", len(f.Benchmarks), f.Benchmarks)
+	}
+	b := f.Benchmarks[0]
+	if b.Pkg != "repro/internal/exec" || b.Name != "BenchmarkExecutorThroughput-8" || b.Runs != 1 {
+		t.Fatalf("bench 0 = %+v", b)
+	}
+	if len(b.Metrics) != 3 || b.Metrics[0].Unit != "ns/op" || b.Metrics[0].Value != "1234567" ||
+		b.Metrics[2].Unit != "allocs/op" {
+		t.Fatalf("bench 0 metrics = %+v", b.Metrics)
+	}
+	if f.Benchmarks[2].Pkg != "repro/internal/batch" {
+		t.Fatalf("bench 2 pkg = %q", f.Benchmarks[2].Pkg)
+	}
+}
+
+func TestTextRoundTripIsLossless(t *testing.T) {
+	f, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f.Text(&buf); err != nil {
+		t.Fatal(err)
+	}
+	txt := buf.String()
+	// Text output re-parses to the identical structure (values verbatim),
+	// which is what makes two artifacts benchstat-comparable.
+	f2, err := Parse(strings.NewReader(txt))
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, txt)
+	}
+	if len(f2.Benchmarks) != len(f.Benchmarks) {
+		t.Fatalf("round trip lost benchmarks: %d != %d", len(f2.Benchmarks), len(f.Benchmarks))
+	}
+	for i := range f.Benchmarks {
+		a, b := f.Benchmarks[i], f2.Benchmarks[i]
+		if a.Pkg != b.Pkg || a.Name != b.Name || a.Runs != b.Runs || len(a.Metrics) != len(b.Metrics) {
+			t.Fatalf("bench %d differs: %+v vs %+v", i, a, b)
+		}
+		for j := range a.Metrics {
+			if a.Metrics[j] != b.Metrics[j] {
+				t.Fatalf("bench %d metric %d differs: %+v vs %+v", i, j, a.Metrics[j], b.Metrics[j])
+			}
+		}
+	}
+	for _, want := range []string{"goos: linux", "pkg: repro/internal/exec", "pkg: repro/internal/batch"} {
+		if !strings.Contains(txt, want+"\n") {
+			t.Fatalf("text output missing %q:\n%s", want, txt)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	f, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	f2, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f2.Benchmarks) != 3 || f2.Benchmarks[1].Metrics[0].Value != "1050" {
+		t.Fatalf("decoded = %+v", f2)
+	}
+}
+
+func TestDecodeRejectsUnknownFormat(t *testing.T) {
+	if _, err := Decode(strings.NewReader(`{"format":"nope","benchmarks":[]}`)); err == nil {
+		t.Fatal("want error for unknown format")
+	}
+}
+
+func TestParseRejectsMalformedBenchLine(t *testing.T) {
+	for _, bad := range []string{
+		"BenchmarkHalfPair-8 1 123\n",
+		"BenchmarkNoCount-8 abc 1 ns/op\n",
+		"BenchmarkBadValue-8 1 12x34 ns/op\n",
+	} {
+		if _, err := Parse(strings.NewReader(bad)); err == nil {
+			t.Fatalf("want error for %q", bad)
+		}
+	}
+}
+
+func TestFractionalValuesSurviveVerbatim(t *testing.T) {
+	f, err := Parse(strings.NewReader("BenchmarkTiny-8 2000000000 0.25 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Benchmarks[0].Metrics[0].Value != "0.25" {
+		t.Fatalf("value = %q", f.Benchmarks[0].Metrics[0].Value)
+	}
+}

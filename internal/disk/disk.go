@@ -32,6 +32,13 @@ type Params struct {
 	// is one of the reasons concurrent submission helps cold-cache loads.
 	// Requests are served by per-spindle elevators.
 	Spindles int
+	// WriteSettle is an extra positional delay charged once per write
+	// request: the rotational wait for the target sector to come under the
+	// head, which a durable write must pay but a (track-buffered) read
+	// avoids. Zero by default so the seek-only model is unchanged; the
+	// durability experiment sets it so a WAL fsync carries its real-world
+	// cost — the cost group commit amortizes.
+	WriteSettle time.Duration
 }
 
 // DefaultParams give a disk whose full-stroke seek is ~2ms and per-page
@@ -48,10 +55,13 @@ func DefaultParams() Params {
 	}
 }
 
-// Request is one batched IO: read `Pages` pages starting at track `Track`.
+// Request is one batched IO: transfer `Pages` pages starting at track
+// `Track`. Reads and writes ride the same elevator; `write` only switches
+// which activity counter the transfer lands in.
 type request struct {
 	track int
 	pages int
+	write bool
 	done  chan struct{}
 }
 
@@ -67,13 +77,15 @@ type Disk struct {
 	closed bool
 	wg     sync.WaitGroup
 
-	statMu     sync.Mutex
-	requests   int64
-	pagesRead  int64
-	seekTime   time.Duration
-	busyTime   time.Duration
-	maxQueue   int
-	totalQueue int64
+	statMu       sync.Mutex
+	requests     int64
+	pagesRead    int64
+	writes       int64
+	pagesWritten int64
+	seekTime     time.Duration
+	busyTime     time.Duration
+	maxQueue     int
+	totalQueue   int64
 }
 
 // New starts the disk's service goroutines (one per spindle).
@@ -92,14 +104,23 @@ func New(params Params, clock *simclock.Clock) *Disk {
 
 // Read blocks until the disk has serviced a batched read of pages pages
 // located at track (modulo the disk size).
-func (d *Disk) Read(track, pages int) {
+func (d *Disk) Read(track, pages int) { d.submit(track, pages, false) }
+
+// Write blocks until the disk has serviced a batched write of pages pages at
+// track (modulo the disk size) — the durability path: a write-ahead log's
+// group-committed fsync is one Write call covering the whole commit batch,
+// so the fsync cost amortizes across the batch exactly like seeks amortize
+// across queued reads.
+func (d *Disk) Write(track, pages int) { d.submit(track, pages, true) }
+
+func (d *Disk) submit(track, pages int, write bool) {
 	if pages <= 0 {
 		return
 	}
 	if d.params.Tracks > 0 {
 		track = ((track % d.params.Tracks) + d.params.Tracks) % d.params.Tracks
 	}
-	r := &request{track: track, pages: pages, done: make(chan struct{})}
+	r := &request{track: track, pages: pages, write: write, done: make(chan struct{})}
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()
@@ -129,12 +150,14 @@ func (d *Disk) Close() {
 
 // Stats summarizes device activity.
 type Stats struct {
-	Requests  int64
-	PagesRead int64
-	SeekTime  time.Duration // unscaled virtual time spent seeking
-	BusyTime  time.Duration // unscaled virtual total service time
-	MaxQueue  int
-	AvgQueue  float64
+	Requests     int64
+	PagesRead    int64
+	Writes       int64
+	PagesWritten int64
+	SeekTime     time.Duration // unscaled virtual time spent seeking
+	BusyTime     time.Duration // unscaled virtual total service time
+	MaxQueue     int
+	AvgQueue     float64
 }
 
 // Stats returns a snapshot.
@@ -142,11 +165,13 @@ func (d *Disk) Stats() Stats {
 	d.statMu.Lock()
 	defer d.statMu.Unlock()
 	s := Stats{
-		Requests:  d.requests,
-		PagesRead: d.pagesRead,
-		SeekTime:  d.seekTime,
-		BusyTime:  d.busyTime,
-		MaxQueue:  d.maxQueue,
+		Requests:     d.requests,
+		PagesRead:    d.pagesRead,
+		Writes:       d.writes,
+		PagesWritten: d.pagesWritten,
+		SeekTime:     d.seekTime,
+		BusyTime:     d.busyTime,
+		MaxQueue:     d.maxQueue,
 	}
 	if d.requests > 0 {
 		s.AvgQueue = float64(d.totalQueue) / float64(d.requests)
@@ -186,11 +211,19 @@ func (d *Disk) serve(spindle int) {
 
 		seek := time.Duration(dist)*d.params.SeekPerTrack + d.params.SeekMin
 		service := seek + time.Duration(r.pages)*d.params.TransferPerPage
+		if r.write {
+			service += d.params.WriteSettle
+		}
 		d.clock.Sleep(service)
 
 		d.statMu.Lock()
 		d.requests++
-		d.pagesRead += int64(r.pages)
+		if r.write {
+			d.writes++
+			d.pagesWritten += int64(r.pages)
+		} else {
+			d.pagesRead += int64(r.pages)
+		}
 		d.seekTime += seek
 		d.busyTime += service
 		d.totalQueue += int64(depth)

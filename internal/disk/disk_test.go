@@ -157,3 +157,21 @@ func TestCloseIdempotent(t *testing.T) {
 	d.Close()
 	d.Read(1, 1) // read after close returns immediately
 }
+
+func TestWriteAccountsSeparately(t *testing.T) {
+	d := New(DefaultParams(), zeroClock())
+	defer d.Close()
+	d.Write(10, 3)
+	d.Write(11, 1)
+	d.Read(12, 2)
+	st := d.Stats()
+	if st.Writes != 2 || st.PagesWritten != 4 {
+		t.Fatalf("write stats: %+v", st)
+	}
+	if st.PagesRead != 2 {
+		t.Fatalf("read stats polluted by writes: %+v", st)
+	}
+	if st.Requests != 3 {
+		t.Fatalf("writes must ride the same elevator: %+v", st)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/server"
+	"repro/internal/wal"
 )
 
 // TestTable1 checks the paper's applicability numbers: auction 9/9 (100%),
@@ -63,6 +64,33 @@ func TestMeasureSmall(t *testing.T) {
 		}
 		if m.Iterations != 25 {
 			t.Errorf("%s: bad measurement %+v", c.app.Name, m)
+		}
+	}
+}
+
+// TestMeasureDurabilitySmall runs a tiny durability sweep end to end (zero
+// scale) and checks the one property that is exact rather than a timing
+// shape: strict mode pays one fsync per acknowledged insert, and every mode
+// acknowledges every insert.
+func TestMeasureDurabilitySmall(t *testing.T) {
+	h := NewHarness()
+	h.Scale = 0 // logic only
+	defer h.Close()
+	const inserts = 60
+	for _, mode := range []wal.Mode{wal.Off, wal.Group, wal.Strict} {
+		m, err := h.MeasureDurability(server.SYS1(), mode, 4, inserts)
+		if err != nil {
+			t.Errorf("%s: %v", mode, err)
+			continue
+		}
+		if m.Inserts != inserts || m.Throughput <= 0 {
+			t.Errorf("%s: bad measurement %+v", mode, m)
+		}
+		if mode == wal.Strict && m.Syncs != inserts {
+			t.Errorf("strict: %d fsyncs for %d inserts, want one each", m.Syncs, inserts)
+		}
+		if mode != wal.Off && m.Syncs == 0 {
+			t.Errorf("%s: no fsync recorded", mode)
 		}
 	}
 }

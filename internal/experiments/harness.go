@@ -34,6 +34,9 @@ type Harness struct {
 	// -seed / ASYNCQ_SEED). Zero keeps the historical fixed seeding, so
 	// published series stay reproducible by default.
 	Seed int64
+	// Durability restricts FigDurability's fsync-policy sweep to one WAL
+	// commit mode ("off", "group" or "strict"); empty sweeps all three.
+	Durability string
 
 	servers map[string]*loadedServer
 	routers map[string]*shard.Router

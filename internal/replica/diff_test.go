@@ -15,13 +15,16 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/apps"
 	"repro/internal/interp"
+	"repro/internal/replica"
 	"repro/internal/server"
 	"repro/internal/shard"
+	"repro/internal/wal"
 )
 
 var seedFlag = flag.Int64("seed", 0, "randomized differential workload seed (0: ASYNCQ_SEED env, else time-based)")
@@ -209,4 +212,311 @@ func TestRandomWorkloadIsDeterministic(t *testing.T) {
 			t.Fatalf("op %d differs:\n  %v\n  %v", i, a[i], b[i])
 		}
 	}
+}
+
+// TestDifferentialPrimaryCrashRecovery drives the replicated cluster with the
+// seeded workload and kills every shard's primary between chunks — first on a
+// base-snapshot-only log, then again after a mid-log checkpoint so restart
+// replays snapshot + suffix. Restart rebuilds each primary from its WAL;
+// byte-identity with the single reference server across the crash proves no
+// acknowledged write was lost.
+func TestDifferentialPrimaryCrashRecovery(t *testing.T) {
+	seed := workloadSeed(t)
+	nOps := 240
+	if testing.Short() {
+		nOps = 96
+	}
+	const shards = 3
+	for ai, app := range apps.All() {
+		app, ai := app, ai
+		t.Run(app.Name, func(t *testing.T) {
+			ref := server.New(server.SYS1(), 0)
+			t.Cleanup(ref.Close)
+			if err := app.Setup(ref, apps.SeededRand()); err != nil {
+				t.Fatalf("setup: %v", err)
+			}
+			rt := shard.New(server.SYS1(), 0, shard.Options{
+				Shards: shards, Keys: app.ShardKeys, Replicas: 1,
+			})
+			t.Cleanup(rt.Close)
+			if err := rt.LoadFrom(ref); err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			groups := rt.Groups()
+			if groups == nil {
+				t.Fatal("router reports no groups")
+			}
+
+			rng := rand.New(rand.NewSource(seed + 7_777_777 + int64(ai)*1_000_003))
+			opNo := 0
+			runChunk := func(label string, n int) {
+				t.Helper()
+				ops := apps.RandomWorkload(ref, n, rng)
+				for _, op := range ops {
+					opNo++
+					if op.Batch() {
+						wantVals, wantErrs := ref.ExecBatch("w", op.SQL, op.ArgSets)
+						gotVals, gotErrs := rt.ExecBatch("w", op.SQL, op.ArgSets)
+						for j := range op.ArgSets {
+							want := fmtOut(wantVals[j], wantErrs[j])
+							got := fmtOut(gotVals[j], gotErrs[j])
+							if want != got {
+								t.Fatalf("seed %d op %d (%s) %q binding %d:\n  cluster: %s\n  single:  %s",
+									seed, opNo, label, op.SQL, j, got, want)
+							}
+						}
+						continue
+					}
+					wantV, wantErr := ref.Exec("w", op.SQL, op.ArgSets[0])
+					gotV, gotErr := rt.Exec("w", op.SQL, op.ArgSets[0])
+					want, got := fmtOut(wantV, wantErr), fmtOut(gotV, gotErr)
+					if want != got {
+						t.Fatalf("seed %d op %d (%s) %q:\n  cluster: %s\n  single:  %s",
+							seed, opNo, label, op.SQL, got, want)
+					}
+				}
+			}
+
+			crashRestartAll := func(label string) {
+				t.Helper()
+				for i, g := range groups {
+					old := g.Primary()
+					g.CrashPrimary()
+					if !g.PrimaryDown() {
+						t.Fatalf("%s: shard %d primary should be down", label, i)
+					}
+					if err := g.RestartPrimary(); err != nil {
+						t.Fatalf("%s: restart shard %d: %v", label, i, err)
+					}
+					if g.PrimaryDown() || g.Primary() == old {
+						t.Fatalf("%s: shard %d primary was not rebuilt", label, i)
+					}
+				}
+			}
+
+			chunk := nOps / 4
+			runChunk("healthy", chunk)
+			// Base-snapshot restart: replay = snapshot(LSN 0) + full log.
+			crashRestartAll("first crash")
+			runChunk("after crash+restart", chunk)
+			// Checkpoint mid-log, then crash: replay = snapshot(mid) + suffix.
+			for i, g := range groups {
+				if err := g.Checkpoint(); err != nil {
+					t.Fatalf("checkpoint shard %d: %v", i, err)
+				}
+			}
+			runChunk("after checkpoint", chunk)
+			crashRestartAll("post-checkpoint crash")
+			runChunk("after second restart", nOps-3*chunk)
+
+			// The log really carried writes across both crashes.
+			for i, g := range groups {
+				st := g.WALStats()
+				if st.DurableLSN == 0 || st.Syncs == 0 {
+					t.Fatalf("shard %d: workload never exercised the WAL: %+v", i, st)
+				}
+			}
+		})
+	}
+}
+
+// firstNonNil is firstErr for test use.
+func firstNonNil(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runStalenessDifferential drives one async replica group with the seeded
+// workload while its appliers are frozen at chunk boundaries, and checks
+// every read against a checker server that lazily replays the acknowledged
+// write log exactly to the LSN the read was served at: each read must equal
+// that prefix-consistent single-server state, be monotonic, and respect the
+// consistency contract (bound / session tokens).
+func runStalenessDifferential(t *testing.T, cons replica.Consistency, bound int64, nSessions int) {
+	seed := workloadSeed(t)
+	nOps := 300
+	if testing.Short() {
+		nOps = 120
+	}
+	app := apps.RUBiS()
+	ref := server.New(server.SYS1(), 0)
+	t.Cleanup(ref.Close)
+	if err := app.Setup(ref, apps.SeededRand()); err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+
+	g := replica.NewGroup(server.SYS1(), 0, replica.Options{
+		Replicas: 2, Async: true, Consistency: cons, Bound: bound,
+	})
+	t.Cleanup(g.Close)
+	if err := wal.Capture(ref.Catalog(), 0).RestoreTo(g); err != nil {
+		t.Fatalf("load group: %v", err)
+	}
+	checker := server.New(server.SYS1(), 0)
+	t.Cleanup(checker.Close)
+	if err := wal.Capture(ref.Catalog(), 0).RestoreTo(checker); err != nil {
+		t.Fatalf("load checker: %v", err)
+	}
+
+	rng := rand.New(rand.NewSource(seed + 31_337))
+	sessions := make([]*replica.Session, nSessions)
+	for i := range sessions {
+		sessions[i] = g.NewSession()
+	}
+
+	checkerLSN := int64(0)
+	advance := func(to int64) {
+		t.Helper()
+		if to <= checkerLSN {
+			return
+		}
+		recs, ok := g.Log().RecordsAfter(checkerLSN)
+		if !ok {
+			t.Fatalf("log truncated past checker LSN %d", checkerLSN)
+		}
+		for _, r := range recs {
+			if r.LSN > to {
+				break
+			}
+			// The log holds only acknowledged bindings: replay cannot fail.
+			if _, errs := checker.ExecBatch("c", r.SQL, r.ArgSets); firstNonNil(errs) != nil {
+				t.Fatalf("checker replay of LSN %d: %v", r.LSN, firstNonNil(errs))
+			}
+			checkerLSN = r.LSN
+		}
+		if checkerLSN != to {
+			t.Fatalf("checker cannot reach served LSN %d (stuck at %d)", to, checkerLSN)
+		}
+	}
+	// stagger re-pins the appliers: replica 0 exactly at the acknowledged
+	// frontier, replica 1 a random in-bound distance behind it.
+	stagger := func() {
+		commit := g.CommitLSN()
+		g.HoldApply(0, false)
+		g.WaitApplied(0, commit)
+		g.HoldApply(0, true)
+		lag := rng.Int63n(bound + 1)
+		target := commit - lag
+		if target < 0 {
+			target = 0
+		}
+		g.HoldApply(1, false)
+		g.WaitApplied(1, target)
+		g.HoldApply(1, true)
+	}
+	isInsert := func(sql string) bool {
+		return strings.HasPrefix(strings.ToLower(strings.TrimSpace(sql)), "insert")
+	}
+
+	g.HoldApply(0, true)
+	g.HoldApply(1, true)
+	opNo, staleServed, lastAt := 0, 0, int64(0)
+	for done := 0; done < nOps; {
+		n := 30
+		if nOps-done < n {
+			n = nOps - done
+		}
+		done += n
+		stagger()
+		for _, op := range apps.RandomWorkload(ref, n, rng) {
+			opNo++
+			sess := sessions[rng.Intn(len(sessions))]
+			if isInsert(op.SQL) {
+				// Writes land on the primary — always the newest state, so
+				// they must match the reference byte for byte.
+				if op.Batch() {
+					wantVals, wantErrs := ref.ExecBatch("w", op.SQL, op.ArgSets)
+					gotVals, gotErrs := g.ExecBatchSession(sess, "w", op.SQL, op.ArgSets)
+					for j := range op.ArgSets {
+						if want, got := fmtOut(wantVals[j], wantErrs[j]), fmtOut(gotVals[j], gotErrs[j]); want != got {
+							t.Fatalf("seed %d op %d write %q binding %d:\n  group:  %s\n  single: %s",
+								seed, opNo, op.SQL, j, got, want)
+						}
+					}
+				} else {
+					wantV, wantErr := ref.Exec("w", op.SQL, op.ArgSets[0])
+					gotV, gotErr := g.ExecSession(sess, "w", op.SQL, op.ArgSets[0])
+					if want, got := fmtOut(wantV, wantErr), fmtOut(gotV, gotErr); want != got {
+						t.Fatalf("seed %d op %d write %q:\n  group:  %s\n  single: %s",
+							seed, opNo, op.SQL, got, want)
+					}
+				}
+				continue
+			}
+			commit := g.CommitLSN()
+			var gotVals []any
+			var gotErrs []error
+			if op.Batch() {
+				gotVals, gotErrs = g.ExecBatchSession(sess, "q", op.SQL, op.ArgSets)
+			} else {
+				v, err := g.ExecSession(sess, "q", op.SQL, op.ArgSets[0])
+				gotVals, gotErrs = []any{v}, []error{err}
+			}
+			at := sess.LastServedLSN()
+			if at < 0 || at > commit {
+				t.Fatalf("seed %d op %d: served LSN %d outside [0, %d]", seed, opNo, at, commit)
+			}
+			if at < lastAt {
+				// Group-wide floor: weaker than per-session monotonicity, so
+				// it must hold across sessions too.
+				t.Fatalf("seed %d op %d: reads moved backwards (%d after %d)", seed, opNo, at, lastAt)
+			}
+			lastAt = at
+			if cons == replica.BoundedStaleness && at < commit-bound {
+				t.Fatalf("seed %d op %d: served LSN %d violates bound (commit %d, bound %d)",
+					seed, opNo, at, commit, bound)
+			}
+			if cons == replica.ReadYourWrites && at < sess.LastWriteLSN() {
+				t.Fatalf("seed %d op %d: served LSN %d behind session write %d",
+					seed, opNo, at, sess.LastWriteLSN())
+			}
+			if at < commit {
+				staleServed++
+			}
+			// The read must equal the single-server state at exactly the
+			// prefix it was served from.
+			advance(at)
+			if op.Batch() {
+				wantVals, wantErrs := checker.ExecBatch("q", op.SQL, op.ArgSets)
+				for j := range op.ArgSets {
+					if want, got := fmtOut(wantVals[j], wantErrs[j]), fmtOut(gotVals[j], gotErrs[j]); want != got {
+						t.Fatalf("seed %d op %d read %q binding %d at LSN %d:\n  group:   %s\n  checker: %s",
+							seed, opNo, op.SQL, j, at, got, want)
+					}
+				}
+			} else {
+				wantV, wantErr := checker.Exec("q", op.SQL, op.ArgSets[0])
+				if want, got := fmtOut(wantV, wantErr), fmtOut(gotVals[0], gotErrs[0]); want != got {
+					t.Fatalf("seed %d op %d read %q at LSN %d:\n  group:   %s\n  checker: %s",
+						seed, opNo, op.SQL, at, got, want)
+				}
+			}
+		}
+	}
+	var replicaReads int64
+	for _, c := range g.ReadCounts() {
+		replicaReads += c
+	}
+	if replicaReads == 0 {
+		t.Fatalf("seed %d: no read rode a replica; staleness untested", seed)
+	}
+	if staleServed == 0 {
+		t.Fatalf("seed %d: every read saw the newest state; staleness untested", seed)
+	}
+}
+
+// TestDifferentialBoundedStaleness: async replicas, reads at most 6
+// acknowledged writes behind, every read a prefix-consistent state.
+func TestDifferentialBoundedStaleness(t *testing.T) {
+	runStalenessDifferential(t, replica.BoundedStaleness, 6, 1)
+}
+
+// TestDifferentialReadYourWrites: async replicas, three interleaved sessions,
+// every read a prefix-consistent state covering the session's own writes.
+func TestDifferentialReadYourWrites(t *testing.T) {
+	runStalenessDifferential(t, replica.ReadYourWrites, 4, 3)
 }

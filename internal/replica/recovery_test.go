@@ -1,0 +1,383 @@
+package replica
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/interp"
+	"repro/internal/server"
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// newGroupOpts is newGroup with full Options control (async groups,
+// durability modes, consistency levels).
+func newGroupOpts(t *testing.T, opts Options) *Group {
+	t.Helper()
+	g := NewGroup(server.SYS1(), 0, opts)
+	t.Cleanup(g.Close)
+	schema := storage.NewSchema(
+		storage.Column{Name: "id", Type: storage.TInt},
+		storage.Column{Name: "val", Type: storage.TString},
+	)
+	if err := g.CreateTable("kv", schema, 8); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := g.InsertRow("kv", []any{int64(i), fmt.Sprintf("v%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.FinishLoad()
+	if err := g.AddIndex("kv", "id", true); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// mustInsert acknowledges one row through the group write path.
+func mustInsert(t *testing.T, g *Group, id int64) {
+	t.Helper()
+	if _, err := g.Exec("w", ins, []any{id, fmt.Sprintf("v%d", id)}); err != nil {
+		t.Fatalf("insert %d: %v", id, err)
+	}
+}
+
+// wantVal asserts a read (optionally session-scoped) returns v<id>.
+func wantVal(t *testing.T, g *Group, sess *Session, id int64) {
+	t.Helper()
+	v, err := g.ExecSession(sess, "q", sel, []any{id})
+	if err != nil {
+		t.Fatalf("read %d: %v", id, err)
+	}
+	want := fmt.Sprintf("v%d", id)
+	if rs, ok := v.(interp.Rows); !ok || len(rs) != 1 || rs[0]["val"] != want {
+		t.Fatalf("read %d: got %v, want val=%s", id, interp.Format(v), want)
+	}
+}
+
+func sumReads(g *Group) int64 {
+	var n int64
+	for _, c := range g.ReadCounts() {
+		n += c
+	}
+	return n
+}
+
+func TestCrashRestartKeepsAcknowledgedWrites(t *testing.T) {
+	g := newGroup(t, 2, RoundRobin) // sync replication, wal.Group durability
+	for i := int64(100); i < 120; i++ {
+		mustInsert(t, g, i)
+	}
+	if g.CommitLSN() != 20 {
+		t.Fatalf("commit LSN = %d, want 20", g.CommitLSN())
+	}
+
+	g.CrashPrimary()
+	if !g.PrimaryDown() {
+		t.Fatal("primary should be down")
+	}
+	if _, err := g.Exec("w", ins, []any{int64(999), "x"}); !errors.Is(err, ErrPrimaryDown) {
+		t.Fatalf("write while down: %v, want ErrPrimaryDown", err)
+	}
+	// Sync replicas hold the full prefix and keep serving reads.
+	wantVal(t, g, nil, 110)
+
+	if err := g.RestartPrimary(); err != nil {
+		t.Fatal(err)
+	}
+	if g.PrimaryDown() {
+		t.Fatal("primary should be back up")
+	}
+	// Every write acknowledged under wal.Group survived the crash.
+	if g.CommitLSN() != 20 {
+		t.Fatalf("commit LSN after restart = %d, want 20", g.CommitLSN())
+	}
+	if n := rows("kv", g.Primary()); n != 120 {
+		t.Fatalf("restored primary has %d rows, want 120", n)
+	}
+	for i := int64(0); i < 120; i++ {
+		v, err := g.Primary().Exec("q", sel, []any{i})
+		want := fmt.Sprintf("v%d", i)
+		if rs, ok := v.(interp.Rows); err != nil || !ok || len(rs) != 1 || rs[0]["val"] != want {
+			t.Fatalf("restored primary read %d: %v / %v", i, interp.Format(v), err)
+		}
+	}
+	// Writes resume against the rebuilt primary.
+	mustInsert(t, g, 120)
+	if g.CommitLSN() != 21 {
+		t.Fatalf("post-restart commit LSN = %d, want 21", g.CommitLSN())
+	}
+	wantVal(t, g, nil, 120)
+}
+
+func TestRestartPrimaryWhenUpIsNoop(t *testing.T) {
+	g := newGroup(t, 1, RoundRobin)
+	mustInsert(t, g, 100)
+	p := g.Primary()
+	if err := g.RestartPrimary(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Primary() != p {
+		t.Fatal("restart of a healthy primary must not replace the server")
+	}
+}
+
+func TestCrashUnderOffLosesOnlyUnsyncedTail(t *testing.T) {
+	g := newGroupOpts(t, Options{Replicas: 1, Durability: wal.Off})
+	for i := int64(100); i < 130; i++ {
+		mustInsert(t, g, i)
+	}
+	g.CrashPrimary()
+	// Off mode acknowledged before fsync: everything past the durable prefix
+	// is gone — but nothing durable may be lost, and restart must land
+	// exactly on that prefix.
+	d := g.Log().DurableLSN()
+	if d > 30 {
+		t.Fatalf("durable LSN %d exceeds writes issued", d)
+	}
+	if err := g.RestartPrimary(); err != nil {
+		t.Fatal(err)
+	}
+	if g.CommitLSN() != d {
+		t.Fatalf("commit LSN = %d, want durable prefix %d", g.CommitLSN(), d)
+	}
+	if n := rows("kv", g.Primary()); int64(n) != 100+d {
+		t.Fatalf("restored primary has %d rows, want %d", n, 100+d)
+	}
+	// The sync replica applied all 30 inserts before the crash; if any were
+	// dropped, its watermark is a lie and the crash must have tainted it out
+	// of rotation. Recover rebuilds it onto the durable prefix either way.
+	if d < 30 && g.Healthy()[0] {
+		t.Fatal("replica ahead of the durable prefix must be failed out")
+	}
+	if err := g.Recover(0); err != nil {
+		t.Fatal(err)
+	}
+	if n := rows("kv", g.Replicas()[0]); int64(n) != 100+d {
+		t.Fatalf("recovered replica has %d rows, want %d", n, 100+d)
+	}
+	if a := g.AppliedLSNs()[0]; a != d {
+		t.Fatalf("recovered replica applied = %d, want %d", a, d)
+	}
+}
+
+func TestRecoverHealthyReplicaIsNoop(t *testing.T) {
+	g := newGroup(t, 2, RoundRobin)
+	for i := int64(100); i < 105; i++ {
+		mustInsert(t, g, i)
+	}
+	before := g.AppliedLSNs()
+	if err := g.Recover(1); err != nil {
+		t.Fatal(err)
+	}
+	after := g.AppliedLSNs()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("recover of healthy replica moved applied: %v -> %v", before, after)
+		}
+	}
+	for _, h := range g.Healthy() {
+		if !h {
+			t.Fatalf("healthy flags disturbed: %v", g.Healthy())
+		}
+	}
+	wantVal(t, g, nil, 104)
+}
+
+func TestRecoverReplayFaultMidBacklog(t *testing.T) {
+	g := newGroup(t, 2, RoundRobin)
+	// First backlog: applied cleanly, so the replica sits mid-log.
+	g.FailOut(0)
+	for i := int64(100); i < 105; i++ {
+		mustInsert(t, g, i)
+	}
+	if err := g.Recover(0); err != nil {
+		t.Fatal(err)
+	}
+	if g.AppliedLSNs()[0] != 5 {
+		t.Fatalf("applied after first recover = %v, want 5", g.AppliedLSNs())
+	}
+	// Second backlog: replay faults on its first record.
+	g.FailOut(0)
+	for i := int64(105); i < 110; i++ {
+		mustInsert(t, g, i)
+	}
+	g.Replicas()[0].FailNext(1)
+	err := g.Recover(0)
+	if err == nil || !server.IsFault(err) {
+		t.Fatalf("recover through injected fault: %v, want fault", err)
+	}
+	if g.Healthy()[0] {
+		t.Fatal("replica must stay out of rotation after a failed recover")
+	}
+	if g.AppliedLSNs()[0] != 5 {
+		t.Fatalf("failed recover moved applied to %v, want 5", g.AppliedLSNs())
+	}
+	// The backlog is intact: a clean retry finishes the job.
+	if err := g.Recover(0); err != nil {
+		t.Fatal(err)
+	}
+	if g.AppliedLSNs()[0] != 10 || !g.Healthy()[0] {
+		t.Fatalf("retry: applied=%v healthy=%v", g.AppliedLSNs(), g.Healthy())
+	}
+	if n := rows("kv", g.Replicas()[0]); n != 110 {
+		t.Fatalf("recovered replica has %d rows, want 110", n)
+	}
+}
+
+func TestConcurrentRecoverIsSafe(t *testing.T) {
+	g := newGroup(t, 2, RoundRobin)
+	g.FailOut(0)
+	g.FailOut(1)
+	for i := int64(100); i < 110; i++ {
+		mustInsert(t, g, i)
+	}
+	var wg sync.WaitGroup
+	for k := 0; k < 4; k++ {
+		for i := 0; i < 2; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				if err := g.Recover(i); err != nil {
+					t.Errorf("recover %d: %v", i, err)
+				}
+			}(i)
+		}
+	}
+	wg.Wait()
+	for i, a := range g.AppliedLSNs() {
+		if a != 10 || !g.Healthy()[i] {
+			t.Fatalf("replica %d: applied=%d healthy=%v", i, a, g.Healthy()[i])
+		}
+	}
+	for i := int64(0); i < 30; i++ {
+		wantVal(t, g, nil, i%110)
+	}
+}
+
+func TestAsyncApplierCatchesUp(t *testing.T) {
+	g := newGroupOpts(t, Options{Replicas: 2, Async: true})
+	for i := int64(100); i < 110; i++ {
+		mustInsert(t, g, i)
+	}
+	g.WaitApplied(0, 10)
+	g.WaitApplied(1, 10)
+	before := sumReads(g)
+	wantVal(t, g, nil, 105) // Strong: replicas qualify once caught up
+	if sumReads(g) != before+1 {
+		t.Fatalf("caught-up async replica should have served the read: %v", g.ReadCounts())
+	}
+}
+
+func TestCheckpointTruncationForcesFullResync(t *testing.T) {
+	g := newGroupOpts(t, Options{Replicas: 1, Async: true})
+	g.HoldApply(0, true)
+	for i := int64(100); i < 110; i++ {
+		mustInsert(t, g, i)
+	}
+	if err := g.Checkpoint(); err != nil { // truncates the log past applied=0
+		t.Fatal(err)
+	}
+	g.HoldApply(0, false)
+	// The applier discovers its prefix predates the log's memory and fails
+	// the replica out.
+	deadline := time.Now().Add(5 * time.Second)
+	for g.Healthy()[0] {
+		if time.Now().After(deadline) {
+			t.Fatal("applier never failed out after truncation")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := g.Recover(0); err != nil {
+		t.Fatal(err)
+	}
+	if a := g.AppliedLSNs()[0]; a != 10 {
+		t.Fatalf("resynced replica applied = %d, want snapshot LSN 10", a)
+	}
+	if n := rows("kv", g.Replicas()[0]); n != 110 {
+		t.Fatalf("resynced replica has %d rows, want 110", n)
+	}
+	before := sumReads(g)
+	wantVal(t, g, nil, 109)
+	if sumReads(g) != before+1 {
+		t.Fatalf("resynced replica should serve reads: %v", g.ReadCounts())
+	}
+}
+
+func TestBoundedStalenessFloor(t *testing.T) {
+	g := newGroupOpts(t, Options{
+		Replicas: 2, Async: true, Consistency: BoundedStaleness, Bound: 5,
+	})
+	g.HoldApply(0, true)
+	g.HoldApply(1, true)
+	for i := int64(100); i < 103; i++ {
+		mustInsert(t, g, i)
+	}
+	// commit=3, bound=5: a replica frozen at LSN 0 is still within bound.
+	wantVal(t, g, nil, 0)
+	if sumReads(g) != 1 {
+		t.Fatalf("within-bound read should ride a replica: %v", g.ReadCounts())
+	}
+	for i := int64(103); i < 106; i++ {
+		mustInsert(t, g, i)
+	}
+	// commit=6: frozen replicas are now out of bound — the primary serves,
+	// and the group's served floor advances to commit.
+	wantVal(t, g, nil, 105)
+	if sumReads(g) != 1 {
+		t.Fatalf("out-of-bound read must not ride a stale replica: %v", g.ReadCounts())
+	}
+	// Monotonic reads: having observed LSN 6, even base rows may no longer
+	// be served from the frozen replicas.
+	wantVal(t, g, nil, 1)
+	if sumReads(g) != 1 {
+		t.Fatalf("served floor violated: %v", g.ReadCounts())
+	}
+	g.HoldApply(0, false)
+	g.HoldApply(1, false)
+	g.WaitApplied(0, 6)
+	g.WaitApplied(1, 6)
+	wantVal(t, g, nil, 105)
+	if sumReads(g) != 2 {
+		t.Fatalf("caught-up replica should serve again: %v", g.ReadCounts())
+	}
+}
+
+func TestReadYourWritesSession(t *testing.T) {
+	g := newGroupOpts(t, Options{
+		Replicas: 1, Async: true, Consistency: ReadYourWrites,
+	})
+	g.HoldApply(0, true)
+	// Sessionless reads carry no token: the frozen replica serves them.
+	wantVal(t, g, nil, 7)
+	if sumReads(g) != 1 {
+		t.Fatalf("sessionless read should ride the replica: %v", g.ReadCounts())
+	}
+	sess := g.NewSession()
+	if _, err := g.ExecSession(sess, "w", ins, []any{int64(200), "v200"}); err != nil {
+		t.Fatal(err)
+	}
+	if sess.LastWriteLSN() != 1 {
+		t.Fatalf("session write token = %d, want 1", sess.LastWriteLSN())
+	}
+	// The session must see its own write even though the replica has not
+	// applied it: the primary serves, and the session records what it saw.
+	wantVal(t, g, sess, 200)
+	if sumReads(g) != 1 {
+		t.Fatalf("read-your-writes must not ride the stale replica: %v", g.ReadCounts())
+	}
+	if sess.LastServedLSN() < sess.LastWriteLSN() {
+		t.Fatalf("session served %d < its own write %d",
+			sess.LastServedLSN(), sess.LastWriteLSN())
+	}
+	g.HoldApply(0, false)
+	g.WaitApplied(0, 1)
+	wantVal(t, g, sess, 200)
+	if sumReads(g) != 2 {
+		t.Fatalf("caught-up replica satisfies the session token: %v", g.ReadCounts())
+	}
+}

@@ -1,24 +1,27 @@
 // Package replica fronts one database shard with a primary and R read
-// replicas, adding read scaling and failover to the sharded scatter-gather
-// backend (internal/shard) without changing any observable result.
+// replicas, adding read scaling, failover, durability and crash recovery to
+// the sharded scatter-gather backend (internal/shard).
 //
-// The consistency contract (see README.md):
+// The consistency and durability contract (see README.md):
 //
-//   - Writes (INSERTs) execute on the primary first and replicate to every
-//     replica synchronously, all under one group-wide write lock, so every
-//     copy applies writes in the identical order and shard-local row ids
-//     agree across copies — the property the scatter-gather merge's global
+//   - Writes (INSERTs) execute on the primary and append to the group's
+//     write-ahead log (internal/wal); the acknowledgement waits until the
+//     record is durable under the configured wal.Mode (Group by default:
+//     concurrent commits share one fsync). Everything acknowledged survives
+//     CrashPrimary + RestartPrimary via snapshot + log replay, on the
+//     original row ids — the property the scatter-gather merge's global
 //     row-order maps depend on.
-//   - Reads load-balance across healthy replicas (round-robin or
-//     least-loaded). A replica whose request comes back with an injected
-//     transport fault (server.IsFault) is failed out of the rotation and the
-//     read retries on a surviving copy, so a mid-workload replica failure
-//     never changes a result. With every replica down, the primary serves
-//     reads — and if it faults too, its error surfaces unchanged, which is
-//     exactly the text a failing single server produces.
-//   - A failed-out replica misses subsequent writes; the group queues them
-//     in order and Recover replays the backlog before readmitting the
-//     replica, so a rejoined copy is byte-identical to the primary.
+//   - Synchronous groups (the default) replicate every committed write to
+//     every healthy replica under one group-wide write lock, so reads from
+//     any copy are byte-identical to a single server. A replica that faults
+//     is failed out; Recover replays the log suffix it missed and readmits
+//     it byte-identical.
+//   - Asynchronous groups (Options.Async) ship the durable log to replicas
+//     in the background: each replica applies a prefix of the commit order
+//     and reads carry explicit staleness semantics — Strong,
+//     BoundedStaleness(d) (at most d acknowledged writes behind), or
+//     ReadYourWrites (session LSN tokens). The group maintains a monotonic
+//     "served" floor so successive reads never travel backwards in time.
 //
 // The Group exposes the same Exec/ExecTraced/ExecBatch shapes as
 // server.Server and satisfies shard.Backend, so a Router over replica groups
@@ -26,13 +29,19 @@
 package replica
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/server"
 	"repro/internal/sqlmini"
 	"repro/internal/storage"
+	"repro/internal/wal"
 )
+
+// ErrPrimaryDown is returned for writes (and reads no copy can serve at the
+// required consistency) while the primary is crashed and not yet restarted.
+var ErrPrimaryDown = errors.New("replica: primary down")
 
 // Policy selects how reads spread over healthy replicas.
 type Policy int
@@ -45,6 +54,23 @@ const (
 	LeastLoaded
 )
 
+// Consistency selects what state an asynchronous group's reads may observe.
+// Synchronous groups always read the newest state regardless.
+type Consistency int
+
+const (
+	// Strong reads observe every acknowledged write.
+	Strong Consistency = iota
+	// BoundedStaleness reads observe a commit-order prefix at most
+	// Options.Bound acknowledged writes behind the newest. The bound is
+	// counted in writes (LSNs), not wall time, so it is deterministic under
+	// the simulated clock.
+	BoundedStaleness
+	// ReadYourWrites reads observe at least the session's own acknowledged
+	// writes (sessionless reads degrade to an arbitrary served prefix).
+	ReadYourWrites
+)
+
 // Options configure a group.
 type Options struct {
 	// Replicas is the number of read replicas fronting the primary
@@ -52,15 +78,23 @@ type Options struct {
 	Replicas int
 	// Policy is the read load-balancing policy.
 	Policy Policy
-}
-
-// writeOp is one replicated write, queued verbatim for replicas that were
-// down when it committed. Single-statement writes are one-binding batches;
-// replay through ExecBatch applies the identical rows in the identical
-// order.
-type writeOp struct {
-	name, sql string
-	argSets   [][]any
+	// Durability is the commit acknowledgement mode of the group's
+	// write-ahead log. The zero value is wal.Group: acknowledged writes are
+	// durable, with the fsync amortized across concurrent commits.
+	Durability wal.Mode
+	// Async switches replicas from synchronous replication to background
+	// log shipping with Consistency/Bound read semantics.
+	Async bool
+	// Consistency is the read consistency of an Async group (default
+	// Strong).
+	Consistency Consistency
+	// Bound is the BoundedStaleness lag, in acknowledged writes.
+	Bound int64
+	// SnapshotEvery, when positive, checkpoints the log every time the
+	// retained suffix exceeds this many records.
+	SnapshotEvery int64
+	// Store is the WAL's persistence backend (nil: in-memory).
+	Store wal.Store
 }
 
 // state is the health tracker's view of one replica.
@@ -69,18 +103,62 @@ type state struct {
 	inflight atomic.Int64 // reads in flight (least-loaded policy)
 	reads    atomic.Int64 // read statements served
 	faults   atomic.Int64 // injected faults observed
-	// pending holds the writes this replica missed while failed out, in
-	// commit order. Guarded by the group write lock.
-	pending []writeOp
+	applied  atomic.Int64 // highest log record applied to this replica
+
+	// tainted marks a replica that applied records a primary crash then
+	// dropped from the log: its applied watermark names state that no longer
+	// exists, so Recover must rebuild it from a snapshot instead of trusting
+	// the watermark.
+	tainted atomic.Bool
+
+	// mu/cond coordinate the async applier with HoldApply/WaitApplied and
+	// Recover; sync groups use them only for WaitApplied.
+	mu   sync.Mutex
+	cond *sync.Cond
+	held bool // HoldApply freeze: the applier parks, applied stays exact
 }
 
-// Group is one replicated shard: a primary owning writes plus R read
-// replicas. It is safe for concurrent use.
+func (st *state) setApplied(lsn int64) {
+	st.mu.Lock()
+	st.applied.Store(lsn)
+	st.cond.Broadcast()
+	st.mu.Unlock()
+}
+
+// Session carries the LSN tokens of one client session: its last
+// acknowledged write (the ReadYourWrites floor) and the state its last read
+// was served at.
+type Session struct {
+	write  atomic.Int64
+	served atomic.Int64
+}
+
+// LastWriteLSN returns the session's highest acknowledged write.
+func (s *Session) LastWriteLSN() int64 { return s.write.Load() }
+
+// LastServedLSN returns the commit-order prefix the session's most recent
+// read observed — the LSN the staleness harness checks reads against.
+func (s *Session) LastServedLSN() int64 { return s.served.Load() }
+
+// Group is one replicated shard: a primary owning writes, a write-ahead log
+// owning durability, plus R read replicas. It is safe for concurrent use.
 type Group struct {
-	primary  *server.Server
+	policy Policy
+
+	prof       server.Profile
+	scale      float64
+	canRebuild bool // NewGroup-built: profile known, crashed copies can be rebuilt
+
+	log *wal.Log
+
+	pmu         sync.RWMutex
+	primary     *server.Server
+	primaryDown bool
+
+	rmu      sync.RWMutex
 	replicas []*server.Server
-	states   []*state
-	policy   Policy
+
+	states []*state
 
 	// prep caches parses for routing (read vs write) only; the servers keep
 	// their own caches and pay their own planning charge.
@@ -88,10 +166,22 @@ type Group struct {
 
 	rr atomic.Uint64 // round-robin cursor
 
-	// wmu serializes writes across the whole group: the primary and every
-	// replica apply them in one global order, keeping row ids identical on
-	// all copies (and making Recover's backlog replay race-free).
+	// wmu serializes writes (and crash/recovery transitions) across the
+	// whole group: the primary, the log and every synchronous replica see
+	// one global write order, keeping row ids identical on all copies.
 	wmu sync.Mutex
+
+	commit atomic.Int64 // highest acknowledged write LSN
+	served atomic.Int64 // monotonic floor of LSNs reads were served at
+
+	closed  atomic.Bool
+	wg      sync.WaitGroup // async appliers
+	zombies []*server.Server
+
+	async         bool
+	consistency   Consistency
+	bound         int64
+	snapshotEvery int64
 }
 
 // NewGroup starts a primary and opts.Replicas fresh replicas of the given
@@ -106,29 +196,110 @@ func NewGroup(prof server.Profile, scale float64, opts Options) *Group {
 	for i := range replicas {
 		replicas[i] = server.New(prof, scale)
 	}
-	return NewGroupWithServers(server.New(prof, scale), replicas, opts.Policy)
-}
-
-// NewGroupWithServers wraps existing servers (tests, heterogeneous copies).
-func NewGroupWithServers(primary *server.Server, replicas []*server.Server, policy Policy) *Group {
-	g := &Group{
-		primary:  primary,
-		replicas: replicas,
-		states:   make([]*state, len(replicas)),
-		policy:   policy,
-	}
-	for i := range g.states {
-		g.states[i] = &state{}
-		g.states[i].healthy.Store(true)
-	}
+	g := buildGroup(server.New(prof, scale), replicas, opts)
+	g.prof, g.scale, g.canRebuild = prof, scale, true
+	g.start()
 	return g
 }
 
+// NewGroupWithServers wraps existing servers (tests, heterogeneous copies)
+// in a synchronous group with default durability. Crashed copies cannot be
+// rebuilt from scratch (the group does not know how to construct servers),
+// so RestartPrimary and checkpoint-truncation resync are unavailable.
+func NewGroupWithServers(primary *server.Server, replicas []*server.Server, policy Policy) *Group {
+	g := buildGroup(primary, replicas, Options{Policy: policy})
+	g.start()
+	return g
+}
+
+// NewGroupWithOptions is NewGroupWithServers with full Options (tests that
+// need async shipping or explicit durability over existing servers).
+func NewGroupWithOptions(primary *server.Server, replicas []*server.Server, opts Options) *Group {
+	g := buildGroup(primary, replicas, opts)
+	g.start()
+	return g
+}
+
+func buildGroup(primary *server.Server, replicas []*server.Server, opts Options) *Group {
+	g := &Group{
+		policy:        opts.Policy,
+		primary:       primary,
+		replicas:      replicas,
+		states:        make([]*state, len(replicas)),
+		async:         opts.Async,
+		consistency:   opts.Consistency,
+		bound:         opts.Bound,
+		snapshotEvery: opts.SnapshotEvery,
+	}
+	for i := range g.states {
+		g.states[i] = &state{}
+		g.states[i].cond = sync.NewCond(&g.states[i].mu)
+		g.states[i].healthy.Store(true)
+	}
+	g.log = wal.New(wal.Options{Mode: opts.Durability, Store: opts.Store, Syncer: groupSyncer{g}})
+	return g
+}
+
+// start launches the async appliers (no-op for synchronous groups).
+func (g *Group) start() {
+	if !g.async {
+		return
+	}
+	for i := range g.replicas {
+		g.wg.Add(1)
+		go g.applier(i)
+	}
+}
+
+// groupSyncer charges the log's fsyncs to the current primary's disk; while
+// the primary is down the log is unreachable anyway (no writes commit), so
+// a drain-time fsync is free.
+type groupSyncer struct{ g *Group }
+
+func (s groupSyncer) Sync(bytes int) {
+	s.g.pmu.RLock()
+	p, down := s.g.primary, s.g.primaryDown
+	s.g.pmu.RUnlock()
+	if down || p == nil {
+		return
+	}
+	p.SyncWAL(bytes)
+}
+
 // Primary exposes the write master (tests, fault drills).
-func (g *Group) Primary() *server.Server { return g.primary }
+func (g *Group) Primary() *server.Server {
+	g.pmu.RLock()
+	defer g.pmu.RUnlock()
+	return g.primary
+}
 
 // Replicas exposes the read copies (tests, fault drills).
-func (g *Group) Replicas() []*server.Server { return g.replicas }
+func (g *Group) Replicas() []*server.Server {
+	g.rmu.RLock()
+	defer g.rmu.RUnlock()
+	return append([]*server.Server(nil), g.replicas...)
+}
+
+func (g *Group) replica(i int) *server.Server {
+	g.rmu.RLock()
+	defer g.rmu.RUnlock()
+	return g.replicas[i]
+}
+
+// Log exposes the group's write-ahead log (tests, stats).
+func (g *Group) Log() *wal.Log { return g.log }
+
+// CommitLSN returns the highest acknowledged write LSN.
+func (g *Group) CommitLSN() int64 { return g.commit.Load() }
+
+// AppliedLSNs reports each replica's applied prefix.
+func (g *Group) AppliedLSNs() []int64 {
+	out := make([]int64, len(g.states))
+	for i, st := range g.states {
+		out[i] = st.applied.Load()
+	}
+	return out
+}
 
 // Healthy reports each replica's rotation status.
 func (g *Group) Healthy() []bool {
@@ -163,36 +334,291 @@ func (g *Group) Faults() []int64 {
 // health tracker does this automatically on an observed fault).
 func (g *Group) FailOut(i int) { g.states[i].healthy.Store(false) }
 
-// Recover replays the writes replica i missed while failed out and, once
-// the backlog is drained, readmits it to the read rotation. If a replay
-// itself faults, the replica stays down with the unreplayed suffix intact
-// and the fault is returned.
+// HoldApply freezes (or thaws) replica i's async applier without taking it
+// out of the read rotation: the replica keeps serving its current prefix
+// while held. Tests use this to pin applied LSNs exactly.
+func (g *Group) HoldApply(i int, held bool) {
+	st := g.states[i]
+	st.mu.Lock()
+	st.held = held
+	st.cond.Broadcast()
+	st.mu.Unlock()
+}
+
+// WaitApplied blocks until replica i's applied prefix reaches lsn (or the
+// group closes).
+func (g *Group) WaitApplied(i int, lsn int64) {
+	st := g.states[i]
+	st.mu.Lock()
+	for st.applied.Load() < lsn && !g.closed.Load() {
+		st.cond.Wait()
+	}
+	st.mu.Unlock()
+}
+
+// NewSession starts a client session (ReadYourWrites token carrier).
+func (g *Group) NewSession() *Session { return &Session{} }
+
+// Recover brings replica i back into the read rotation. A synchronous group
+// replays the log suffix the replica missed before readmitting it (a replay
+// fault keeps it down, suffix intact); an async group readmits immediately
+// and lets the applier catch up. If a checkpoint truncated the log past the
+// replica's applied prefix, the replica is rebuilt from the snapshot (full
+// resync) — only possible for NewGroup-built groups. Recovering a healthy
+// replica is a no-op. Safe to call concurrently; calls serialize on the
+// group write lock.
 func (g *Group) Recover(i int) error {
 	g.wmu.Lock()
 	defer g.wmu.Unlock()
 	st := g.states[i]
-	for len(st.pending) > 0 {
-		op := st.pending[0]
-		_, errs := g.replicas[i].ExecBatch(op.name, op.sql, op.argSets)
+	// Force everything acknowledged into the durable log so replay sees it
+	// even under wal.Off.
+	g.log.SyncTo(g.log.LastLSN())
+
+	if _, ok := g.log.RecordsAfter(st.applied.Load()); !ok || st.tainted.Load() {
+		// The log's memory starts after this replica's prefix — or a crash
+		// invalidated the prefix itself: full resync.
+		if err := g.resyncReplica(i); err != nil {
+			return err
+		}
+		st.tainted.Store(false)
+	}
+	if g.async {
+		st.mu.Lock()
+		st.healthy.Store(true)
+		st.cond.Broadcast()
+		st.mu.Unlock()
+		return nil
+	}
+	recs, _ := g.log.RecordsAfter(st.applied.Load())
+	rep := g.replica(i)
+	for _, r := range recs {
+		_, errs := rep.ExecBatch(r.Name, r.SQL, r.ArgSets)
 		for _, err := range errs {
-			if err != nil && server.IsFault(err) {
+			if err != nil {
 				return err
 			}
 		}
-		st.pending = st.pending[1:]
+		st.setApplied(r.LSN)
 	}
 	st.healthy.Store(true)
 	return nil
 }
 
-// pick returns the next healthy replica under the read policy, or -1 when
-// every replica is failed out.
-func (g *Group) pick() int {
+// resyncReplica rebuilds replica i from the latest checkpoint (caller holds
+// wmu; the replica must be out of rotation or its applier parked).
+func (g *Group) resyncReplica(i int) error {
+	if !g.canRebuild {
+		return errors.New("replica: log truncated past replica state and group cannot rebuild servers")
+	}
+	snap := g.log.Snapshot()
+	if snap == nil {
+		return errors.New("replica: log truncated but no snapshot exists")
+	}
+	s := server.New(g.prof, g.scale)
+	if err := snap.RestoreTo(s); err != nil {
+		s.Close()
+		return err
+	}
+	g.rmu.Lock()
+	old := g.replicas[i]
+	g.replicas[i] = s
+	g.rmu.Unlock()
+	g.zombies = append(g.zombies, old)
+	g.states[i].setApplied(snap.LSN)
+	return nil
+}
+
+// CrashPrimary simulates losing the primary machine: the log's unsynced
+// tail is gone (acknowledged writes survive under Group/Strict durability;
+// Off may lose its tail), the primary stops serving, and writes fail with
+// ErrPrimaryDown until RestartPrimary. Replicas keep serving the reads
+// their prefix supports.
+func (g *Group) CrashPrimary() {
+	g.wmu.Lock()
+	defer g.wmu.Unlock()
+	g.pmu.RLock()
+	down, p := g.primaryDown, g.primary
+	g.pmu.RUnlock()
+	if down {
+		return
+	}
+	// The base state (bulk-loaded, never logged) must be in a snapshot for
+	// restart to rebuild from; normally the first write captured it.
+	g.ensureBaseSnapshot(p)
+	// Drop the unsynced tail before parking the primary: the log's syncer
+	// charges the (still healthy) primary disk for the fsync in flight.
+	g.log.Crash()
+	g.pmu.Lock()
+	g.primaryDown = true
+	g.zombies = append(g.zombies, g.primary)
+	g.pmu.Unlock()
+	// Nothing past the durable prefix exists anymore.
+	d := g.log.DurableLSN()
+	if g.commit.Load() > d {
+		g.commit.Store(d)
+	}
+	if g.served.Load() > d {
+		g.served.Store(d)
+	}
+	// A replica that already applied records the crash just dropped (writes
+	// caught mid-durability-wait, or wal.Off's whole unsynced tail) holds
+	// state the log can no longer account for — and new writes will reuse
+	// those LSNs with different contents. Taint it: out of rotation now,
+	// snapshot rebuild at Recover.
+	for _, st := range g.states {
+		if st.applied.Load() > d {
+			st.tainted.Store(true)
+			st.healthy.Store(false)
+		}
+	}
+}
+
+// PrimaryDown reports whether the primary is crashed.
+func (g *Group) PrimaryDown() bool {
+	g.pmu.RLock()
+	defer g.pmu.RUnlock()
+	return g.primaryDown
+}
+
+// RestartPrimary rebuilds a crashed primary from the latest snapshot plus
+// the durable log suffix — the crash-recovery path. The restored server is
+// byte-identical to the durable prefix: tables restore in creation order,
+// rows on their original ids, and replay re-executes records in LSN order.
+func (g *Group) RestartPrimary() error {
+	g.wmu.Lock()
+	defer g.wmu.Unlock()
+	g.pmu.RLock()
+	down := g.primaryDown
+	g.pmu.RUnlock()
+	if !down {
+		return nil
+	}
+	if !g.canRebuild {
+		return errors.New("replica: cannot rebuild a primary the group did not construct")
+	}
+	snap := g.log.Snapshot()
+	if snap == nil {
+		return errors.New("replica: no snapshot to restart from")
+	}
+	s := server.New(g.prof, g.scale)
+	if err := snap.RestoreTo(s); err != nil {
+		s.Close()
+		return err
+	}
+	recs, ok := g.log.RecordsAfter(snap.LSN)
+	if !ok {
+		s.Close()
+		return errors.New("replica: snapshot older than log memory")
+	}
+	if err := wal.Replay(s, recs); err != nil {
+		s.Close()
+		return err
+	}
+	g.pmu.Lock()
+	g.primary = s
+	g.primaryDown = false
+	g.pmu.Unlock()
+	g.commit.Store(g.log.DurableLSN())
+	return nil
+}
+
+// Checkpoint captures the primary's state as a snapshot at the newest LSN
+// and truncates the log records it covers. Replicas whose applied prefix
+// predates the truncation need a full resync at their next Recover.
+func (g *Group) Checkpoint() error {
+	g.wmu.Lock()
+	defer g.wmu.Unlock()
+	return g.checkpointLocked()
+}
+
+func (g *Group) checkpointLocked() error {
+	g.pmu.RLock()
+	p, down := g.primary, g.primaryDown
+	g.pmu.RUnlock()
+	if down {
+		return ErrPrimaryDown
+	}
+	lsn := g.log.LastLSN()
+	g.log.SyncTo(lsn)
+	return g.log.WriteSnapshot(wal.Capture(p.Catalog(), lsn))
+}
+
+// ensureBaseSnapshot checkpoints the bulk-loaded base state before the
+// first logged write touches it: loads bypass the log, so replay alone
+// cannot rebuild a crashed copy without this snapshot at LSN 0.
+func (g *Group) ensureBaseSnapshot(p *server.Server) {
+	if g.log.Snapshot() != nil || g.log.LastLSN() > 0 {
+		return
+	}
+	// Base snapshot at LSN 0 (nothing logged yet); MemStore cannot fail and
+	// a FileStore failure here surfaces on the restart path as "no
+	// snapshot", so the error is intentionally dropped.
+	_ = g.log.WriteSnapshot(wal.Capture(p.Catalog(), 0))
+}
+
+// applier is one async replica's log-shipping loop: tail the durable log,
+// apply records in LSN order, park while held, failed out, or caught up.
+func (g *Group) applier(i int) {
+	defer g.wg.Done()
+	st := g.states[i]
+	for {
+		st.mu.Lock()
+		for !g.closed.Load() && (st.held || !st.healthy.Load()) {
+			st.cond.Wait()
+		}
+		st.mu.Unlock()
+		if g.closed.Load() {
+			return
+		}
+		recs, ok, logClosed := g.log.WaitRecordsAfter(st.applied.Load())
+		if logClosed || g.closed.Load() {
+			return
+		}
+		if !ok {
+			// A checkpoint truncated past this replica: it cannot catch up
+			// from the log. Fail out; Recover performs the full resync.
+			st.healthy.Store(false)
+			continue
+		}
+		for _, r := range recs {
+			st.mu.Lock()
+			parked := st.held || !st.healthy.Load()
+			st.mu.Unlock()
+			if parked || g.closed.Load() {
+				break
+			}
+			rep := g.replica(i)
+			_, errs := rep.ExecBatch(r.Name, r.SQL, r.ArgSets)
+			if err := firstErr(errs); err != nil {
+				if server.IsFault(err) {
+					st.faults.Add(1)
+				}
+				st.healthy.Store(false)
+				break
+			}
+			st.setApplied(r.LSN)
+		}
+	}
+}
+
+func firstErr(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pick returns the next healthy replica under the read policy whose applied
+// prefix reaches min, or -1 when none qualifies.
+func (g *Group) pick(min int64) int {
 	switch g.policy {
 	case LeastLoaded:
 		best, bestLoad := -1, int64(0)
 		for i, st := range g.states {
-			if !st.healthy.Load() {
+			if !st.healthy.Load() || st.applied.Load() < min {
 				continue
 			}
 			if load := st.inflight.Load(); best < 0 || load < bestLoad {
@@ -208,7 +634,7 @@ func (g *Group) pick() int {
 		start := int(g.rr.Add(1) % uint64(n))
 		for k := 0; k < n; k++ {
 			i := (start + k) % n
-			if g.states[i].healthy.Load() {
+			if g.states[i].healthy.Load() && g.states[i].applied.Load() >= min {
 				return i
 			}
 		}
@@ -216,8 +642,40 @@ func (g *Group) pick() int {
 	}
 }
 
-// Exec routes one statement: writes through the primary with synchronous
-// replication, reads to a healthy replica with failover. Its shape matches
+// minLSN computes the commit-order prefix a read must observe.
+func (g *Group) minLSN(sess *Session) int64 {
+	if !g.async {
+		return 0 // synchronous replicas always hold the newest state
+	}
+	switch g.consistency {
+	case BoundedStaleness:
+		m := g.commit.Load() - g.bound
+		if m < 0 {
+			m = 0
+		}
+		return m
+	case ReadYourWrites:
+		if sess != nil {
+			return sess.write.Load()
+		}
+		return 0
+	default: // Strong
+		return g.commit.Load()
+	}
+}
+
+// bumpServed raises the group's monotonic served floor.
+func (g *Group) bumpServed(lsn int64) {
+	for {
+		cur := g.served.Load()
+		if lsn <= cur || g.served.CompareAndSwap(cur, lsn) {
+			return
+		}
+	}
+}
+
+// Exec routes one statement: writes through the primary + log, reads to a
+// copy that satisfies the group's consistency. Its shape matches
 // exec.Runner.
 func (g *Group) Exec(name, sql string, args []any) (any, error) {
 	res, _, err := g.ExecTraced(name, sql, args)
@@ -226,23 +684,55 @@ func (g *Group) Exec(name, sql string, args []any) (any, error) {
 
 // ExecTraced is Exec plus the execution trace (the shard router's
 // scatter-gather merge consumes the matched row ids). Read traces come from
-// whichever replica served the read; write traces from the primary — row
-// ids agree across copies by the ordered-apply contract.
+// whichever copy served the read; write traces from the primary — row ids
+// agree across copies by the ordered-apply contract.
 func (g *Group) ExecTraced(name, sql string, args []any) (any, sqlmini.ExecInfo, error) {
+	return g.execTraced(nil, name, sql, args)
+}
+
+// ExecSession is Exec with session consistency tokens: the session's
+// acknowledged writes set the ReadYourWrites floor, and its LastServedLSN
+// records what each read observed.
+func (g *Group) ExecSession(sess *Session, name, sql string, args []any) (any, error) {
+	res, _, err := g.execTraced(sess, name, sql, args)
+	return res, err
+}
+
+// ExecTracedSession is ExecTraced with session consistency tokens (the
+// shard router's session-aware scatter path consumes the trace).
+func (g *Group) ExecTracedSession(sess *Session, name, sql string, args []any) (any, sqlmini.ExecInfo, error) {
+	return g.execTraced(sess, name, sql, args)
+}
+
+// ExecBatchTracedSession is ExecBatchTraced with session tokens.
+func (g *Group) ExecBatchTracedSession(sess *Session, name, sql string, argSets [][]any) ([]any, []error, sqlmini.ExecInfo) {
+	return g.execBatchTraced(sess, name, sql, argSets)
+}
+
+func (g *Group) execTraced(sess *Session, name, sql string, args []any) (any, sqlmini.ExecInfo, error) {
 	if st, err := g.prep.Prepare(sql); err == nil && st.Insert {
-		return g.write(name, sql, args)
+		res, info, lsn, err := g.write(name, sql, args)
+		if err == nil && sess != nil && lsn > 0 {
+			sess.write.Store(lsn)
+		}
+		return res, info, err
 	}
 	// Reads — and malformed statements, whose error text is identical on
 	// every copy.
-	return g.read(name, sql, args)
+	return g.read(sess, g.minLSN(sess), name, sql, args)
 }
 
-// ExecBatch is the set-oriented path: a write batch replicates like a write,
-// a read batch rides one round trip to one replica (round trips stay equal
-// to a single server's), failing over whole if that replica faults. Its
-// shape matches exec.BatchRunner.
+// ExecBatch is the set-oriented path: a write batch commits as one log
+// record (one commit wait, like one round trip), a read batch rides one
+// round trip to one qualifying copy. Its shape matches exec.BatchRunner.
 func (g *Group) ExecBatch(name, sql string, argSets [][]any) ([]any, []error) {
 	vals, errs, _ := g.ExecBatchTraced(name, sql, argSets)
+	return vals, errs
+}
+
+// ExecBatchSession is ExecBatch with session consistency tokens.
+func (g *Group) ExecBatchSession(sess *Session, name, sql string, argSets [][]any) ([]any, []error) {
+	vals, errs, _ := g.execBatchTraced(sess, name, sql, argSets)
 	return vals, errs
 }
 
@@ -251,26 +741,39 @@ func (g *Group) ExecBatch(name, sql string, argSets [][]any) ([]any, []error) {
 // consumes; row ids agree on every copy by the ordered-apply contract).
 // Read batches return a zero trace — the router never needs one.
 func (g *Group) ExecBatchTraced(name, sql string, argSets [][]any) ([]any, []error, sqlmini.ExecInfo) {
+	return g.execBatchTraced(nil, name, sql, argSets)
+}
+
+func (g *Group) execBatchTraced(sess *Session, name, sql string, argSets [][]any) ([]any, []error, sqlmini.ExecInfo) {
 	if st, err := g.prep.Prepare(sql); err == nil && st.Insert {
-		return g.writeBatch(name, sql, argSets)
+		vals, errs, info, lsn := g.writeBatch(name, sql, argSets)
+		if sess != nil && lsn > 0 {
+			sess.write.Store(lsn)
+		}
+		return vals, errs, info
 	}
-	vals, errs := g.readBatch(name, sql, argSets)
+	vals, errs := g.readBatch(sess, g.minLSN(sess), name, sql, argSets)
 	return vals, errs, sqlmini.ExecInfo{}
 }
 
 // read serves one read with failover: injected faults fail the replica out
 // and retry on a surviving copy; statement errors return immediately (every
-// copy reproduces them identically). With no replicas left the primary
-// serves the read, so the shard keeps answering until the last copy dies.
-func (g *Group) read(name, sql string, args []any) (any, sqlmini.ExecInfo, error) {
+// copy reproduces them identically). The effective floor is the maximum of
+// the consistency requirement and the group's served floor, so reads are
+// monotonic. When no replica qualifies the primary (always newest) serves.
+func (g *Group) read(sess *Session, min int64, name, sql string, args []any) (any, sqlmini.ExecInfo, error) {
+	if s := g.served.Load(); s > min {
+		min = s
+	}
 	for {
-		i := g.pick()
+		i := g.pick(min)
 		if i < 0 {
 			break
 		}
 		st := g.states[i]
+		at := st.applied.Load()
 		st.inflight.Add(1)
-		res, info, err := g.replicas[i].ExecTraced(name, sql, args)
+		res, info, err := g.replica(i).ExecTraced(name, sql, args)
 		st.inflight.Add(-1)
 		if err != nil && server.IsFault(err) {
 			st.faults.Add(1)
@@ -278,21 +781,35 @@ func (g *Group) read(name, sql string, args []any) (any, sqlmini.ExecInfo, error
 			continue
 		}
 		st.reads.Add(1)
+		g.noteServed(sess, at)
 		return res, info, err
 	}
-	return g.primary.ExecTraced(name, sql, args)
+	g.pmu.RLock()
+	p, down := g.primary, g.primaryDown
+	g.pmu.RUnlock()
+	if down {
+		return nil, sqlmini.ExecInfo{}, ErrPrimaryDown
+	}
+	at := g.commit.Load()
+	res, info, err := p.ExecTraced(name, sql, args)
+	g.noteServed(sess, at)
+	return res, info, err
 }
 
-// readBatch is read for a whole binding set: one replica, one round trip.
-func (g *Group) readBatch(name, sql string, argSets [][]any) ([]any, []error) {
+// readBatch is read for a whole binding set: one copy, one round trip.
+func (g *Group) readBatch(sess *Session, min int64, name, sql string, argSets [][]any) ([]any, []error) {
+	if s := g.served.Load(); s > min {
+		min = s
+	}
 	for {
-		i := g.pick()
+		i := g.pick(min)
 		if i < 0 {
 			break
 		}
 		st := g.states[i]
+		at := st.applied.Load()
 		st.inflight.Add(1)
-		vals, errs := g.replicas[i].ExecBatch(name, sql, argSets)
+		vals, errs := g.replica(i).ExecBatch(name, sql, argSets)
 		st.inflight.Add(-1)
 		if batchFaulted(errs) {
 			st.faults.Add(1)
@@ -300,9 +817,30 @@ func (g *Group) readBatch(name, sql string, argSets [][]any) ([]any, []error) {
 			continue
 		}
 		st.reads.Add(int64(len(argSets)))
+		g.noteServed(sess, at)
 		return vals, errs
 	}
-	return g.primary.ExecBatch(name, sql, argSets)
+	g.pmu.RLock()
+	p, down := g.primary, g.primaryDown
+	g.pmu.RUnlock()
+	if down {
+		errs := make([]error, len(argSets))
+		for i := range errs {
+			errs[i] = ErrPrimaryDown
+		}
+		return make([]any, len(argSets)), errs
+	}
+	at := g.commit.Load()
+	vals, errs := p.ExecBatch(name, sql, argSets)
+	g.noteServed(sess, at)
+	return vals, errs
+}
+
+func (g *Group) noteServed(sess *Session, at int64) {
+	g.bumpServed(at)
+	if sess != nil {
+		sess.served.Store(at)
+	}
 }
 
 // batchFaulted reports whether a batch died of an injected transport fault
@@ -317,54 +855,134 @@ func batchFaulted(errs []error) bool {
 	return false
 }
 
-// write commits one statement on the primary and replicates it. A primary
-// error — fault or validation — aborts before any replica is touched, so
-// the copies never diverge.
-func (g *Group) write(name, sql string, args []any) (any, sqlmini.ExecInfo, error) {
+// write commits one statement: primary execution, WAL append, durability
+// wait, synchronous replication (sync groups). A primary error — fault or
+// validation — aborts before the log or any replica is touched.
+func (g *Group) write(name, sql string, args []any) (any, sqlmini.ExecInfo, int64, error) {
 	g.wmu.Lock()
-	defer g.wmu.Unlock()
-	res, info, err := g.primary.ExecTraced(name, sql, args)
+	g.pmu.RLock()
+	p, down := g.primary, g.primaryDown
+	g.pmu.RUnlock()
+	if down {
+		g.wmu.Unlock()
+		return nil, sqlmini.ExecInfo{}, 0, ErrPrimaryDown
+	}
+	g.ensureBaseSnapshot(p)
+	res, info, err := p.ExecTraced(name, sql, args)
 	if err != nil {
-		return nil, info, err
+		g.wmu.Unlock()
+		return nil, info, 0, err
 	}
-	g.replicate(writeOp{name: name, sql: sql, argSets: [][]any{args}})
-	return res, info, nil
+	lsn := g.stageRecord(name, sql, [][]any{args})
+	g.wmu.Unlock()
+	if err := g.awaitCommit(lsn); err != nil {
+		return nil, info, 0, err
+	}
+	return res, info, lsn, nil
 }
 
-// writeBatch commits a binding set on the primary and replicates it. A
-// transport fault on the primary aborts the whole batch (no replica sees
-// it); per-binding validation errors replicate with the batch and fail
-// identically on every copy.
-func (g *Group) writeBatch(name, sql string, argSets [][]any) ([]any, []error, sqlmini.ExecInfo) {
+// writeBatch commits a binding set: the primary executes it, the committed
+// bindings become one log record, and the whole batch shares one durability
+// wait. A transport fault on the primary aborts the batch (no log, no
+// replica); per-binding validation errors return with the batch and never
+// enter the log (only acknowledged rows replicate or replay).
+func (g *Group) writeBatch(name, sql string, argSets [][]any) ([]any, []error, sqlmini.ExecInfo, int64) {
 	g.wmu.Lock()
-	defer g.wmu.Unlock()
-	vals, errs, info := g.primary.ExecBatchTraced(name, sql, argSets)
-	if batchFaulted(errs) {
-		return vals, errs, info
+	g.pmu.RLock()
+	p, down := g.primary, g.primaryDown
+	g.pmu.RUnlock()
+	if down {
+		g.wmu.Unlock()
+		errs := make([]error, len(argSets))
+		for i := range errs {
+			errs[i] = ErrPrimaryDown
+		}
+		return make([]any, len(argSets)), errs, sqlmini.ExecInfo{}, 0
 	}
-	g.replicate(writeOp{name: name, sql: sql, argSets: argSets})
-	return vals, errs, info
+	g.ensureBaseSnapshot(p)
+	vals, errs, info := p.ExecBatchTraced(name, sql, argSets)
+	if batchFaulted(errs) {
+		g.wmu.Unlock()
+		return vals, errs, info, 0
+	}
+	var okSets [][]any
+	for i, e := range errs {
+		if e == nil {
+			okSets = append(okSets, argSets[i])
+		}
+	}
+	if len(okSets) == 0 {
+		g.wmu.Unlock()
+		return vals, errs, info, 0
+	}
+	lsn := g.stageRecord(name, sql, okSets)
+	g.wmu.Unlock()
+	if err := g.awaitCommit(lsn); err != nil {
+		failed := make([]error, len(argSets))
+		for i := range failed {
+			failed[i] = err
+		}
+		return make([]any, len(argSets)), failed, info, 0
+	}
+	return vals, errs, info, lsn
 }
 
-// replicate applies one committed write to every replica — in parallel, but
-// under the group write lock, so the per-replica order equals the primary's.
-// Down replicas queue the op for Recover; a replica that faults mid-apply is
-// failed out with the op queued, losing nothing.
-func (g *Group) replicate(op writeOp) {
-	faulted := make([]bool, len(g.replicas))
+// stageRecord logs one committed write and replicates it synchronously (sync
+// groups). Caller holds wmu, which is what keeps the per-replica apply order
+// equal to LSN order. The durability wait happens in awaitCommit, outside
+// the lock, so concurrent commits share fsyncs (group commit).
+func (g *Group) stageRecord(name, sql string, argSets [][]any) int64 {
+	lsn := g.log.Append(name, sql, argSets)
+	if !g.async {
+		g.replicate(wal.Record{LSN: lsn, Name: name, SQL: sql, ArgSets: argSets})
+	}
+	return lsn
+}
+
+// awaitCommit waits until the record at lsn is durable per the log's mode,
+// then advances the acknowledged-write watermark and triggers the automatic
+// checkpoint. A primary crash racing the wait truncates the record away; the
+// write then reports ErrPrimaryDown instead of acknowledging state that no
+// longer exists.
+func (g *Group) awaitCommit(lsn int64) error {
+	g.log.Commit(lsn)
+	if g.log.Mode() != wal.Off && g.log.DurableLSN() < lsn {
+		return ErrPrimaryDown
+	}
+	for {
+		cur := g.commit.Load()
+		if lsn <= cur || g.commit.CompareAndSwap(cur, lsn) {
+			break
+		}
+	}
+	if g.snapshotEvery > 0 && lsn-g.log.TailStart() >= g.snapshotEvery {
+		_ = g.Checkpoint()
+	}
+	return nil
+}
+
+// replicate applies one committed record to every healthy replica — in
+// parallel, but under the group write lock, so the per-replica order equals
+// the primary's. A replica that faults mid-apply is failed out with its
+// applied watermark unchanged, so Recover replays exactly what it missed.
+func (g *Group) replicate(rec wal.Record) {
+	faulted := make([]bool, len(g.states))
 	var wg sync.WaitGroup
-	for i, rep := range g.replicas {
+	for i := range g.states {
 		st := g.states[i]
 		if !st.healthy.Load() {
-			st.pending = append(st.pending, op)
 			continue
 		}
 		wg.Add(1)
-		go func(i int, rep *server.Server) {
+		go func(i int, st *state) {
 			defer wg.Done()
-			_, errs := rep.ExecBatch(op.name, op.sql, op.argSets)
-			faulted[i] = batchFaulted(errs)
-		}(i, rep)
+			_, errs := g.replica(i).ExecBatch(rec.Name, rec.SQL, rec.ArgSets)
+			if err := firstErr(errs); err != nil {
+				faulted[i] = true
+				return
+			}
+			st.setApplied(rec.LSN)
+		}(i, st)
 	}
 	wg.Wait()
 	for i, f := range faulted {
@@ -372,7 +990,6 @@ func (g *Group) replicate(op writeOp) {
 			st := g.states[i]
 			st.faults.Add(1)
 			st.healthy.Store(false)
-			st.pending = append(st.pending, op)
 		}
 	}
 }
@@ -381,10 +998,10 @@ func (g *Group) replicate(op writeOp) {
 
 // everyCopy visits the primary and all replicas, stopping on error.
 func (g *Group) everyCopy(f func(s *server.Server) error) error {
-	if err := f(g.primary); err != nil {
+	if err := f(g.Primary()); err != nil {
 		return err
 	}
-	for _, rep := range g.replicas {
+	for _, rep := range g.Replicas() {
 		if err := f(rep); err != nil {
 			return err
 		}
@@ -392,9 +1009,9 @@ func (g *Group) everyCopy(f func(s *server.Server) error) error {
 	return nil
 }
 
-// copies returns every copy, primary first.
+// copies returns every live copy, primary first.
 func (g *Group) copies() []*server.Server {
-	return append([]*server.Server{g.primary}, g.replicas...)
+	return append([]*server.Server{g.Primary()}, g.Replicas()...)
 }
 
 // CreateTable creates the table on every copy.
@@ -428,7 +1045,7 @@ func (g *Group) AddIndex(table, column string, unique bool) error {
 // IndexKeyCount reads the primary's index statistics (every copy holds the
 // same data, so one answer speaks for the group).
 func (g *Group) IndexKeyCount(table, col string, v any) (int, bool) {
-	return g.primary.IndexKeyCount(table, col, v)
+	return g.Primary().IndexKeyCount(table, col, v)
 }
 
 // Warm preloads every copy's registered extents.
@@ -452,16 +1069,37 @@ func (g *Group) SetScale(scale float64) {
 	}
 }
 
-// Close shuts down every copy.
+// Close stops the appliers, drains and closes the log, then shuts down
+// every copy (crashed/resynced ones included).
 func (g *Group) Close() {
+	if g.closed.Swap(true) {
+		return
+	}
+	g.log.Close()
+	for _, st := range g.states {
+		st.mu.Lock()
+		st.cond.Broadcast()
+		st.mu.Unlock()
+	}
+	g.wg.Wait()
 	for _, s := range g.copies() {
+		s.Close()
+	}
+	g.wmu.Lock()
+	zombies := g.zombies
+	g.zombies = nil
+	g.wmu.Unlock()
+	for _, s := range zombies {
 		s.Close()
 	}
 }
 
+// WALStats returns the log's counters (fsync count, group-commit factor).
+func (g *Group) WALStats() wal.Stats { return g.log.Stats() }
+
 // CopyStats returns per-copy counters, primary first.
 func (g *Group) CopyStats() []server.Stats {
-	out := make([]server.Stats, 0, 1+len(g.replicas))
+	out := make([]server.Stats, 0, 1+len(g.states))
 	for _, s := range g.copies() {
 		out = append(out, s.Stats())
 	}
@@ -483,6 +1121,8 @@ func (g *Group) Stats() server.Stats {
 		agg.BufferMiss += s.BufferMiss
 		agg.Disk.Requests += s.Disk.Requests
 		agg.Disk.PagesRead += s.Disk.PagesRead
+		agg.Disk.Writes += s.Disk.Writes
+		agg.Disk.PagesWritten += s.Disk.PagesWritten
 		agg.Disk.SeekTime += s.Disk.SeekTime
 		agg.Disk.BusyTime += s.Disk.BusyTime
 		if s.Disk.MaxQueue > agg.Disk.MaxQueue {

@@ -27,6 +27,7 @@ import (
 	"repro/internal/simclock"
 	"repro/internal/sqlmini"
 	"repro/internal/storage"
+	"repro/internal/wal"
 )
 
 // ErrInjected is the transport-level fault FailNext injects: the request
@@ -124,6 +125,10 @@ type Server struct {
 	// extents tracks (extent -> page count) for warming.
 	extMu   sync.Mutex
 	extents map[int]int
+
+	// wlog, when set by EnableWAL, makes every committed insert durable
+	// before Exec/ExecBatch acknowledges it (per the log's mode).
+	wlog atomic.Pointer[wal.Log]
 }
 
 // New starts a server with the given profile; scale is the wall-clock
@@ -143,8 +148,49 @@ func New(p Profile, scale float64) *Server {
 	return s
 }
 
-// Close stops the disk goroutine.
-func (s *Server) Close() { s.disk.Close() }
+// Close stops the WAL flusher (if any) and the disk goroutine.
+func (s *Server) Close() {
+	if l := s.wlog.Swap(nil); l != nil {
+		l.Close()
+	}
+	s.disk.Close()
+}
+
+// walPageBytes is the modelled page size of log writes: one group commit of
+// n encoded bytes is one batched disk write of ceil(n/walPageBytes) pages.
+const walPageBytes = 8 << 10
+
+// EnableWAL attaches a write-ahead log: from now on every committed insert
+// is appended, and Exec/ExecBatch acknowledge only once the record is
+// durable under mode (Group amortizes the fsync across concurrent commits;
+// Off acknowledges immediately and risks losing the unsynced tail). A nil
+// store defaults to an in-memory one.
+func (s *Server) EnableWAL(mode wal.Mode, store wal.Store) *wal.Log {
+	l := wal.New(wal.Options{Mode: mode, Store: store, Syncer: walSyncer{s}})
+	s.wlog.Store(l)
+	return l
+}
+
+// WAL returns the attached log, or nil.
+func (s *Server) WAL() *wal.Log { return s.wlog.Load() }
+
+// SyncWAL charges one fsync of n encoded bytes: a batched write at the
+// disk's dedicated log track. Sequential log writes always land on the same
+// track, so the seek component stays near the minimum and the cost scales
+// with the batch size — which is why group commit amortizes.
+func (s *Server) SyncWAL(bytes int) {
+	pages := (bytes + walPageBytes - 1) / walPageBytes
+	if pages < 1 {
+		pages = 1
+	}
+	s.disk.Write(s.Profile.Disk.Tracks-1, pages)
+}
+
+// walSyncer adapts a server as a wal.Syncer (replica groups reuse SyncWAL
+// directly through their own forwarding syncer).
+type walSyncer struct{ s *Server }
+
+func (w walSyncer) Sync(bytes int) { w.s.SyncWAL(bytes) }
 
 // Catalog exposes the table catalog for data loading.
 func (s *Server) Catalog() *storage.Catalog { return s.cat }
@@ -290,6 +336,15 @@ func (s *Server) ExecTraced(name, sql string, args []any) (any, sqlmini.ExecInfo
 	s.Clock.Sleep(cpu)
 	<-s.cores
 
+	// Durability: a committed insert is appended to the WAL and the ack
+	// waits out its fsync (amortized across concurrent commits in Group
+	// mode) before the client sees success.
+	if st.Insert {
+		if l := s.wlog.Load(); l != nil {
+			l.Commit(l.Append(name, sql, [][]any{args}))
+		}
+	}
+
 	s.queries.Add(1)
 	if st.Insert {
 		s.inserts.Add(1)
@@ -350,6 +405,22 @@ func (s *Server) ExecBatchTraced(name, sql string, argSets [][]any) ([]any, []er
 		s.cores <- struct{}{}
 		s.Clock.Sleep(cpu)
 		<-s.cores
+	}
+
+	// Durability: the batch's committed inserts become one WAL record (the
+	// whole batch shares one commit wait, like it shared one round trip).
+	if st.Insert {
+		if l := s.wlog.Load(); l != nil {
+			var okSets [][]any
+			for i, e := range errs {
+				if e == nil {
+					okSets = append(okSets, argSets[i])
+				}
+			}
+			if len(okSets) > 0 {
+				l.Commit(l.Append(name, sql, okSets))
+			}
+		}
 	}
 
 	var ok int64

@@ -29,6 +29,7 @@ import (
 	"repro/internal/server"
 	"repro/internal/sqlmini"
 	"repro/internal/storage"
+	"repro/internal/wal"
 )
 
 // Backend is one shard's execution engine: a bare server.Server, or a
@@ -70,6 +71,18 @@ type Options struct {
 	// ReadPolicy selects the replica read load-balancing policy (only
 	// meaningful with Replicas > 0).
 	ReadPolicy replica.Policy
+	// Durability is each shard group's WAL commit mode (zero: wal.Group —
+	// acknowledged writes are durable; only meaningful with Replicas > 0).
+	Durability wal.Mode
+	// Async switches shard replicas to background log shipping; reads then
+	// follow Consistency/Bound (see replica.Options).
+	Async bool
+	// Consistency is the read consistency of Async shard groups.
+	Consistency replica.Consistency
+	// Bound is the BoundedStaleness lag, in acknowledged writes per shard.
+	Bound int64
+	// SnapshotEvery checkpoints each shard's log every N retained records.
+	SnapshotEvery int64
 }
 
 // tableInfo is the router's routing metadata for one table.
@@ -154,6 +167,9 @@ func New(prof server.Profile, scale float64, opts Options) *Router {
 		if opts.Replicas > 0 {
 			backends[i] = replica.NewGroup(prof, scale, replica.Options{
 				Replicas: opts.Replicas, Policy: opts.ReadPolicy,
+				Durability: opts.Durability, Async: opts.Async,
+				Consistency: opts.Consistency, Bound: opts.Bound,
+				SnapshotEvery: opts.SnapshotEvery,
 			})
 		} else {
 			backends[i] = server.New(prof, scale)
@@ -249,10 +265,6 @@ func Partition(v any, shards int) int {
 	return int(h % uint64(shards))
 }
 
-func (r *Router) owner(v any) Backend {
-	return r.backends[Partition(v, len(r.backends))]
-}
-
 // LoadFrom partitions a fully loaded reference server across the backends:
 // every table is recreated with the same schema, page fanout and indexes;
 // sharded tables send each row to its key's owner (remembering the global
@@ -322,30 +334,105 @@ func (r *Router) table(name string) *tableInfo {
 	return r.tables[name]
 }
 
+// Session carries per-shard consistency tokens for session-aware routing:
+// each shard group gets its own replica.Session, so ReadYourWrites floors
+// (the LSNs of the session's own acknowledged writes) and served-state
+// bookkeeping follow the client through point, scatter and batched
+// submissions alike. Over a bare (unreplicated) router a Session is a
+// transparent passthrough.
+type Session struct {
+	groups   []*replica.Group
+	sessions []*replica.Session
+}
+
+// NewSession starts a client session.
+func (r *Router) NewSession() *Session {
+	s := &Session{groups: r.Groups()}
+	if s.groups != nil {
+		s.sessions = make([]*replica.Session, len(s.groups))
+		for i := range s.sessions {
+			s.sessions[i] = &replica.Session{}
+		}
+	}
+	return s
+}
+
+// ShardSessions exposes the per-shard replica sessions (tests, staleness
+// harness introspection), or nil over bare backends.
+func (s *Session) ShardSessions() []*replica.Session { return s.sessions }
+
+// at returns shard i's group and session token, or nils when the session is
+// nil or the router runs bare servers.
+func (s *Session) at(i int) (*replica.Group, *replica.Session) {
+	if s == nil || s.sessions == nil {
+		return nil, nil
+	}
+	return s.groups[i], s.sessions[i]
+}
+
+// bexec dispatches one statement to shard i, session-aware when possible.
+func (r *Router) bexec(sess *Session, i int, name, sql string, args []any) (any, error) {
+	if g, rs := sess.at(i); g != nil {
+		return g.ExecSession(rs, name, sql, args)
+	}
+	return r.backends[i].Exec(name, sql, args)
+}
+
+func (r *Router) bexecTraced(sess *Session, i int, name, sql string, args []any) (any, sqlmini.ExecInfo, error) {
+	if g, rs := sess.at(i); g != nil {
+		return g.ExecTracedSession(rs, name, sql, args)
+	}
+	return r.backends[i].ExecTraced(name, sql, args)
+}
+
+func (r *Router) bexecBatch(sess *Session, i int, name, sql string, argSets [][]any) ([]any, []error) {
+	if g, rs := sess.at(i); g != nil {
+		return g.ExecBatchSession(rs, name, sql, argSets)
+	}
+	return r.backends[i].ExecBatch(name, sql, argSets)
+}
+
+func (r *Router) bexecBatchTraced(sess *Session, i int, name, sql string, argSets [][]any) ([]any, []error, sqlmini.ExecInfo) {
+	if g, rs := sess.at(i); g != nil {
+		return g.ExecBatchTracedSession(rs, name, sql, argSets)
+	}
+	return r.backends[i].ExecBatchTraced(name, sql, argSets)
+}
+
 // Exec routes one statement: to the owning shard for point statements, to
 // shard 0 for replicated-table reads and statements that will fail
 // validation (any backend produces the identical error), broadcast for
 // replicated-table writes, and scatter-gather for the rest. Its shape
 // matches exec.Runner.
 func (r *Router) Exec(name, sql string, args []any) (any, error) {
+	return r.execSess(nil, name, sql, args)
+}
+
+// SessionExec is Exec with per-shard session consistency tokens threaded
+// through every routing path (see Session).
+func (r *Router) SessionExec(sess *Session, name, sql string, args []any) (any, error) {
+	return r.execSess(sess, name, sql, args)
+}
+
+func (r *Router) execSess(sess *Session, name, sql string, args []any) (any, error) {
 	st, err := r.prep.Prepare(sql)
 	if err != nil {
 		// Ship the malformed statement to a real backend so the round trip
 		// and the error text match the single-server path exactly.
-		return r.backends[0].Exec(name, sql, args)
+		return r.bexec(sess, 0, name, sql, args)
 	}
 	ti := r.table(st.Table)
 	if ti == nil {
 		// Unknown table: identical "no table" error from any backend.
-		return r.backends[0].Exec(name, sql, args)
+		return r.bexec(sess, 0, name, sql, args)
 	}
 	if st.Insert {
 		if ti.key == "" {
-			return r.broadcast(name, sql, args)
+			return r.broadcast(sess, name, sql, args)
 		}
 		if v, ok := st.InsertValue(ti.keyPos, args); ok {
 			s := Partition(v, len(r.backends))
-			res, info, err := r.backends[s].ExecTraced(name, sql, args)
+			res, info, err := r.bexecTraced(sess, s, name, sql, args)
 			if err == nil && len(info.Matched) == 1 {
 				// Record where the row landed so scatter merges keep the
 				// exact single-server insertion order.
@@ -354,30 +441,30 @@ func (r *Router) Exec(name, sql string, args []any) (any, error) {
 			return res, err
 		}
 		// Arity/parameter errors surface identically on any backend.
-		return r.backends[0].Exec(name, sql, args)
+		return r.bexec(sess, 0, name, sql, args)
 	}
 	if ti.key != "" {
 		if v, ok := st.WhereEqValue(ti.key, args); ok {
-			return r.owner(v).Exec(name, sql, args)
+			return r.bexec(sess, Partition(v, len(r.backends)), name, sql, args)
 		}
-		return r.scatter(name, sql, st, ti, args)
+		return r.scatter(sess, name, sql, st, ti, args)
 	}
 	// Replicated table: every shard holds the full data; read one.
-	return r.backends[0].Exec(name, sql, args)
+	return r.bexec(sess, 0, name, sql, args)
 }
 
 // broadcast runs a replicated-table write on every shard in parallel so the
 // replicas stay identical, returning one representative result.
-func (r *Router) broadcast(name, sql string, args []any) (any, error) {
+func (r *Router) broadcast(sess *Session, name, sql string, args []any) (any, error) {
 	vals := make([]any, len(r.backends))
 	errs := make([]error, len(r.backends))
 	var wg sync.WaitGroup
-	for i, b := range r.backends {
+	for i := range r.backends {
 		wg.Add(1)
-		go func(i int, b Backend) {
+		go func(i int) {
 			defer wg.Done()
-			vals[i], errs[i] = b.Exec(name, sql, args)
-		}(i, b)
+			vals[i], errs[i] = r.bexec(sess, i, name, sql, args)
+		}(i)
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -440,7 +527,7 @@ func (r *Router) ScatterPruned() int64 { return r.pruned.Load() }
 // prove empty for the predicate are skipped (pruneTargets); an empty shard's
 // contribution to every merge is the identity, so pruning is invisible in
 // the results.
-func (r *Router) scatter(name, sql string, st *sqlmini.Stmt, ti *tableInfo, args []any) (any, error) {
+func (r *Router) scatter(sess *Session, name, sql string, st *sqlmini.Stmt, ti *tableInfo, args []any) (any, error) {
 	targets := r.pruneTargets(st, args)
 	if targets == nil {
 		targets = make([]int, len(r.backends))
@@ -459,7 +546,7 @@ func (r *Router) scatter(name, sql string, st *sqlmini.Stmt, ti *tableInfo, args
 		wg.Add(1)
 		go func(k, s int) {
 			defer wg.Done()
-			vals[k], infos[k], errs[k] = r.backends[s].ExecTraced(name, sql, args)
+			vals[k], infos[k], errs[k] = r.bexecTraced(sess, s, name, sql, args)
 		}(k, s)
 	}
 	wg.Wait()
@@ -563,19 +650,31 @@ func mergeRows(ti *tableInfo, targets []int, vals []any, infos []sqlmini.ExecInf
 // charge, so an N-shard cluster executes a large batch roughly N-way
 // parallel. Its shape matches exec.BatchRunner.
 func (r *Router) ExecBatch(name, sql string, argSets [][]any) ([]any, []error) {
+	return r.execBatchSess(nil, name, sql, argSets)
+}
+
+// SessionExecBatch is ExecBatch with per-shard session consistency tokens:
+// the split sub-batches and scatter fallbacks all carry the session, so a
+// batched submission updates and honors the same LSN floors a sequence of
+// SessionExec calls would.
+func (r *Router) SessionExecBatch(sess *Session, name, sql string, argSets [][]any) ([]any, []error) {
+	return r.execBatchSess(sess, name, sql, argSets)
+}
+
+func (r *Router) execBatchSess(sess *Session, name, sql string, argSets [][]any) ([]any, []error) {
 	st, err := r.prep.Prepare(sql)
 	if err != nil {
-		return r.backends[0].ExecBatch(name, sql, argSets)
+		return r.bexecBatch(sess, 0, name, sql, argSets)
 	}
 	ti := r.table(st.Table)
 	if ti == nil {
-		return r.backends[0].ExecBatch(name, sql, argSets)
+		return r.bexecBatch(sess, 0, name, sql, argSets)
 	}
 	if ti.key == "" {
 		if st.Insert {
-			return r.broadcastBatch(name, sql, argSets)
+			return r.broadcastBatch(sess, name, sql, argSets)
 		}
-		return r.backends[0].ExecBatch(name, sql, argSets)
+		return r.bexecBatch(sess, 0, name, sql, argSets)
 	}
 
 	n := len(argSets)
@@ -624,7 +723,7 @@ func (r *Router) ExecBatch(name, sql string, argSets [][]any) ([]any, []error) {
 			for j, i := range idxs {
 				sub[j] = argSets[i]
 			}
-			vals, es, info := r.backends[s].ExecBatchTraced(name, sql, sub)
+			vals, es, info := r.bexecBatchTraced(sess, s, name, sql, sub)
 			for j, i := range idxs {
 				if j < len(vals) {
 					results[i] = vals[j]
@@ -642,7 +741,7 @@ func (r *Router) ExecBatch(name, sql string, argSets [][]any) ([]any, []error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], errs[i] = r.scatter(name, sql, st, ti, argSets[i])
+			results[i], errs[i] = r.scatter(sess, name, sql, st, ti, argSets[i])
 		}(i)
 	}
 	wg.Wait()
@@ -656,19 +755,19 @@ func (r *Router) ExecBatch(name, sql string, argSets [][]any) ([]any, []error) {
 
 // broadcastBatch applies a replicated-table write batch to every shard in
 // parallel and returns shard 0's per-binding results.
-func (r *Router) broadcastBatch(name, sql string, argSets [][]any) ([]any, []error) {
+func (r *Router) broadcastBatch(sess *Session, name, sql string, argSets [][]any) ([]any, []error) {
 	type res struct {
 		vals []any
 		errs []error
 	}
 	out := make([]res, len(r.backends))
 	var wg sync.WaitGroup
-	for i, b := range r.backends {
+	for i := range r.backends {
 		wg.Add(1)
-		go func(i int, b Backend) {
+		go func(i int) {
 			defer wg.Done()
-			out[i].vals, out[i].errs = b.ExecBatch(name, sql, argSets)
-		}(i, b)
+			out[i].vals, out[i].errs = r.bexecBatch(sess, i, name, sql, argSets)
+		}(i)
 	}
 	wg.Wait()
 	return out[0].vals, out[0].errs
@@ -708,6 +807,23 @@ func (r *Router) Runner() exec.Runner { return r.Exec }
 // BatchRunner adapts the router's split/scatter batch path for the batch
 // executor.
 func (r *Router) BatchRunner() exec.BatchRunner { return r.ExecBatch }
+
+// SessionRunner binds a session's consistency tokens into an exec.Runner,
+// so exec.Service submissions carry ReadYourWrites floors transparently.
+func (r *Router) SessionRunner(sess *Session) exec.Runner {
+	return func(name, sql string, args []any) (any, error) {
+		return r.SessionExec(sess, name, sql, args)
+	}
+}
+
+// SessionBatchRunner binds a session into an exec.BatchRunner for the batch
+// coalescer: batched submissions honor and update the same per-shard LSN
+// tokens as the blocking path.
+func (r *Router) SessionBatchRunner(sess *Session) exec.BatchRunner {
+	return func(name, sql string, argSets [][]any) ([]any, []error) {
+		return r.SessionExecBatch(sess, name, sql, argSets)
+	}
+}
 
 // Warm preloads every shard's registered extents.
 func (r *Router) Warm() {
@@ -761,6 +877,8 @@ func (r *Router) Stats() server.Stats {
 		agg.BufferMiss += s.BufferMiss
 		agg.Disk.Requests += s.Disk.Requests
 		agg.Disk.PagesRead += s.Disk.PagesRead
+		agg.Disk.Writes += s.Disk.Writes
+		agg.Disk.PagesWritten += s.Disk.PagesWritten
 		agg.Disk.SeekTime += s.Disk.SeekTime
 		agg.Disk.BusyTime += s.Disk.BusyTime
 		if s.Disk.MaxQueue > agg.Disk.MaxQueue {

@@ -1,0 +1,175 @@
+package wal
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/storage"
+)
+
+// Snapshot is a checkpoint: the full materialized state as of LSN. Tables
+// are ordered by data extent — the order they were created in — and rows by
+// row id, so restoring replays the original load exactly and every row
+// lands on its original rid. That identity is what keeps the shard router's
+// global-order bookkeeping valid across a crash.
+type Snapshot struct {
+	LSN    int64
+	Tables []TableSnap
+}
+
+// TableSnap is one table's captured state.
+type TableSnap struct {
+	Name        string
+	Cols        []storage.Column
+	RowsPerPage int
+	Extent      int
+	Rows        [][]any
+	Indexes     []IndexDef
+}
+
+// IndexDef is a captured index definition (rebuilt, not copied, on restore).
+type IndexDef struct {
+	Column string
+	Unique bool
+}
+
+// Capture materializes a snapshot of cat as of lsn. The caller must
+// guarantee no writes are in flight (internal/replica holds its group write
+// lock) and that every record ≤ lsn is applied to cat.
+func Capture(cat *storage.Catalog, lsn int64) *Snapshot {
+	tables := cat.Tables()
+	sort.Slice(tables, func(i, j int) bool { return tables[i].Extent < tables[j].Extent })
+	snap := &Snapshot{LSN: lsn}
+	for _, t := range tables {
+		ts := TableSnap{
+			Name:        t.Name,
+			Cols:        append([]storage.Column(nil), t.Schema.Cols...),
+			RowsPerPage: t.RowsPerPage(),
+			Extent:      t.Extent,
+		}
+		n := t.NumRows()
+		ts.Rows = make([][]any, n)
+		for rid := 0; rid < n; rid++ {
+			ts.Rows[rid] = t.Row(rid)
+		}
+		for _, ix := range t.Indexes() {
+			ts.Indexes = append(ts.Indexes, IndexDef{Column: ix.Column, Unique: ix.Unique})
+		}
+		snap.Tables = append(snap.Tables, ts)
+	}
+	return snap
+}
+
+// Loader is the bulk-load surface a snapshot restores through —
+// server.Server implements it. Tables are created in capture order (extent
+// order), rows inserted in rid order, indexes added after FinishLoad, so
+// the restored server is laid out like the original.
+type Loader interface {
+	CreateTable(name string, schema *storage.Schema, rowsPerPage int) error
+	InsertRow(table string, row []any) error
+	FinishLoad()
+	AddIndex(table, column string, unique bool) error
+}
+
+// RestoreTo loads the snapshot into an empty server.
+func (s *Snapshot) RestoreTo(l Loader) error {
+	for _, ts := range s.Tables {
+		if err := l.CreateTable(ts.Name, storage.NewSchema(ts.Cols...), ts.RowsPerPage); err != nil {
+			return err
+		}
+		for _, row := range ts.Rows {
+			if err := l.InsertRow(ts.Name, row); err != nil {
+				return err
+			}
+		}
+	}
+	l.FinishLoad()
+	for _, ts := range s.Tables {
+		for _, ix := range ts.Indexes {
+			if err := l.AddIndex(ts.Name, ix.Column, ix.Unique); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Execer is the statement surface replay drives — server.Server implements
+// it via ExecBatch.
+type Execer interface {
+	ExecBatch(name, sql string, argSets [][]any) ([]any, []error)
+}
+
+// Replay applies records in LSN order through e. Only acknowledged
+// (successful) writes are logged, so any replay error means divergence or a
+// transport fault — the first one aborts and is returned.
+func Replay(e Execer, recs []Record) error {
+	for _, r := range recs {
+		_, errs := e.ExecBatch(r.Name, r.SQL, r.ArgSets)
+		for _, err := range errs {
+			if err != nil {
+				return fmt.Errorf("wal: replay lsn %d: %w", r.LSN, err)
+			}
+		}
+	}
+	return nil
+}
+
+// wire encoding for FileStore snapshots: values tagged like records.
+
+type wireTable struct {
+	Name        string      `json:"name"`
+	Cols        []wireCol   `json:"cols"`
+	RowsPerPage int         `json:"rpp"`
+	Extent      int         `json:"extent"`
+	Rows        [][]wireVal `json:"rows"`
+	Indexes     []IndexDef  `json:"indexes,omitempty"`
+}
+
+type wireCol struct {
+	Name string `json:"name"`
+	Int  bool   `json:"int"`
+}
+
+type wireSnapshot struct {
+	LSN    int64       `json:"lsn"`
+	Tables []wireTable `json:"tables"`
+}
+
+func (s *Snapshot) wire() (wireSnapshot, error) {
+	w := wireSnapshot{LSN: s.LSN}
+	for _, ts := range s.Tables {
+		wt := wireTable{Name: ts.Name, RowsPerPage: ts.RowsPerPage, Extent: ts.Extent, Indexes: ts.Indexes}
+		for _, c := range ts.Cols {
+			wt.Cols = append(wt.Cols, wireCol{Name: c.Name, Int: c.Type == storage.TInt})
+		}
+		for _, row := range ts.Rows {
+			vs, err := encodeVals(row)
+			if err != nil {
+				return w, err
+			}
+			wt.Rows = append(wt.Rows, vs)
+		}
+		w.Tables = append(w.Tables, wt)
+	}
+	return w, nil
+}
+
+func (w wireSnapshot) snapshot() (*Snapshot, error) {
+	s := &Snapshot{LSN: w.LSN}
+	for _, wt := range w.Tables {
+		ts := TableSnap{Name: wt.Name, RowsPerPage: wt.RowsPerPage, Extent: wt.Extent, Indexes: wt.Indexes}
+		for _, c := range wt.Cols {
+			typ := storage.TString
+			if c.Int {
+				typ = storage.TInt
+			}
+			ts.Cols = append(ts.Cols, storage.Column{Name: c.Name, Type: typ})
+		}
+		for _, row := range wt.Rows {
+			ts.Rows = append(ts.Rows, decodeVals(row))
+		}
+		s.Tables = append(s.Tables, ts)
+	}
+	return s, nil
+}

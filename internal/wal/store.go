@@ -1,0 +1,292 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Store is the log's persistence backend. AppendRecords stages encoded
+// records; Sync makes everything staged so far durable (the fsync whose cost
+// the Syncer charges); WriteSnapshot atomically replaces the checkpoint and
+// drops the records it covers. Load returns the durable state — what a
+// process restart would find.
+type Store interface {
+	AppendRecords(recs []Record) (bytes int, err error)
+	Sync() error
+	WriteSnapshot(snap *Snapshot) error
+	Load() (*Snapshot, []Record, error)
+	Close() error
+}
+
+// wire formats. Values are tagged so int64/string fidelity survives JSON
+// ({"i":…} vs {"s":…}): a bare JSON number would come back float64 and break
+// the byte-identical differential contract.
+
+type wireVal struct {
+	I *int64  `json:"i,omitempty"`
+	S *string `json:"s,omitempty"`
+}
+
+type wireRecord struct {
+	LSN  int64       `json:"lsn"`
+	Name string      `json:"name"`
+	SQL  string      `json:"sql"`
+	Args [][]wireVal `json:"args"`
+}
+
+func encodeVals(vals []any) ([]wireVal, error) {
+	out := make([]wireVal, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case int64:
+			out[i].I = &x
+		case string:
+			out[i].S = &x
+		default:
+			return nil, fmt.Errorf("wal: cannot encode %T value", v)
+		}
+	}
+	return out, nil
+}
+
+func decodeVals(ws []wireVal) []any {
+	out := make([]any, len(ws))
+	for i, w := range ws {
+		if w.I != nil {
+			out[i] = *w.I
+		} else if w.S != nil {
+			out[i] = *w.S
+		}
+	}
+	return out
+}
+
+// EncodeRecord renders one record as a JSON line (shared by both stores so
+// MemStore's byte accounting matches what FileStore would have written).
+func EncodeRecord(r Record) ([]byte, error) {
+	w := wireRecord{LSN: r.LSN, Name: r.Name, SQL: r.SQL, Args: make([][]wireVal, len(r.ArgSets))}
+	for i, set := range r.ArgSets {
+		vs, err := encodeVals(set)
+		if err != nil {
+			return nil, err
+		}
+		w.Args[i] = vs
+	}
+	b, err := json.Marshal(w)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// DecodeRecord parses one EncodeRecord line.
+func DecodeRecord(line []byte) (Record, error) {
+	var w wireRecord
+	if err := json.Unmarshal(line, &w); err != nil {
+		return Record{}, err
+	}
+	r := Record{LSN: w.LSN, Name: w.Name, SQL: w.SQL, ArgSets: make([][]any, len(w.Args))}
+	for i, set := range w.Args {
+		r.ArgSets[i] = decodeVals(set)
+	}
+	return r, nil
+}
+
+// MemStore keeps the durable state in memory — the default backend for
+// simulated durability, where the cost model (Syncer) matters but process
+// restarts do not. Crash recovery against a MemStore works because the Log
+// itself only exposes the synced prefix.
+type MemStore struct {
+	snap *Snapshot
+	recs []Record
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{} }
+
+// AppendRecords stages deep copies and reports their encoded size.
+func (m *MemStore) AppendRecords(recs []Record) (int, error) {
+	bytes := 0
+	for _, r := range recs {
+		b, err := EncodeRecord(r)
+		if err != nil {
+			return bytes, err
+		}
+		bytes += len(b)
+		m.recs = append(m.recs, r)
+	}
+	return bytes, nil
+}
+
+// Sync is a no-op: staged records are already in memory.
+func (m *MemStore) Sync() error { return nil }
+
+// WriteSnapshot replaces the checkpoint and truncates covered records.
+func (m *MemStore) WriteSnapshot(snap *Snapshot) error {
+	m.snap = snap
+	kept := m.recs[:0]
+	for _, r := range m.recs {
+		if r.LSN > snap.LSN {
+			kept = append(kept, r)
+		}
+	}
+	m.recs = append([]Record(nil), kept...)
+	return nil
+}
+
+// Load returns the stored snapshot and record suffix.
+func (m *MemStore) Load() (*Snapshot, []Record, error) {
+	return m.snap, append([]Record(nil), m.recs...), nil
+}
+
+// Close is a no-op.
+func (m *MemStore) Close() error { return nil }
+
+// FileStore persists the log under a directory: records as JSON lines in
+// wal.log, the checkpoint in snapshot.json (written to a temp file and
+// renamed, so a torn snapshot write never corrupts recovery).
+type FileStore struct {
+	dir string
+	f   *os.File
+	w   *bufio.Writer
+}
+
+// NewFileStore opens (creating if needed) a file-backed store in dir.
+func NewFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, "wal.log"), os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &FileStore{dir: dir, f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// AppendRecords stages encoded records in the write buffer.
+func (s *FileStore) AppendRecords(recs []Record) (int, error) {
+	bytes := 0
+	for _, r := range recs {
+		b, err := EncodeRecord(r)
+		if err != nil {
+			return bytes, err
+		}
+		n, err := s.w.Write(b)
+		bytes += n
+		if err != nil {
+			return bytes, err
+		}
+	}
+	return bytes, nil
+}
+
+// Sync flushes the buffer and fsyncs the log file.
+func (s *FileStore) Sync() error {
+	if err := s.w.Flush(); err != nil {
+		return err
+	}
+	return s.f.Sync()
+}
+
+// WriteSnapshot writes the checkpoint atomically, then rewrites wal.log with
+// only the records past it.
+func (s *FileStore) WriteSnapshot(snap *Snapshot) error {
+	w, err := snap.wire()
+	if err != nil {
+		return err
+	}
+	b, err := json.Marshal(w)
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(s.dir, "snapshot.json.tmp")
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, "snapshot.json")); err != nil {
+		return err
+	}
+	// Truncate the log: keep only records past the snapshot.
+	if err := s.Sync(); err != nil {
+		return err
+	}
+	_, recs, err := s.Load()
+	if err != nil {
+		return err
+	}
+	if err := s.f.Close(); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(filepath.Join(s.dir, "wal.log"), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	s.f, s.w = f, bufio.NewWriter(f)
+	for _, r := range recs {
+		if r.LSN <= snap.LSN {
+			continue
+		}
+		b, err := EncodeRecord(r)
+		if err != nil {
+			return err
+		}
+		if _, err := s.w.Write(b); err != nil {
+			return err
+		}
+	}
+	return s.Sync()
+}
+
+// Load reads the durable snapshot and records from disk. Only fully synced
+// state is visible because AppendRecords buffers until Sync.
+func (s *FileStore) Load() (*Snapshot, []Record, error) {
+	var snap *Snapshot
+	if b, err := os.ReadFile(filepath.Join(s.dir, "snapshot.json")); err == nil {
+		var w wireSnapshot
+		if err := json.Unmarshal(b, &w); err != nil {
+			return nil, nil, err
+		}
+		sn, err := w.snapshot()
+		if err != nil {
+			return nil, nil, err
+		}
+		snap = sn
+	} else if !os.IsNotExist(err) {
+		return nil, nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(s.dir, "wal.log"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return snap, nil, nil
+		}
+		return nil, nil, err
+	}
+	var recs []Record
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		r, err := DecodeRecord([]byte(line))
+		if err != nil {
+			return nil, nil, err
+		}
+		if snap != nil && r.LSN <= snap.LSN {
+			continue
+		}
+		recs = append(recs, r)
+	}
+	return snap, recs, nil
+}
+
+// Close flushes and closes the log file.
+func (s *FileStore) Close() error {
+	if err := s.w.Flush(); err != nil {
+		s.f.Close()
+		return err
+	}
+	return s.f.Close()
+}

@@ -1,0 +1,445 @@
+// Package wal is the per-shard write-ahead log: the durability layer under
+// internal/replica and internal/server. Every committed write appends one
+// LSN-stamped record; commit acknowledgement waits on an fsync whose cost is
+// charged through the owning server's simulated disk (the Syncer hook), and
+// concurrent commits share one fsync — group commit, the same amortization
+// the paper's batched submission applies to network round trips.
+//
+// The log also powers recovery and replication:
+//
+//   - Snapshot + replay crash recovery: a checkpoint (Snapshot) plus the
+//     durable record suffix rebuilds a crashed primary byte-identically —
+//     row ids included, because the log is the total write order.
+//   - Log shipping: asynchronous replicas tail the durable prefix
+//     (WaitRecordsAfter) and apply behind the primary with bounded
+//     staleness. Only durable records ship, so a crash can never leave a
+//     replica ahead of the recovered primary.
+//
+// Crash() models the loss a real crash causes: the in-memory tail beyond
+// the last fsync is dropped. Writes acknowledged under Group or Strict mode
+// are always inside the durable prefix; writes acknowledged under Off mode
+// may be lost — that is exactly the tradeoff FigDurability measures.
+package wal
+
+import (
+	"errors"
+	"sync"
+)
+
+// Mode selects how Commit acknowledges durability.
+type Mode int
+
+const (
+	// Group (the default) acknowledges after an fsync covering the record;
+	// concurrent commits share one fsync, so the cost amortizes.
+	Group Mode = iota
+	// Strict acknowledges after a dedicated fsync per record — no
+	// amortization; the per-write fsync cost is paid serially.
+	Strict
+	// Off acknowledges immediately; fsync happens in the background, and a
+	// crash loses acknowledged writes past the last fsync.
+	Off
+)
+
+// String renders the mode as its flag spelling.
+func (m Mode) String() string {
+	switch m {
+	case Strict:
+		return "strict"
+	case Off:
+		return "off"
+	default:
+		return "group"
+	}
+}
+
+// ParseMode parses a -durability flag value.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "group":
+		return Group, nil
+	case "strict":
+		return Strict, nil
+	case "off":
+		return Off, nil
+	}
+	return Group, errors.New("wal: unknown durability mode " + s + " (want off, group or strict)")
+}
+
+// Record is one logged write: a prepared statement plus its binding set
+// (single-statement writes are one-binding batches), stamped with its log
+// sequence number. LSNs start at 1 and are dense.
+type Record struct {
+	LSN     int64
+	Name    string
+	SQL     string
+	ArgSets [][]any
+}
+
+// Syncer charges the cost of one fsync of n encoded bytes — the server
+// implements it by riding a batched write on its simulated disk.
+type Syncer interface {
+	Sync(bytes int)
+}
+
+// Options configure a log.
+type Options struct {
+	// Mode is the commit acknowledgement mode (zero value: Group).
+	Mode Mode
+	// Store persists records and snapshots (nil: NewMemStore()).
+	Store Store
+	// Syncer charges simulated fsync cost (nil: fsyncs are free).
+	Syncer Syncer
+}
+
+// Stats summarizes log activity. SyncedRecords/Syncs is the achieved group
+// commit factor: how many commits each fsync amortized over.
+type Stats struct {
+	Appends       int64
+	Syncs         int64
+	SyncedRecords int64
+	SyncedBytes   int64
+	DurableLSN    int64
+	SnapshotLSN   int64
+}
+
+// AvgGroup is the average number of records per fsync.
+func (s Stats) AvgGroup() float64 {
+	if s.Syncs == 0 {
+		return 0
+	}
+	return float64(s.SyncedRecords) / float64(s.Syncs)
+}
+
+// Log is one shard's write-ahead log. It is safe for concurrent use.
+type Log struct {
+	mode   Mode
+	store  Store
+	syncer Syncer
+
+	mu       sync.Mutex
+	flush    sync.Cond // wakes the flusher when unsynced records exist
+	durable  sync.Cond // wakes commit waiters / shipping tails / Crash
+	snap     *Snapshot // latest checkpoint; nil before the first
+	tail     []Record  // records with LSN > snapshot LSN, synced and not
+	next     int64     // next LSN to assign
+	synced   int64     // highest durable LSN
+	syncing  bool      // a flusher fsync is in flight (Crash waits it out)
+	crashing bool      // Crash in progress: the flusher must not start a new fsync
+	closed   bool
+	done     chan struct{}
+
+	appends, syncs, syncedRecs, syncedBytes int64
+}
+
+// New starts a log and its flusher goroutine.
+func New(opts Options) *Log {
+	if opts.Store == nil {
+		opts.Store = NewMemStore()
+	}
+	l := &Log{
+		mode:   opts.Mode,
+		store:  opts.Store,
+		syncer: opts.Syncer,
+		next:   1,
+		done:   make(chan struct{}),
+	}
+	l.flush.L = &l.mu
+	l.durable.L = &l.mu
+	go l.flusher()
+	return l
+}
+
+// Open starts a log over a store that already holds a snapshot and records —
+// the recovery path after a real (process-level) crash. Everything loaded is
+// durable by definition; appending resumes after the last record.
+func Open(opts Options) (*Log, error) {
+	if opts.Store == nil {
+		return nil, errors.New("wal: Open needs a store")
+	}
+	snap, recs, err := opts.Store.Load()
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{
+		mode:   opts.Mode,
+		store:  opts.Store,
+		syncer: opts.Syncer,
+		snap:   snap,
+		tail:   recs,
+		next:   1,
+		done:   make(chan struct{}),
+	}
+	if snap != nil {
+		l.synced = snap.LSN
+		l.next = snap.LSN + 1
+	}
+	if n := len(recs); n > 0 {
+		l.synced = recs[n-1].LSN
+		l.next = l.synced + 1
+	}
+	l.flush.L = &l.mu
+	l.durable.L = &l.mu
+	go l.flusher()
+	return l, nil
+}
+
+// Mode reports the commit acknowledgement mode.
+func (l *Log) Mode() Mode { return l.mode }
+
+// Append stamps and buffers one record, returning its LSN. The record is not
+// durable yet — Commit (or a background fsync) makes it so.
+func (l *Log) Append(name, sql string, argSets [][]any) int64 {
+	sets := make([][]any, len(argSets))
+	for i, a := range argSets {
+		sets[i] = append([]any(nil), a...)
+	}
+	l.mu.Lock()
+	lsn := l.next
+	l.next++
+	l.tail = append(l.tail, Record{LSN: lsn, Name: name, SQL: sql, ArgSets: sets})
+	l.appends++
+	l.flush.Signal()
+	l.mu.Unlock()
+	return lsn
+}
+
+// Commit blocks until the record at lsn is durable under the log's mode:
+// immediately for Off, after the fsync covering lsn for Group and Strict.
+func (l *Log) Commit(lsn int64) {
+	if l.mode == Off {
+		return
+	}
+	l.SyncTo(lsn)
+}
+
+// SyncTo blocks until the record at lsn is durable, regardless of mode —
+// checkpoints use it to force the prefix they capture onto disk. It also
+// returns when a crash truncated the record away (lsn no longer assigned):
+// the caller must check DurableLSN to learn whether its record survived.
+func (l *Log) SyncTo(lsn int64) {
+	l.mu.Lock()
+	for l.synced < lsn && !l.closed && lsn < l.next {
+		l.durable.Wait()
+	}
+	l.mu.Unlock()
+}
+
+// LastLSN returns the highest assigned LSN (durable or not).
+func (l *Log) LastLSN() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next - 1
+}
+
+// DurableLSN returns the highest fsynced LSN.
+func (l *Log) DurableLSN() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.synced
+}
+
+// Snapshot returns the latest checkpoint, or nil before the first.
+func (l *Log) Snapshot() *Snapshot {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.snap
+}
+
+// TailStart returns the LSN the retained record suffix starts after: records
+// with LSN ≤ TailStart live only inside the snapshot.
+func (l *Log) TailStart() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.snap == nil {
+		return 0
+	}
+	return l.snap.LSN
+}
+
+// RecordsAfter returns copies of the durable records with LSN in
+// (after, DurableLSN]. ok is false when a checkpoint truncated past `after`
+// — the caller's state is older than the log's memory and must resync from
+// Snapshot().
+func (l *Log) RecordsAfter(after int64) (recs []Record, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.recordsAfterLocked(after)
+}
+
+// WaitRecordsAfter blocks until durable records past `after` exist (or the
+// log closes / truncates past the caller). closed reports log shutdown — the
+// shipping tail should exit.
+func (l *Log) WaitRecordsAfter(after int64) (recs []Record, ok, closed bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		if l.snap != nil && after < l.snap.LSN {
+			return nil, false, false
+		}
+		if l.synced > after {
+			recs, ok = l.recordsAfterLocked(after)
+			return recs, ok, false
+		}
+		if l.closed {
+			return nil, true, true
+		}
+		l.durable.Wait()
+	}
+}
+
+func (l *Log) recordsAfterLocked(after int64) ([]Record, bool) {
+	if l.snap != nil && after < l.snap.LSN {
+		return nil, false
+	}
+	var out []Record
+	for _, r := range l.tail {
+		if r.LSN > after && r.LSN <= l.synced {
+			out = append(out, r)
+		}
+	}
+	return out, true
+}
+
+// WriteSnapshot installs a checkpoint and truncates the records it covers.
+// The snapshot must only cover durable state: call SyncTo(snap.LSN) first
+// (Checkpoint in internal/replica does).
+func (l *Log) WriteSnapshot(snap *Snapshot) error {
+	l.mu.Lock()
+	if snap.LSN > l.synced {
+		l.mu.Unlock()
+		return errors.New("wal: snapshot covers unsynced records")
+	}
+	l.mu.Unlock()
+	// Store IO happens outside the lock (it may be a real file write).
+	if err := l.store.WriteSnapshot(snap); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	l.snap = snap
+	kept := l.tail[:0]
+	for _, r := range l.tail {
+		if r.LSN > snap.LSN {
+			kept = append(kept, r)
+		}
+	}
+	l.tail = append([]Record(nil), kept...)
+	l.durable.Broadcast() // truncation is visible to shipping tails
+	l.mu.Unlock()
+	return nil
+}
+
+// Crash simulates losing the machine: every record past the last fsync is
+// gone. The log itself (the disk) survives and keeps serving the durable
+// prefix; appending resumes at durable+1. Callers must guarantee no Append
+// races Crash (internal/replica holds its group write lock).
+func (l *Log) Crash() {
+	l.mu.Lock()
+	// Stop the flusher from starting another group commit, then wait out the
+	// fsync already in flight: it represents real bits reaching the platter.
+	l.crashing = true
+	for l.syncing {
+		l.durable.Wait()
+	}
+	kept := l.tail[:0]
+	for _, r := range l.tail {
+		if r.LSN <= l.synced {
+			kept = append(kept, r)
+		}
+	}
+	l.tail = append([]Record(nil), kept...)
+	l.next = l.synced + 1
+	l.crashing = false
+	l.flush.Signal()
+	// Wake commit waiters stranded on truncated records; they observe
+	// DurableLSN < their lsn and report the loss.
+	l.durable.Broadcast()
+	l.mu.Unlock()
+}
+
+// Stats returns a snapshot of the log's counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s := Stats{
+		Appends:       l.appends,
+		Syncs:         l.syncs,
+		SyncedRecords: l.syncedRecs,
+		SyncedBytes:   l.syncedBytes,
+		DurableLSN:    l.synced,
+	}
+	if l.snap != nil {
+		s.SnapshotLSN = l.snap.LSN
+	}
+	return s
+}
+
+// Close stops the flusher after it drains pending records, wakes every
+// waiter, and closes the store.
+func (l *Log) Close() {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		<-l.done
+		return
+	}
+	l.closed = true
+	l.flush.Signal()
+	l.durable.Broadcast()
+	l.mu.Unlock()
+	<-l.done
+	l.store.Close()
+}
+
+// flusher is the group-commit loop: it takes every unsynced record (one at a
+// time under Strict), writes them to the store, pays one fsync, and wakes
+// the commit waiters. Records accumulating while an fsync is in flight share
+// the next one — that is where the amortization comes from.
+func (l *Log) flusher() {
+	defer close(l.done)
+	l.mu.Lock()
+	for {
+		for !l.closed && (l.crashing || l.synced == l.next-1) {
+			l.flush.Wait()
+		}
+		if l.closed && (l.crashing || l.synced == l.next-1) {
+			l.mu.Unlock()
+			return
+		}
+		batch, _ := l.pendingLocked()
+		if l.mode == Strict {
+			batch = batch[:1]
+		}
+		l.syncing = true
+		l.mu.Unlock()
+
+		bytes, err := l.store.AppendRecords(batch)
+		if err == nil {
+			err = l.store.Sync()
+		}
+		if l.syncer != nil {
+			l.syncer.Sync(bytes)
+		}
+
+		l.mu.Lock()
+		l.syncing = false
+		if err == nil {
+			l.synced = batch[len(batch)-1].LSN
+			l.syncs++
+			l.syncedRecs += int64(len(batch))
+			l.syncedBytes += int64(bytes)
+		}
+		l.durable.Broadcast()
+	}
+}
+
+// pendingLocked returns the unsynced records (synced, next).
+func (l *Log) pendingLocked() ([]Record, bool) {
+	var out []Record
+	for _, r := range l.tail {
+		if r.LSN > l.synced {
+			out = append(out, r)
+		}
+	}
+	return out, len(out) > 0
+}

@@ -1,0 +1,319 @@
+package wal_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// newKVServer builds a server with a small indexed kv table (the fixture
+// snapshot/replay tests restore and compare against).
+func newKVServer(t *testing.T, rows int) *server.Server {
+	t.Helper()
+	s := server.New(server.SYS1(), 0)
+	t.Cleanup(s.Close)
+	schema := storage.NewSchema(
+		storage.Column{Name: "id", Type: storage.TInt},
+		storage.Column{Name: "val", Type: storage.TString},
+	)
+	if err := s.CreateTable("kv", schema, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rows; i++ {
+		if err := s.InsertRow("kv", []any{int64(i), fmt.Sprintf("v%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.FinishLoad()
+	if err := s.AddIndex("kv", "id", true); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// dump renders a server's kv table byte-comparably via the query path.
+func dump(t *testing.T, s *server.Server, n int) string {
+	t.Helper()
+	out := ""
+	for i := 0; i < n; i++ {
+		v, err := s.Exec("t", "SELECT val FROM kv WHERE id = ?", []any{int64(i)})
+		out += fmt.Sprintf("%d:%v/%v\n", i, v, err)
+	}
+	return out
+}
+
+func TestGroupCommitAmortizesSyncs(t *testing.T) {
+	// Hold the first fsync open until every append is buffered, so the
+	// stragglers all share the second one — the amortization is then exact
+	// instead of depending on scheduler timing.
+	gate := &gateSyncer{entered: make(chan struct{}), release: make(chan struct{})}
+	l := wal.New(wal.Options{Mode: wal.Group, Syncer: gate})
+	defer l.Close()
+	const n = 64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			l.Commit(l.Append("w", "INSERT", [][]any{{int64(i)}}))
+		}(i)
+	}
+	<-gate.entered
+	for l.LastLSN() != n {
+		time.Sleep(time.Millisecond)
+	}
+	close(gate.release)
+	wg.Wait()
+	st := l.Stats()
+	if st.Appends != n || st.SyncedRecords != n {
+		t.Fatalf("want %d appended+synced, got %+v", n, st)
+	}
+	if st.DurableLSN != n {
+		t.Fatalf("durable LSN = %d, want %d", st.DurableLSN, n)
+	}
+	if st.Syncs > 2 {
+		t.Fatalf("group commit did not amortize: %d syncs for %d records", st.Syncs, n)
+	}
+	if st.AvgGroup() <= 1 {
+		t.Fatalf("AvgGroup = %v, want > 1", st.AvgGroup())
+	}
+}
+
+func TestStrictModeSyncsPerRecord(t *testing.T) {
+	l := wal.New(wal.Options{Mode: wal.Strict})
+	defer l.Close()
+	for i := 0; i < 10; i++ {
+		l.Commit(l.Append("w", "INSERT", [][]any{{int64(i)}}))
+	}
+	st := l.Stats()
+	if st.Syncs != 10 {
+		t.Fatalf("strict mode: want 10 syncs, got %d", st.Syncs)
+	}
+}
+
+// gateSyncer blocks the flusher inside its first fsync until released, so
+// the test controls exactly which records are durable at crash time.
+type gateSyncer struct {
+	entered chan struct{}
+	release chan struct{}
+	once    sync.Once
+}
+
+func (g *gateSyncer) Sync(bytes int) {
+	g.once.Do(func() {
+		close(g.entered)
+		<-g.release
+	})
+}
+
+func TestCrashKeepsAcknowledgedUnderGroup(t *testing.T) {
+	l := wal.New(wal.Options{Mode: wal.Group})
+	defer l.Close()
+	for i := 0; i < 5; i++ {
+		l.Commit(l.Append("w", "INSERT", [][]any{{int64(i)}}))
+	}
+	l.Crash()
+	if got := l.DurableLSN(); got != 5 {
+		t.Fatalf("acknowledged writes lost: durable = %d, want 5", got)
+	}
+}
+
+func TestRecordRoundTripPreservesTypes(t *testing.T) {
+	r := wal.Record{LSN: 7, Name: "w", SQL: "INSERT INTO kv VALUES (?, ?)",
+		ArgSets: [][]any{{int64(42), "hello"}, {int64(-1), ""}}}
+	b, err := wal.EncodeRecord(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := wal.DecodeRecord(b[:len(b)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprintf("%#v", got) != fmt.Sprintf("%#v", r) {
+		t.Fatalf("round trip mismatch:\n  %#v\n  %#v", got, r)
+	}
+}
+
+func TestSnapshotRestoreIsByteIdentical(t *testing.T) {
+	src := newKVServer(t, 40)
+	if _, err := src.Exec("t", "INSERT INTO kv VALUES (?, ?)", []any{int64(40), "v40"}); err != nil {
+		t.Fatal(err)
+	}
+	snap := wal.Capture(src.Catalog(), 1)
+
+	dst := server.New(server.SYS1(), 0)
+	t.Cleanup(dst.Close)
+	if err := snap.RestoreTo(dst); err != nil {
+		t.Fatal(err)
+	}
+	if want, got := dump(t, src, 41), dump(t, dst, 41); want != got {
+		t.Fatalf("restored state differs:\n%s\nvs\n%s", want, got)
+	}
+	// rid identity: the unique index must answer through the same pages.
+	for _, s := range []*server.Server{src, dst} {
+		if n, ok := s.IndexKeyCount("kv", "id", int64(40)); !ok || n != 1 {
+			t.Fatalf("index after restore: n=%d ok=%v", n, ok)
+		}
+	}
+}
+
+func TestReplayAfterSnapshotRebuildsState(t *testing.T) {
+	src := newKVServer(t, 10)
+	l := wal.New(wal.Options{})
+	defer l.Close()
+	if err := l.WriteSnapshot(wal.Capture(src.Catalog(), 0)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 10; i < 20; i++ {
+		if _, err := src.Exec("t", "INSERT INTO kv VALUES (?, ?)", []any{int64(i), fmt.Sprintf("v%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+		l.Commit(l.Append("w", "INSERT INTO kv VALUES (?, ?)", [][]any{{int64(i), fmt.Sprintf("v%d", i)}}))
+	}
+
+	dst := server.New(server.SYS1(), 0)
+	t.Cleanup(dst.Close)
+	snap := l.Snapshot()
+	if snap == nil {
+		t.Fatal("no snapshot")
+	}
+	if err := snap.RestoreTo(dst); err != nil {
+		t.Fatal(err)
+	}
+	recs, ok := l.RecordsAfter(snap.LSN)
+	if !ok || len(recs) != 10 {
+		t.Fatalf("records after snapshot: %d ok=%v", len(recs), ok)
+	}
+	if err := wal.Replay(dst, recs); err != nil {
+		t.Fatal(err)
+	}
+	if want, got := dump(t, src, 20), dump(t, dst, 20); want != got {
+		t.Fatalf("replayed state differs:\n%s\nvs\n%s", want, got)
+	}
+}
+
+func TestCheckpointTruncatesAndInvalidatesOldTails(t *testing.T) {
+	src := newKVServer(t, 5)
+	l := wal.New(wal.Options{})
+	defer l.Close()
+	for i := 5; i < 15; i++ {
+		l.Commit(l.Append("w", "INSERT INTO kv VALUES (?, ?)", [][]any{{int64(i), "x"}}))
+	}
+	l.SyncTo(l.LastLSN())
+	if err := l.WriteSnapshot(wal.Capture(src.Catalog(), 8)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := l.RecordsAfter(3); ok {
+		t.Fatal("tail older than the checkpoint should be invalid")
+	}
+	recs, ok := l.RecordsAfter(8)
+	if !ok || len(recs) != 2 {
+		t.Fatalf("retained suffix: %d records, ok=%v (want 2, true)", len(recs), ok)
+	}
+	if l.TailStart() != 8 {
+		t.Fatalf("TailStart = %d, want 8", l.TailStart())
+	}
+}
+
+func TestReplayReportsInjectedFault(t *testing.T) {
+	dst := newKVServer(t, 1)
+	dst.FailNext(1)
+	err := wal.Replay(dst, []wal.Record{{LSN: 1, Name: "w",
+		SQL: "INSERT INTO kv VALUES (?, ?)", ArgSets: [][]any{{int64(99), "x"}}}})
+	if err == nil || !server.IsFault(err) {
+		t.Fatalf("want injected fault through replay, got %v", err)
+	}
+}
+
+func TestFileStoreSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	src := newKVServer(t, 3)
+
+	st, err := wal.NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := wal.New(wal.Options{Store: st})
+	if err := l.WriteSnapshot(wal.Capture(src.Catalog(), 0)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 3; i < 8; i++ {
+		l.Commit(l.Append("w", "INSERT INTO kv VALUES (?, ?)", [][]any{{int64(i), fmt.Sprintf("v%d", i)}}))
+	}
+	l.Close()
+
+	st2, err := wal.NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := wal.Open(wal.Options{Store: st2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.DurableLSN() != 5 || l2.LastLSN() != 5 {
+		t.Fatalf("reopened log: durable=%d last=%d, want 5/5", l2.DurableLSN(), l2.LastLSN())
+	}
+	snap := l2.Snapshot()
+	if snap == nil {
+		t.Fatal("snapshot lost across reopen")
+	}
+	dst := server.New(server.SYS1(), 0)
+	t.Cleanup(dst.Close)
+	if err := snap.RestoreTo(dst); err != nil {
+		t.Fatal(err)
+	}
+	recs, ok := l2.RecordsAfter(snap.LSN)
+	if !ok {
+		t.Fatal("reopened tail invalid")
+	}
+	if err := wal.Replay(dst, recs); err != nil {
+		t.Fatal(err)
+	}
+	// appending continues after the reopened tail
+	if lsn := l2.Append("w", "INSERT INTO kv VALUES (?, ?)", [][]any{{int64(8), "v8"}}); lsn != 6 {
+		t.Fatalf("post-reopen LSN = %d, want 6", lsn)
+	}
+}
+
+func TestParseMode(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want wal.Mode
+	}{{"off", wal.Off}, {"group", wal.Group}, {"strict", wal.Strict}} {
+		m, err := wal.ParseMode(tc.in)
+		if err != nil || m != tc.want {
+			t.Fatalf("ParseMode(%q) = %v, %v", tc.in, m, err)
+		}
+		if m.String() != tc.in {
+			t.Fatalf("Mode.String() = %q, want %q", m.String(), tc.in)
+		}
+	}
+	if _, err := wal.ParseMode("bogus"); err == nil {
+		t.Fatal("want error for unknown mode")
+	}
+}
+
+func TestWaitRecordsAfterUnblocksOnAppend(t *testing.T) {
+	l := wal.New(wal.Options{})
+	defer l.Close()
+	got := make(chan []wal.Record, 1)
+	go func() {
+		recs, ok, closed := l.WaitRecordsAfter(0)
+		if !ok || closed {
+			got <- nil
+			return
+		}
+		got <- recs
+	}()
+	l.Commit(l.Append("w", "INSERT", [][]any{{int64(1)}}))
+	recs := <-got
+	if len(recs) != 1 || recs[0].LSN != 1 {
+		t.Fatalf("shipped records = %v", recs)
+	}
+}
