@@ -6,7 +6,7 @@
 // Usage:
 //
 //	asyncq [-analyze] [-ddg] [-flat] [-run] [-threads N] [-batch N] [-shards N] [-replicas N]
-//	       [-durability off|group|strict] file.mq
+//	       [-durability off|group|strict] [-stats] [-slowlog 5ms] file.mq
 //
 // With no flags the transformed program is printed (readable form, §V).
 // With -run -batch N the transformed program's submissions are coalesced
@@ -23,6 +23,12 @@
 // acknowledged per that mode; the per-shard record/fsync counts show how
 // group commit amortizes durability exactly as batching amortizes round
 // trips.
+//
+// With -stats the run's observability registry — request/queue/batch-wait
+// span histograms, executor counters, and (with -durability) per-shard WAL
+// state — is dumped to stderr in one unified report, replacing the ad-hoc
+// per-shard record/fsync printout. With -slowlog every request slower than
+// the threshold has its span tree rendered to stderr as it completes.
 package main
 
 import (
@@ -38,6 +44,7 @@ import (
 	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/minilang"
+	"repro/internal/obs"
 	"repro/internal/shard"
 	"repro/internal/testsvc"
 	"repro/internal/wal"
@@ -53,6 +60,8 @@ func main() {
 	shards := flag.Int("shards", 1, "partition -run requests across N shards by first argument (1 = off)")
 	replicas := flag.Int("replicas", 1, "rotate each shard's -run reads over N read replicas (1 = off)")
 	durability := flag.String("durability", "", "log each modeled shard's -run submissions through a WAL in this commit mode (off|group|strict; empty = no WAL)")
+	stats := flag.Bool("stats", false, "after -run, dump the unified metrics registry (span histograms, executor counters, WAL state) to stderr")
+	slowlog := flag.Duration("slowlog", 0, "render -run requests slower than this wall-clock threshold as span trees on stderr (0 = off)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -220,6 +229,36 @@ func main() {
 			svc = exec.NewService(*threads, run)
 		}
 		defer svc.Close()
+		// -stats / -slowlog turn on the observability stack: one root span
+		// per submission (the deterministic test runner needs no span
+		// runners — queue wait and batch coalescing are still measured),
+		// with WAL state and executor counters pulled into one registry.
+		var obsReg *obs.Registry
+		if *stats || *slowlog > 0 {
+			obsReg = obs.NewRegistry()
+			tr := obs.NewTracer(obsReg)
+			if *slowlog > 0 {
+				tr.SetSlowLog(*slowlog, os.Stderr)
+			}
+			svc.EnableTracing(tr, nil, nil)
+			obsReg.RegisterSource("exec", func() map[string]float64 {
+				submitted, completed := svc.Stats()
+				batches, avg := svc.BatchStats()
+				return map[string]float64{
+					"submitted": float64(submitted),
+					"completed": float64(completed),
+					"batches":   float64(batches),
+					"batch.avg": avg,
+				}
+			})
+			for i, l := range walLogs {
+				l := l
+				l.SetMetrics(obsReg)
+				obsReg.RegisterSource(fmt.Sprintf("shard%d.wal", i), func() map[string]float64 {
+					return l.Stats().Metrics()
+				})
+			}
+		}
 		in2 := interp.New(reg, svc)
 		r2, err := in2.Run(trans, args)
 		if err != nil {
@@ -243,6 +282,9 @@ func main() {
 		if perReplica != nil {
 			fmt.Fprintf(os.Stderr, "-- replicas: reads per shard/replica: %v\n", perReplica)
 		}
+		// Drain the pool before reading final WAL/span state: every pending
+		// handle completes (ending its request span) before the dump.
+		svc.Close()
 		if walLogs != nil {
 			var recs, syncs int64
 			perLog := make([]int64, len(walLogs))
@@ -252,14 +294,25 @@ func main() {
 				perLog[i] = st.Appends
 				recs += st.SyncedRecords
 				syncs += st.Syncs
-				l.Close()
 			}
-			avg := 0.0
-			if syncs > 0 {
-				avg = float64(recs) / float64(syncs)
+			if !*stats {
+				// The unified -stats dump below subsumes this ad-hoc report.
+				avg := 0.0
+				if syncs > 0 {
+					avg = float64(recs) / float64(syncs)
+				}
+				fmt.Fprintf(os.Stderr, "-- durability %s: %d records durable in %d fsyncs (%.1f records/fsync); records per shard: %v\n",
+					*durability, recs, syncs, avg, perLog)
 			}
-			fmt.Fprintf(os.Stderr, "-- durability %s: %d records durable in %d fsyncs (%.1f records/fsync); records per shard: %v\n",
-				*durability, recs, syncs, avg, perLog)
+		}
+		if *stats && obsReg != nil {
+			fmt.Fprintln(os.Stderr, "\n-- stats:")
+			if err := obsReg.Dump(os.Stderr); err != nil {
+				fatal(err)
+			}
+		}
+		for _, l := range walLogs {
+			l.Close()
 		}
 	}
 }

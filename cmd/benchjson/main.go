@@ -10,6 +10,10 @@
 // Values are kept verbatim (no float round-tripping), so
 // `benchjson -text old.json` / `benchjson -text new.json` feed benchstat
 // exactly what the original runs printed.
+//
+// A numbered artifact name (-o BENCH_<n>.json or TAIL_<n>.json) is
+// validated against the repository's CHANGES.md: n must equal the number of
+// "PR " entries, so an artifact can never silently claim another PR's slot.
 package main
 
 import (
@@ -17,14 +21,72 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
 
 	"repro/internal/benchfmt"
 )
+
+// artifactRe matches the numbered per-PR artifact names CI emits.
+var artifactRe = regexp.MustCompile(`^(BENCH|TAIL)_(\d+)\.json$`)
+
+// prCount counts the "PR " entries in the CHANGES.md found at dir or the
+// nearest ancestor. It returns -1 when no CHANGES.md exists (benchjson also
+// runs outside the repo; the artifact check is then skipped).
+func prCount(dir string) int {
+	for {
+		if data, err := os.ReadFile(filepath.Join(dir, "CHANGES.md")); err == nil {
+			n := 0
+			for _, line := range strings.Split(string(data), "\n") {
+				if strings.HasPrefix(line, "PR ") {
+					n++
+				}
+			}
+			return n
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return -1
+		}
+		dir = parent
+	}
+}
+
+// validateArtifactName rejects a BENCH_<n>/TAIL_<n> output name whose number
+// disagrees with the PR count in CHANGES.md.
+func validateArtifactName(out, dir string) error {
+	m := artifactRe.FindStringSubmatch(filepath.Base(out))
+	if m == nil {
+		return nil
+	}
+	want := prCount(dir)
+	if want < 0 {
+		return nil
+	}
+	n, err := strconv.Atoi(m[2])
+	if err != nil || n != want {
+		return fmt.Errorf("%s: artifact number %s does not match CHANGES.md, which records %d PR entries; name it %s_%d.json",
+			filepath.Base(out), m[2], want, m[1], want)
+	}
+	return nil
+}
 
 func main() {
 	out := flag.String("o", "", "write output to `file` (default stdout)")
 	text := flag.Bool("text", false, "input is BENCH_<n>.json; emit benchstat text instead")
 	flag.Parse()
+
+	if *out != "" {
+		wd, err := os.Getwd()
+		if err != nil {
+			fatal(err)
+		}
+		if err := validateArtifactName(*out, wd); err != nil {
+			fatal(err)
+		}
+	}
 
 	in := io.Reader(os.Stdin)
 	if flag.NArg() > 1 {

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestValidateArtifactName(t *testing.T) {
+	dir := t.TempDir()
+	changes := "PR 1: one\nPR 2: two\nPR 3: three\n"
+	if err := os.WriteFile(filepath.Join(dir, "CHANGES.md"), []byte(changes), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sub := filepath.Join(dir, "a", "b")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		out, dir string
+		wantErr  string
+	}{
+		{"BENCH_3.json", dir, ""},
+		{"TAIL_3.json", dir, ""},
+		{"BENCH_3.json", sub, ""}, // CHANGES.md found via ancestor walk
+		{"/elsewhere/BENCH_3.json", dir, ""},
+		{"bench-smoke.txt", dir, ""},       // unnumbered names are not checked
+		{"BENCH_2.json", dir, "records 3"}, // stale number
+		{"TAIL_9.json", dir, "TAIL_3.json"},
+	}
+	for _, c := range cases {
+		err := validateArtifactName(c.out, c.dir)
+		if c.wantErr == "" {
+			if err != nil {
+				t.Errorf("validateArtifactName(%q): unexpected error %v", c.out, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("validateArtifactName(%q) = %v, want error containing %q", c.out, err, c.wantErr)
+		}
+	}
+
+	// No CHANGES.md anywhere up the tree: validation is skipped. /proc is
+	// the most filesystem-root-adjacent writable-free place to anchor.
+	if err := validateArtifactName("BENCH_99.json", string(os.PathSeparator)); err != nil {
+		t.Errorf("no CHANGES.md: want skip, got %v", err)
+	}
+}

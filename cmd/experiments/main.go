@@ -4,8 +4,8 @@
 // Usage:
 //
 //	experiments [-scale 0.2] [-quick] [-seed N] [-durability off|group|strict]
-//	            [-fig 8|..|15|batch-category|batch-rubis|shard-scale|replica-scale|durability|all]
-//	            [-table1] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	            [-fig 8|..|15|batch-category|batch-rubis|shard-scale|replica-scale|durability|tail-latency|all]
+//	            [-figjson out.json] [-table1] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // With no selection flags, everything runs. Times are reported in simulated
 // seconds (wall time divided by -scale), so results are comparable across
@@ -18,6 +18,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -35,7 +36,8 @@ func main() {
 func run() int {
 	scale := flag.Float64("scale", 0.2, "wall-clock scale for simulated latencies (1.0 = full)")
 	quick := flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
-	fig := flag.String("fig", "", "figure to run: 8..15, batch-category, batch-rubis, shard-scale, replica-scale, durability or 'all' (default: all)")
+	fig := flag.String("fig", "", "figure to run: 8..15, batch-category, batch-rubis, shard-scale, replica-scale, durability, tail-latency or 'all' (default: all)")
+	figjson := flag.String("figjson", "", "also write the selected figures as a JSON array to `file` (CI artifacts)")
 	table1 := flag.Bool("table1", false, "run only Table I")
 	seed := flag.Int64("seed", 0, "workload seed (0: ASYNCQ_SEED env, else the historical fixed seeding)")
 	durability := flag.String("durability", "", "restrict the durability figure's fsync-policy sweep to one WAL mode (off|group|strict; empty = all)")
@@ -87,6 +89,7 @@ func run() int {
 		return 0
 	}
 
+	var rendered []*experiments.Figure
 	run := func(name string, f func() (*experiments.Figure, error)) bool {
 		figOut, err := f()
 		if err != nil {
@@ -94,6 +97,21 @@ func run() int {
 			return false
 		}
 		fmt.Println(experiments.Render(figOut))
+		rendered = append(rendered, figOut)
+		return true
+	}
+	writeJSON := func() bool {
+		if *figjson == "" {
+			return true
+		}
+		data, err := json.MarshalIndent(rendered, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*figjson, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: -figjson: %v\n", err)
+			return false
+		}
 		return true
 	}
 
@@ -102,7 +120,7 @@ func run() int {
 		"12": h.Fig12, "13": h.Fig13, "14": h.Fig14, "15": h.Fig15,
 		"batch-category": h.FigBatchCategory, "batch-rubis": h.FigBatchRUBiS,
 		"shard-scale": h.FigShardScale, "replica-scale": h.FigReplicaScale,
-		"durability": h.FigDurability,
+		"durability": h.FigDurability, "tail-latency": h.FigTailLatency,
 	}
 	label := func(id string) string {
 		if len(id) <= 2 { // numeric paper figures keep their "Fig N" labels
@@ -113,7 +131,8 @@ func run() int {
 	switch *fig {
 	case "", "all":
 		for _, id := range []string{"8", "9", "10", "11", "12", "13", "14", "15",
-			"batch-category", "batch-rubis", "shard-scale", "replica-scale", "durability"} {
+			"batch-category", "batch-rubis", "shard-scale", "replica-scale",
+			"durability", "tail-latency"} {
 			if !run(label(id), figs[id]) {
 				return 1
 			}
@@ -128,6 +147,9 @@ func run() int {
 		if !run(label(*fig), f) {
 			return 1
 		}
+	}
+	if !writeJSON() {
+		return 1
 	}
 	return 0
 }

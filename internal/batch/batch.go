@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/exec"
+	"repro/internal/obs"
 )
 
 // Defaults for Options fields left zero.
@@ -80,6 +81,18 @@ type group struct {
 	argSets [][]any
 	handles []*exec.Handle
 	timer   *time.Timer
+	// waits holds the traced members' "batch.wait" spans (parallel to
+	// handles, nil entries for untraced members); dispatch ends them —
+	// their wall time is fill + linger, the price a request pays to share
+	// the round trip.
+	waits []*obs.Span
+}
+
+// endWaits closes every member's coalescing-wait span.
+func (g *group) endWaits() {
+	for _, w := range g.waits {
+		w.End()
+	}
 }
 
 // Coalescer groups submissions into batch jobs on an executor. It is safe
@@ -114,14 +127,25 @@ func New(ex *exec.Executor, opts Options) *Coalescer {
 // batch flushes when it reaches MaxBatch requests or its linger window
 // expires, whichever comes first.
 func (c *Coalescer) Submit(name, sql string, args []any) (*exec.Handle, error) {
-	h := exec.NewPendingHandle()
+	return c.SubmitSpan(nil, name, sql, args)
+}
+
+// SubmitSpan is Submit with the request's root span threaded through
+// (implementing exec.SpanBatcher): the span rides the pending handle, and
+// a "batch.wait" child covers the time between submission and dispatch —
+// batch fill plus linger, the coalescing cost the paper's batched
+// submission trades for shared round trips.
+func (c *Coalescer) SubmitSpan(sp *obs.Span, name, sql string, args []any) (*exec.Handle, error) {
+	h := exec.NewPendingHandleSpan(sp)
 	k := key{name: name, sql: sql}
 	if c.opts.GroupFn != nil {
 		k.group = c.opts.GroupFn(name, sql, args)
 	}
+	wait := sp.Child("batch.wait") // nil-safe: nil for untraced requests
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
+		wait.End()
 		return nil, exec.ErrClosed
 	}
 	g := c.groups[k]
@@ -135,6 +159,12 @@ func (c *Coalescer) Submit(name, sql string, args []any) (*exec.Handle, error) {
 	}
 	g.argSets = append(g.argSets, args)
 	g.handles = append(g.handles, h)
+	if wait != nil {
+		if g.waits == nil {
+			g.waits = make([]*obs.Span, 0, c.opts.MaxBatch)
+		}
+		g.waits = append(g.waits, wait)
+	}
 	var full *group
 	if len(g.handles) >= c.opts.MaxBatch {
 		delete(c.groups, k)
@@ -174,6 +204,7 @@ func (c *Coalescer) dispatch(g *group) {
 		}
 		c.mu.Unlock()
 	}()
+	g.endWaits() // coalescing is over; the batch heads for the executor
 	if err := c.ex.SubmitBatch(g.key.name, g.key.sql, g.argSets, g.handles); err != nil {
 		for _, h := range g.handles {
 			h.Complete(nil, err)

@@ -16,6 +16,8 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // ErrClosed is returned by Submit after Close.
@@ -31,6 +33,16 @@ type Runner func(name, sql string, args []any) (any, error)
 // error per binding, in binding order.
 type BatchRunner func(name, sql string, argSets [][]any) ([]any, []error)
 
+// SpanRunner is Runner with the request's trace span threaded through, so
+// the backend (server, shard router, replica group) can hang its own
+// sub-spans off the request tree. sp may be nil.
+type SpanRunner func(sp *obs.Span, name, sql string, args []any) (any, error)
+
+// SpanBatchRunner is the span-threading BatchRunner: sp is the batch
+// leader's span (the first traced member of the coalesced batch owns the
+// execution subtree, since the whole batch shares one round trip).
+type SpanBatchRunner func(sp *obs.Span, name, sql string, argSets [][]any) ([]any, []error)
+
 // Handle is a pending asynchronous request.
 type Handle struct {
 	mu   sync.Mutex
@@ -38,6 +50,9 @@ type Handle struct {
 	done atomic.Bool
 	val  any
 	err  error
+	// span, when tracing is on, is the request's root span; complete()
+	// ends it, so the root's wall time is exactly submit→completion.
+	span *obs.Span
 }
 
 func newHandle() *Handle {
@@ -50,6 +65,17 @@ func newHandle() *Handle {
 // coalescer) that hand out handles at enqueue time and complete them later
 // via Complete.
 func NewPendingHandle() *Handle { return newHandle() }
+
+// NewPendingHandleSpan is NewPendingHandle with the request's root span
+// attached; completing the handle ends the span.
+func NewPendingHandleSpan(sp *obs.Span) *Handle {
+	h := newHandle()
+	h.span = sp
+	return h
+}
+
+// Span returns the request's root span (nil when untraced).
+func (h *Handle) Span() *obs.Span { return h.span }
 
 // Complete publishes the result and wakes all fetchers. It is exported for
 // demultiplexing layers that own pending handles (see NewPendingHandle); it
@@ -73,6 +99,7 @@ func (h *Handle) complete(v any, err error) {
 	h.done.Store(true)
 	h.mu.Unlock()
 	h.cond.Broadcast()
+	h.span.End() // nil-safe: ends the request root at completion time
 }
 
 // Fetch blocks until the request completes and returns its result. It may be
@@ -102,6 +129,10 @@ type job struct {
 	// args/h; hs non-nil marks the job as a batch.
 	argSets [][]any
 	hs      []*Handle
+	// queue, when tracing is on, measures time spent waiting in the ring
+	// (opened at enqueue, ended when a worker pops the job). For batch
+	// jobs it hangs off the batch leader's span.
+	queue *obs.Span
 }
 
 // jobRing is a growable FIFO ring buffer. Capacity is kept a power of two so
@@ -149,13 +180,18 @@ func (q *jobRing) grow() {
 type Executor struct {
 	run      Runner
 	runBatch BatchRunner // optional set-oriented path for batch jobs
-	mu       sync.Mutex
-	cond     sync.Cond
-	queue    jobRing
-	closed   bool
-	workers  int
-	wg       sync.WaitGroup
-	jobs     sync.Pool
+	// Span-threading runner variants, set via SetSpanRunners before any
+	// traced submission; workers fall back to run/runBatch when absent.
+	spanRun   SpanRunner
+	spanBatch SpanBatchRunner
+
+	mu      sync.Mutex
+	cond    sync.Cond
+	queue   jobRing
+	closed  bool
+	workers int
+	wg      sync.WaitGroup
+	jobs    sync.Pool
 
 	submitted atomic.Int64
 	completed atomic.Int64
@@ -189,6 +225,39 @@ func NewBatchExecutor(workers int, run Runner, runBatch BatchRunner) *Executor {
 
 // Workers returns the pool size.
 func (e *Executor) Workers() int { return e.workers }
+
+// SetSpanRunners installs span-threading runner variants used for traced
+// jobs. Call it before the first traced submission; the queue mutex
+// orders the write ahead of any worker that might read the fields.
+func (e *Executor) SetSpanRunners(run SpanRunner, runBatch SpanBatchRunner) {
+	e.mu.Lock()
+	e.spanRun, e.spanBatch = run, runBatch
+	e.mu.Unlock()
+}
+
+// SubmitSpan is Submit with the request's root span attached: the handle
+// ends it at completion, and the worker threads it into the backend via
+// the SpanRunner. An "exec.queue" child covers the time in the ring.
+func (e *Executor) SubmitSpan(sp *obs.Span, name, sql string, args []any) (*Handle, error) {
+	h := newHandle()
+	h.span = sp
+	j := e.jobs.Get().(*job)
+	j.name, j.sql, j.args, j.h = name, sql, args, h
+	j.queue = sp.Child("exec.queue")
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		j.queue.End()
+		*j = job{}
+		e.jobs.Put(j)
+		return nil, ErrClosed
+	}
+	e.queue.push(j)
+	e.submitted.Add(1)
+	e.mu.Unlock()
+	e.cond.Signal()
+	return h, nil
+}
 
 // Submit enqueues a request and returns its handle immediately. The
 // submitted counter is incremented inside the queue critical section, before
@@ -224,9 +293,18 @@ func (e *Executor) SubmitBatch(name, sql string, argSets [][]any, hs []*Handle) 
 	}
 	j := e.jobs.Get().(*job)
 	j.name, j.sql, j.argSets, j.hs = name, sql, argSets, hs
+	// The batch leader (first traced member) owns the queue-wait span,
+	// like it will own the execution subtree.
+	for _, h := range hs {
+		if h.span != nil {
+			j.queue = h.span.Child("exec.queue")
+			break
+		}
+	}
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
+		j.queue.End()
 		*j = job{}
 		e.jobs.Put(j)
 		return ErrClosed
@@ -285,13 +363,23 @@ func (e *Executor) worker() {
 			return
 		}
 		j := e.queue.pop()
+		// Read the span runners inside the critical section: the mutex
+		// orders these loads after a pre-submission SetSpanRunners store.
+		spanRun, spanBatch := e.spanRun, e.spanBatch
 		e.mu.Unlock()
+		j.queue.End() // queue wait is over; execution starts
 
 		if j.hs != nil {
-			e.runBatchJob(j)
+			e.runBatchJob(j, spanBatch)
 			continue
 		}
-		v, err := e.run(j.name, j.sql, j.args)
+		var v any
+		var err error
+		if sp := j.h.span; sp != nil && spanRun != nil {
+			v, err = spanRun(sp, j.name, j.sql, j.args)
+		} else {
+			v, err = e.run(j.name, j.sql, j.args)
+		}
 		h := j.h
 		*j = job{} // drop references before pooling
 		e.jobs.Put(j)
@@ -301,15 +389,39 @@ func (e *Executor) worker() {
 }
 
 // runBatchJob executes one batch job and demultiplexes the per-binding
-// results onto the pending handles.
-func (e *Executor) runBatchJob(j *job) {
+// results onto the pending handles. When tracing is on, the first traced
+// member is the batch leader: the execution subtree parents under its
+// span (every span gets exactly one parent), and every other traced
+// member gets a leaf "batch.exec" child covering the shared execution
+// window.
+func (e *Executor) runBatchJob(j *job, spanBatch SpanBatchRunner) {
 	name, sql, argSets, hs := j.name, j.sql, j.argSets, j.hs
 	*j = job{}
 	e.jobs.Put(j)
 
 	e.batches.Add(1)
 	e.batched.Add(int64(len(hs)))
-	if e.runBatch == nil {
+	var leader *obs.Span
+	var members []*obs.Span
+	for _, h := range hs {
+		if h.span == nil {
+			continue
+		}
+		if leader == nil {
+			leader = h.span
+			continue
+		}
+		if members == nil {
+			members = make([]*obs.Span, 0, len(hs)-1)
+		}
+		members = append(members, h.span.Child("batch.exec"))
+	}
+	defer func() {
+		for _, m := range members {
+			m.End()
+		}
+	}()
+	if e.runBatch == nil && (leader == nil || spanBatch == nil) {
 		// No set-oriented path configured: preserve semantics by running the
 		// bindings one by one on this worker.
 		for i, args := range argSets {
@@ -319,7 +431,13 @@ func (e *Executor) runBatchJob(j *job) {
 		}
 		return
 	}
-	vals, errs := e.runBatch(name, sql, argSets)
+	var vals []any
+	var errs []error
+	if leader != nil && spanBatch != nil {
+		vals, errs = spanBatch(leader, name, sql, argSets)
+	} else {
+		vals, errs = e.runBatch(name, sql, argSets)
+	}
 	for i, h := range hs {
 		var v any
 		var err error

@@ -2,8 +2,10 @@ package exec
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/interp"
+	"repro/internal/obs"
 )
 
 // Batcher is a coalescing submission front-end (see internal/batch): Submit
@@ -13,6 +15,15 @@ import (
 type Batcher interface {
 	Submit(name, sql string, args []any) (*Handle, error)
 	Close()
+}
+
+// SpanBatcher is a Batcher that can thread the request's root span through
+// coalescing (internal/batch implements it): the span picks up a
+// "batch.wait" child covering fill + linger time, and rides the pending
+// handle so completion ends it.
+type SpanBatcher interface {
+	Batcher
+	SubmitSpan(sp *obs.Span, name, sql string, args []any) (*Handle, error)
 }
 
 // Service adapts an Executor (plus a synchronous runner for blocking calls)
@@ -26,6 +37,9 @@ type Service struct {
 
 	bmu     sync.Mutex // guards batcher: Submit may race SetBatcher/Close
 	batcher Batcher
+
+	// tracer, when set by EnableTracing, mints one root span per Submit.
+	tracer atomic.Pointer[obs.Tracer]
 
 	closeOnce sync.Once
 }
@@ -65,6 +79,26 @@ func (s *Service) SetBatcher(b Batcher) {
 	s.bmu.Unlock()
 }
 
+// EnableTracing turns on per-request trace spans: every Submit opens a
+// "request" root span that ends when the request completes, with queue
+// wait, batch coalescing, and backend execution hanging off it. The span
+// runners carry the span into the backend (e.g. server.ExecSpan /
+// server.ExecBatchSpan); either may be nil, in which case the backend
+// executes untraced and the root still measures submit→completion.
+// Call before the first Submit you want traced.
+func (s *Service) EnableTracing(tr *obs.Tracer, run SpanRunner, runBatch SpanBatchRunner) {
+	if tr == nil {
+		return
+	}
+	if s.exec != nil {
+		s.exec.SetSpanRunners(run, runBatch)
+	}
+	s.tracer.Store(tr)
+}
+
+// Tracer returns the tracer installed by EnableTracing, or nil.
+func (s *Service) Tracer() *obs.Tracer { return s.tracer.Load() }
+
 // Exec implements interp.QueryService.
 func (s *Service) Exec(name, sql string, args []interp.Value) (interp.Value, error) {
 	return s.sync(name, sql, args)
@@ -72,19 +106,45 @@ func (s *Service) Exec(name, sql string, args []interp.Value) (interp.Value, err
 
 // Submit implements interp.QueryService.
 func (s *Service) Submit(name, sql string, args []interp.Value) (interp.Handle, error) {
+	tr := s.tracer.Load()
 	if s.exec == nil {
 		// Degraded mode: run synchronously and wrap the result, so programs
 		// transformed for asynchrony still run correctly with no pool.
+		sp := tr.Start("request") // nil-safe: nil tracer mints nil span
 		v, err := s.sync(name, sql, args)
+		sp.End()
 		return newDoneHandle(v, err), nil
 	}
 	s.bmu.Lock()
 	b := s.batcher
 	s.bmu.Unlock()
 	if b != nil {
-		return b.Submit(name, sql, args)
+		sb, ok := b.(SpanBatcher)
+		if tr == nil || !ok {
+			// A non-span-capable batcher gets no root span: it could not
+			// thread it onto the handle, and a span nobody ends would leak.
+			return b.Submit(name, sql, args)
+		}
+		sp := tr.Start("request")
+		sp.SetDetail(sql)
+		h, err := sb.SubmitSpan(sp, name, sql, args)
+		if err != nil {
+			sp.End() // the request never got a handle; close its root here
+			return nil, err
+		}
+		return h, nil
 	}
-	return s.exec.Submit(name, sql, args)
+	if tr == nil {
+		return s.exec.Submit(name, sql, args)
+	}
+	sp := tr.Start("request")
+	sp.SetDetail(sql)
+	h, err := s.exec.SubmitSpan(sp, name, sql, args)
+	if err != nil {
+		sp.End()
+		return nil, err
+	}
+	return h, nil
 }
 
 // Close shuts down the batcher (flushing buffered submissions) and then the

@@ -18,6 +18,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/interp"
 	"repro/internal/ir"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/shard"
 )
@@ -37,6 +38,12 @@ type Harness struct {
 	// Durability restricts FigDurability's fsync-policy sweep to one WAL
 	// commit mode ("off", "group" or "strict"); empty sweeps all three.
 	Durability string
+	// Obs, when set, traces every measured kernel run: each submission
+	// opens a request root span (queue wait, batch coalescing, per-shard
+	// fan-out, WAL commit) recorded into the tracer's registry. The record
+	// path is designed to stay on in benchmarks; BenchmarkShardScaleTraced
+	// holds it to a <5% budget against the untraced run.
+	Obs *obs.Tracer
 
 	servers map[string]*loadedServer
 	routers map[string]*shard.Router
@@ -193,6 +200,15 @@ type runInfo struct {
 	AvgBatchSize  float64
 }
 
+// trace wires the harness tracer (if any) into a measurement service: a
+// no-op pass-through when h.Obs is nil.
+func (h *Harness) trace(svc *exec.Service, run exec.SpanRunner, runBatch exec.SpanBatchRunner) *exec.Service {
+	if h.Obs != nil {
+		svc.EnableTracing(h.Obs, run, runBatch)
+	}
+	return svc
+}
+
 // runKernel executes one compiled kernel against a freshly warmed (or
 // cooled) server, with a query service built by mkSvc, and returns the
 // result, the elapsed simulated seconds, and the run's counters. It is the
@@ -260,12 +276,16 @@ func (h *Harness) Measure(app *apps.App, prof server.Profile, threads, iteration
 	}
 
 	origRes, origSec, _, err := h.runKernel(app, prof, pp.origProg, iterations, warm,
-		func(srv *server.Server) *exec.Service { return exec.NewService(0, srv.Exec) })
+		func(srv *server.Server) *exec.Service {
+			return h.trace(exec.NewService(0, srv.Exec), srv.ExecSpan, srv.ExecBatchSpan)
+		})
 	if err != nil {
 		return m, err
 	}
 	transRes, transSec, _, err := h.runKernel(app, prof, pp.transProg, iterations, warm,
-		func(srv *server.Server) *exec.Service { return exec.NewService(threads, srv.Exec) })
+		func(srv *server.Server) *exec.Service {
+			return h.trace(exec.NewService(threads, srv.Exec), srv.ExecSpan, srv.ExecBatchSpan)
+		})
 	if err != nil {
 		return m, err
 	}
@@ -315,12 +335,16 @@ func (h *Harness) MeasureBatched(app *apps.App, prof server.Profile, threads, it
 	}
 
 	syncRes, syncSec, _, err := h.runKernel(app, prof, pp.origProg, iterations, warm,
-		func(srv *server.Server) *exec.Service { return exec.NewService(0, srv.Exec) })
+		func(srv *server.Server) *exec.Service {
+			return h.trace(exec.NewService(0, srv.Exec), srv.ExecSpan, srv.ExecBatchSpan)
+		})
 	if err != nil {
 		return m, err
 	}
 	asyncRes, asyncSec, asyncInfo, err := h.runKernel(app, prof, pp.transProg, iterations, warm,
-		func(srv *server.Server) *exec.Service { return exec.NewService(threads, srv.Exec) })
+		func(srv *server.Server) *exec.Service {
+			return h.trace(exec.NewService(threads, srv.Exec), srv.ExecSpan, srv.ExecBatchSpan)
+		})
 	if err != nil {
 		return m, err
 	}
@@ -329,8 +353,9 @@ func (h *Harness) MeasureBatched(app *apps.App, prof server.Profile, threads, it
 			// The linger window is wall time; scale it like every simulated
 			// latency so batched series stay comparable across -scale.
 			linger := time.Duration(float64(batch.DefaultLinger) * h.Scale)
-			return batch.NewService(threads, srv.Exec, srv.ExecBatch,
-				batch.Options{MaxBatch: maxBatch, Linger: linger})
+			return h.trace(batch.NewService(threads, srv.Exec, srv.ExecBatch,
+				batch.Options{MaxBatch: maxBatch, Linger: linger}),
+				srv.ExecSpan, srv.ExecBatchSpan)
 		})
 	if err != nil {
 		return m, err
@@ -424,7 +449,8 @@ func (h *Harness) MeasureSharded(app *apps.App, prof server.Profile,
 
 	singleRes, singleSec, singleInfo, err := h.runKernel(app, prof, pp.transProg, iterations, warm,
 		func(srv *server.Server) *exec.Service {
-			return batch.NewService(threads, srv.Exec, srv.ExecBatch, opts)
+			return h.trace(batch.NewService(threads, srv.Exec, srv.ExecBatch, opts),
+				srv.ExecSpan, srv.ExecBatchSpan)
 		})
 	if err != nil {
 		return m, err
@@ -444,7 +470,8 @@ func (h *Harness) MeasureSharded(app *apps.App, prof server.Profile,
 	beforeShard := rt.ShardStats()
 	shardRes, shardSec, shardInfo, err := h.runOn(app, rt, pp.transProg, iterations, warm,
 		func() *exec.Service {
-			return batch.NewService(threads, rt.Exec, rt.ExecBatch, shOpts)
+			return h.trace(batch.NewService(threads, rt.Exec, rt.ExecBatch, shOpts),
+				rt.ExecSpan, rt.ExecBatchSpan)
 		})
 	if err != nil {
 		return m, err
@@ -529,7 +556,8 @@ func (h *Harness) MeasureReplicated(app *apps.App, prof server.Profile,
 
 	singleRes, singleSec, singleInfo, err := h.runKernel(app, prof, pp.transProg, iterations, warm,
 		func(srv *server.Server) *exec.Service {
-			return batch.NewService(threads, srv.Exec, srv.ExecBatch, opts)
+			return h.trace(batch.NewService(threads, srv.Exec, srv.ExecBatch, opts),
+				srv.ExecSpan, srv.ExecBatchSpan)
 		})
 	if err != nil {
 		return m, err
@@ -547,7 +575,8 @@ func (h *Harness) MeasureReplicated(app *apps.App, prof server.Profile,
 	beforeReads := rt.ReplicaReads()
 	replRes, replSec, replInfo, err := h.runOn(app, rt, pp.transProg, iterations, warm,
 		func() *exec.Service {
-			return batch.NewService(threads, rt.Exec, rt.ExecBatch, shOpts)
+			return h.trace(batch.NewService(threads, rt.Exec, rt.ExecBatch, shOpts),
+				rt.ExecSpan, rt.ExecBatchSpan)
 		})
 	if err != nil {
 		return m, err

@@ -1,0 +1,225 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+func floatBits(v float64) uint64 { return math.Float64bits(v) }
+func bitsFloat(b uint64) float64 { return math.Float64frombits(b) }
+
+// Counter is a monotonically increasing int64 metric.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is a last-write-wins float64 metric.
+type Gauge struct {
+	name string
+	v    atomic.Uint64 // float64 bits
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.v.Store(floatBits(v)) }
+
+// Load returns the current value.
+func (g *Gauge) Load() float64 { return bitsFloat(g.v.Load()) }
+
+// SourceFunc is a pull-model metric source: called at dump time, it
+// returns a name→value map (typically a package's existing Stats()
+// snapshot flattened to key/value pairs). Sources let the registry unify
+// stats structs that predate it without those packages changing shape.
+type SourceFunc func() map[string]float64
+
+// Registry is the process-wide metric namespace: counters, gauges, and
+// histograms created lazily by name, plus registered pull sources. All
+// methods are safe for concurrent use; metric lookups after the first hit
+// the fast path of a sync.Map and do not allocate.
+type Registry struct {
+	counters sync.Map // string -> *Counter
+	gauges   sync.Map // string -> *Gauge
+	hists    sync.Map // string -> *Histogram
+
+	mu      sync.Mutex
+	sources map[string]SourceFunc
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Counter returns the counter with the given name, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	if v, ok := r.counters.Load(name); ok {
+		return v.(*Counter)
+	}
+	v, _ := r.counters.LoadOrStore(name, &Counter{name: name})
+	return v.(*Counter)
+}
+
+// Gauge returns the gauge with the given name, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	if v, ok := r.gauges.Load(name); ok {
+		return v.(*Gauge)
+	}
+	v, _ := r.gauges.LoadOrStore(name, &Gauge{name: name})
+	return v.(*Gauge)
+}
+
+// Histogram returns the histogram with the given name, creating it if
+// needed.
+func (r *Registry) Histogram(name string) *Histogram {
+	if v, ok := r.hists.Load(name); ok {
+		return v.(*Histogram)
+	}
+	v, _ := r.hists.LoadOrStore(name, &Histogram{name: name})
+	return v.(*Histogram)
+}
+
+// RegisterSource attaches a pull source under a name, replacing any
+// previous source with that name.
+func (r *Registry) RegisterSource(name string, fn SourceFunc) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.sources == nil {
+		r.sources = map[string]SourceFunc{}
+	}
+	r.sources[name] = fn
+}
+
+// HistQuantiles are the percentiles every dump reports.
+var HistQuantiles = []struct {
+	Label string
+	Q     float64
+}{
+	{"p50", 0.50}, {"p90", 0.90}, {"p99", 0.99}, {"p999", 0.999},
+}
+
+// dumpState is one consistent-enough view of the registry for rendering.
+type dumpState struct {
+	counters map[string]int64
+	gauges   map[string]float64
+	hists    map[string]HistSnapshot
+	sources  map[string]map[string]float64
+}
+
+func (r *Registry) snapshot() dumpState {
+	d := dumpState{
+		counters: map[string]int64{},
+		gauges:   map[string]float64{},
+		hists:    map[string]HistSnapshot{},
+		sources:  map[string]map[string]float64{},
+	}
+	r.counters.Range(func(k, v any) bool {
+		d.counters[k.(string)] = v.(*Counter).Load()
+		return true
+	})
+	r.gauges.Range(func(k, v any) bool {
+		d.gauges[k.(string)] = v.(*Gauge).Load()
+		return true
+	})
+	r.hists.Range(func(k, v any) bool {
+		d.hists[k.(string)] = v.(*Histogram).Snapshot()
+		return true
+	})
+	r.mu.Lock()
+	srcs := make(map[string]SourceFunc, len(r.sources))
+	for k, fn := range r.sources {
+		srcs[k] = fn
+	}
+	r.mu.Unlock()
+	for k, fn := range srcs {
+		d.sources[k] = fn()
+	}
+	return d
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// Dump writes a statsz-style text rendering of every metric and source.
+func (r *Registry) Dump(w io.Writer) error {
+	d := r.snapshot()
+	if len(d.counters) > 0 {
+		fmt.Fprintln(w, "== counters ==")
+		for _, k := range sortedKeys(d.counters) {
+			fmt.Fprintf(w, "%-44s %d\n", k, d.counters[k])
+		}
+	}
+	if len(d.gauges) > 0 {
+		fmt.Fprintln(w, "== gauges ==")
+		for _, k := range sortedKeys(d.gauges) {
+			fmt.Fprintf(w, "%-44s %g\n", k, d.gauges[k])
+		}
+	}
+	if len(d.hists) > 0 {
+		fmt.Fprintln(w, "== histograms ==")
+		for _, k := range sortedKeys(d.hists) {
+			s := d.hists[k]
+			fmt.Fprintf(w, "%-44s count=%d mean=%v", k, s.Count,
+				time.Duration(int64(s.Mean())).Round(time.Microsecond))
+			for _, pq := range HistQuantiles {
+				fmt.Fprintf(w, " %s=%v", pq.Label,
+					time.Duration(s.Quantile(pq.Q)).Round(time.Microsecond))
+			}
+			fmt.Fprintf(w, " max=%v\n", time.Duration(s.Max).Round(time.Microsecond))
+		}
+	}
+	for _, src := range sortedKeys(d.sources) {
+		fmt.Fprintf(w, "== %s ==\n", src)
+		vals := d.sources[src]
+		for _, k := range sortedKeys(vals) {
+			fmt.Fprintf(w, "%-44s %g\n", k, vals[k])
+		}
+	}
+	return nil
+}
+
+// histJSON is the JSON shape of one histogram: summary stats only — the
+// raw bucket array is an implementation detail.
+type histJSON struct {
+	Count  int64            `json:"count"`
+	MeanNS float64          `json:"mean_ns"`
+	MaxNS  int64            `json:"max_ns"`
+	Pcts   map[string]int64 `json:"percentiles_ns"`
+}
+
+// DumpJSON writes the same content as Dump as one JSON object.
+func (r *Registry) DumpJSON(w io.Writer) error {
+	d := r.snapshot()
+	hists := make(map[string]histJSON, len(d.hists))
+	for k, s := range d.hists {
+		h := histJSON{Count: s.Count, MeanNS: s.Mean(), MaxNS: s.Max,
+			Pcts: make(map[string]int64, len(HistQuantiles))}
+		for _, pq := range HistQuantiles {
+			h.Pcts[pq.Label] = s.Quantile(pq.Q)
+		}
+		hists[k] = h
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(map[string]any{
+		"counters":   d.counters,
+		"gauges":     d.gauges,
+		"histograms": hists,
+		"sources":    d.sources,
+	})
+}

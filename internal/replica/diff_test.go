@@ -15,12 +15,14 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"os"
 	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/apps"
 	"repro/internal/interp"
+	"repro/internal/obs"
 	"repro/internal/replica"
 	"repro/internal/server"
 	"repro/internal/shard"
@@ -45,6 +47,24 @@ func fmtOut(v any, err error) string {
 		return "error: " + err.Error()
 	}
 	return "ok: " + interp.Format(v)
+}
+
+// traceTracer returns a live tracer when ASYNCQ_TRACE is set, so the
+// differential workload runs with the whole span machinery hot — the results
+// must stay byte-identical, pinning that tracing is passive. With the
+// variable unset it returns nil: nil spans thread through the same code
+// paths for free. The cleanup asserts no span leaked open.
+func traceTracer(t *testing.T) *obs.Tracer {
+	if os.Getenv("ASYNCQ_TRACE") == "" {
+		return nil
+	}
+	tr := obs.NewTracer(nil)
+	t.Cleanup(func() {
+		if open := tr.Open(); open != 0 {
+			t.Errorf("ASYNCQ_TRACE: %d of %d spans left open", open, tr.Started())
+		}
+	})
+	return tr
 }
 
 // cluster is one execution backend under differential test.
@@ -93,12 +113,26 @@ func TestRandomizedDifferentialAllApps(t *testing.T) {
 				t.Fatal("replicated router reports no groups")
 			}
 
-			clusters := []cluster{
-				{"sharded", func(sql string, args []any) (any, error) { return sharded.Exec("w", sql, args) },
-					func(sql string, argSets [][]any) ([]any, []error) { return sharded.ExecBatch("w", sql, argSets) }},
-				{"sharded+replicated", func(sql string, args []any) (any, error) { return replicated.Exec("w", sql, args) },
-					func(sql string, argSets [][]any) ([]any, []error) { return replicated.ExecBatch("w", sql, argSets) }},
+			// Each op gets a root span when ASYNCQ_TRACE is set; with tr nil
+			// the Start/End pair is a pair of nil checks and ExecSpan(nil, …)
+			// is exactly Exec.
+			tr := traceTracer(t)
+			traced := func(rt *shard.Router) cluster {
+				return cluster{"",
+					func(sql string, args []any) (any, error) {
+						sp := tr.Start("request")
+						defer sp.End()
+						return rt.ExecSpan(sp, "w", sql, args)
+					},
+					func(sql string, argSets [][]any) ([]any, []error) {
+						sp := tr.Start("request")
+						defer sp.End()
+						return rt.ExecBatchSpan(sp, "w", sql, argSets)
+					}}
 			}
+			shardedC, replicatedC := traced(sharded), traced(replicated)
+			shardedC.name, replicatedC.name = "sharded", "sharded+replicated"
+			clusters := []cluster{shardedC, replicatedC}
 
 			rng := rand.New(rand.NewSource(seed + int64(ai)*1_000_003))
 			opNo := 0

@@ -33,6 +33,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/sqlmini"
 	"repro/internal/storage"
@@ -288,6 +289,30 @@ func (g *Group) replica(i int) *server.Server {
 
 // Log exposes the group's write-ahead log (tests, stats).
 func (g *Group) Log() *wal.Log { return g.log }
+
+// SetMetrics points the group's log and every copy at an obs registry
+// (fsync histograms; future server-side histograms).
+func (g *Group) SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	g.log.SetMetrics(reg)
+	for _, s := range g.copies() {
+		s.SetMetrics(reg)
+	}
+}
+
+// RegisterMetrics registers the group's aggregate stats and its WAL's as
+// pull sources under prefix, and points histogram recording at reg.
+func (g *Group) RegisterMetrics(reg *obs.Registry, prefix string) {
+	g.SetMetrics(reg)
+	reg.RegisterSource(prefix+"group", func() map[string]float64 {
+		return g.Stats().Metrics()
+	})
+	reg.RegisterSource(prefix+"wal", func() map[string]float64 {
+		return g.WALStats().Metrics()
+	})
+}
 
 // CommitLSN returns the highest acknowledged write LSN.
 func (g *Group) CommitLSN() int64 { return g.commit.Load() }
@@ -687,31 +712,66 @@ func (g *Group) Exec(name, sql string, args []any) (any, error) {
 // whichever copy served the read; write traces from the primary — row ids
 // agree across copies by the ordered-apply contract.
 func (g *Group) ExecTraced(name, sql string, args []any) (any, sqlmini.ExecInfo, error) {
-	return g.execTraced(nil, name, sql, args)
+	return g.execTraced(nil, nil, name, sql, args)
+}
+
+// ExecSpan is Exec with the request's trace span threaded through: reads
+// hang a per-attempt "replica.read" child off it (labelled with the copy
+// that served), writes a "write.lock" / replication / "wal.commit" chain.
+func (g *Group) ExecSpan(sp *obs.Span, name, sql string, args []any) (any, error) {
+	res, _, err := g.execTraced(nil, sp, name, sql, args)
+	return res, err
+}
+
+// ExecTracedSpan is ExecTraced with the request's span threaded through.
+func (g *Group) ExecTracedSpan(sp *obs.Span, name, sql string, args []any) (any, sqlmini.ExecInfo, error) {
+	return g.execTraced(nil, sp, name, sql, args)
+}
+
+// ExecTracedSessionSpan is ExecTracedSession with the span threaded through.
+func (g *Group) ExecTracedSessionSpan(sess *Session, sp *obs.Span, name, sql string, args []any) (any, sqlmini.ExecInfo, error) {
+	return g.execTraced(sess, sp, name, sql, args)
+}
+
+// ExecBatchSpan is ExecBatch with the batch leader's span threaded through.
+func (g *Group) ExecBatchSpan(sp *obs.Span, name, sql string, argSets [][]any) ([]any, []error) {
+	vals, errs, _ := g.execBatchTraced(nil, sp, name, sql, argSets)
+	return vals, errs
+}
+
+// ExecBatchTracedSpan is ExecBatchTraced with the span threaded through.
+func (g *Group) ExecBatchTracedSpan(sp *obs.Span, name, sql string, argSets [][]any) ([]any, []error, sqlmini.ExecInfo) {
+	return g.execBatchTraced(nil, sp, name, sql, argSets)
+}
+
+// ExecBatchTracedSessionSpan is ExecBatchTracedSession with the span
+// threaded through.
+func (g *Group) ExecBatchTracedSessionSpan(sess *Session, sp *obs.Span, name, sql string, argSets [][]any) ([]any, []error, sqlmini.ExecInfo) {
+	return g.execBatchTraced(sess, sp, name, sql, argSets)
 }
 
 // ExecSession is Exec with session consistency tokens: the session's
 // acknowledged writes set the ReadYourWrites floor, and its LastServedLSN
 // records what each read observed.
 func (g *Group) ExecSession(sess *Session, name, sql string, args []any) (any, error) {
-	res, _, err := g.execTraced(sess, name, sql, args)
+	res, _, err := g.execTraced(sess, nil, name, sql, args)
 	return res, err
 }
 
 // ExecTracedSession is ExecTraced with session consistency tokens (the
 // shard router's session-aware scatter path consumes the trace).
 func (g *Group) ExecTracedSession(sess *Session, name, sql string, args []any) (any, sqlmini.ExecInfo, error) {
-	return g.execTraced(sess, name, sql, args)
+	return g.execTraced(sess, nil, name, sql, args)
 }
 
 // ExecBatchTracedSession is ExecBatchTraced with session tokens.
 func (g *Group) ExecBatchTracedSession(sess *Session, name, sql string, argSets [][]any) ([]any, []error, sqlmini.ExecInfo) {
-	return g.execBatchTraced(sess, name, sql, argSets)
+	return g.execBatchTraced(sess, nil, name, sql, argSets)
 }
 
-func (g *Group) execTraced(sess *Session, name, sql string, args []any) (any, sqlmini.ExecInfo, error) {
+func (g *Group) execTraced(sess *Session, sp *obs.Span, name, sql string, args []any) (any, sqlmini.ExecInfo, error) {
 	if st, err := g.prep.Prepare(sql); err == nil && st.Insert {
-		res, info, lsn, err := g.write(name, sql, args)
+		res, info, lsn, err := g.write(sp, name, sql, args)
 		if err == nil && sess != nil && lsn > 0 {
 			sess.write.Store(lsn)
 		}
@@ -719,7 +779,7 @@ func (g *Group) execTraced(sess *Session, name, sql string, args []any) (any, sq
 	}
 	// Reads — and malformed statements, whose error text is identical on
 	// every copy.
-	return g.read(sess, g.minLSN(sess), name, sql, args)
+	return g.read(sess, sp, g.minLSN(sess), name, sql, args)
 }
 
 // ExecBatch is the set-oriented path: a write batch commits as one log
@@ -732,7 +792,7 @@ func (g *Group) ExecBatch(name, sql string, argSets [][]any) ([]any, []error) {
 
 // ExecBatchSession is ExecBatch with session consistency tokens.
 func (g *Group) ExecBatchSession(sess *Session, name, sql string, argSets [][]any) ([]any, []error) {
-	vals, errs, _ := g.execBatchTraced(sess, name, sql, argSets)
+	vals, errs, _ := g.execBatchTraced(sess, nil, name, sql, argSets)
 	return vals, errs
 }
 
@@ -741,18 +801,18 @@ func (g *Group) ExecBatchSession(sess *Session, name, sql string, argSets [][]an
 // consumes; row ids agree on every copy by the ordered-apply contract).
 // Read batches return a zero trace — the router never needs one.
 func (g *Group) ExecBatchTraced(name, sql string, argSets [][]any) ([]any, []error, sqlmini.ExecInfo) {
-	return g.execBatchTraced(nil, name, sql, argSets)
+	return g.execBatchTraced(nil, nil, name, sql, argSets)
 }
 
-func (g *Group) execBatchTraced(sess *Session, name, sql string, argSets [][]any) ([]any, []error, sqlmini.ExecInfo) {
+func (g *Group) execBatchTraced(sess *Session, sp *obs.Span, name, sql string, argSets [][]any) ([]any, []error, sqlmini.ExecInfo) {
 	if st, err := g.prep.Prepare(sql); err == nil && st.Insert {
-		vals, errs, info, lsn := g.writeBatch(name, sql, argSets)
+		vals, errs, info, lsn := g.writeBatch(sp, name, sql, argSets)
 		if sess != nil && lsn > 0 {
 			sess.write.Store(lsn)
 		}
 		return vals, errs, info
 	}
-	vals, errs := g.readBatch(sess, g.minLSN(sess), name, sql, argSets)
+	vals, errs := g.readBatch(sess, sp, g.minLSN(sess), name, sql, argSets)
 	return vals, errs, sqlmini.ExecInfo{}
 }
 
@@ -761,7 +821,7 @@ func (g *Group) execBatchTraced(sess *Session, name, sql string, argSets [][]any
 // copy reproduces them identically). The effective floor is the maximum of
 // the consistency requirement and the group's served floor, so reads are
 // monotonic. When no replica qualifies the primary (always newest) serves.
-func (g *Group) read(sess *Session, min int64, name, sql string, args []any) (any, sqlmini.ExecInfo, error) {
+func (g *Group) read(sess *Session, sp *obs.Span, min int64, name, sql string, args []any) (any, sqlmini.ExecInfo, error) {
 	if s := g.served.Load(); s > min {
 		min = s
 	}
@@ -773,7 +833,10 @@ func (g *Group) read(sess *Session, min int64, name, sql string, args []any) (an
 		st := g.states[i]
 		at := st.applied.Load()
 		st.inflight.Add(1)
-		res, info, err := g.replica(i).ExecTraced(name, sql, args)
+		rd := sp.Child("replica.read")
+		rd.SetDetail(obs.ReplicaLabel(i))
+		res, info, err := g.replica(i).ExecTracedSpan(rd, name, sql, args)
+		rd.End()
 		st.inflight.Add(-1)
 		if err != nil && server.IsFault(err) {
 			st.faults.Add(1)
@@ -791,13 +854,16 @@ func (g *Group) read(sess *Session, min int64, name, sql string, args []any) (an
 		return nil, sqlmini.ExecInfo{}, ErrPrimaryDown
 	}
 	at := g.commit.Load()
-	res, info, err := p.ExecTraced(name, sql, args)
+	rd := sp.Child("replica.read")
+	rd.SetDetail("primary")
+	res, info, err := p.ExecTracedSpan(rd, name, sql, args)
+	rd.End()
 	g.noteServed(sess, at)
 	return res, info, err
 }
 
 // readBatch is read for a whole binding set: one copy, one round trip.
-func (g *Group) readBatch(sess *Session, min int64, name, sql string, argSets [][]any) ([]any, []error) {
+func (g *Group) readBatch(sess *Session, sp *obs.Span, min int64, name, sql string, argSets [][]any) ([]any, []error) {
 	if s := g.served.Load(); s > min {
 		min = s
 	}
@@ -809,7 +875,10 @@ func (g *Group) readBatch(sess *Session, min int64, name, sql string, argSets []
 		st := g.states[i]
 		at := st.applied.Load()
 		st.inflight.Add(1)
-		vals, errs := g.replica(i).ExecBatch(name, sql, argSets)
+		rd := sp.Child("replica.read")
+		rd.SetDetail(obs.ReplicaLabel(i))
+		vals, errs := g.replica(i).ExecBatchSpan(rd, name, sql, argSets)
+		rd.End()
 		st.inflight.Add(-1)
 		if batchFaulted(errs) {
 			st.faults.Add(1)
@@ -831,7 +900,10 @@ func (g *Group) readBatch(sess *Session, min int64, name, sql string, argSets []
 		return make([]any, len(argSets)), errs
 	}
 	at := g.commit.Load()
-	vals, errs := p.ExecBatch(name, sql, argSets)
+	rd := sp.Child("replica.read")
+	rd.SetDetail("primary")
+	vals, errs := p.ExecBatchSpan(rd, name, sql, argSets)
+	rd.End()
 	g.noteServed(sess, at)
 	return vals, errs
 }
@@ -858,8 +930,10 @@ func batchFaulted(errs []error) bool {
 // write commits one statement: primary execution, WAL append, durability
 // wait, synchronous replication (sync groups). A primary error — fault or
 // validation — aborts before the log or any replica is touched.
-func (g *Group) write(name, sql string, args []any) (any, sqlmini.ExecInfo, int64, error) {
+func (g *Group) write(sp *obs.Span, name, sql string, args []any) (any, sqlmini.ExecInfo, int64, error) {
+	lock := sp.Child("write.lock") // group write-order serialization wait
 	g.wmu.Lock()
+	lock.End()
 	g.pmu.RLock()
 	p, down := g.primary, g.primaryDown
 	g.pmu.RUnlock()
@@ -868,14 +942,14 @@ func (g *Group) write(name, sql string, args []any) (any, sqlmini.ExecInfo, int6
 		return nil, sqlmini.ExecInfo{}, 0, ErrPrimaryDown
 	}
 	g.ensureBaseSnapshot(p)
-	res, info, err := p.ExecTraced(name, sql, args)
+	res, info, err := p.ExecTracedSpan(sp, name, sql, args)
 	if err != nil {
 		g.wmu.Unlock()
 		return nil, info, 0, err
 	}
-	lsn := g.stageRecord(name, sql, [][]any{args})
+	lsn := g.stageRecord(sp, name, sql, [][]any{args})
 	g.wmu.Unlock()
-	if err := g.awaitCommit(lsn); err != nil {
+	if err := g.awaitCommit(sp, lsn); err != nil {
 		return nil, info, 0, err
 	}
 	return res, info, lsn, nil
@@ -886,8 +960,10 @@ func (g *Group) write(name, sql string, args []any) (any, sqlmini.ExecInfo, int6
 // wait. A transport fault on the primary aborts the batch (no log, no
 // replica); per-binding validation errors return with the batch and never
 // enter the log (only acknowledged rows replicate or replay).
-func (g *Group) writeBatch(name, sql string, argSets [][]any) ([]any, []error, sqlmini.ExecInfo, int64) {
+func (g *Group) writeBatch(sp *obs.Span, name, sql string, argSets [][]any) ([]any, []error, sqlmini.ExecInfo, int64) {
+	lock := sp.Child("write.lock")
 	g.wmu.Lock()
+	lock.End()
 	g.pmu.RLock()
 	p, down := g.primary, g.primaryDown
 	g.pmu.RUnlock()
@@ -900,7 +976,7 @@ func (g *Group) writeBatch(name, sql string, argSets [][]any) ([]any, []error, s
 		return make([]any, len(argSets)), errs, sqlmini.ExecInfo{}, 0
 	}
 	g.ensureBaseSnapshot(p)
-	vals, errs, info := p.ExecBatchTraced(name, sql, argSets)
+	vals, errs, info := p.ExecBatchTracedSpan(sp, name, sql, argSets)
 	if batchFaulted(errs) {
 		g.wmu.Unlock()
 		return vals, errs, info, 0
@@ -915,9 +991,9 @@ func (g *Group) writeBatch(name, sql string, argSets [][]any) ([]any, []error, s
 		g.wmu.Unlock()
 		return vals, errs, info, 0
 	}
-	lsn := g.stageRecord(name, sql, okSets)
+	lsn := g.stageRecord(sp, name, sql, okSets)
 	g.wmu.Unlock()
-	if err := g.awaitCommit(lsn); err != nil {
+	if err := g.awaitCommit(sp, lsn); err != nil {
 		failed := make([]error, len(argSets))
 		for i := range failed {
 			failed[i] = err
@@ -931,10 +1007,10 @@ func (g *Group) writeBatch(name, sql string, argSets [][]any) ([]any, []error, s
 // groups). Caller holds wmu, which is what keeps the per-replica apply order
 // equal to LSN order. The durability wait happens in awaitCommit, outside
 // the lock, so concurrent commits share fsyncs (group commit).
-func (g *Group) stageRecord(name, sql string, argSets [][]any) int64 {
+func (g *Group) stageRecord(sp *obs.Span, name, sql string, argSets [][]any) int64 {
 	lsn := g.log.Append(name, sql, argSets)
 	if !g.async {
-		g.replicate(wal.Record{LSN: lsn, Name: name, SQL: sql, ArgSets: argSets})
+		g.replicate(sp, wal.Record{LSN: lsn, Name: name, SQL: sql, ArgSets: argSets})
 	}
 	return lsn
 }
@@ -944,8 +1020,8 @@ func (g *Group) stageRecord(name, sql string, argSets [][]any) int64 {
 // checkpoint. A primary crash racing the wait truncates the record away; the
 // write then reports ErrPrimaryDown instead of acknowledging state that no
 // longer exists.
-func (g *Group) awaitCommit(lsn int64) error {
-	g.log.Commit(lsn)
+func (g *Group) awaitCommit(sp *obs.Span, lsn int64) error {
+	g.log.CommitSpan(sp, lsn)
 	if g.log.Mode() != wal.Off && g.log.DurableLSN() < lsn {
 		return ErrPrimaryDown
 	}
@@ -965,7 +1041,7 @@ func (g *Group) awaitCommit(lsn int64) error {
 // parallel, but under the group write lock, so the per-replica order equals
 // the primary's. A replica that faults mid-apply is failed out with its
 // applied watermark unchanged, so Recover replays exactly what it missed.
-func (g *Group) replicate(rec wal.Record) {
+func (g *Group) replicate(sp *obs.Span, rec wal.Record) {
 	faulted := make([]bool, len(g.states))
 	var wg sync.WaitGroup
 	for i := range g.states {
@@ -976,7 +1052,10 @@ func (g *Group) replicate(rec wal.Record) {
 		wg.Add(1)
 		go func(i int, st *state) {
 			defer wg.Done()
-			_, errs := g.replica(i).ExecBatch(rec.Name, rec.SQL, rec.ArgSets)
+			ap := sp.Child("replica.apply")
+			ap.SetDetail(obs.ReplicaLabel(i))
+			_, errs := g.replica(i).ExecBatchSpan(ap, rec.Name, rec.SQL, rec.ArgSets)
+			ap.End()
 			if err := firstErr(errs); err != nil {
 				faulted[i] = true
 				return

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/buffer"
 	"repro/internal/disk"
+	"repro/internal/obs"
 	"repro/internal/simclock"
 	"repro/internal/sqlmini"
 	"repro/internal/storage"
@@ -129,6 +130,11 @@ type Server struct {
 	// wlog, when set by EnableWAL, makes every committed insert durable
 	// before Exec/ExecBatch acknowledges it (per the log's mode).
 	wlog atomic.Pointer[wal.Log]
+
+	// metrics, when set, feeds the WAL's fsync histograms (and any future
+	// server-side histograms). Counters stay as the atomics above; the
+	// registry reaches them through RegisterMetrics' pull source.
+	metrics atomic.Pointer[obs.Registry]
 }
 
 // New starts a server with the given profile; scale is the wall-clock
@@ -167,8 +173,38 @@ const walPageBytes = 8 << 10
 // store defaults to an in-memory one.
 func (s *Server) EnableWAL(mode wal.Mode, store wal.Store) *wal.Log {
 	l := wal.New(wal.Options{Mode: mode, Store: store, Syncer: walSyncer{s}})
+	if reg := s.metrics.Load(); reg != nil {
+		l.SetMetrics(reg)
+	}
 	s.wlog.Store(l)
 	return l
+}
+
+// SetMetrics points the server (and its WAL, present or future) at an obs
+// registry for histogram recording.
+func (s *Server) SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	s.metrics.Store(reg)
+	if l := s.wlog.Load(); l != nil {
+		l.SetMetrics(reg)
+	}
+}
+
+// RegisterMetrics registers the server's stats (and its WAL's, if any) as
+// pull sources under prefix, and points histogram recording at reg.
+func (s *Server) RegisterMetrics(reg *obs.Registry, prefix string) {
+	s.SetMetrics(reg)
+	reg.RegisterSource(prefix+"server", func() map[string]float64 {
+		return s.Stats().Metrics()
+	})
+	reg.RegisterSource(prefix+"wal", func() map[string]float64 {
+		if l := s.wlog.Load(); l != nil {
+			return l.Stats().Metrics()
+		}
+		return nil
+	})
 }
 
 // WAL returns the attached log, or nil.
@@ -316,7 +352,26 @@ func (s *Server) Exec(name, sql string, args []any) (any, error) {
 // trace to restore the global row order; cost accounting is identical to
 // Exec.
 func (s *Server) ExecTraced(name, sql string, args []any) (any, sqlmini.ExecInfo, error) {
+	return s.ExecTracedSpan(nil, name, sql, args)
+}
+
+// ExecSpan is Exec with the request's trace span threaded through; the
+// server hangs a "server.exec" child (with io / cpu / wal.commit
+// sub-spans) off it. A nil span costs a few nil checks and nothing else.
+func (s *Server) ExecSpan(sp *obs.Span, name, sql string, args []any) (any, error) {
+	res, _, err := s.ExecTracedSpan(sp, name, sql, args)
+	return res, err
+}
+
+// ExecTracedSpan is the span-threading core of the single-statement path.
+// Simulated charges attributed: the RTT on the exec span, the CPU hold on
+// the cpu span (the IO phase's disk time is queue-dependent and already
+// visible as the io span's wall time).
+func (s *Server) ExecTracedSpan(sp *obs.Span, name, sql string, args []any) (any, sqlmini.ExecInfo, error) {
+	ex := sp.Child("server.exec")
+	defer ex.End()
 	s.Clock.Sleep(s.Profile.RTT)
+	ex.Charge(s.Profile.RTT)
 	s.netReqs.Add(1) // the round trip is paid whether or not the statement succeeds
 	if s.takeFault() {
 		return nil, sqlmini.ExecInfo{}, ErrInjected
@@ -326,22 +381,27 @@ func (s *Server) ExecTraced(name, sql string, args []any) (any, sqlmini.ExecInfo
 		return nil, sqlmini.ExecInfo{}, err
 	}
 	// IO phase: page faults ride the disk queue without holding a core.
+	io := ex.Child("server.io")
 	res, info, err := sqlmini.Execute(st, s.cat, s.pool, args)
+	io.End()
 	if err != nil {
 		return nil, info, err
 	}
 	// CPU phase: hold one of the K cores.
 	cpu := s.Profile.CPUFixed + time.Duration(info.RowsExamined)*s.Profile.CPUPerRow
+	cpuSp := ex.Child("server.cpu")
 	s.cores <- struct{}{}
 	s.Clock.Sleep(cpu)
 	<-s.cores
+	cpuSp.Charge(cpu)
+	cpuSp.End()
 
 	// Durability: a committed insert is appended to the WAL and the ack
 	// waits out its fsync (amortized across concurrent commits in Group
 	// mode) before the client sees success.
 	if st.Insert {
 		if l := s.wlog.Load(); l != nil {
-			l.Commit(l.Append(name, sql, [][]any{args}))
+			l.CommitSpan(ex, l.Append(name, sql, [][]any{args}))
 		}
 	}
 
@@ -369,7 +429,25 @@ func (s *Server) ExecBatch(name, sql string, argSets [][]any) ([]any, []error) {
 // landed, which the shard router uses to keep scatter-gather merges in exact
 // single-server insertion order. Cost accounting is identical to ExecBatch.
 func (s *Server) ExecBatchTraced(name, sql string, argSets [][]any) ([]any, []error, sqlmini.ExecInfo) {
+	return s.ExecBatchTracedSpan(nil, name, sql, argSets)
+}
+
+// ExecBatchSpan is ExecBatch with the batch leader's span threaded
+// through (see exec: the first traced member of a coalesced batch owns
+// the execution subtree).
+func (s *Server) ExecBatchSpan(sp *obs.Span, name, sql string, argSets [][]any) ([]any, []error) {
+	results, errs, _ := s.ExecBatchTracedSpan(sp, name, sql, argSets)
+	return results, errs
+}
+
+// ExecBatchTracedSpan is the span-threading core of the batched path: one
+// "server.execbatch" child covers the whole binding set, mirroring how
+// one round trip and one planning charge do.
+func (s *Server) ExecBatchTracedSpan(sp *obs.Span, name, sql string, argSets [][]any) ([]any, []error, sqlmini.ExecInfo) {
+	ex := sp.Child("server.execbatch")
+	defer ex.End()
 	s.Clock.Sleep(s.Profile.RTT)
+	ex.Charge(s.Profile.RTT)
 	s.netReqs.Add(1) // one round trip per batch, paid whether or not it succeeds
 	s.batches.Add(1)
 	if s.takeFault() {
@@ -389,7 +467,9 @@ func (s *Server) ExecBatchTraced(name, sql string, argSets [][]any) ([]any, []er
 	}
 	// IO phase: page faults ride the disk queue without holding a core; the
 	// batch dedupes page accesses across bindings before touching the pool.
+	io := ex.Child("server.io")
 	results, errs, info := sqlmini.ExecuteBatch(st, s.cat, s.pool, argSets)
+	io.End()
 	// CPU phase: one fixed planning charge for the whole batch, then the
 	// per-row work, holding one of the K cores. A batch whose bindings all
 	// failed validation charges nothing, like N failing per-query calls.
@@ -402,9 +482,12 @@ func (s *Server) ExecBatchTraced(name, sql string, argSets [][]any) ([]any, []er
 	}
 	if anyLive {
 		cpu := s.Profile.CPUFixed + time.Duration(info.RowsExamined)*s.Profile.CPUPerRow
+		cpuSp := ex.Child("server.cpu")
 		s.cores <- struct{}{}
 		s.Clock.Sleep(cpu)
 		<-s.cores
+		cpuSp.Charge(cpu)
+		cpuSp.End()
 	}
 
 	// Durability: the batch's committed inserts become one WAL record (the
@@ -418,7 +501,7 @@ func (s *Server) ExecBatchTraced(name, sql string, argSets [][]any) ([]any, []er
 				}
 			}
 			if len(okSets) > 0 {
-				l.Commit(l.Append(name, sql, okSets))
+				l.CommitSpan(ex, l.Append(name, sql, okSets))
 			}
 		}
 	}
@@ -460,6 +543,24 @@ type Stats struct {
 	BufferMiss  int64
 	Disk        disk.Stats
 	VirtualTime time.Duration
+}
+
+// Metrics flattens the stats for an obs registry source.
+func (s Stats) Metrics() map[string]float64 {
+	return map[string]float64{
+		"queries":         float64(s.Queries),
+		"inserts":         float64(s.Inserts),
+		"rows.read":       float64(s.RowsRead),
+		"net.requests":    float64(s.NetRequests),
+		"batches":         float64(s.Batches),
+		"buffer.hits":     float64(s.BufferHits),
+		"buffer.miss":     float64(s.BufferMiss),
+		"disk.requests":   float64(s.Disk.Requests),
+		"disk.pages.read": float64(s.Disk.PagesRead),
+		"disk.writes":     float64(s.Disk.Writes),
+		"disk.avg.queue":  s.Disk.AvgQueue,
+		"virtual.seconds": s.VirtualTime.Seconds(),
+	}
 }
 
 // Stats returns a snapshot.

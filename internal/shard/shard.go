@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/exec"
 	"repro/internal/interp"
+	"repro/internal/obs"
 	"repro/internal/replica"
 	"repro/internal/server"
 	"repro/internal/sqlmini"
@@ -54,6 +55,25 @@ type Backend interface {
 	SetScale(scale float64)
 	Close()
 	Stats() server.Stats
+}
+
+// spanBackend is the optional tracing extension of Backend: execution entry
+// points that thread a request span down into the engine (RTT, I/O, CPU and
+// WAL-commit children). Both server.Server and replica.Group implement it;
+// the router type-asserts per dispatch so third-party Backends without spans
+// keep working untraced.
+type spanBackend interface {
+	ExecSpan(sp *obs.Span, name, sql string, args []any) (any, error)
+	ExecTracedSpan(sp *obs.Span, name, sql string, args []any) (any, sqlmini.ExecInfo, error)
+	ExecBatchSpan(sp *obs.Span, name, sql string, argSets [][]any) ([]any, []error)
+	ExecBatchTracedSpan(sp *obs.Span, name, sql string, argSets [][]any) ([]any, []error, sqlmini.ExecInfo)
+}
+
+// metricBackend is the optional metrics extension of Backend: hooking the
+// engine's counters and WAL fsync histograms into a unified obs.Registry.
+type metricBackend interface {
+	SetMetrics(reg *obs.Registry)
+	RegisterMetrics(reg *obs.Registry, prefix string)
 }
 
 // Options configure a router.
@@ -370,31 +390,75 @@ func (s *Session) at(i int) (*replica.Group, *replica.Session) {
 	return s.groups[i], s.sessions[i]
 }
 
+// shardSpan opens the per-shard fan-out child: one leg of a scatter, a
+// routed point statement, or a per-shard sub-batch. Nil in, nil out.
+func shardSpan(sp *obs.Span, what string, i int) *obs.Span {
+	c := sp.Child(what)
+	c.SetDetail(obs.ShardLabel(i))
+	return c
+}
+
 // bexec dispatches one statement to shard i, session-aware when possible.
-func (r *Router) bexec(sess *Session, i int, name, sql string, args []any) (any, error) {
+func (r *Router) bexec(sp *obs.Span, sess *Session, i int, name, sql string, args []any) (any, error) {
+	c := shardSpan(sp, "shard.exec", i)
+	defer c.End()
 	if g, rs := sess.at(i); g != nil {
+		if c != nil {
+			res, _, err := g.ExecTracedSessionSpan(rs, c, name, sql, args)
+			return res, err
+		}
 		return g.ExecSession(rs, name, sql, args)
+	}
+	if c != nil {
+		if sb, ok := r.backends[i].(spanBackend); ok {
+			return sb.ExecSpan(c, name, sql, args)
+		}
 	}
 	return r.backends[i].Exec(name, sql, args)
 }
 
-func (r *Router) bexecTraced(sess *Session, i int, name, sql string, args []any) (any, sqlmini.ExecInfo, error) {
+func (r *Router) bexecTraced(sp *obs.Span, sess *Session, i int, name, sql string, args []any) (any, sqlmini.ExecInfo, error) {
+	c := shardSpan(sp, "shard.exec", i)
+	defer c.End()
 	if g, rs := sess.at(i); g != nil {
-		return g.ExecTracedSession(rs, name, sql, args)
+		return g.ExecTracedSessionSpan(rs, c, name, sql, args)
+	}
+	if c != nil {
+		if sb, ok := r.backends[i].(spanBackend); ok {
+			return sb.ExecTracedSpan(c, name, sql, args)
+		}
 	}
 	return r.backends[i].ExecTraced(name, sql, args)
 }
 
-func (r *Router) bexecBatch(sess *Session, i int, name, sql string, argSets [][]any) ([]any, []error) {
+func (r *Router) bexecBatch(sp *obs.Span, sess *Session, i int, name, sql string, argSets [][]any) ([]any, []error) {
+	c := shardSpan(sp, "shard.batch", i)
+	defer c.End()
 	if g, rs := sess.at(i); g != nil {
+		if c != nil {
+			vals, errs, _ := g.ExecBatchTracedSessionSpan(rs, c, name, sql, argSets)
+			return vals, errs
+		}
 		return g.ExecBatchSession(rs, name, sql, argSets)
+	}
+	if c != nil {
+		if sb, ok := r.backends[i].(spanBackend); ok {
+			return sb.ExecBatchSpan(c, name, sql, argSets)
+		}
 	}
 	return r.backends[i].ExecBatch(name, sql, argSets)
 }
 
-func (r *Router) bexecBatchTraced(sess *Session, i int, name, sql string, argSets [][]any) ([]any, []error, sqlmini.ExecInfo) {
+func (r *Router) bexecBatchTraced(sp *obs.Span, sess *Session, i int, name, sql string, argSets [][]any) ([]any, []error, sqlmini.ExecInfo) {
+	c := shardSpan(sp, "shard.batch", i)
+	defer c.End()
 	if g, rs := sess.at(i); g != nil {
-		return g.ExecBatchTracedSession(rs, name, sql, argSets)
+		return g.ExecBatchTracedSessionSpan(rs, c, name, sql, argSets)
+	}
+	if c != nil {
+		if sb, ok := r.backends[i].(spanBackend); ok {
+			return sb.ExecBatchTracedSpan(c, name, sql, argSets)
+		}
 	}
 	return r.backends[i].ExecBatchTraced(name, sql, argSets)
 }
@@ -405,34 +469,47 @@ func (r *Router) bexecBatchTraced(sess *Session, i int, name, sql string, argSet
 // replicated-table writes, and scatter-gather for the rest. Its shape
 // matches exec.Runner.
 func (r *Router) Exec(name, sql string, args []any) (any, error) {
-	return r.execSess(nil, name, sql, args)
+	return r.execSess(nil, nil, name, sql, args)
+}
+
+// ExecSpan is Exec with the request's trace span threaded through: every
+// dispatched shard leg hangs a "shard.exec" child (with its shard id) off
+// sp, and the backend continues the tree down to RTT, I/O, CPU and WAL
+// commit. Its shape matches exec.SpanRunner.
+func (r *Router) ExecSpan(sp *obs.Span, name, sql string, args []any) (any, error) {
+	return r.execSess(sp, nil, name, sql, args)
 }
 
 // SessionExec is Exec with per-shard session consistency tokens threaded
 // through every routing path (see Session).
 func (r *Router) SessionExec(sess *Session, name, sql string, args []any) (any, error) {
-	return r.execSess(sess, name, sql, args)
+	return r.execSess(nil, sess, name, sql, args)
 }
 
-func (r *Router) execSess(sess *Session, name, sql string, args []any) (any, error) {
+// SessionExecSpan combines SessionExec and ExecSpan.
+func (r *Router) SessionExecSpan(sp *obs.Span, sess *Session, name, sql string, args []any) (any, error) {
+	return r.execSess(sp, sess, name, sql, args)
+}
+
+func (r *Router) execSess(sp *obs.Span, sess *Session, name, sql string, args []any) (any, error) {
 	st, err := r.prep.Prepare(sql)
 	if err != nil {
 		// Ship the malformed statement to a real backend so the round trip
 		// and the error text match the single-server path exactly.
-		return r.bexec(sess, 0, name, sql, args)
+		return r.bexec(sp, sess, 0, name, sql, args)
 	}
 	ti := r.table(st.Table)
 	if ti == nil {
 		// Unknown table: identical "no table" error from any backend.
-		return r.bexec(sess, 0, name, sql, args)
+		return r.bexec(sp, sess, 0, name, sql, args)
 	}
 	if st.Insert {
 		if ti.key == "" {
-			return r.broadcast(sess, name, sql, args)
+			return r.broadcast(sp, sess, name, sql, args)
 		}
 		if v, ok := st.InsertValue(ti.keyPos, args); ok {
 			s := Partition(v, len(r.backends))
-			res, info, err := r.bexecTraced(sess, s, name, sql, args)
+			res, info, err := r.bexecTraced(sp, sess, s, name, sql, args)
 			if err == nil && len(info.Matched) == 1 {
 				// Record where the row landed so scatter merges keep the
 				// exact single-server insertion order.
@@ -441,21 +518,21 @@ func (r *Router) execSess(sess *Session, name, sql string, args []any) (any, err
 			return res, err
 		}
 		// Arity/parameter errors surface identically on any backend.
-		return r.bexec(sess, 0, name, sql, args)
+		return r.bexec(sp, sess, 0, name, sql, args)
 	}
 	if ti.key != "" {
 		if v, ok := st.WhereEqValue(ti.key, args); ok {
-			return r.bexec(sess, Partition(v, len(r.backends)), name, sql, args)
+			return r.bexec(sp, sess, Partition(v, len(r.backends)), name, sql, args)
 		}
-		return r.scatter(sess, name, sql, st, ti, args)
+		return r.scatter(sp, sess, name, sql, st, ti, args)
 	}
 	// Replicated table: every shard holds the full data; read one.
-	return r.bexec(sess, 0, name, sql, args)
+	return r.bexec(sp, sess, 0, name, sql, args)
 }
 
 // broadcast runs a replicated-table write on every shard in parallel so the
 // replicas stay identical, returning one representative result.
-func (r *Router) broadcast(sess *Session, name, sql string, args []any) (any, error) {
+func (r *Router) broadcast(sp *obs.Span, sess *Session, name, sql string, args []any) (any, error) {
 	vals := make([]any, len(r.backends))
 	errs := make([]error, len(r.backends))
 	var wg sync.WaitGroup
@@ -463,7 +540,7 @@ func (r *Router) broadcast(sess *Session, name, sql string, args []any) (any, er
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			vals[i], errs[i] = r.bexec(sess, i, name, sql, args)
+			vals[i], errs[i] = r.bexec(sp, sess, i, name, sql, args)
 		}(i)
 	}
 	wg.Wait()
@@ -527,7 +604,7 @@ func (r *Router) ScatterPruned() int64 { return r.pruned.Load() }
 // prove empty for the predicate are skipped (pruneTargets); an empty shard's
 // contribution to every merge is the identity, so pruning is invisible in
 // the results.
-func (r *Router) scatter(sess *Session, name, sql string, st *sqlmini.Stmt, ti *tableInfo, args []any) (any, error) {
+func (r *Router) scatter(sp *obs.Span, sess *Session, name, sql string, st *sqlmini.Stmt, ti *tableInfo, args []any) (any, error) {
 	targets := r.pruneTargets(st, args)
 	if targets == nil {
 		targets = make([]int, len(r.backends))
@@ -546,7 +623,9 @@ func (r *Router) scatter(sess *Session, name, sql string, st *sqlmini.Stmt, ti *
 		wg.Add(1)
 		go func(k, s int) {
 			defer wg.Done()
-			vals[k], infos[k], errs[k] = r.bexecTraced(sess, s, name, sql, args)
+			// Span.Child is concurrency-safe, so each leg hangs its own
+			// "shard.exec" child off sp from inside the fan-out.
+			vals[k], infos[k], errs[k] = r.bexecTraced(sp, sess, s, name, sql, args)
 		}(k, s)
 	}
 	wg.Wait()
@@ -650,7 +729,14 @@ func mergeRows(ti *tableInfo, targets []int, vals []any, infos []sqlmini.ExecInf
 // charge, so an N-shard cluster executes a large batch roughly N-way
 // parallel. Its shape matches exec.BatchRunner.
 func (r *Router) ExecBatch(name, sql string, argSets [][]any) ([]any, []error) {
-	return r.execBatchSess(nil, name, sql, argSets)
+	return r.execBatchSess(nil, nil, name, sql, argSets)
+}
+
+// ExecBatchSpan is ExecBatch with the batch leader's trace span threaded
+// through: per-shard sub-batches hang "shard.batch" children off sp, scatter
+// fallbacks hang "shard.exec" legs. Its shape matches exec.SpanBatchRunner.
+func (r *Router) ExecBatchSpan(sp *obs.Span, name, sql string, argSets [][]any) ([]any, []error) {
+	return r.execBatchSess(sp, nil, name, sql, argSets)
 }
 
 // SessionExecBatch is ExecBatch with per-shard session consistency tokens:
@@ -658,23 +744,28 @@ func (r *Router) ExecBatch(name, sql string, argSets [][]any) ([]any, []error) {
 // batched submission updates and honors the same LSN floors a sequence of
 // SessionExec calls would.
 func (r *Router) SessionExecBatch(sess *Session, name, sql string, argSets [][]any) ([]any, []error) {
-	return r.execBatchSess(sess, name, sql, argSets)
+	return r.execBatchSess(nil, sess, name, sql, argSets)
 }
 
-func (r *Router) execBatchSess(sess *Session, name, sql string, argSets [][]any) ([]any, []error) {
+// SessionExecBatchSpan combines SessionExecBatch and ExecBatchSpan.
+func (r *Router) SessionExecBatchSpan(sp *obs.Span, sess *Session, name, sql string, argSets [][]any) ([]any, []error) {
+	return r.execBatchSess(sp, sess, name, sql, argSets)
+}
+
+func (r *Router) execBatchSess(sp *obs.Span, sess *Session, name, sql string, argSets [][]any) ([]any, []error) {
 	st, err := r.prep.Prepare(sql)
 	if err != nil {
-		return r.bexecBatch(sess, 0, name, sql, argSets)
+		return r.bexecBatch(sp, sess, 0, name, sql, argSets)
 	}
 	ti := r.table(st.Table)
 	if ti == nil {
-		return r.bexecBatch(sess, 0, name, sql, argSets)
+		return r.bexecBatch(sp, sess, 0, name, sql, argSets)
 	}
 	if ti.key == "" {
 		if st.Insert {
-			return r.broadcastBatch(sess, name, sql, argSets)
+			return r.broadcastBatch(sp, sess, name, sql, argSets)
 		}
-		return r.bexecBatch(sess, 0, name, sql, argSets)
+		return r.bexecBatch(sp, sess, 0, name, sql, argSets)
 	}
 
 	n := len(argSets)
@@ -723,7 +814,7 @@ func (r *Router) execBatchSess(sess *Session, name, sql string, argSets [][]any)
 			for j, i := range idxs {
 				sub[j] = argSets[i]
 			}
-			vals, es, info := r.bexecBatchTraced(sess, s, name, sql, sub)
+			vals, es, info := r.bexecBatchTraced(sp, sess, s, name, sql, sub)
 			for j, i := range idxs {
 				if j < len(vals) {
 					results[i] = vals[j]
@@ -741,7 +832,7 @@ func (r *Router) execBatchSess(sess *Session, name, sql string, argSets [][]any)
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], errs[i] = r.scatter(sess, name, sql, st, ti, argSets[i])
+			results[i], errs[i] = r.scatter(sp, sess, name, sql, st, ti, argSets[i])
 		}(i)
 	}
 	wg.Wait()
@@ -755,7 +846,7 @@ func (r *Router) execBatchSess(sess *Session, name, sql string, argSets [][]any)
 
 // broadcastBatch applies a replicated-table write batch to every shard in
 // parallel and returns shard 0's per-binding results.
-func (r *Router) broadcastBatch(sess *Session, name, sql string, argSets [][]any) ([]any, []error) {
+func (r *Router) broadcastBatch(sp *obs.Span, sess *Session, name, sql string, argSets [][]any) ([]any, []error) {
 	type res struct {
 		vals []any
 		errs []error
@@ -766,7 +857,7 @@ func (r *Router) broadcastBatch(sess *Session, name, sql string, argSets [][]any
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			out[i].vals, out[i].errs = r.bexecBatch(sess, i, name, sql, argSets)
+			out[i].vals, out[i].errs = r.bexecBatch(sp, sess, i, name, sql, argSets)
 		}(i)
 	}
 	wg.Wait()
@@ -823,6 +914,47 @@ func (r *Router) SessionBatchRunner(sess *Session) exec.BatchRunner {
 	return func(name, sql string, argSets [][]any) ([]any, []error) {
 		return r.SessionExecBatch(sess, name, sql, argSets)
 	}
+}
+
+// SessionSpanRunner binds a session into an exec.SpanRunner (the tracing
+// sibling of SessionRunner, for exec.Service.EnableTracing).
+func (r *Router) SessionSpanRunner(sess *Session) exec.SpanRunner {
+	return func(sp *obs.Span, name, sql string, args []any) (any, error) {
+		return r.SessionExecSpan(sp, sess, name, sql, args)
+	}
+}
+
+// SessionSpanBatchRunner binds a session into an exec.SpanBatchRunner.
+func (r *Router) SessionSpanBatchRunner(sess *Session) exec.SpanBatchRunner {
+	return func(sp *obs.Span, name, sql string, argSets [][]any) ([]any, []error) {
+		return r.SessionExecBatchSpan(sp, sess, name, sql, argSets)
+	}
+}
+
+// SetMetrics points every shard's passive instrumentation (WAL fsync
+// histograms) at reg. Safe to call at any time; a nil registry detaches.
+func (r *Router) SetMetrics(reg *obs.Registry) {
+	for _, b := range r.backends {
+		if m, ok := b.(metricBackend); ok {
+			m.SetMetrics(reg)
+		}
+	}
+}
+
+// RegisterMetrics hooks the whole cluster's counters into reg as pull
+// sources: one "shard<i>." subtree per backend (server or replica-group
+// stats plus WAL state) and a router-level source for the scatter planner.
+// It also calls SetMetrics so fsync histograms land in the same registry.
+func (r *Router) RegisterMetrics(reg *obs.Registry, prefix string) {
+	r.SetMetrics(reg)
+	for i, b := range r.backends {
+		if m, ok := b.(metricBackend); ok {
+			m.RegisterMetrics(reg, fmt.Sprintf("%sshard%d.", prefix, i))
+		}
+	}
+	reg.RegisterSource(prefix+"router", func() map[string]float64 {
+		return map[string]float64{"scatter.pruned": float64(r.pruned.Load())}
+	})
 }
 
 // Warm preloads every shard's registered extents.

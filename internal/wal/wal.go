@@ -24,6 +24,10 @@ package wal
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // Mode selects how Commit acknowledges durability.
@@ -103,12 +107,37 @@ type Stats struct {
 	SnapshotLSN   int64
 }
 
-// AvgGroup is the average number of records per fsync.
+// AvgGroup is the average number of records per fsync. Like every ratio
+// helper in this repo it guards the zero denominator: before the first
+// fsync it reports 0, not NaN.
 func (s Stats) AvgGroup() float64 {
 	if s.Syncs == 0 {
 		return 0
 	}
 	return float64(s.SyncedRecords) / float64(s.Syncs)
+}
+
+// AvgSyncBytes is the average number of encoded bytes per fsync, with the
+// same zero-denominator guard as AvgGroup.
+func (s Stats) AvgSyncBytes() float64 {
+	if s.Syncs == 0 {
+		return 0
+	}
+	return float64(s.SyncedBytes) / float64(s.Syncs)
+}
+
+// Metrics flattens the stats for an obs registry source.
+func (s Stats) Metrics() map[string]float64 {
+	return map[string]float64{
+		"appends":        float64(s.Appends),
+		"syncs":          float64(s.Syncs),
+		"synced.records": float64(s.SyncedRecords),
+		"synced.bytes":   float64(s.SyncedBytes),
+		"durable.lsn":    float64(s.DurableLSN),
+		"snapshot.lsn":   float64(s.SnapshotLSN),
+		"avg.group":      s.AvgGroup(),
+		"avg.sync.bytes": s.AvgSyncBytes(),
+	}
 }
 
 // Log is one shard's write-ahead log. It is safe for concurrent use.
@@ -130,6 +159,31 @@ type Log struct {
 	done     chan struct{}
 
 	appends, syncs, syncedRecs, syncedBytes int64
+
+	metrics atomic.Pointer[obs.Registry]
+}
+
+// SetMetrics points the log at a registry; the flusher then records the
+// wall time and group size of every fsync into the shared
+// "wal.fsync.wall" / "wal.fsync.records" histograms (shared on purpose:
+// per-shard logs feeding one registry yield one unified distribution).
+func (l *Log) SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	l.metrics.Store(reg)
+}
+
+// CommitSpan is Commit with the wait recorded as a "wal.commit" child
+// span — the group-commit latency a write pays for its durability mode.
+func (l *Log) CommitSpan(sp *obs.Span, lsn int64) {
+	if sp == nil {
+		l.Commit(lsn)
+		return
+	}
+	c := sp.Child("wal.commit")
+	l.Commit(lsn)
+	c.End()
 }
 
 // New starts a log and its flusher goroutine.
@@ -413,12 +467,17 @@ func (l *Log) flusher() {
 		l.syncing = true
 		l.mu.Unlock()
 
+		fsyncStart := time.Now()
 		bytes, err := l.store.AppendRecords(batch)
 		if err == nil {
 			err = l.store.Sync()
 		}
 		if l.syncer != nil {
 			l.syncer.Sync(bytes)
+		}
+		if reg := l.metrics.Load(); reg != nil {
+			reg.Histogram("wal.fsync.wall").RecordDuration(time.Since(fsyncStart))
+			reg.Histogram("wal.fsync.records").Record(int64(len(batch)))
 		}
 
 		l.mu.Lock()
