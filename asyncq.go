@@ -53,6 +53,7 @@ import (
 	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/minilang"
+	"repro/internal/query"
 )
 
 // Options control the transformation.
@@ -225,6 +226,28 @@ type Handle = interp.Handle
 // QueryService executes queries for programs run with Run: Exec is the
 // blocking path, Submit the asynchronous one.
 type QueryService = interp.QueryService
+
+// Request is one query execution request: statement name, SQL, bindings,
+// plus optional trace span, session consistency tokens and deadline. Every
+// layer of the runtime — executor, coalescer, server, shard router, replica
+// group, network front door — speaks this one shape.
+type Request = query.Request
+
+// Result is a Request's outcome.
+type Result = query.Result
+
+// BatchRequest is the set-oriented Request: one prepared statement, many
+// parameter bindings, one round trip.
+type BatchRequest = query.BatchRequest
+
+// BatchResult holds one value and one error per binding, in binding order.
+type BatchResult = query.BatchResult
+
+// Ok wraps a successful result value.
+func Ok(v any) Result { return query.Ok(v) }
+
+// Fail wraps a failed execution.
+func Fail(err error) Result { return query.Fail(err) }
 
 // Runner executes a single query; used to build services and pools.
 type Runner = exec.Runner

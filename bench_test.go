@@ -20,6 +20,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/minilang"
 	"repro/internal/obs"
+	"repro/internal/query"
 	"repro/internal/server"
 	"repro/internal/storage"
 	"repro/internal/testsvc"
@@ -329,7 +330,7 @@ func BenchmarkServerHotPath(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				_, errs := srv.ExecBatch("q", sql, argSets)
+				_, errs := srv.ExecBatch(query.BatchReq("q", sql, argSets)).Pair()
 				for _, err := range errs {
 					if err != nil {
 						b.Fatal(err)
@@ -351,8 +352,8 @@ func BenchmarkServerHotPath(b *testing.B) {
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := srv.Exec("q", "select name, rating from users where id = ?",
-				[]any{int64(i % 8192)}); err != nil {
+			if _, err := srv.Exec(query.Req("q", "select name, rating from users where id = ?",
+				[]any{int64(i % 8192)})).Pair(); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -474,7 +475,7 @@ func BenchmarkExecutorThroughput(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		h, err := e.Submit("q", "select 1", []any{int64(i)})
+		h, err := e.Submit(query.Req("q", "select 1", []any{int64(i)}))
 		if err != nil {
 			b.Fatal(err)
 		}

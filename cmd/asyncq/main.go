@@ -45,6 +45,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/minilang"
 	"repro/internal/obs"
+	"repro/internal/query"
 	"repro/internal/shard"
 	"repro/internal/testsvc"
 	"repro/internal/wal"
@@ -62,7 +63,23 @@ func main() {
 	durability := flag.String("durability", "", "log each modeled shard's -run submissions through a WAL in this commit mode (off|group|strict; empty = no WAL)")
 	stats := flag.Bool("stats", false, "after -run, dump the unified metrics registry (span histograms, executor counters, WAL state) to stderr")
 	slowlog := flag.Duration("slowlog", 0, "render -run requests slower than this wall-clock threshold as span trees on stderr (0 = off)")
+	doServe := flag.Bool("serve", false, "serve the simulated database over the wire protocol (internal/net) instead of transforming a program")
+	addr := flag.String("addr", "127.0.0.1:7474", "-serve listen address")
+	rows := flag.Int("rows", 10000, "-serve: rows preloaded into the `load` table")
+	inflight := flag.Int("inflight", 64, "-serve: admission budget (max concurrently executing request units; 0 = unlimited)")
+	scale := flag.Float64("scale", 0.02, "-serve: simulated-time scale factor for the backing server")
 	flag.Parse()
+
+	if *doServe {
+		if err := serve(serveOptions{
+			addr: *addr, rows: *rows, inflight: *inflight,
+			replicas: *replicas, durability: *durability,
+			scale: *scale, stats: *stats,
+		}); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: asyncq [flags] file.mq")
@@ -154,15 +171,15 @@ func main() {
 				}
 			}
 			baseRun, baseBatch := run, runBatch
-			run = func(name, sql string, args []any) (any, error) {
-				s := shardOf(args)
+			run = func(req query.Request) query.Result {
+				s := shardOf(req.Args)
 				atomic.AddInt64(&perShard[s], 1)
 				countReads(s, 1)
-				return baseRun(name, sql, args)
+				return baseRun(req)
 			}
-			runBatch = func(name, sql string, argSets [][]any) ([]any, []error) {
+			runBatch = func(req query.BatchRequest) query.BatchResult {
 				subBatch := make(map[int]int, len(perShard))
-				for _, args := range argSets {
+				for _, args := range req.ArgSets {
 					s := shardOf(args)
 					atomic.AddInt64(&perShard[s], 1)
 					subBatch[s]++
@@ -172,7 +189,7 @@ func main() {
 						countReads(s, n)
 					}
 				}
-				return baseBatch(name, sql, argSets)
+				return baseBatch(req)
 			}
 		}
 		// With -durability every successful submission is appended to its
@@ -198,27 +215,27 @@ func main() {
 				return walLogs[0]
 			}
 			baseRun, baseBatch := run, runBatch
-			run = func(name, sql string, args []any) (any, error) {
-				res, err := baseRun(name, sql, args)
-				if err == nil {
-					l := logOf(args)
-					l.Commit(l.Append(name, sql, [][]any{args}))
+			run = func(req query.Request) query.Result {
+				res := baseRun(req)
+				if res.Err == nil {
+					l := logOf(req.Args)
+					l.Commit(l.Append(req.Name, req.SQL, [][]any{req.Args}))
 				}
-				return res, err
+				return res
 			}
-			runBatch = func(name, sql string, argSets [][]any) ([]any, []error) {
-				vals, errs := baseBatch(name, sql, argSets)
+			runBatch = func(req query.BatchRequest) query.BatchResult {
+				br := baseBatch(req)
 				sub := make(map[*wal.Log][][]any, len(walLogs))
-				for i, args := range argSets {
-					if errs == nil || errs[i] == nil {
+				for i, args := range req.ArgSets {
+					if br.Errs == nil || br.Errs[i] == nil {
 						l := logOf(args)
 						sub[l] = append(sub[l], args)
 					}
 				}
 				for l, sets := range sub {
-					l.Commit(l.Append(name, sql, sets))
+					l.Commit(l.Append(req.Name, req.SQL, sets))
 				}
-				return vals, errs
+				return br
 			}
 		}
 		var svc *exec.Service
@@ -240,7 +257,7 @@ func main() {
 			if *slowlog > 0 {
 				tr.SetSlowLog(*slowlog, os.Stderr)
 			}
-			svc.EnableTracing(tr, nil, nil)
+			svc.EnableTracing(tr)
 			obsReg.RegisterSource("exec", func() map[string]float64 {
 				submitted, completed := svc.Stats()
 				batches, avg := svc.BatchStats()

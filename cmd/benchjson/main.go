@@ -6,17 +6,26 @@
 //
 //	go test -run XXX -bench . ./... | benchjson -o BENCH_6.json
 //	benchjson -text BENCH_6.json > new.txt    # back to benchstat input
+//	benchjson -load LOAD_8.json               # validate a loadgen report
 //
 // Values are kept verbatim (no float round-tripping), so
 // `benchjson -text old.json` / `benchjson -text new.json` feed benchstat
 // exactly what the original runs printed.
 //
-// A numbered artifact name (-o BENCH_<n>.json or TAIL_<n>.json) is
-// validated against the repository's CHANGES.md: n must equal the number of
-// "PR " entries, so an artifact can never silently claim another PR's slot.
+// -load validates a cmd/loadgen LOAD_<n>.json report instead: the run must
+// have sent requests, every sent request must be accounted for (completed,
+// shed, deadlined, failed or hung), no request may be hung or failed, and
+// the latency percentiles must be ordered. CI gates the loadgen-smoke
+// artifact on this check.
+//
+// A numbered artifact name (-o BENCH_<n>.json, TAIL_<n>.json or
+// LOAD_<n>.json) is validated against the repository's CHANGES.md: n must
+// equal the number of "PR " entries, so an artifact can never silently
+// claim another PR's slot.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -27,10 +36,11 @@ import (
 	"strings"
 
 	"repro/internal/benchfmt"
+	"repro/internal/net"
 )
 
 // artifactRe matches the numbered per-PR artifact names CI emits.
-var artifactRe = regexp.MustCompile(`^(BENCH|TAIL)_(\d+)\.json$`)
+var artifactRe = regexp.MustCompile(`^(BENCH|TAIL|LOAD)_(\d+)\.json$`)
 
 // prCount counts the "PR " entries in the CHANGES.md found at dir or the
 // nearest ancestor. It returns -1 when no CHANGES.md exists (benchjson also
@@ -73,9 +83,40 @@ func validateArtifactName(out, dir string) error {
 	return nil
 }
 
+// validateLoadReport checks the invariants a healthy loadgen run reports:
+// work was sent, the per-outcome counters add up, nothing hung or failed,
+// and the percentiles are ordered. It is the acceptance gate CI applies to
+// the LOAD_<n>.json artifact.
+func validateLoadReport(rep net.LoadReport) error {
+	if rep.Sent <= 0 {
+		return fmt.Errorf("load report: no requests sent")
+	}
+	if sum := rep.Completed + rep.Shed + rep.Deadlined + rep.Failed + rep.Hung; sum != rep.Sent {
+		return fmt.Errorf("load report: outcomes (%d completed + %d shed + %d deadlined + %d failed + %d hung = %d) do not account for %d sent",
+			rep.Completed, rep.Shed, rep.Deadlined, rep.Failed, rep.Hung, sum, rep.Sent)
+	}
+	if rep.Hung > 0 {
+		return fmt.Errorf("load report: %d hung requests (never answered)", rep.Hung)
+	}
+	if rep.Failed > 0 {
+		return fmt.Errorf("load report: %d failed requests", rep.Failed)
+	}
+	if rep.Completed > 0 {
+		if rep.P50Ms <= 0 {
+			return fmt.Errorf("load report: completed %d requests but p50 is %v ms", rep.Completed, rep.P50Ms)
+		}
+		if rep.P50Ms > rep.P99Ms || rep.P99Ms > rep.P999Ms || rep.P999Ms > rep.MaxMs {
+			return fmt.Errorf("load report: percentiles out of order: p50 %v > p99 %v > p999 %v > max %v (ms)",
+				rep.P50Ms, rep.P99Ms, rep.P999Ms, rep.MaxMs)
+		}
+	}
+	return nil
+}
+
 func main() {
 	out := flag.String("o", "", "write output to `file` (default stdout)")
 	text := flag.Bool("text", false, "input is BENCH_<n>.json; emit benchstat text instead")
+	load := flag.Bool("load", false, "input is LOAD_<n>.json (a cmd/loadgen report); validate it")
 	flag.Parse()
 
 	if *out != "" {
@@ -109,6 +150,19 @@ func main() {
 		}
 		defer f.Close()
 		w = f
+	}
+
+	if *load {
+		var rep net.LoadReport
+		if err := json.NewDecoder(in).Decode(&rep); err != nil {
+			fatal(fmt.Errorf("load report: %w", err))
+		}
+		if err := validateLoadReport(rep); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(w, "ok: %s loop, sent %d, completed %d, shed %d, deadlined %d, p999 %.2fms\n",
+			rep.Mode, rep.Sent, rep.Completed, rep.Shed, rep.Deadlined, rep.P999Ms)
+		return
 	}
 
 	if *text {

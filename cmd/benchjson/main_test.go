@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/net"
 )
 
 func TestValidateArtifactName(t *testing.T) {
@@ -24,11 +26,13 @@ func TestValidateArtifactName(t *testing.T) {
 	}{
 		{"BENCH_3.json", dir, ""},
 		{"TAIL_3.json", dir, ""},
+		{"LOAD_3.json", dir, ""},
 		{"BENCH_3.json", sub, ""}, // CHANGES.md found via ancestor walk
 		{"/elsewhere/BENCH_3.json", dir, ""},
 		{"bench-smoke.txt", dir, ""},       // unnumbered names are not checked
 		{"BENCH_2.json", dir, "records 3"}, // stale number
 		{"TAIL_9.json", dir, "TAIL_3.json"},
+		{"LOAD_7.json", dir, "LOAD_3.json"},
 	}
 	for _, c := range cases {
 		err := validateArtifactName(c.out, c.dir)
@@ -47,5 +51,44 @@ func TestValidateArtifactName(t *testing.T) {
 	// the most filesystem-root-adjacent writable-free place to anchor.
 	if err := validateArtifactName("BENCH_99.json", string(os.PathSeparator)); err != nil {
 		t.Errorf("no CHANGES.md: want skip, got %v", err)
+	}
+}
+
+func TestValidateLoadReport(t *testing.T) {
+	healthy := net.LoadReport{
+		Mode: "open", Conns: 64, Rate: 20000, Duration: 3,
+		Sent: 1000, Completed: 600, Shed: 390, Deadlined: 10,
+		ThroughputRPS: 200,
+		P50Ms:         0.5, P99Ms: 2.0, P999Ms: 4.0, MeanMs: 0.6, MaxMs: 5.0,
+	}
+	if err := validateLoadReport(healthy); err != nil {
+		t.Fatalf("healthy report rejected: %v", err)
+	}
+
+	// All-shed is still valid (no completions, so no percentile check).
+	allShed := net.LoadReport{Mode: "open", Sent: 100, Shed: 100}
+	if err := validateLoadReport(allShed); err != nil {
+		t.Fatalf("all-shed report rejected: %v", err)
+	}
+
+	cases := []struct {
+		name    string
+		mutate  func(*net.LoadReport)
+		wantErr string
+	}{
+		{"empty run", func(r *net.LoadReport) { r.Sent = 0 }, "no requests sent"},
+		{"unaccounted outcomes", func(r *net.LoadReport) { r.Shed = 0 }, "do not account"},
+		{"hung requests", func(r *net.LoadReport) { r.Shed -= 2; r.Hung = 2 }, "hung"},
+		{"failed requests", func(r *net.LoadReport) { r.Shed--; r.Failed = 1 }, "failed"},
+		{"zero p50 with completions", func(r *net.LoadReport) { r.P50Ms = 0 }, "p50"},
+		{"inverted percentiles", func(r *net.LoadReport) { r.P99Ms = 9 }, "out of order"},
+	}
+	for _, c := range cases {
+		rep := healthy
+		c.mutate(&rep)
+		err := validateLoadReport(rep)
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: got %v, want error containing %q", c.name, err, c.wantErr)
+		}
 	}
 }

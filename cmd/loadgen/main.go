@@ -1,0 +1,105 @@
+// Command loadgen drives a running `asyncq -serve` front door over the
+// wire protocol and reports the latency distribution, throughput, and the
+// admission-control accounting (sheds, deadline misses, hung requests).
+//
+// Usage:
+//
+//	asyncq -serve -addr 127.0.0.1:7474 &
+//	loadgen -addr 127.0.0.1:7474 -conns 64 -dur 5s                  # closed loop
+//	loadgen -addr 127.0.0.1:7474 -conns 256 -rate 20000 -dur 5s \
+//	        -deadline 50ms -json LOAD_8.json                         # open loop
+//
+// Closed loop (-rate 0) self-throttles to the server's capacity and
+// measures best-case service latency. Open loop (-rate N) keeps offering
+// load regardless of completions — the mode that exposes overload: with
+// the offered rate above the admission budget, the report should show
+// bounded p999 on admitted requests, a nonzero shed count, and zero hung
+// connections. -json writes the report as one JSON object (the LOAD_<n>
+// CI artifact; validate with `benchjson -load`).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/net"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7474", "front door address")
+	conns := flag.Int("conns", 32, "concurrent connections")
+	rate := flag.Float64("rate", 0, "open-loop offered load, requests/sec (0 = closed loop)")
+	dur := flag.Duration("dur", 5*time.Second, "run duration")
+	deadline := flag.Duration("deadline", 0, "per-request deadline (0 = none)")
+	op := flag.String("op", "select", "workload: select (point reads) or insert (unique-key writes)")
+	rows := flag.Int("rows", 10000, "key range of the server's load table (must match -serve -rows)")
+	seed := flag.Int64("seed", 1, "argument-generator seed")
+	jsonOut := flag.String("json", "", "also write the report as JSON to `file`")
+	flag.Parse()
+
+	opts := net.LoadOptions{
+		Addr:     *addr,
+		Conns:    *conns,
+		Rate:     *rate,
+		Duration: *dur,
+		Deadline: *deadline,
+		Seed:     *seed,
+	}
+	switch *op {
+	case "select":
+		opts.Name = "point"
+		opts.SQL = "select val from load where id = ?"
+		n := int64(*rows)
+		opts.ArgFn = func(r *rand.Rand) []any { return []any{r.Int63n(n) + 1} }
+	case "insert":
+		opts.Name = "ins"
+		opts.SQL = "insert into load values (?, ?)"
+		var next atomic.Int64
+		next.Store(int64(*rows))
+		opts.ArgFn = func(r *rand.Rand) []any {
+			id := next.Add(1)
+			return []any{id, fmt.Sprintf("w%d", id)}
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "loadgen: unknown -op %q (select|insert)\n", *op)
+		os.Exit(2)
+	}
+
+	rep, err := net.RunLoad(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("loadgen: %s loop, %d conns", rep.Mode, rep.Conns)
+	if rep.Mode == "open" {
+		fmt.Printf(", offered %.0f req/s", rep.Rate)
+	}
+	fmt.Printf(", %s\n", dur)
+	fmt.Printf("  sent %d  completed %d (%.0f req/s)  shed %d (%.1f%%)  deadlined %d  failed %d  hung %d\n",
+		rep.Sent, rep.Completed, rep.ThroughputRPS,
+		rep.Shed, 100*rep.ShedRate(), rep.Deadlined, rep.Failed, rep.Hung)
+	fmt.Printf("  latency ms: p50 %.2f  p99 %.2f  p999 %.2f  mean %.2f  max %.2f\n",
+		rep.P50Ms, rep.P99Ms, rep.P999Ms, rep.MeanMs, rep.MaxMs)
+
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+	}
+	if rep.Hung > 0 || rep.Failed > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: FAIL: %d hung, %d failed requests\n", rep.Hung, rep.Failed)
+		os.Exit(1)
+	}
+}

@@ -39,9 +39,9 @@ func main() {
 	// 2. Run both versions against the same query service. The service
 	// computes a deterministic result per (query, args), so the programs
 	// must agree exactly.
-	runner := func(name, sql string, args []any) (any, error) {
-		c, _ := args[0].(int64)
-		return c*10 + 7, nil // pretend count per category
+	runner := func(req asyncq.Request) asyncq.Result {
+		c, _ := req.Args[0].(int64)
+		return asyncq.Ok(c*10 + 7) // pretend count per category
 	}
 	args := []asyncq.Value{listOf(3, 9, 12, 40, 77)}
 

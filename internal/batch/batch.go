@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/exec"
 	"repro/internal/obs"
+	"repro/internal/query"
 )
 
 // Defaults for Options fields left zero.
@@ -81,6 +82,11 @@ type group struct {
 	argSets [][]any
 	handles []*exec.Handle
 	timer   *time.Timer
+	// fireAt is when the linger timer is scheduled to flush the group. A
+	// member whose deadline lands earlier pulls the flush forward — a
+	// deadline-bearing request never waits out a linger window it cannot
+	// afford.
+	fireAt time.Time
 	// waits holds the traced members' "batch.wait" spans (parallel to
 	// handles, nil entries for untraced members); dispatch ends them —
 	// their wall time is fill + linger, the price a request pays to share
@@ -122,26 +128,27 @@ func New(ex *exec.Executor, opts Options) *Coalescer {
 	return c
 }
 
-// Submit enqueues one request and returns its handle immediately. The
-// request joins the open batch for (name, sql), creating one if needed; the
-// batch flushes when it reaches MaxBatch requests or its linger window
-// expires, whichever comes first.
-func (c *Coalescer) Submit(name, sql string, args []any) (*exec.Handle, error) {
-	return c.SubmitSpan(nil, name, sql, args)
-}
-
-// SubmitSpan is Submit with the request's root span threaded through
-// (implementing exec.SpanBatcher): the span rides the pending handle, and
-// a "batch.wait" child covers the time between submission and dispatch —
-// batch fill plus linger, the coalescing cost the paper's batched
-// submission trades for shared round trips.
-func (c *Coalescer) SubmitSpan(sp *obs.Span, name, sql string, args []any) (*exec.Handle, error) {
-	h := exec.NewPendingHandleSpan(sp)
-	k := key{name: name, sql: sql}
-	if c.opts.GroupFn != nil {
-		k.group = c.opts.GroupFn(name, sql, args)
+// Submit enqueues one request and returns its handle immediately
+// (implementing exec.Batcher). The request joins the open batch for
+// (name, sql), creating one if needed; the batch flushes when it reaches
+// MaxBatch requests, its linger window expires, or the earliest member
+// deadline arrives, whichever comes first. The request's span rides the
+// pending handle, with a "batch.wait" child covering the time between
+// submission and dispatch — batch fill plus linger, the coalescing cost the
+// paper's batched submission trades for shared round trips. A request whose
+// deadline already expired completes immediately with
+// query.ErrDeadlineExceeded instead of joining a batch.
+func (c *Coalescer) Submit(req query.Request) (*exec.Handle, error) {
+	h := exec.NewPendingHandle(req.Span, req.Deadline)
+	if req.Deadline.Expired() {
+		h.Complete(nil, query.ErrDeadlineExceeded)
+		return h, nil
 	}
-	wait := sp.Child("batch.wait") // nil-safe: nil for untraced requests
+	k := key{name: req.Name, sql: req.SQL}
+	if c.opts.GroupFn != nil {
+		k.group = c.opts.GroupFn(req.Name, req.SQL, req.Args)
+	}
+	wait := req.Span.Child("batch.wait") // nil-safe: nil for untraced requests
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -150,20 +157,26 @@ func (c *Coalescer) SubmitSpan(sp *obs.Span, name, sql string, args []any) (*exe
 	}
 	g := c.groups[k]
 	if g == nil {
-		g = &group{key: k}
+		g = &group{key: k, fireAt: time.Now().Add(c.opts.Linger)}
 		c.groups[k] = g
 		// The timer closure captures the group, not the key: if the group
 		// was already flushed (full, or by Flush/Close) and a new one opened
 		// under the same key, a stale firing must not steal it.
 		g.timer = time.AfterFunc(c.opts.Linger, func() { c.flushGroup(g) })
 	}
-	g.argSets = append(g.argSets, args)
+	g.argSets = append(g.argSets, req.Args)
 	g.handles = append(g.handles, h)
 	if wait != nil {
 		if g.waits == nil {
 			g.waits = make([]*obs.Span, 0, c.opts.MaxBatch)
 		}
 		g.waits = append(g.waits, wait)
+	}
+	// A member that cannot afford the full linger pulls the flush forward:
+	// the group fires at the earliest member deadline instead.
+	if t, ok := req.Deadline.Time(); ok && t.Before(g.fireAt) {
+		g.fireAt = t
+		g.timer.Reset(time.Until(t))
 	}
 	var full *group
 	if len(g.handles) >= c.opts.MaxBatch {
@@ -205,7 +218,7 @@ func (c *Coalescer) dispatch(g *group) {
 		c.mu.Unlock()
 	}()
 	g.endWaits() // coalescing is over; the batch heads for the executor
-	if err := c.ex.SubmitBatch(g.key.name, g.key.sql, g.argSets, g.handles); err != nil {
+	if err := c.ex.SubmitBatch(query.BatchReq(g.key.name, g.key.sql, g.argSets), g.handles); err != nil {
 		for _, h := range g.handles {
 			h.Complete(nil, err)
 		}

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/exec"
 	"repro/internal/interp"
+	"repro/internal/query"
 	"repro/internal/replica"
 	"repro/internal/server"
 	"repro/internal/storage"
@@ -17,11 +18,11 @@ import (
 // countingBatchRunner returns a BatchRunner that executes bindings with a
 // deterministic function and counts calls.
 func countingBatchRunner(calls *atomic.Int64) exec.BatchRunner {
-	return func(name, sql string, argSets [][]any) ([]any, []error) {
+	return func(req query.BatchRequest) query.BatchResult {
 		calls.Add(1)
-		vals := make([]any, len(argSets))
-		errs := make([]error, len(argSets))
-		for i, args := range argSets {
+		vals := make([]any, len(req.ArgSets))
+		errs := make([]error, len(req.ArgSets))
+		for i, args := range req.ArgSets {
 			if len(args) == 1 {
 				if n, ok := args[0].(int64); ok {
 					vals[i] = n * 10
@@ -30,7 +31,7 @@ func countingBatchRunner(calls *atomic.Int64) exec.BatchRunner {
 			}
 			errs[i] = fmt.Errorf("bad binding %d", i)
 		}
-		return vals, errs
+		return query.BatchResult{Values: vals, Errs: errs}
 	}
 }
 
@@ -43,7 +44,7 @@ func TestCoalescesFullBatches(t *testing.T) {
 
 	var hs []*exec.Handle
 	for i := int64(0); i < 32; i++ {
-		h, err := c.Submit("q", "select ?", []any{i})
+		h, err := c.Submit(query.Req("q", "select ?", []any{i}))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -74,7 +75,7 @@ func TestLingerFlushesPartialBatch(t *testing.T) {
 	c := New(ex, Options{MaxBatch: 100, Linger: 5 * time.Millisecond})
 	defer c.Close()
 
-	h, err := c.Submit("q", "select ?", []any{int64(3)})
+	h, err := c.Submit(query.Req("q", "select ?", []any{int64(3)}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,16 +103,16 @@ func TestStatementsDoNotCrossCoalesce(t *testing.T) {
 		n    int
 	}
 	var batches []call // appended by the single worker, so no lock needed
-	ex := exec.NewBatchExecutor(1, nil, func(name, sql string, argSets [][]any) ([]any, []error) {
-		batches = append(batches, call{name, len(argSets)})
-		return make([]any, len(argSets)), make([]error, len(argSets))
+	ex := exec.NewBatchExecutor(1, nil, func(req query.BatchRequest) query.BatchResult {
+		batches = append(batches, call{req.Name, len(req.ArgSets)})
+		return query.BatchResult{Values: make([]any, len(req.ArgSets)), Errs: make([]error, len(req.ArgSets))}
 	})
 	defer ex.Close()
 	c := New(ex, Options{MaxBatch: 4, Linger: time.Second})
 	var hs []*exec.Handle
 	for i := 0; i < 4; i++ {
-		h1, _ := c.Submit("a", "select a", nil)
-		h2, _ := c.Submit("b", "select b", nil)
+		h1, _ := c.Submit(query.Req("a", "select a", nil))
+		h2, _ := c.Submit(query.Req("b", "select b", nil))
 		hs = append(hs, h1, h2)
 	}
 	c.Flush()
@@ -137,8 +138,8 @@ func TestPerBindingErrorsDemux(t *testing.T) {
 	c := New(ex, Options{MaxBatch: 2, Linger: time.Second})
 	defer c.Close()
 
-	good, _ := c.Submit("q", "select ?", []any{int64(5)})
-	bad, _ := c.Submit("q", "select ?", []any{"not-an-int"})
+	good, _ := c.Submit(query.Req("q", "select ?", []any{int64(5)}))
+	bad, _ := c.Submit(query.Req("q", "select ?", []any{"not-an-int"}))
 	if v, err := good.Fetch(); err != nil || v != int64(50) {
 		t.Fatalf("good binding: %v %v", v, err)
 	}
@@ -153,22 +154,22 @@ func TestCloseFlushesAndRejects(t *testing.T) {
 	defer ex.Close()
 	c := New(ex, Options{MaxBatch: 100, Linger: time.Hour})
 
-	h, _ := c.Submit("q", "select ?", []any{int64(1)})
+	h, _ := c.Submit(query.Req("q", "select ?", []any{int64(1)}))
 	c.Close()
 	if v, err := h.Fetch(); err != nil || v != int64(10) {
 		t.Fatalf("fetch after close: %v %v", v, err)
 	}
-	if _, err := c.Submit("q", "select ?", []any{int64(2)}); !errors.Is(err, exec.ErrClosed) {
+	if _, err := c.Submit(query.Req("q", "select ?", []any{int64(2)})); !errors.Is(err, exec.ErrClosed) {
 		t.Fatalf("submit after close: %v", err)
 	}
 }
 
 func TestExecutorClosedFailsPendingHandles(t *testing.T) {
-	ex := exec.NewBatchExecutor(1, nil, func(name, sql string, argSets [][]any) ([]any, []error) {
-		return make([]any, len(argSets)), make([]error, len(argSets))
+	ex := exec.NewBatchExecutor(1, nil, func(req query.BatchRequest) query.BatchResult {
+		return query.BatchResult{Values: make([]any, len(req.ArgSets)), Errs: make([]error, len(req.ArgSets))}
 	})
 	c := New(ex, Options{MaxBatch: 100, Linger: time.Hour})
-	h, _ := c.Submit("q", "select ?", []any{int64(1)})
+	h, _ := c.Submit(query.Req("q", "select ?", []any{int64(1)}))
 	ex.Close() // wrong order on purpose: executor gone while a group lingers
 	c.Close()  // flush dispatches into the closed executor
 	if _, err := h.Fetch(); !errors.Is(err, exec.ErrClosed) {
@@ -180,16 +181,16 @@ func TestNoBatchRunnerDegradesToPerBinding(t *testing.T) {
 	// An executor without a BatchRunner must still execute batch jobs
 	// correctly, one binding at a time.
 	var runs atomic.Int64
-	ex := exec.NewBatchExecutor(1, func(name, sql string, args []any) (any, error) {
+	ex := exec.NewBatchExecutor(1, func(req query.Request) query.Result {
 		runs.Add(1)
-		return args[0].(int64) + 1, nil
+		return query.Ok(req.Args[0].(int64) + 1)
 	}, nil)
 	defer ex.Close()
 	c := New(ex, Options{MaxBatch: 4, Linger: time.Second})
 	defer c.Close()
 	var hs []*exec.Handle
 	for i := int64(0); i < 4; i++ {
-		h, _ := c.Submit("q", "select ?", []any{i})
+		h, _ := c.Submit(query.Req("q", "select ?", []any{i}))
 		hs = append(hs, h)
 	}
 	for i, h := range hs {
@@ -210,12 +211,12 @@ func TestServiceDegradedModeBatchingNoop(t *testing.T) {
 	// workers == 0: NewService degrades to synchronous fallback and the
 	// batching toggle is a no-op.
 	var syncRuns atomic.Int64
-	svc := NewService(0, func(name, sql string, args []any) (any, error) {
+	svc := NewService(0, func(req query.Request) query.Result {
 		syncRuns.Add(1)
-		return int64(7), nil
-	}, func(name, sql string, argSets [][]any) ([]any, []error) {
+		return query.Ok(int64(7))
+	}, func(req query.BatchRequest) query.BatchResult {
 		t.Error("batch runner must not be called in degraded mode")
-		return nil, nil
+		return query.BatchResult{}
 	}, Options{})
 	defer svc.Close()
 
@@ -235,8 +236,8 @@ func TestServiceDegradedModeBatchingNoop(t *testing.T) {
 }
 
 func TestEnableMaxBatchOneIsOff(t *testing.T) {
-	svc := exec.NewBatchService(2, func(name, sql string, args []any) (any, error) {
-		return int64(1), nil
+	svc := exec.NewBatchService(2, func(req query.Request) query.Result {
+		return query.Ok(int64(1))
 	}, nil)
 	defer svc.Close()
 	if c := Enable(svc, Options{MaxBatch: 1}); c != nil {
@@ -260,12 +261,12 @@ func TestEnableMaxBatchOneIsOff(t *testing.T) {
 // submission (no ErrClosed on handles obtained before Close).
 func TestCloseDrainContractUnderLingerRace(t *testing.T) {
 	for round := 0; round < 50; round++ {
-		svc := NewService(2, nil, func(name, sql string, argSets [][]any) ([]any, []error) {
-			vals := make([]any, len(argSets))
+		svc := NewService(2, nil, func(req query.BatchRequest) query.BatchResult {
+			vals := make([]any, len(req.ArgSets))
 			for i := range vals {
 				vals[i] = int64(1)
 			}
-			return vals, make([]error, len(argSets))
+			return query.BatchResult{Values: vals, Errs: make([]error, len(req.ArgSets))}
 		}, Options{MaxBatch: 100, Linger: time.Microsecond})
 		var hs []*exec.Handle
 		for i := 0; i < 8; i++ {
@@ -285,8 +286,8 @@ func TestCloseDrainContractUnderLingerRace(t *testing.T) {
 }
 
 func TestNegativeMaxBatchIsOff(t *testing.T) {
-	svc := NewService(2, func(name, sql string, args []any) (any, error) {
-		return int64(2), nil
+	svc := NewService(2, func(req query.Request) query.Result {
+		return query.Ok(int64(2))
 	}, nil, Options{MaxBatch: -3})
 	defer svc.Close()
 	h, err := svc.Submit("q", "select 1", nil)

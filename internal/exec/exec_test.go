@@ -8,16 +8,18 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/query"
 )
 
 func TestSubmitFetch(t *testing.T) {
-	e := NewExecutor(4, func(name, sql string, args []any) (any, error) {
-		return args[0].(int64) * 2, nil
+	e := NewExecutor(4, func(req query.Request) query.Result {
+		return query.Ok(req.Args[0].(int64) * 2)
 	})
 	defer e.Close()
 	var handles []*Handle
 	for i := int64(0); i < 100; i++ {
-		h, err := e.Submit("q", "", []any{i})
+		h, err := e.Submit(query.Req("q", "", []any{i}))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -39,9 +41,9 @@ func TestSubmitFetch(t *testing.T) {
 }
 
 func TestFetchIdempotent(t *testing.T) {
-	e := NewExecutor(1, func(name, sql string, args []any) (any, error) { return int64(7), nil })
+	e := NewExecutor(1, func(req query.Request) query.Result { return query.Ok(int64(7)) })
 	defer e.Close()
-	h, _ := e.Submit("q", "", nil)
+	h, _ := e.Submit(query.Req("q", "", nil))
 	for i := 0; i < 3; i++ {
 		v, err := h.Fetch()
 		if err != nil || v != int64(7) {
@@ -52,9 +54,9 @@ func TestFetchIdempotent(t *testing.T) {
 
 func TestErrorsPropagate(t *testing.T) {
 	want := errors.New("boom")
-	e := NewExecutor(2, func(name, sql string, args []any) (any, error) { return nil, want })
+	e := NewExecutor(2, func(req query.Request) query.Result { return query.Fail(want) })
 	defer e.Close()
-	h, _ := e.Submit("q", "", nil)
+	h, _ := e.Submit(query.Req("q", "", nil))
 	if _, err := h.Fetch(); !errors.Is(err, want) {
 		t.Fatalf("got %v", err)
 	}
@@ -63,7 +65,7 @@ func TestErrorsPropagate(t *testing.T) {
 func TestConcurrencyBound(t *testing.T) {
 	const workers = 3
 	var cur, maxSeen atomic.Int64
-	e := NewExecutor(workers, func(name, sql string, args []any) (any, error) {
+	e := NewExecutor(workers, func(req query.Request) query.Result {
 		n := cur.Add(1)
 		for {
 			m := maxSeen.Load()
@@ -73,11 +75,11 @@ func TestConcurrencyBound(t *testing.T) {
 		}
 		time.Sleep(2 * time.Millisecond)
 		cur.Add(-1)
-		return nil, nil
+		return query.Ok(nil)
 	})
 	var hs []*Handle
 	for i := 0; i < 30; i++ {
-		h, _ := e.Submit("q", "", nil)
+		h, _ := e.Submit(query.Req("q", "", nil))
 		hs = append(hs, h)
 	}
 	for _, h := range hs {
@@ -94,14 +96,14 @@ func TestConcurrencyBound(t *testing.T) {
 
 func TestSubmitNeverBlocks(t *testing.T) {
 	block := make(chan struct{})
-	e := NewExecutor(1, func(name, sql string, args []any) (any, error) {
+	e := NewExecutor(1, func(req query.Request) query.Result {
 		<-block
-		return nil, nil
+		return query.Ok(nil)
 	})
 	done := make(chan struct{})
 	go func() {
 		for i := 0; i < 10_000; i++ {
-			if _, err := e.Submit("q", "", nil); err != nil {
+			if _, err := e.Submit(query.Req("q", "", nil)); err != nil {
 				t.Error(err)
 				break
 			}
@@ -119,31 +121,31 @@ func TestSubmitNeverBlocks(t *testing.T) {
 
 func TestCloseDrains(t *testing.T) {
 	var completed atomic.Int64
-	e := NewExecutor(2, func(name, sql string, args []any) (any, error) {
+	e := NewExecutor(2, func(req query.Request) query.Result {
 		time.Sleep(time.Millisecond)
 		completed.Add(1)
-		return nil, nil
+		return query.Ok(nil)
 	})
 	for i := 0; i < 20; i++ {
-		e.Submit("q", "", nil)
+		e.Submit(query.Req("q", "", nil))
 	}
 	e.Close()
 	if completed.Load() != 20 {
 		t.Fatalf("close did not drain: %d/20", completed.Load())
 	}
-	if _, err := e.Submit("q", "", nil); !errors.Is(err, ErrClosed) {
+	if _, err := e.Submit(query.Req("q", "", nil)); !errors.Is(err, ErrClosed) {
 		t.Fatalf("submit after close: %v", err)
 	}
 }
 
 func TestDone(t *testing.T) {
 	block := make(chan struct{})
-	e := NewExecutor(1, func(name, sql string, args []any) (any, error) {
+	e := NewExecutor(1, func(req query.Request) query.Result {
 		<-block
-		return int64(1), nil
+		return query.Ok(int64(1))
 	})
 	defer e.Close()
-	h, _ := e.Submit("q", "", nil)
+	h, _ := e.Submit(query.Req("q", "", nil))
 	if h.Done() {
 		t.Fatal("done before completion")
 	}
@@ -157,15 +159,15 @@ func TestDone(t *testing.T) {
 func TestFIFOOrder(t *testing.T) {
 	var mu sync.Mutex
 	var order []int64
-	e := NewExecutor(1, func(name, sql string, args []any) (any, error) {
+	e := NewExecutor(1, func(req query.Request) query.Result {
 		mu.Lock()
-		order = append(order, args[0].(int64))
+		order = append(order, req.Args[0].(int64))
 		mu.Unlock()
-		return nil, nil
+		return query.Ok(nil)
 	})
 	var hs []*Handle
 	for i := int64(0); i < 50; i++ {
-		h, _ := e.Submit("q", "", []any{i})
+		h, _ := e.Submit(query.Req("q", "", []any{i}))
 		hs = append(hs, h)
 	}
 	for _, h := range hs {
@@ -180,7 +182,7 @@ func TestFIFOOrder(t *testing.T) {
 }
 
 func TestServiceDegradedMode(t *testing.T) {
-	s := NewService(0, func(name, sql string, args []any) (any, error) { return int64(9), nil })
+	s := NewService(0, func(req query.Request) query.Result { return query.Ok(int64(9)) })
 	defer s.Close()
 	h, err := s.Submit("q", "", nil)
 	if err != nil {
@@ -193,8 +195,8 @@ func TestServiceDegradedMode(t *testing.T) {
 }
 
 func TestServiceExec(t *testing.T) {
-	s := NewService(2, func(name, sql string, args []any) (any, error) {
-		return fmt.Sprintf("%s:%v", name, args[0]), nil
+	s := NewService(2, func(req query.Request) query.Result {
+		return query.Ok(fmt.Sprintf("%s:%v", req.Name, req.Args[0]))
 	})
 	defer s.Close()
 	v, err := s.Exec("q", "", []any{int64(3)})
@@ -209,13 +211,13 @@ func TestServiceExec(t *testing.T) {
 // before Close must complete with its real result — Fetch never blocks
 // forever and never observes a lost request.
 func TestClosePendingHandlesComplete(t *testing.T) {
-	e := NewExecutor(2, func(name, sql string, args []any) (any, error) {
+	e := NewExecutor(2, func(req query.Request) query.Result {
 		time.Sleep(200 * time.Microsecond)
-		return args[0], nil
+		return query.Ok(req.Args[0])
 	})
 	var hs []*Handle
 	for i := int64(0); i < 200; i++ {
-		h, err := e.Submit("q", "", []any{i})
+		h, err := e.Submit(query.Req("q", "", []any{i}))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -253,7 +255,7 @@ func TestClosePendingHandlesComplete(t *testing.T) {
 // TestConcurrentCloseIdempotent: racing Closes and Submits never deadlock;
 // every successfully submitted handle completes.
 func TestConcurrentCloseIdempotent(t *testing.T) {
-	e := NewExecutor(3, func(name, sql string, args []any) (any, error) { return int64(1), nil })
+	e := NewExecutor(3, func(req query.Request) query.Result { return query.Ok(int64(1)) })
 	var wg sync.WaitGroup
 	results := make(chan *Handle, 1000)
 	for g := 0; g < 4; g++ {
@@ -261,7 +263,7 @@ func TestConcurrentCloseIdempotent(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 100; i++ {
-				h, err := e.Submit("q", "", nil)
+				h, err := e.Submit(query.Req("q", "", nil))
 				if err != nil {
 					if !errors.Is(err, ErrClosed) {
 						t.Errorf("unexpected submit error: %v", err)
@@ -298,9 +300,9 @@ func TestConcurrentCloseIdempotent(t *testing.T) {
 func TestCloseNoGoroutineLeak(t *testing.T) {
 	before := runtime.NumGoroutine()
 	for round := 0; round < 10; round++ {
-		e := NewExecutor(8, func(name, sql string, args []any) (any, error) { return nil, nil })
+		e := NewExecutor(8, func(req query.Request) query.Result { return query.Ok(nil) })
 		for i := 0; i < 50; i++ {
-			e.Submit("q", "", nil)
+			e.Submit(query.Req("q", "", nil))
 		}
 		e.Close()
 	}
@@ -321,10 +323,10 @@ func TestCloseNoGoroutineLeak(t *testing.T) {
 // TestSubmitBatchAfterClose: batch submissions are rejected once closed and
 // the caller keeps ownership of the (uncompleted) handles.
 func TestSubmitBatchAfterClose(t *testing.T) {
-	e := NewExecutor(1, func(name, sql string, args []any) (any, error) { return nil, nil })
+	e := NewExecutor(1, func(req query.Request) query.Result { return query.Ok(nil) })
 	e.Close()
-	h := NewPendingHandle()
-	err := e.SubmitBatch("q", "", [][]any{{int64(1)}}, []*Handle{h})
+	h := NewPendingHandle(nil, query.Deadline{})
+	err := e.SubmitBatch(query.BatchReq("q", "", [][]any{{int64(1)}}), []*Handle{h})
 	if !errors.Is(err, ErrClosed) {
 		t.Fatalf("got %v, want ErrClosed", err)
 	}
@@ -336,15 +338,15 @@ func TestSubmitBatchAfterClose(t *testing.T) {
 // TestCloseDrainsBatchJobs: batch jobs queued before Close still execute.
 func TestCloseDrainsBatchJobs(t *testing.T) {
 	var ran atomic.Int64
-	e := NewBatchExecutor(1, nil, func(name, sql string, argSets [][]any) ([]any, []error) {
+	e := NewBatchExecutor(1, nil, func(req query.BatchRequest) query.BatchResult {
 		time.Sleep(time.Millisecond)
-		ran.Add(int64(len(argSets)))
-		return make([]any, len(argSets)), make([]error, len(argSets))
+		ran.Add(int64(len(req.ArgSets)))
+		return query.BatchResult{Values: make([]any, len(req.ArgSets)), Errs: make([]error, len(req.ArgSets))}
 	})
 	var hs []*Handle
 	for b := 0; b < 5; b++ {
-		pair := []*Handle{NewPendingHandle(), NewPendingHandle()}
-		if err := e.SubmitBatch("q", "", [][]any{{int64(b)}, {int64(b)}}, pair); err != nil {
+		pair := []*Handle{NewPendingHandle(nil, query.Deadline{}), NewPendingHandle(nil, query.Deadline{})}
+		if err := e.SubmitBatch(query.BatchReq("q", "", [][]any{{int64(b)}, {int64(b)}}), pair); err != nil {
 			t.Fatal(err)
 		}
 		hs = append(hs, pair...)
@@ -369,7 +371,7 @@ func TestCloseDrainsBatchJobs(t *testing.T) {
 // panicBatcher fails the test if the service ever routes through it.
 type panicBatcher struct{ t *testing.T }
 
-func (p panicBatcher) Submit(name, sql string, args []any) (*Handle, error) {
+func (p panicBatcher) Submit(req query.Request) (*Handle, error) {
 	p.t.Error("degraded service must not use the batcher")
 	return nil, ErrClosed
 }
@@ -380,9 +382,9 @@ func (p panicBatcher) Close() {}
 // no-op.
 func TestServiceDegradedModeSyncFallback(t *testing.T) {
 	var calls atomic.Int64
-	s := NewService(0, func(name, sql string, args []any) (any, error) {
+	s := NewService(0, func(req query.Request) query.Result {
 		calls.Add(1)
-		return args[0].(int64) * 3, nil
+		return query.Ok(req.Args[0].(int64) * 3)
 	})
 	defer s.Close()
 	s.SetBatcher(panicBatcher{t}) // must be ignored: no pool
@@ -413,7 +415,7 @@ func TestServiceDegradedModeSyncFallback(t *testing.T) {
 // the runner's error through the handle, like the pooled path.
 func TestServiceDegradedModeErrorPropagates(t *testing.T) {
 	want := errors.New("kaput")
-	s := NewService(0, func(name, sql string, args []any) (any, error) { return nil, want })
+	s := NewService(0, func(req query.Request) query.Result { return query.Fail(want) })
 	defer s.Close()
 	h, err := s.Submit("q", "", nil)
 	if err != nil {
@@ -429,7 +431,7 @@ func TestServiceDegradedModeErrorPropagates(t *testing.T) {
 // executor under a batcher that is still flushing.
 func TestServiceConcurrentClose(t *testing.T) {
 	for round := 0; round < 20; round++ {
-		s := NewService(2, func(name, sql string, args []any) (any, error) { return int64(1), nil })
+		s := NewService(2, func(req query.Request) query.Result { return query.Ok(int64(1)) })
 		h, err := s.Submit("q", "", nil)
 		if err != nil {
 			t.Fatal(err)

@@ -18,30 +18,24 @@ import (
 	"sync/atomic"
 
 	"repro/internal/obs"
+	"repro/internal/query"
 )
 
 // ErrClosed is returned by Submit after Close.
 var ErrClosed = errors.New("exec: executor closed")
 
-// Runner executes one query; it is the bridge to the database client
-// session (or any other request transport, e.g. a web-service client).
-type Runner func(name, sql string, args []any) (any, error)
+// Runner executes one request; it is the bridge to the database client
+// session (or any other request transport, e.g. a web-service client). The
+// request carries everything the backend needs — trace span, session
+// consistency tokens, and deadline — so there is exactly one runner shape
+// per layer.
+type Runner func(req query.Request) query.Result
 
 // BatchRunner executes one prepared statement against a set of parameter
 // bindings in a single server round trip (the set-oriented sibling of Runner;
 // see internal/batch and server.ExecBatch). It returns one result and one
 // error per binding, in binding order.
-type BatchRunner func(name, sql string, argSets [][]any) ([]any, []error)
-
-// SpanRunner is Runner with the request's trace span threaded through, so
-// the backend (server, shard router, replica group) can hang its own
-// sub-spans off the request tree. sp may be nil.
-type SpanRunner func(sp *obs.Span, name, sql string, args []any) (any, error)
-
-// SpanBatchRunner is the span-threading BatchRunner: sp is the batch
-// leader's span (the first traced member of the coalesced batch owns the
-// execution subtree, since the whole batch shares one round trip).
-type SpanBatchRunner func(sp *obs.Span, name, sql string, argSets [][]any) ([]any, []error)
+type BatchRunner func(req query.BatchRequest) query.BatchResult
 
 // Handle is a pending asynchronous request.
 type Handle struct {
@@ -53,6 +47,9 @@ type Handle struct {
 	// span, when tracing is on, is the request's root span; complete()
 	// ends it, so the root's wall time is exactly submit→completion.
 	span *obs.Span
+	// dl is the request deadline: workers abandon jobs whose deadline
+	// expired while queued instead of running them.
+	dl query.Deadline
 }
 
 func newHandle() *Handle {
@@ -63,19 +60,20 @@ func newHandle() *Handle {
 
 // NewPendingHandle returns an incomplete handle for front-ends (the batching
 // coalescer) that hand out handles at enqueue time and complete them later
-// via Complete.
-func NewPendingHandle() *Handle { return newHandle() }
-
-// NewPendingHandleSpan is NewPendingHandle with the request's root span
-// attached; completing the handle ends the span.
-func NewPendingHandleSpan(sp *obs.Span) *Handle {
+// via Complete. sp is the request's root span (nil when untraced) —
+// completing the handle ends it; dl is the request deadline (zero for none).
+func NewPendingHandle(sp *obs.Span, dl query.Deadline) *Handle {
 	h := newHandle()
 	h.span = sp
+	h.dl = dl
 	return h
 }
 
 // Span returns the request's root span (nil when untraced).
 func (h *Handle) Span() *obs.Span { return h.span }
+
+// Deadline returns the request deadline carried by the handle.
+func (h *Handle) Deadline() query.Deadline { return h.dl }
 
 // Complete publishes the result and wakes all fetchers. It is exported for
 // demultiplexing layers that own pending handles (see NewPendingHandle); it
@@ -121,14 +119,12 @@ func (h *Handle) Fetch() (any, error) {
 func (h *Handle) Done() bool { return h.done.Load() }
 
 type job struct {
-	name string
-	sql  string
-	args []any
-	h    *Handle
-	// Batch jobs carry one binding set per pending handle instead of
-	// args/h; hs non-nil marks the job as a batch.
-	argSets [][]any
-	hs      []*Handle
+	req query.Request
+	h   *Handle
+	// Batch jobs carry a BatchRequest and one pending handle per binding
+	// set instead of req/h; hs non-nil marks the job as a batch.
+	breq query.BatchRequest
+	hs   []*Handle
 	// queue, when tracing is on, measures time spent waiting in the ring
 	// (opened at enqueue, ended when a worker pops the job). For batch
 	// jobs it hangs off the batch leader's span.
@@ -180,10 +176,6 @@ func (q *jobRing) grow() {
 type Executor struct {
 	run      Runner
 	runBatch BatchRunner // optional set-oriented path for batch jobs
-	// Span-threading runner variants, set via SetSpanRunners before any
-	// traced submission; workers fall back to run/runBatch when absent.
-	spanRun   SpanRunner
-	spanBatch SpanBatchRunner
 
 	mu      sync.Mutex
 	cond    sync.Cond
@@ -197,6 +189,7 @@ type Executor struct {
 	completed atomic.Int64
 	batches   atomic.Int64 // batch jobs issued
 	batched   atomic.Int64 // individual requests carried by batch jobs
+	abandoned atomic.Int64 // requests dropped unexecuted: deadline expired in queue
 }
 
 // NewExecutor starts a pool of the given size. workers is the paper's
@@ -226,24 +219,19 @@ func NewBatchExecutor(workers int, run Runner, runBatch BatchRunner) *Executor {
 // Workers returns the pool size.
 func (e *Executor) Workers() int { return e.workers }
 
-// SetSpanRunners installs span-threading runner variants used for traced
-// jobs. Call it before the first traced submission; the queue mutex
-// orders the write ahead of any worker that might read the fields.
-func (e *Executor) SetSpanRunners(run SpanRunner, runBatch SpanBatchRunner) {
-	e.mu.Lock()
-	e.spanRun, e.spanBatch = run, runBatch
-	e.mu.Unlock()
-}
-
-// SubmitSpan is Submit with the request's root span attached: the handle
-// ends it at completion, and the worker threads it into the backend via
-// the SpanRunner. An "exec.queue" child covers the time in the ring.
-func (e *Executor) SubmitSpan(sp *obs.Span, name, sql string, args []any) (*Handle, error) {
+// Submit enqueues a request and returns its handle immediately. The handle
+// adopts the request's span (completion ends it) and deadline (a worker that
+// pops the job past its deadline abandons it with ErrDeadlineExceeded
+// instead of executing). The submitted counter is incremented inside the
+// queue critical section, before any worker can see the job, so Stats never
+// observes completed > submitted.
+func (e *Executor) Submit(req query.Request) (*Handle, error) {
 	h := newHandle()
-	h.span = sp
+	h.span = req.Span
+	h.dl = req.Deadline
 	j := e.jobs.Get().(*job)
-	j.name, j.sql, j.args, j.h = name, sql, args, h
-	j.queue = sp.Child("exec.queue")
+	j.req, j.h = req, h
+	j.queue = req.Span.Child("exec.queue")
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
@@ -259,40 +247,19 @@ func (e *Executor) SubmitSpan(sp *obs.Span, name, sql string, args []any) (*Hand
 	return h, nil
 }
 
-// Submit enqueues a request and returns its handle immediately. The
-// submitted counter is incremented inside the queue critical section, before
-// any worker can see the job, so Stats never observes completed > submitted.
-func (e *Executor) Submit(name, sql string, args []any) (*Handle, error) {
-	h := newHandle()
-	j := e.jobs.Get().(*job)
-	j.name, j.sql, j.args, j.h = name, sql, args, h
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
-		*j = job{}
-		e.jobs.Put(j)
-		return nil, ErrClosed
-	}
-	e.queue.push(j)
-	e.submitted.Add(1)
-	e.mu.Unlock()
-	e.cond.Signal()
-	return h, nil
-}
-
-// SubmitBatch enqueues one batch job covering len(argSets) requests. The
+// SubmitBatch enqueues one batch job covering len(req.ArgSets) requests. The
 // handles must have been created with NewPendingHandle, one per binding set;
 // a worker completes each of them after the set-oriented call. On ErrClosed
 // the handles are NOT completed — the caller owns failing them.
-func (e *Executor) SubmitBatch(name, sql string, argSets [][]any, hs []*Handle) error {
-	if len(argSets) != len(hs) {
+func (e *Executor) SubmitBatch(req query.BatchRequest, hs []*Handle) error {
+	if len(req.ArgSets) != len(hs) {
 		return errors.New("exec: SubmitBatch: len(argSets) != len(handles)")
 	}
 	if len(hs) == 0 {
 		return nil
 	}
 	j := e.jobs.Get().(*job)
-	j.name, j.sql, j.argSets, j.hs = name, sql, argSets, hs
+	j.breq, j.hs = req, hs
 	// The batch leader (first traced member) owns the queue-wait span,
 	// like it will own the execution subtree.
 	for _, h := range hs {
@@ -336,6 +303,11 @@ func (e *Executor) BatchStats() (batchesIssued int64, avgBatchSize float64) {
 	return b, float64(n) / float64(b)
 }
 
+// Abandoned reports how many requests a worker dropped unexecuted because
+// their deadline expired while they sat in the queue. Abandoned requests
+// still count as completed (their handles resolve with ErrDeadlineExceeded).
+func (e *Executor) Abandoned() int64 { return e.abandoned.Load() }
+
 // Close drains the queue: pending requests still execute, then workers exit.
 // It blocks until all workers have stopped.
 func (e *Executor) Close() {
@@ -363,47 +335,71 @@ func (e *Executor) worker() {
 			return
 		}
 		j := e.queue.pop()
-		// Read the span runners inside the critical section: the mutex
-		// orders these loads after a pre-submission SetSpanRunners store.
-		spanRun, spanBatch := e.spanRun, e.spanBatch
 		e.mu.Unlock()
 		j.queue.End() // queue wait is over; execution starts
 
 		if j.hs != nil {
-			e.runBatchJob(j, spanBatch)
+			e.runBatchJob(j)
 			continue
 		}
-		var v any
-		var err error
-		if sp := j.h.span; sp != nil && spanRun != nil {
-			v, err = spanRun(sp, j.name, j.sql, j.args)
-		} else {
-			v, err = e.run(j.name, j.sql, j.args)
-		}
-		h := j.h
+		req, h := j.req, j.h
 		*j = job{} // drop references before pooling
 		e.jobs.Put(j)
-		h.complete(v, err)
+		if req.Deadline.Expired() {
+			// The request aged out in the queue: abandon it rather than
+			// spend backend work on an answer nobody is waiting for.
+			e.abandoned.Add(1)
+			h.complete(nil, query.ErrDeadlineExceeded)
+			e.completed.Add(1)
+			continue
+		}
+		res := e.run(req)
+		h.complete(res.Value, res.Err)
 		e.completed.Add(1)
 	}
 }
 
 // runBatchJob executes one batch job and demultiplexes the per-binding
-// results onto the pending handles. When tracing is on, the first traced
-// member is the batch leader: the execution subtree parents under its
-// span (every span gets exactly one parent), and every other traced
-// member gets a leaf "batch.exec" child covering the shared execution
+// results onto the pending handles. Members whose deadline expired in the
+// queue are abandoned up front (completed with ErrDeadlineExceeded) and the
+// set-oriented call covers only the survivors. When tracing is on, the first
+// traced surviving member is the batch leader: the execution subtree parents
+// under its span (every span gets exactly one parent), and every other
+// traced member gets a leaf "batch.exec" child covering the shared execution
 // window.
-func (e *Executor) runBatchJob(j *job, spanBatch SpanBatchRunner) {
-	name, sql, argSets, hs := j.name, j.sql, j.argSets, j.hs
+func (e *Executor) runBatchJob(j *job) {
+	req, hs := j.breq, j.hs
 	*j = job{}
 	e.jobs.Put(j)
 
+	// Partition out members that aged past their deadline in the queue.
+	live := make([]int, 0, len(hs))
+	for i, h := range hs {
+		if h.dl.Expired() {
+			e.abandoned.Add(1)
+			h.complete(nil, query.ErrDeadlineExceeded)
+			e.completed.Add(1)
+			continue
+		}
+		live = append(live, i)
+	}
+	if len(live) == 0 {
+		return
+	}
+	if len(live) < len(hs) {
+		sub := make([][]any, len(live))
+		for k, i := range live {
+			sub[k] = req.ArgSets[i]
+		}
+		req.ArgSets = sub
+	}
+
 	e.batches.Add(1)
-	e.batched.Add(int64(len(hs)))
+	e.batched.Add(int64(len(live)))
 	var leader *obs.Span
 	var members []*obs.Span
-	for _, h := range hs {
+	for _, i := range live {
+		h := hs[i]
 		if h.span == nil {
 			continue
 		}
@@ -412,7 +408,7 @@ func (e *Executor) runBatchJob(j *job, spanBatch SpanBatchRunner) {
 			continue
 		}
 		if members == nil {
-			members = make([]*obs.Span, 0, len(hs)-1)
+			members = make([]*obs.Span, 0, len(live)-1)
 		}
 		members = append(members, h.span.Child("batch.exec"))
 	}
@@ -421,36 +417,34 @@ func (e *Executor) runBatchJob(j *job, spanBatch SpanBatchRunner) {
 			m.End()
 		}
 	}()
-	if e.runBatch == nil && (leader == nil || spanBatch == nil) {
+	if e.runBatch == nil {
 		// No set-oriented path configured: preserve semantics by running the
 		// bindings one by one on this worker.
-		for i, args := range argSets {
-			v, err := e.run(name, sql, args)
-			hs[i].complete(v, err)
+		for k, i := range live {
+			r := query.Req(req.Name, req.SQL, req.ArgSets[k]).
+				WithSpan(hs[i].span).WithSession(req.Session).WithDeadline(hs[i].dl)
+			r.Consistency = req.Consistency
+			res := e.run(r)
+			hs[i].complete(res.Value, res.Err)
 			e.completed.Add(1)
 		}
 		return
 	}
-	var vals []any
-	var errs []error
-	if leader != nil && spanBatch != nil {
-		vals, errs = spanBatch(leader, name, sql, argSets)
-	} else {
-		vals, errs = e.runBatch(name, sql, argSets)
-	}
-	for i, h := range hs {
+	req.Span = leader
+	br := e.runBatch(req)
+	for k, i := range live {
 		var v any
 		var err error
-		if i < len(vals) {
-			v = vals[i]
+		if k < len(br.Values) {
+			v = br.Values[k]
 		}
-		if i < len(errs) {
-			err = errs[i]
+		if k < len(br.Errs) {
+			err = br.Errs[k]
 		}
-		if err == nil && i >= len(vals) {
+		if err == nil && k >= len(br.Values) {
 			err = errors.New("exec: batch runner returned too few results")
 		}
-		h.complete(v, err)
+		hs[i].complete(v, err)
 		e.completed.Add(1)
 	}
 }

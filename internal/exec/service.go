@@ -6,24 +6,18 @@ import (
 
 	"repro/internal/interp"
 	"repro/internal/obs"
+	"repro/internal/query"
 )
 
 // Batcher is a coalescing submission front-end (see internal/batch): Submit
 // hands back a pending handle immediately and groups requests into batch
 // jobs behind the scenes; Close flushes anything still buffered and must
-// complete every outstanding handle.
+// complete every outstanding handle. The request's span rides the pending
+// handle (picking up a "batch.wait" child covering fill + linger time) and
+// its deadline bounds how long the request may linger.
 type Batcher interface {
-	Submit(name, sql string, args []any) (*Handle, error)
+	Submit(req query.Request) (*Handle, error)
 	Close()
-}
-
-// SpanBatcher is a Batcher that can thread the request's root span through
-// coalescing (internal/batch implements it): the span picks up a
-// "batch.wait" child covering fill + linger time, and rides the pending
-// handle so completion ends it.
-type SpanBatcher interface {
-	Batcher
-	SubmitSpan(sp *obs.Span, name, sql string, args []any) (*Handle, error)
 }
 
 // Service adapts an Executor (plus a synchronous runner for blocking calls)
@@ -82,16 +76,12 @@ func (s *Service) SetBatcher(b Batcher) {
 // EnableTracing turns on per-request trace spans: every Submit opens a
 // "request" root span that ends when the request completes, with queue
 // wait, batch coalescing, and backend execution hanging off it. The span
-// runners carry the span into the backend (e.g. server.ExecSpan /
-// server.ExecBatchSpan); either may be nil, in which case the backend
-// executes untraced and the root still measures submit→completion.
-// Call before the first Submit you want traced.
-func (s *Service) EnableTracing(tr *obs.Tracer, run SpanRunner, runBatch SpanBatchRunner) {
+// rides the request itself, so the configured runners carry it into the
+// backend with no separate span-threading variants. Call before the first
+// Submit you want traced.
+func (s *Service) EnableTracing(tr *obs.Tracer) {
 	if tr == nil {
 		return
-	}
-	if s.exec != nil {
-		s.exec.SetSpanRunners(run, runBatch)
 	}
 	s.tracer.Store(tr)
 }
@@ -101,47 +91,38 @@ func (s *Service) Tracer() *obs.Tracer { return s.tracer.Load() }
 
 // Exec implements interp.QueryService.
 func (s *Service) Exec(name, sql string, args []interp.Value) (interp.Value, error) {
-	return s.sync(name, sql, args)
+	return s.sync(query.Req(name, sql, args)).Pair()
 }
 
 // Submit implements interp.QueryService.
 func (s *Service) Submit(name, sql string, args []interp.Value) (interp.Handle, error) {
 	tr := s.tracer.Load()
+	req := query.Req(name, sql, args)
 	if s.exec == nil {
 		// Degraded mode: run synchronously and wrap the result, so programs
 		// transformed for asynchrony still run correctly with no pool.
 		sp := tr.Start("request") // nil-safe: nil tracer mints nil span
-		v, err := s.sync(name, sql, args)
+		res := s.sync(req.WithSpan(sp))
 		sp.End()
-		return newDoneHandle(v, err), nil
+		return newDoneHandle(res.Value, res.Err), nil
+	}
+	if tr != nil {
+		sp := tr.Start("request")
+		sp.SetDetail(sql)
+		req = req.WithSpan(sp)
 	}
 	s.bmu.Lock()
 	b := s.batcher
 	s.bmu.Unlock()
+	var h *Handle
+	var err error
 	if b != nil {
-		sb, ok := b.(SpanBatcher)
-		if tr == nil || !ok {
-			// A non-span-capable batcher gets no root span: it could not
-			// thread it onto the handle, and a span nobody ends would leak.
-			return b.Submit(name, sql, args)
-		}
-		sp := tr.Start("request")
-		sp.SetDetail(sql)
-		h, err := sb.SubmitSpan(sp, name, sql, args)
-		if err != nil {
-			sp.End() // the request never got a handle; close its root here
-			return nil, err
-		}
-		return h, nil
+		h, err = b.Submit(req)
+	} else {
+		h, err = s.exec.Submit(req)
 	}
-	if tr == nil {
-		return s.exec.Submit(name, sql, args)
-	}
-	sp := tr.Start("request")
-	sp.SetDetail(sql)
-	h, err := s.exec.SubmitSpan(sp, name, sql, args)
 	if err != nil {
-		sp.End()
+		req.Span.End() // the request never got a handle; close its root here
 		return nil, err
 	}
 	return h, nil

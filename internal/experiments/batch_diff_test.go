@@ -53,7 +53,7 @@ func TestBatchedExecutionMatchesAsyncOnApps(t *testing.T) {
 				} else {
 					svc = exec.NewService(workers, srv.Exec)
 				}
-				svc.EnableTracing(testTracer(t), srv.ExecSpan, srv.ExecBatchSpan)
+				svc.EnableTracing(testTracer(t))
 				defer svc.Close()
 				in := interp.New(app.Registry(), svc)
 				if app.Bind != nil {

@@ -44,7 +44,7 @@ func TestCompiledEvaluatorMatchesTreeOnApps(t *testing.T) {
 				}
 				srv.Warm()
 				svc := exec.NewService(workers, srv.Exec)
-				svc.EnableTracing(testTracer(t), srv.ExecSpan, srv.ExecBatchSpan)
+				svc.EnableTracing(testTracer(t))
 				defer svc.Close()
 				in := interp.New(app.Registry(), svc)
 				if app.Bind != nil {

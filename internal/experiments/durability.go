@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/query"
 	"repro/internal/replica"
 	"repro/internal/server"
 	"repro/internal/storage"
@@ -75,9 +76,9 @@ func (h *Harness) MeasureDurability(prof server.Profile, mode wal.Mode,
 				if id > int64(inserts) {
 					return
 				}
-				if _, err := g.Exec("d", "insert into events values (?, ?)",
-					[]any{id, fmt.Sprintf("e%d", id)}); err != nil {
-					errs[w] = err
+				if res := g.Exec(query.Req("d", "insert into events values (?, ?)",
+					[]any{id, fmt.Sprintf("e%d", id)})); res.Err != nil {
+					errs[w] = res.Err
 					return
 				}
 			}

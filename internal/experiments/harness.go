@@ -201,10 +201,11 @@ type runInfo struct {
 }
 
 // trace wires the harness tracer (if any) into a measurement service: a
-// no-op pass-through when h.Obs is nil.
-func (h *Harness) trace(svc *exec.Service, run exec.SpanRunner, runBatch exec.SpanBatchRunner) *exec.Service {
+// no-op pass-through when h.Obs is nil. Spans ride the requests themselves,
+// so the service's configured runners carry them into the backend.
+func (h *Harness) trace(svc *exec.Service) *exec.Service {
 	if h.Obs != nil {
-		svc.EnableTracing(h.Obs, run, runBatch)
+		svc.EnableTracing(h.Obs)
 	}
 	return svc
 }
@@ -277,14 +278,14 @@ func (h *Harness) Measure(app *apps.App, prof server.Profile, threads, iteration
 
 	origRes, origSec, _, err := h.runKernel(app, prof, pp.origProg, iterations, warm,
 		func(srv *server.Server) *exec.Service {
-			return h.trace(exec.NewService(0, srv.Exec), srv.ExecSpan, srv.ExecBatchSpan)
+			return h.trace(exec.NewService(0, srv.Exec))
 		})
 	if err != nil {
 		return m, err
 	}
 	transRes, transSec, _, err := h.runKernel(app, prof, pp.transProg, iterations, warm,
 		func(srv *server.Server) *exec.Service {
-			return h.trace(exec.NewService(threads, srv.Exec), srv.ExecSpan, srv.ExecBatchSpan)
+			return h.trace(exec.NewService(threads, srv.Exec))
 		})
 	if err != nil {
 		return m, err
@@ -336,14 +337,14 @@ func (h *Harness) MeasureBatched(app *apps.App, prof server.Profile, threads, it
 
 	syncRes, syncSec, _, err := h.runKernel(app, prof, pp.origProg, iterations, warm,
 		func(srv *server.Server) *exec.Service {
-			return h.trace(exec.NewService(0, srv.Exec), srv.ExecSpan, srv.ExecBatchSpan)
+			return h.trace(exec.NewService(0, srv.Exec))
 		})
 	if err != nil {
 		return m, err
 	}
 	asyncRes, asyncSec, asyncInfo, err := h.runKernel(app, prof, pp.transProg, iterations, warm,
 		func(srv *server.Server) *exec.Service {
-			return h.trace(exec.NewService(threads, srv.Exec), srv.ExecSpan, srv.ExecBatchSpan)
+			return h.trace(exec.NewService(threads, srv.Exec))
 		})
 	if err != nil {
 		return m, err
@@ -354,8 +355,7 @@ func (h *Harness) MeasureBatched(app *apps.App, prof server.Profile, threads, it
 			// latency so batched series stay comparable across -scale.
 			linger := time.Duration(float64(batch.DefaultLinger) * h.Scale)
 			return h.trace(batch.NewService(threads, srv.Exec, srv.ExecBatch,
-				batch.Options{MaxBatch: maxBatch, Linger: linger}),
-				srv.ExecSpan, srv.ExecBatchSpan)
+				batch.Options{MaxBatch: maxBatch, Linger: linger}))
 		})
 	if err != nil {
 		return m, err
@@ -449,8 +449,7 @@ func (h *Harness) MeasureSharded(app *apps.App, prof server.Profile,
 
 	singleRes, singleSec, singleInfo, err := h.runKernel(app, prof, pp.transProg, iterations, warm,
 		func(srv *server.Server) *exec.Service {
-			return h.trace(batch.NewService(threads, srv.Exec, srv.ExecBatch, opts),
-				srv.ExecSpan, srv.ExecBatchSpan)
+			return h.trace(batch.NewService(threads, srv.Exec, srv.ExecBatch, opts))
 		})
 	if err != nil {
 		return m, err
@@ -470,8 +469,7 @@ func (h *Harness) MeasureSharded(app *apps.App, prof server.Profile,
 	beforeShard := rt.ShardStats()
 	shardRes, shardSec, shardInfo, err := h.runOn(app, rt, pp.transProg, iterations, warm,
 		func() *exec.Service {
-			return h.trace(batch.NewService(threads, rt.Exec, rt.ExecBatch, shOpts),
-				rt.ExecSpan, rt.ExecBatchSpan)
+			return h.trace(batch.NewService(threads, rt.Exec, rt.ExecBatch, shOpts))
 		})
 	if err != nil {
 		return m, err
@@ -556,8 +554,7 @@ func (h *Harness) MeasureReplicated(app *apps.App, prof server.Profile,
 
 	singleRes, singleSec, singleInfo, err := h.runKernel(app, prof, pp.transProg, iterations, warm,
 		func(srv *server.Server) *exec.Service {
-			return h.trace(batch.NewService(threads, srv.Exec, srv.ExecBatch, opts),
-				srv.ExecSpan, srv.ExecBatchSpan)
+			return h.trace(batch.NewService(threads, srv.Exec, srv.ExecBatch, opts))
 		})
 	if err != nil {
 		return m, err
@@ -575,8 +572,7 @@ func (h *Harness) MeasureReplicated(app *apps.App, prof server.Profile,
 	beforeReads := rt.ReplicaReads()
 	replRes, replSec, replInfo, err := h.runOn(app, rt, pp.transProg, iterations, warm,
 		func() *exec.Service {
-			return h.trace(batch.NewService(threads, rt.Exec, rt.ExecBatch, shOpts),
-				rt.ExecSpan, rt.ExecBatchSpan)
+			return h.trace(batch.NewService(threads, rt.Exec, rt.ExecBatch, shOpts))
 		})
 	if err != nil {
 		return m, err

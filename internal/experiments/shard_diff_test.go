@@ -59,13 +59,12 @@ func TestShardedExecutionMatchesSingleServerOnApps(t *testing.T) {
 			rtSplit, rtGrouped := newRouter(), newRouter()
 
 			run := func(runr exec.Runner, batchRunr exec.BatchRunner,
-				spanRunr exec.SpanRunner, spanBatchRunr exec.SpanBatchRunner,
 				cold func(), opts batch.Options) (*interp.Result, string) {
 				t.Helper()
 				cold()
 				opts.MaxBatch = 8
 				svc := batch.NewService(workers, runr, batchRunr, opts)
-				svc.EnableTracing(testTracer(t), spanRunr, spanBatchRunr)
+				svc.EnableTracing(testTracer(t))
 				defer svc.Close()
 				in := interp.New(app.Registry(), svc)
 				if app.Bind != nil {
@@ -80,7 +79,7 @@ func TestShardedExecutionMatchesSingleServerOnApps(t *testing.T) {
 			}
 
 			singleRes, singleErr := run(ref.Exec, ref.ExecBatch,
-				ref.ExecSpan, ref.ExecBatchSpan, ref.ColdStart, batch.Options{})
+				ref.ColdStart, batch.Options{})
 			// Two sharded modes: mixed batches that ExecBatch splits per
 			// shard, and shard-aware coalescing (GroupFn) where every batch
 			// already targets one shard.
@@ -95,7 +94,7 @@ func TestShardedExecutionMatchesSingleServerOnApps(t *testing.T) {
 			for _, mode := range modes {
 				rt := mode.rt
 				shardRes, shardErr := run(rt.Exec, rt.ExecBatch,
-					rt.ExecSpan, rt.ExecBatchSpan, rt.ColdStart, mode.opts)
+					rt.ColdStart, mode.opts)
 				if singleErr != shardErr {
 					t.Fatalf("%s: error text: sharded %q, single-server %q", mode.label, shardErr, singleErr)
 				}

@@ -70,7 +70,7 @@ func (h *Harness) MeasureTail(prof server.Profile, mode wal.Mode,
 	tr.SetChildSampling(64)
 	g.SetMetrics(reg)
 	svc := exec.NewService(threads, g.Exec)
-	svc.EnableTracing(tr, g.ExecSpan, g.ExecBatchSpan)
+	svc.EnableTracing(tr)
 
 	var next atomic.Int64
 	errs := make([]error, threads)

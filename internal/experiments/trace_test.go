@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/interp"
 	"repro/internal/obs"
+	"repro/internal/query"
 	"repro/internal/server"
 	"repro/internal/shard"
 	"repro/internal/wal"
@@ -93,7 +94,7 @@ func TestTraceCompleteness(t *testing.T) {
 	})
 
 	svc := batch.NewService(4, rt.Exec, rt.ExecBatch, batch.Options{MaxBatch: 8})
-	svc.EnableTracing(tr, rt.ExecSpan, rt.ExecBatchSpan)
+	svc.EnableTracing(tr)
 	rt.RegisterMetrics(reg, "")
 	in := interp.New(app.Registry(), svc)
 	if app.Bind != nil {
@@ -110,9 +111,9 @@ func TestTraceCompleteness(t *testing.T) {
 	for _, op := range apps.RandomWorkload(ref, 60, rng) {
 		sp := tr.Start("request")
 		if op.Batch() {
-			rt.ExecBatchSpan(sp, "w", op.SQL, op.ArgSets)
+			rt.ExecBatch(query.BatchReq("w", op.SQL, op.ArgSets).WithSpan(sp))
 		} else {
-			rt.ExecSpan(sp, "w", op.SQL, op.ArgSets[0])
+			rt.Exec(query.Req("w", op.SQL, op.ArgSets[0]).WithSpan(sp))
 		}
 		sp.End()
 	}

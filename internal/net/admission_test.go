@@ -1,0 +1,102 @@
+package net
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestAdmissionShedsAtBudget(t *testing.T) {
+	a := NewAdmission(3)
+	for i := 0; i < 3; i++ {
+		if !a.TryAcquire(1) {
+			t.Fatalf("acquire %d refused under budget", i)
+		}
+	}
+	if a.TryAcquire(1) {
+		t.Fatal("acquire beyond budget admitted")
+	}
+	if got := a.Shed(); got != 1 {
+		t.Fatalf("shed counter = %d, want 1", got)
+	}
+	if got := a.Inflight(); got != 3 {
+		t.Fatalf("inflight = %d, want 3", got)
+	}
+}
+
+func TestAdmissionRecoversAfterRelease(t *testing.T) {
+	a := NewAdmission(2)
+	if !a.TryAcquire(2) {
+		t.Fatal("batch acquire refused")
+	}
+	if a.TryAcquire(1) {
+		t.Fatal("admitted over budget")
+	}
+	a.Release(2)
+	if !a.TryAcquire(1) {
+		t.Fatal("release did not un-shed")
+	}
+	if got := a.Inflight(); got != 1 {
+		t.Fatalf("inflight = %d, want 1", got)
+	}
+}
+
+func TestAdmissionBatchAllOrNothing(t *testing.T) {
+	a := NewAdmission(4)
+	if !a.TryAcquire(3) {
+		t.Fatal("3 of 4 refused")
+	}
+	// A 2-unit batch does not fit; it must claim nothing.
+	if a.TryAcquire(2) {
+		t.Fatal("partial-fit batch admitted")
+	}
+	if got := a.Inflight(); got != 3 {
+		t.Fatalf("refused batch leaked units: inflight = %d, want 3", got)
+	}
+	if !a.TryAcquire(1) {
+		t.Fatal("the remaining unit should still be grantable")
+	}
+}
+
+func TestAdmissionUnlimited(t *testing.T) {
+	a := NewAdmission(0)
+	for i := 0; i < 1000; i++ {
+		if !a.TryAcquire(1) {
+			t.Fatal("unlimited budget shed")
+		}
+	}
+	if a.Shed() != 0 {
+		t.Fatalf("shed = %d on unlimited budget", a.Shed())
+	}
+	if a.Admitted() != 1000 {
+		t.Fatalf("admitted = %d, want 1000", a.Admitted())
+	}
+}
+
+// TestAdmissionCountersConsistentUnderRace hammers the budget from many
+// goroutines and checks the books balance: admitted + shed == attempts,
+// and after every admit releases, inflight returns to zero.
+func TestAdmissionCountersConsistentUnderRace(t *testing.T) {
+	const goroutines = 16
+	const perG = 500
+	a := NewAdmission(5)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if a.TryAcquire(1) {
+					a.Release(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := a.Admitted() + a.Shed(); got != goroutines*perG {
+		t.Fatalf("admitted(%d) + shed(%d) = %d, want %d",
+			a.Admitted(), a.Shed(), got, goroutines*perG)
+	}
+	if got := a.Inflight(); got != 0 {
+		t.Fatalf("inflight = %d after full drain", got)
+	}
+}

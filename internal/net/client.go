@@ -1,0 +1,263 @@
+package net
+
+import (
+	"errors"
+	"fmt"
+	stdnet "net"
+	"sync"
+	"time"
+
+	"repro/internal/query"
+)
+
+// ErrClientClosed is returned for requests issued after Close, and for
+// requests in flight when the connection dies without an answer.
+var ErrClientClosed = errors.New("net: client closed")
+
+// Client is one wire-protocol connection. It implements query.Executor,
+// so the whole client runtime — exec.Service, batch.Coalescer, the
+// interpreter — runs against a remote server by handing it a Client where
+// it previously took a server.Exec closure. Requests are pipelined: many
+// goroutines may call Exec/ExecBatch concurrently on one connection, each
+// response is matched to its caller by request id.
+type Client struct {
+	conn stdnet.Conn
+
+	wmu sync.Mutex // serializes request frames
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan response
+	err     error // terminal connection error, set once
+
+	readerDone chan struct{}
+}
+
+type response struct {
+	msgType byte
+	payload []byte
+}
+
+// Dial connects to a front door and performs the handshake.
+func Dial(addr string) (*Client, error) {
+	conn, err := stdnet.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if err := WriteFrame(conn, MsgHello, EncodeHello()); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	msgType, payload, err := ReadFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("%w: handshake refused", ErrVersionMismatch)
+	}
+	if msgType != MsgHelloAck {
+		conn.Close()
+		return nil, fmt.Errorf("%w: unexpected frame %d", ErrBadFrame, msgType)
+	}
+	ver, err := DecodeHelloAck(payload)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if ver != Version {
+		conn.Close()
+		return nil, fmt.Errorf("%w: server speaks v%d, client v%d", ErrVersionMismatch, ver, Version)
+	}
+	c := &Client{
+		conn:       conn,
+		pending:    map[uint64]chan response{},
+		readerDone: make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// readLoop dispatches response frames to their waiting requests. On any
+// read error it fails every pending request: a dead connection never
+// leaves a caller blocked.
+func (c *Client) readLoop() {
+	defer close(c.readerDone)
+	for {
+		msgType, payload, err := ReadFrame(c.conn)
+		if err != nil {
+			c.failAll(ErrClientClosed)
+			return
+		}
+		if msgType != MsgResult && msgType != MsgBatchResult {
+			c.failAll(fmt.Errorf("%w: unexpected frame %d", ErrBadFrame, msgType))
+			c.conn.Close()
+			return
+		}
+		if len(payload) < 8 {
+			c.failAll(ErrBadFrame)
+			c.conn.Close()
+			return
+		}
+		id := (&reader{b: payload}).u64()
+		c.mu.Lock()
+		ch := c.pending[id]
+		delete(c.pending, id)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- response{msgType, payload} // buffered: never blocks the loop
+		}
+		// Unknown ids are responses to requests the caller abandoned at
+		// their deadline; the frame is simply dropped.
+	}
+}
+
+func (c *Client) failAll(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	pend := c.pending
+	c.pending = map[uint64]chan response{}
+	c.mu.Unlock()
+	for _, ch := range pend {
+		close(ch) // a closed channel reads the zero response = connection error
+	}
+}
+
+// register allocates a request id and its response slot.
+func (c *Client) register() (uint64, chan response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return 0, nil, c.err
+	}
+	c.nextID++
+	id := c.nextID
+	ch := make(chan response, 1)
+	c.pending[id] = ch
+	return id, ch, nil
+}
+
+// abandon forgets a request the caller gave up on (deadline expiry). The
+// server's eventual response frame is dropped by the read loop.
+func (c *Client) abandon(id uint64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+// send writes one request frame.
+func (c *Client) send(msgType byte, payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return WriteFrame(c.conn, msgType, payload)
+}
+
+// await blocks for the response, bounded by the request deadline. At the
+// deadline the request is abandoned locally — the server may still execute
+// it, but this caller gets exactly one answer: ErrDeadlineExceeded.
+func (c *Client) await(id uint64, ch chan response, dl query.Deadline) (response, error) {
+	var timeout <-chan time.Time
+	if t, ok := dl.Time(); ok {
+		timer := time.NewTimer(time.Until(t))
+		defer timer.Stop()
+		timeout = timer.C
+	}
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return response{}, ErrClientClosed
+		}
+		return resp, nil
+	case <-timeout:
+		c.abandon(id)
+		// The response may have raced the timer; prefer it if already here.
+		select {
+		case resp, ok := <-ch:
+			if ok {
+				return resp, nil
+			}
+		default:
+		}
+		return response{}, query.ErrDeadlineExceeded
+	}
+}
+
+// Exec implements query.Executor over the wire. The request's Span and
+// Session stay client-side (the server binds its own per-connection
+// session); Name, SQL, Args, Consistency and Deadline cross.
+func (c *Client) Exec(req query.Request) query.Result {
+	if req.Deadline.Expired() {
+		return query.Fail(query.ErrDeadlineExceeded)
+	}
+	id, ch, err := c.register()
+	if err != nil {
+		return query.Fail(err)
+	}
+	payload, err := EncodeExec(id, req)
+	if err != nil {
+		c.abandon(id)
+		return query.Fail(err)
+	}
+	sp := req.Span.Child("net.roundtrip") // nil-safe
+	defer sp.End()
+	if err := c.send(MsgExec, payload); err != nil {
+		c.abandon(id)
+		return query.Fail(fmt.Errorf("net: send: %w", err))
+	}
+	resp, err := c.await(id, ch, req.Deadline)
+	if err != nil {
+		return query.Fail(err)
+	}
+	if resp.msgType != MsgResult {
+		return query.Fail(fmt.Errorf("%w: batch response to Exec", ErrBadFrame))
+	}
+	_, res, err := DecodeResult(resp.payload)
+	if err != nil {
+		return query.Fail(err)
+	}
+	return res
+}
+
+// ExecBatch implements the set-oriented half of query.Executor.
+func (c *Client) ExecBatch(req query.BatchRequest) query.BatchResult {
+	n := len(req.ArgSets)
+	if req.Deadline.Expired() {
+		return query.FailAll(n, query.ErrDeadlineExceeded)
+	}
+	id, ch, err := c.register()
+	if err != nil {
+		return query.FailAll(n, err)
+	}
+	payload, err := EncodeExecBatch(id, req)
+	if err != nil {
+		c.abandon(id)
+		return query.FailAll(n, err)
+	}
+	sp := req.Span.Child("net.roundtrip")
+	defer sp.End()
+	if err := c.send(MsgExecBatch, payload); err != nil {
+		c.abandon(id)
+		return query.FailAll(n, fmt.Errorf("net: send: %w", err))
+	}
+	resp, err := c.await(id, ch, req.Deadline)
+	if err != nil {
+		return query.FailAll(n, err)
+	}
+	if resp.msgType != MsgBatchResult {
+		return query.FailAll(n, fmt.Errorf("%w: scalar response to ExecBatch", ErrBadFrame))
+	}
+	_, res, err := DecodeBatchResult(resp.payload)
+	if err != nil {
+		return query.FailAll(n, err)
+	}
+	if len(res.Errs) != n {
+		return query.FailAll(n, fmt.Errorf("%w: batch result arity %d, want %d", ErrBadFrame, len(res.Errs), n))
+	}
+	return res
+}
+
+// Close tears down the connection; in-flight requests fail with
+// ErrClientClosed. Safe to call more than once.
+func (c *Client) Close() {
+	c.conn.Close()
+	<-c.readerDone
+}

@@ -1,0 +1,226 @@
+package net
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/query"
+)
+
+// LoadOptions configure one load-generation run against a front door.
+type LoadOptions struct {
+	// Addr is the server address to drive.
+	Addr string
+	// Conns is the number of concurrent connections, each with one
+	// outstanding request at a time (the closed-loop worker count; in open
+	// loop the same connections share the paced request stream).
+	Conns int
+	// Rate, when positive, switches to open-loop generation: requests are
+	// issued at this aggregate rate (per second) regardless of completions,
+	// which is what exposes overload — a closed loop self-throttles to the
+	// server's capacity, an open loop keeps offering load the way real
+	// clients do.
+	Rate float64
+	// Duration bounds the run.
+	Duration time.Duration
+	// Deadline is the per-request deadline (0 = none).
+	Deadline time.Duration
+	// Statement is the request to issue; ArgFn supplies per-request args.
+	Name  string
+	SQL   string
+	ArgFn func(r *rand.Rand) []any
+	// Seed feeds the per-worker argument generators.
+	Seed int64
+}
+
+// LoadReport is the result of one load run — the front-door triple the
+// figure plots (p50/p99/p999), plus the shed and error accounting the
+// acceptance gate checks.
+type LoadReport struct {
+	Mode     string  `json:"mode"` // "closed" or "open"
+	Conns    int     `json:"conns"`
+	Rate     float64 `json:"offered_rate,omitempty"` // open loop only
+	Duration float64 `json:"duration_s"`
+
+	Sent      int64 `json:"sent"`
+	Completed int64 `json:"completed"` // successful responses
+	Shed      int64 `json:"shed"`      // query.ErrOverloaded
+	Deadlined int64 `json:"deadlined"` // query.ErrDeadlineExceeded
+	Failed    int64 `json:"failed"`    // any other error
+	Hung      int64 `json:"hung"`      // requests never answered by run end
+
+	ThroughputRPS float64 `json:"throughput_rps"`
+
+	// Latency percentiles over successful requests, milliseconds.
+	P50Ms  float64 `json:"p50_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
+	MeanMs float64 `json:"mean_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// ShedRate is the fraction of sent requests shed by admission control.
+func (r LoadReport) ShedRate() float64 {
+	if r.Sent == 0 {
+		return 0
+	}
+	return float64(r.Shed) / float64(r.Sent)
+}
+
+// RunLoad drives a front door with Conns connections for Duration and
+// reports the latency distribution and shed accounting. Closed loop
+// (Rate == 0): every connection issues its next request as soon as the
+// previous one answers. Open loop (Rate > 0): each connection issues
+// requests on its own schedule at Rate/Conns, staggered so aggregate
+// arrivals are smooth, and keeps (approximately) that schedule regardless
+// of completions — the pool must be sized so that under the tested
+// overload the admission budget and deadline, not the pool, are the limit.
+func RunLoad(opts LoadOptions) (LoadReport, error) {
+	if opts.Conns <= 0 {
+		opts.Conns = 1
+	}
+	if opts.Duration <= 0 {
+		opts.Duration = time.Second
+	}
+	if opts.ArgFn == nil {
+		opts.ArgFn = func(*rand.Rand) []any { return nil }
+	}
+	rep := LoadReport{Mode: "closed", Conns: opts.Conns, Duration: opts.Duration.Seconds()}
+	if opts.Rate > 0 {
+		rep.Mode = "open"
+		rep.Rate = opts.Rate
+	}
+
+	clients := make([]*Client, opts.Conns)
+	for i := range clients {
+		c, err := Dial(opts.Addr)
+		if err != nil {
+			for _, p := range clients[:i] {
+				p.Close()
+			}
+			return rep, fmt.Errorf("loadgen: dial conn %d: %w", i, err)
+		}
+		clients[i] = c
+	}
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+
+	var sent, completed, shed, deadlined, failed, inflight atomic.Int64
+	hist := obs.NewRegistry().Histogram("loadgen.latency")
+	stop := time.Now().Add(opts.Duration)
+
+	oneRequest := func(c *Client, rng *rand.Rand) {
+		req := query.Req(opts.Name, opts.SQL, opts.ArgFn(rng))
+		if opts.Deadline > 0 {
+			req.Deadline = query.After(opts.Deadline)
+		}
+		sent.Add(1)
+		inflight.Add(1)
+		start := time.Now()
+		res := c.Exec(req)
+		lat := time.Since(start)
+		inflight.Add(-1)
+		switch {
+		case res.Err == nil:
+			completed.Add(1)
+			hist.RecordDuration(lat)
+		case errors.Is(res.Err, query.ErrOverloaded):
+			shed.Add(1)
+		case errors.Is(res.Err, query.ErrDeadlineExceeded):
+			deadlined.Add(1)
+		default:
+			failed.Add(1)
+		}
+	}
+
+	var wg sync.WaitGroup
+	if opts.Rate <= 0 {
+		// Closed loop: one back-to-back worker per connection.
+		for i, c := range clients {
+			wg.Add(1)
+			go func(i int, c *Client) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(opts.Seed + int64(i)))
+				for time.Now().Before(stop) {
+					oneRequest(c, rng)
+				}
+			}(i, c)
+		}
+	} else {
+		// Open loop: each connection paces itself at Rate/Conns with start
+		// offsets staggered across one interval, so aggregate arrivals are
+		// smooth rather than synchronized bursts (a shared ticker bunches
+		// arrivals into instants, which saturates any admission budget at a
+		// fraction of the true average rate). A connection whose previous
+		// request ran long fires back-to-back to restore its average — the
+		// open-loop property — but arrivals more than a burst window behind
+		// schedule balk: that is offered load the server never saw, and the
+		// shed/deadline counters on issued requests carry the overload story.
+		interval := time.Duration(float64(opts.Conns) * float64(time.Second) / opts.Rate)
+		if interval <= 0 {
+			interval = time.Nanosecond
+		}
+		for i, c := range clients {
+			wg.Add(1)
+			go func(i int, c *Client) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(opts.Seed + int64(i)))
+				next := time.Now().Add(interval * time.Duration(i) / time.Duration(opts.Conns))
+				for {
+					if d := time.Until(next); d > 0 {
+						time.Sleep(d)
+					}
+					if !time.Now().Before(stop) {
+						return
+					}
+					oneRequest(c, rng)
+					next = next.Add(interval)
+					if time.Since(next) > 4*interval {
+						next = time.Now()
+					}
+				}
+			}(i, c)
+		}
+	}
+
+	// Workers exit on their own (closed loop) or when the pacer closes the
+	// channel; every issued request either answered or hit its deadline, so
+	// a bounded wait suffices — a worker stuck past deadline+grace is a
+	// hung connection, exactly what the report must expose.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	grace := 5 * time.Second
+	if opts.Deadline > 0 {
+		grace += opts.Deadline
+	}
+	select {
+	case <-done:
+	case <-time.After(grace):
+		rep.Hung = inflight.Load()
+	}
+
+	rep.Sent = sent.Load()
+	rep.Completed = completed.Load()
+	rep.Shed = shed.Load()
+	rep.Deadlined = deadlined.Load()
+	rep.Failed = failed.Load()
+	rep.ThroughputRPS = float64(rep.Completed) / opts.Duration.Seconds()
+	snap := hist.Snapshot()
+	if snap.Count > 0 {
+		ms := func(ns int64) float64 { return float64(ns) / float64(time.Millisecond) }
+		rep.P50Ms = ms(snap.Quantile(0.50))
+		rep.P99Ms = ms(snap.Quantile(0.99))
+		rep.P999Ms = ms(snap.Quantile(0.999))
+		rep.MeanMs = ms(int64(snap.Mean()))
+		rep.MaxMs = ms(snap.Max)
+	}
+	return rep, nil
+}

@@ -1,0 +1,322 @@
+package net
+
+import (
+	"errors"
+	"fmt"
+	stdnet "net"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/query"
+)
+
+// ServerOptions configure the front door.
+type ServerOptions struct {
+	// MaxInflight bounds concurrently executing request units (batch
+	// members count individually); beyond it requests are shed with
+	// query.ErrOverloaded. 0 = unlimited.
+	MaxInflight int
+	// Tracer, when set, opens a "net.request" / "net.batch" root span per
+	// admitted request, so the server-side latency breakdown of remote
+	// traffic lands in the same span histograms the in-process stack uses.
+	Tracer *obs.Tracer
+	// Metrics, when set, receives net.* counters (requests, batches, sheds,
+	// rejected-deadline) and the admission source.
+	Metrics *obs.Registry
+}
+
+// Server accepts wire-protocol connections and executes their requests
+// against a query.Executor — any layer of the stack, from a bare
+// server.Server to a sharded replicated group. Each connection gets its
+// own query.Session (read-your-writes is connection-scoped at the front
+// door), requests on one connection execute concurrently (pipelining),
+// and responses carry the request id they answer, so slow requests never
+// head-of-line-block fast ones.
+type Server struct {
+	backend   query.Executor
+	admission *Admission
+	opts      ServerOptions
+
+	ln stdnet.Listener
+
+	mu     sync.Mutex
+	conns  map[stdnet.Conn]struct{}
+	closed bool
+
+	wg sync.WaitGroup
+
+	requests *obs.Counter // admitted Exec requests
+	batches  *obs.Counter // admitted ExecBatch requests
+	expired  *obs.Counter // rejected before execution: deadline already past
+}
+
+// NewServer builds a front door over backend.
+func NewServer(backend query.Executor, opts ServerOptions) *Server {
+	s := &Server{
+		backend:   backend,
+		admission: NewAdmission(opts.MaxInflight),
+		opts:      opts,
+		conns:     map[stdnet.Conn]struct{}{},
+	}
+	reg := opts.Metrics
+	if reg == nil {
+		// Counters are unconditional (the handlers bump them with no nil
+		// checks); without a caller registry they land in a private one.
+		reg = obs.NewRegistry()
+	} else {
+		s.admission.RegisterMetrics(reg, "net.")
+	}
+	s.requests = reg.Counter("net.requests")
+	s.batches = reg.Counter("net.batches")
+	s.expired = reg.Counter("net.deadline.rejected")
+	return s
+}
+
+// Admission exposes the budget for tests and metrics polling.
+func (s *Server) Admission() *Admission { return s.admission }
+
+// Listen binds addr (e.g. "127.0.0.1:0") and starts serving in the
+// background. The bound address is available via Addr.
+func (s *Server) Listen(addr string) error {
+	ln, err := stdnet.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("net: server closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return nil
+}
+
+// Addr returns the listener's address ("" before Listen).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+func (s *Server) acceptLoop(ln stdnet.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// Close stops accepting, closes every connection and waits for in-flight
+// handlers. Requests already admitted finish executing; their responses
+// may be lost with the connection, which is exactly the crash the
+// client-side deadline exists for.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	ln := s.ln
+	conns := make([]stdnet.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+}
+
+// conn is the per-connection state: a write lock serializing response
+// frames (request handlers run concurrently) and the connection session.
+type srvConn struct {
+	c    stdnet.Conn
+	wmu  sync.Mutex
+	sess *query.Session
+}
+
+func (sc *srvConn) writeFrame(msgType byte, payload []byte) error {
+	sc.wmu.Lock()
+	defer sc.wmu.Unlock()
+	return WriteFrame(sc.c, msgType, payload)
+}
+
+func (s *Server) serveConn(c stdnet.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		c.Close()
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+	}()
+
+	// Handshake: hello in, helloAck out. A peer speaking another version
+	// (or not this protocol at all) is cut off before any request decodes.
+	msgType, payload, err := ReadFrame(c)
+	if err != nil || msgType != MsgHello {
+		return
+	}
+	ver, err := DecodeHello(payload)
+	if err != nil || ver != Version {
+		return
+	}
+	sc := &srvConn{c: c, sess: query.NewSession()}
+	if sc.writeFrame(MsgHelloAck, EncodeHelloAck()) != nil {
+		return
+	}
+
+	// Request loop: decode, admit, execute in a per-request goroutine.
+	// The loop goroutine owns reads; handler goroutines own their response
+	// write (serialized by sc.wmu); the deferred conn close unblocks the
+	// read on server shutdown.
+	var handlers sync.WaitGroup
+	defer handlers.Wait()
+	for {
+		msgType, payload, err := ReadFrame(c)
+		if err != nil {
+			return // peer closed (io.EOF) or connection torn down
+		}
+		switch msgType {
+		case MsgExec:
+			id, req, err := DecodeExec(payload)
+			if err != nil {
+				s.sendResult(sc, id, query.Fail(fmt.Errorf("net: bad request: %w", err)))
+				continue
+			}
+			if !s.admit(sc, id, req.Deadline, 1, false) {
+				continue
+			}
+			handlers.Add(1)
+			go func() {
+				defer handlers.Done()
+				res := s.handleExec(sc, req)
+				// Release before the response write: the unit's work is done,
+				// and a client that fires its next request the instant the
+				// response lands must find the slot free (a closed loop with
+				// conns == budget must never shed).
+				s.admission.Release(1)
+				s.sendResult(sc, id, res)
+			}()
+		case MsgExecBatch:
+			id, req, err := DecodeExecBatch(payload)
+			if err != nil {
+				s.sendResult(sc, id, query.Fail(fmt.Errorf("net: bad request: %w", err)))
+				continue
+			}
+			n := len(req.ArgSets)
+			if !s.admit(sc, id, req.Deadline, n, true) {
+				continue
+			}
+			handlers.Add(1)
+			go func() {
+				defer handlers.Done()
+				res := s.handleExecBatch(sc, req)
+				s.admission.Release(n)
+				s.sendBatchResult(sc, id, res)
+			}()
+		default:
+			return // protocol violation: unknown frame kills the connection
+		}
+	}
+}
+
+// admit applies the deadline-and-budget gate shared by both request kinds.
+// A request past its deadline or beyond the budget is answered immediately
+// (on the read loop — rejection must not cost a goroutine) and never
+// reaches the backend.
+func (s *Server) admit(sc *srvConn, id uint64, dl query.Deadline, units int, batch bool) bool {
+	var err error
+	switch {
+	case dl.Expired():
+		s.expired.Add(1)
+		err = query.ErrDeadlineExceeded
+	case !s.admission.TryAcquire(units):
+		err = query.ErrOverloaded
+	default:
+		if batch {
+			s.batches.Add(1)
+		} else {
+			s.requests.Add(1)
+		}
+		return true
+	}
+	if batch {
+		s.sendBatchResult(sc, id, query.FailAll(units, err))
+	} else {
+		s.sendResult(sc, id, query.Fail(err))
+	}
+	return false
+}
+
+func (s *Server) handleExec(sc *srvConn, req query.Request) query.Result {
+	sp := s.opts.Tracer.Start("net.request") // nil-safe: nil tracer mints nil span
+	sp.SetDetail(req.SQL)
+	req.Span = sp
+	req.Session = sc.sess
+	res := s.backend.Exec(req)
+	sp.End()
+	return res
+}
+
+func (s *Server) handleExecBatch(sc *srvConn, req query.BatchRequest) query.BatchResult {
+	sp := s.opts.Tracer.Start("net.batch")
+	sp.SetDetail(req.SQL)
+	req.Span = sp
+	req.Session = sc.sess
+	res := s.backend.ExecBatch(req)
+	sp.End()
+	return res
+}
+
+func (s *Server) sendResult(sc *srvConn, id uint64, res query.Result) {
+	payload, err := EncodeResult(id, res)
+	if err != nil {
+		// The value could not cross the wire; the client still gets an
+		// answer (an error) rather than a hung request id.
+		payload, err = EncodeResult(id, query.Fail(err))
+		if err != nil {
+			return
+		}
+	}
+	if sc.writeFrame(MsgResult, payload) != nil {
+		sc.c.Close() // writer failed: kill the conn so the read loop exits
+	}
+}
+
+func (s *Server) sendBatchResult(sc *srvConn, id uint64, res query.BatchResult) {
+	payload, err := EncodeBatchResult(id, res)
+	if err != nil {
+		payload, err = EncodeBatchResult(id, query.FailAll(len(res.Errs), err))
+		if err != nil {
+			return
+		}
+	}
+	if sc.writeFrame(MsgBatchResult, payload) != nil {
+		sc.c.Close()
+	}
+}

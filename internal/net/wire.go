@@ -1,0 +1,622 @@
+// Package net is the network front door: a length-prefixed binary wire
+// protocol over TCP that carries the internal/query Request/Result pairs
+// between a client process and a server process. The client side
+// (Client) implements query.Executor, so a transformed program moves from
+// an in-process stack to a remote one by swapping the Executor it hands
+// to the runtime — exactly the portability argument the Request redesign
+// was made for. The server side (Server) fronts any query.Executor —
+// a bare server.Server, a shard.Router, a replica.Group, or the whole
+// stack — with per-connection sessions, per-request deadlines, and
+// admission control that sheds load with query.ErrOverloaded instead of
+// queueing without bound.
+//
+// See README.md for the frame format, versioning and the deadline /
+// overload semantics the protocol promises.
+package net
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/interp"
+	"repro/internal/query"
+)
+
+// Protocol constants. Version bumps whenever the frame or value encoding
+// changes incompatibly; the handshake rejects mismatches up front so a
+// stale client fails with a clear error instead of a mid-stream decode
+// error.
+const (
+	// Magic opens every hello frame: "ASQW" (asynchronous query wire).
+	Magic uint32 = 0x41535157
+	// Version is the protocol version this build speaks.
+	Version uint16 = 1
+	// MaxFrame bounds a single frame's payload. Large result sets are the
+	// legitimate case (a full-scan read returns its rows in one frame);
+	// anything beyond this is a corrupt length prefix, and rejecting it
+	// keeps a bad frame from making the reader allocate gigabytes.
+	MaxFrame = 64 << 20
+)
+
+// Frame types.
+const (
+	// MsgHello / MsgHelloAck are the versioned handshake: the client sends
+	// hello (magic + its version), the server answers helloAck (its
+	// version) or closes the connection.
+	MsgHello byte = iota + 1
+	MsgHelloAck
+	// MsgExec / MsgExecBatch carry one Request / BatchRequest.
+	MsgExec
+	MsgExecBatch
+	// MsgResult / MsgBatchResult carry the matching responses.
+	MsgResult
+	MsgBatchResult
+)
+
+// Error codes on result frames. Sentinel errors cross the wire as codes —
+// not text — so errors.Is works on the client side; every other error is
+// carried as its exact text, which keeps remote error output byte-identical
+// to in-process runs.
+const (
+	errNone byte = iota
+	errGeneric
+	errOverloaded
+	errDeadline
+)
+
+// Value tags. The mini-language's runtime values are closed (nil, int64,
+// string, bool, lists, rows), so the codec enumerates them instead of
+// shipping a reflective encoding.
+const (
+	tagNil byte = iota
+	tagInt
+	tagString
+	tagBool
+	tagList
+	tagRow
+	tagRows
+)
+
+// ErrBadFrame reports a malformed or oversized frame.
+var ErrBadFrame = errors.New("net: malformed frame")
+
+// ErrVersionMismatch reports a failed handshake.
+var ErrVersionMismatch = errors.New("net: protocol version mismatch")
+
+// WriteFrame writes one [u32 length][type byte][payload] frame.
+func WriteFrame(w io.Writer, msgType byte, payload []byte) error {
+	if len(payload)+1 > MaxFrame {
+		return fmt.Errorf("%w: %d byte payload exceeds MaxFrame", ErrBadFrame, len(payload))
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+	hdr[4] = msgType
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame, returning its type and payload.
+func ReadFrame(r io.Reader) (byte, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n < 1 || n > MaxFrame {
+		return 0, nil, fmt.Errorf("%w: length %d", ErrBadFrame, n)
+	}
+	payload := make([]byte, n-1)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[4], payload, nil
+}
+
+// --- primitive encoders on a byte buffer ---
+
+func putUvarint(b []byte, v uint64) []byte { return binary.AppendUvarint(b, v) }
+func putVarint(b []byte, v int64) []byte   { return binary.AppendVarint(b, v) }
+
+func putString(b []byte, s string) []byte {
+	b = putUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func putBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// reader decodes primitives off a payload slice with a sticky error, so
+// message decoders read fields linearly and check once at the end.
+type reader struct {
+	b   []byte
+	err error
+}
+
+func (r *reader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: truncated %s", ErrBadFrame, what)
+	}
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		r.fail("uvarint")
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *reader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b)
+	if n <= 0 {
+		r.fail("varint")
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *reader) string() string {
+	n := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if uint64(len(r.b)) < n {
+		r.fail("string")
+		return ""
+	}
+	s := string(r.b[:n])
+	r.b = r.b[n:]
+	return s
+}
+
+func (r *reader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.b) == 0 {
+		r.fail("byte")
+		return 0
+	}
+	c := r.b[0]
+	r.b = r.b[1:]
+	return c
+}
+
+func (r *reader) bool() bool { return r.byte() != 0 }
+
+func (r *reader) u64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.b) < 8 {
+		r.fail("u64")
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.b)
+	r.b = r.b[8:]
+	return v
+}
+
+// count reads a collection length and sanity-bounds it against the bytes
+// that remain: each element costs at least one byte on the wire, so a
+// length beyond len(r.b) is a corrupt frame, not a huge allocation.
+func (r *reader) count(what string) int {
+	n := r.uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if n > uint64(len(r.b)) {
+		r.fail(what + " count")
+		return 0
+	}
+	return int(n)
+}
+
+// --- value codec ---
+
+// AppendValue encodes one runtime value. The value domain is the
+// mini-language's: nil, int64, string, bool, *interp.List, interp.Row,
+// interp.Rows. Anything else is an encoding error — the front door refuses
+// to silently stringify a value the other side could not reconstruct.
+func AppendValue(b []byte, v any) ([]byte, error) {
+	switch x := v.(type) {
+	case nil:
+		return append(b, tagNil), nil
+	case int64:
+		return putVarint(append(b, tagInt), x), nil
+	case string:
+		return putString(append(b, tagString), x), nil
+	case bool:
+		return putBool(append(b, tagBool), x), nil
+	case *interp.List:
+		b = putUvarint(append(b, tagList), uint64(len(x.Items)))
+		var err error
+		for _, it := range x.Items {
+			if b, err = AppendValue(b, it); err != nil {
+				return nil, err
+			}
+		}
+		return b, nil
+	case interp.Row:
+		return appendRow(append(b, tagRow), x)
+	case interp.Rows:
+		return appendRows(append(b, tagRows), x)
+	default:
+		return nil, fmt.Errorf("net: cannot encode %T", v)
+	}
+}
+
+// appendRow writes a row as sorted (key, value) pairs — sorted so the
+// encoding is deterministic, matching the deterministic Format order the
+// differential harness compares.
+func appendRow(b []byte, row interp.Row) ([]byte, error) {
+	keys := sortedRowKeys(row)
+	b = putUvarint(b, uint64(len(keys)))
+	var err error
+	for _, k := range keys {
+		b = putString(b, k)
+		if b, err = AppendValue(b, row[k]); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// appendRows writes a result set. The common case — every row shares the
+// same columns — is encoded columnar: the sorted key set once, then values
+// row-major, which is the batch-aware encode that keeps wide result sets
+// from repeating column names per row. Heterogeneous row sets fall back to
+// per-row encoding.
+func appendRows(b []byte, rows interp.Rows) ([]byte, error) {
+	b = putUvarint(b, uint64(len(rows)))
+	if len(rows) == 0 {
+		return b, nil
+	}
+	keys := sortedRowKeys(rows[0])
+	shared := true
+	for _, row := range rows[1:] {
+		if !sameKeys(row, keys) {
+			shared = false
+			break
+		}
+	}
+	var err error
+	if shared {
+		b = append(b, 1) // columnar: shared sorted key set
+		b = putUvarint(b, uint64(len(keys)))
+		for _, k := range keys {
+			b = putString(b, k)
+		}
+		for _, row := range rows {
+			for _, k := range keys {
+				if b, err = AppendValue(b, row[k]); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return b, nil
+	}
+	b = append(b, 0) // row-major fallback: each row carries its keys
+	for _, row := range rows {
+		if b, err = appendRow(b, row); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+func sortedRowKeys(row interp.Row) []string {
+	keys := make([]string, 0, len(row))
+	for k := range row {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sameKeys(row interp.Row, keys []string) bool {
+	if len(row) != len(keys) {
+		return false
+	}
+	for _, k := range keys {
+		if _, ok := row[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *reader) value() any {
+	switch tag := r.byte(); tag {
+	case tagNil:
+		return nil
+	case tagInt:
+		return r.varint()
+	case tagString:
+		return r.string()
+	case tagBool:
+		return r.bool()
+	case tagList:
+		n := r.count("list")
+		items := make([]any, 0, n)
+		for i := 0; i < n && r.err == nil; i++ {
+			items = append(items, r.value())
+		}
+		return &interp.List{Items: items}
+	case tagRow:
+		return r.row()
+	case tagRows:
+		return r.rows()
+	default:
+		if r.err == nil {
+			r.err = fmt.Errorf("%w: unknown value tag %d", ErrBadFrame, tag)
+		}
+		return nil
+	}
+}
+
+func (r *reader) row() interp.Row {
+	n := r.count("row")
+	row := make(interp.Row, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		k := r.string()
+		row[k] = r.value()
+	}
+	return row
+}
+
+func (r *reader) rows() interp.Rows {
+	n := r.count("rows")
+	if n == 0 {
+		return interp.Rows{}
+	}
+	rows := make(interp.Rows, 0, n)
+	if r.bool() { // columnar
+		nk := r.count("columns")
+		keys := make([]string, nk)
+		for i := range keys {
+			keys[i] = r.string()
+		}
+		for i := 0; i < n && r.err == nil; i++ {
+			row := make(interp.Row, nk)
+			for _, k := range keys {
+				row[k] = r.value()
+			}
+			rows = append(rows, row)
+		}
+		return rows
+	}
+	for i := 0; i < n && r.err == nil; i++ {
+		rows = append(rows, r.row())
+	}
+	return rows
+}
+
+// --- request / response codecs ---
+
+// EncodeHello builds the client's opening frame payload.
+func EncodeHello() []byte {
+	b := make([]byte, 0, 6)
+	b = binary.BigEndian.AppendUint32(b, Magic)
+	return binary.BigEndian.AppendUint16(b, Version)
+}
+
+// DecodeHello validates a hello payload and returns the peer version.
+func DecodeHello(b []byte) (uint16, error) {
+	if len(b) != 6 || binary.BigEndian.Uint32(b[:4]) != Magic {
+		return 0, fmt.Errorf("%w: bad hello", ErrBadFrame)
+	}
+	return binary.BigEndian.Uint16(b[4:6]), nil
+}
+
+// EncodeHelloAck builds the server's handshake answer.
+func EncodeHelloAck() []byte {
+	return binary.BigEndian.AppendUint16(nil, Version)
+}
+
+// DecodeHelloAck returns the server's version.
+func DecodeHelloAck(b []byte) (uint16, error) {
+	if len(b) != 2 {
+		return 0, fmt.Errorf("%w: bad helloAck", ErrBadFrame)
+	}
+	return binary.BigEndian.Uint16(b), nil
+}
+
+// EncodeExec encodes a Request under reqID. Span and Session do not cross
+// the wire: tracing is per-process, and the session is the connection (the
+// server binds one session to each accepted conn). The deadline crosses as
+// an absolute unix-nanosecond instant (0 = none), so it keeps meaning
+// regardless of queueing on either side.
+func EncodeExec(reqID uint64, req query.Request) ([]byte, error) {
+	b := make([]byte, 0, 64)
+	b = binary.BigEndian.AppendUint64(b, reqID)
+	b = putVarint(b, req.Deadline.UnixNanos())
+	b = append(b, byte(req.Consistency))
+	b = putString(b, req.Name)
+	b = putString(b, req.SQL)
+	b = putUvarint(b, uint64(len(req.Args)))
+	var err error
+	for _, a := range req.Args {
+		if b, err = AppendValue(b, a); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// DecodeExec decodes a MsgExec payload.
+func DecodeExec(b []byte) (uint64, query.Request, error) {
+	r := &reader{b: b}
+	id := r.u64()
+	req := query.Request{
+		Deadline:    query.FromUnixNanos(r.varint()),
+		Consistency: query.Consistency(r.byte()),
+	}
+	req.Name = r.string()
+	req.SQL = r.string()
+	n := r.count("args")
+	if n > 0 {
+		req.Args = make([]any, 0, n)
+		for i := 0; i < n && r.err == nil; i++ {
+			req.Args = append(req.Args, r.value())
+		}
+	}
+	return id, req, r.err
+}
+
+// EncodeExecBatch encodes a BatchRequest under reqID.
+func EncodeExecBatch(reqID uint64, req query.BatchRequest) ([]byte, error) {
+	b := make([]byte, 0, 128)
+	b = binary.BigEndian.AppendUint64(b, reqID)
+	b = putVarint(b, req.Deadline.UnixNanos())
+	b = append(b, byte(req.Consistency))
+	b = putString(b, req.Name)
+	b = putString(b, req.SQL)
+	b = putUvarint(b, uint64(len(req.ArgSets)))
+	var err error
+	for _, set := range req.ArgSets {
+		b = putUvarint(b, uint64(len(set)))
+		for _, a := range set {
+			if b, err = AppendValue(b, a); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return b, nil
+}
+
+// DecodeExecBatch decodes a MsgExecBatch payload.
+func DecodeExecBatch(b []byte) (uint64, query.BatchRequest, error) {
+	r := &reader{b: b}
+	id := r.u64()
+	req := query.BatchRequest{
+		Deadline:    query.FromUnixNanos(r.varint()),
+		Consistency: query.Consistency(r.byte()),
+	}
+	req.Name = r.string()
+	req.SQL = r.string()
+	n := r.count("argsets")
+	req.ArgSets = make([][]any, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		m := r.count("argset")
+		set := make([]any, 0, m)
+		for j := 0; j < m && r.err == nil; j++ {
+			set = append(set, r.value())
+		}
+		req.ArgSets = append(req.ArgSets, set)
+	}
+	return id, req, r.err
+}
+
+// appendErr writes one error slot: a code byte, plus the text for generic
+// errors. Sentinels travel as codes so errors.Is holds across the wire.
+func appendErr(b []byte, err error) []byte {
+	switch {
+	case err == nil:
+		return append(b, errNone)
+	case errors.Is(err, query.ErrOverloaded):
+		return append(b, errOverloaded)
+	case errors.Is(err, query.ErrDeadlineExceeded):
+		return append(b, errDeadline)
+	default:
+		return putString(append(b, errGeneric), err.Error())
+	}
+}
+
+func (r *reader) errSlot() error {
+	switch code := r.byte(); code {
+	case errNone:
+		return nil
+	case errGeneric:
+		return errors.New(r.string())
+	case errOverloaded:
+		return query.ErrOverloaded
+	case errDeadline:
+		return query.ErrDeadlineExceeded
+	default:
+		if r.err == nil {
+			r.err = fmt.Errorf("%w: unknown error code %d", ErrBadFrame, code)
+		}
+		return nil
+	}
+}
+
+// EncodeResult encodes one Result under reqID. Info stays server-side: the
+// page/row accounting belongs to the execution stack, not the client API
+// (the front door's observable surface is value + error).
+func EncodeResult(reqID uint64, res query.Result) ([]byte, error) {
+	b := make([]byte, 0, 32)
+	b = binary.BigEndian.AppendUint64(b, reqID)
+	b = appendErr(b, res.Err)
+	if res.Err != nil {
+		return b, nil
+	}
+	return AppendValue(b, res.Value)
+}
+
+// DecodeResult decodes a MsgResult payload.
+func DecodeResult(b []byte) (uint64, query.Result, error) {
+	r := &reader{b: b}
+	id := r.u64()
+	res := query.Result{Err: r.errSlot()}
+	if res.Err == nil && r.err == nil {
+		res.Value = r.value()
+	}
+	return id, res, r.err
+}
+
+// EncodeBatchResult encodes one BatchResult under reqID.
+func EncodeBatchResult(reqID uint64, res query.BatchResult) ([]byte, error) {
+	if len(res.Values) != len(res.Errs) {
+		return nil, fmt.Errorf("net: batch result shape: %d values, %d errs",
+			len(res.Values), len(res.Errs))
+	}
+	b := make([]byte, 0, 64)
+	b = binary.BigEndian.AppendUint64(b, reqID)
+	b = putUvarint(b, uint64(len(res.Values)))
+	var err error
+	for i := range res.Values {
+		b = appendErr(b, res.Errs[i])
+		if res.Errs[i] != nil {
+			continue
+		}
+		if b, err = AppendValue(b, res.Values[i]); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// DecodeBatchResult decodes a MsgBatchResult payload.
+func DecodeBatchResult(b []byte) (uint64, query.BatchResult, error) {
+	r := &reader{b: b}
+	id := r.u64()
+	n := r.count("batch result")
+	res := query.BatchResult{Values: make([]any, n), Errs: make([]error, n)}
+	for i := 0; i < n && r.err == nil; i++ {
+		res.Errs[i] = r.errSlot()
+		if res.Errs[i] == nil && r.err == nil {
+			res.Values[i] = r.value()
+		}
+	}
+	return id, res, r.err
+}

@@ -1,0 +1,177 @@
+// Package query defines the request/response vocabulary shared by every
+// execution layer: the network front door, the async executor, the batch
+// coalescer, the shard router, the replica group and the simulated server
+// all speak the same pair of calls,
+//
+//	Exec(req Request) Result
+//	ExecBatch(req BatchRequest) BatchResult
+//
+// instead of one method per combination of (traced, session-bound,
+// batched). A Request carries everything that used to be threaded through
+// method-name variants — the optional trace span, the client session,
+// a consistency override and the request deadline — so adding a new
+// cross-cutting field (deadlines were the forcing case) costs one struct
+// field instead of doubling an Exec* surface.
+//
+// The package is a leaf: it depends only on obs (spans) and sqlmini
+// (ExecInfo), so every layer can import it without cycles.
+package query
+
+import (
+	"errors"
+
+	"repro/internal/obs"
+	"repro/internal/sqlmini"
+)
+
+// ErrOverloaded is returned (or sent over the wire) when admission control
+// sheds a request instead of queueing it. The promise: the request was
+// rejected before any side effect — it did not execute, did not touch the
+// WAL, and may be retried.
+var ErrOverloaded = errors.New("query: server overloaded")
+
+// ErrDeadlineExceeded is returned when a request's deadline expires before
+// the layer holding it could finish. A write rejected with this error
+// before the primary executed it had no effect; a write abandoned in the
+// WAL commit wait may have executed but was never acknowledged — either
+// way the client receives exactly one error and never a half-ack.
+var ErrDeadlineExceeded = errors.New("query: deadline exceeded")
+
+// Consistency selects which replicas may serve a read. The zero value
+// defers to the serving group's configured default, so a Request built
+// with a struct literal inherits the group policy.
+type Consistency int
+
+const (
+	// ConsistencyDefault defers to the replica group's configured level.
+	ConsistencyDefault Consistency = iota
+	// Strong reads observe every acknowledged write (primary watermark).
+	Strong
+	// BoundedStaleness reads may lag the primary by the group's bound.
+	BoundedStaleness
+	// ReadYourWrites reads observe at least this session's own writes.
+	ReadYourWrites
+)
+
+func (c Consistency) String() string {
+	switch c {
+	case Strong:
+		return "strong"
+	case BoundedStaleness:
+		return "bounded"
+	case ReadYourWrites:
+		return "session"
+	default:
+		return "default"
+	}
+}
+
+// Request is one statement execution. Name/SQL/Args are required; the rest
+// are optional cross-cutting context:
+//
+//   - Span: parent trace span; layers hang their children off it. Nil
+//     means untraced (obs spans are nil-safe).
+//   - Session: the client's session token for read-your-writes and
+//     session-scoped staleness bookkeeping. Nil means sessionless.
+//   - Consistency: per-request override of the serving group's read
+//     consistency; ConsistencyDefault inherits.
+//   - Deadline: absolute give-up time. The zero Deadline never expires.
+type Request struct {
+	Name string
+	SQL  string
+	Args []any
+
+	Span        *obs.Span
+	Session     *Session
+	Consistency Consistency
+	Deadline    Deadline
+}
+
+// Req builds a plain Request — the common test/caller shorthand.
+func Req(name, sql string, args []any) Request {
+	return Request{Name: name, SQL: sql, Args: args}
+}
+
+// WithSpan returns a copy of the request carrying sp.
+func (r Request) WithSpan(sp *obs.Span) Request { r.Span = sp; return r }
+
+// WithSession returns a copy of the request bound to sess.
+func (r Request) WithSession(sess *Session) Request { r.Session = sess; return r }
+
+// WithDeadline returns a copy of the request carrying dl.
+func (r Request) WithDeadline(dl Deadline) Request { r.Deadline = dl; return r }
+
+// BatchRequest is one set-oriented execution: the same statement over
+// ArgSets, submitted in a single round trip. Context fields mirror
+// Request and apply to the batch as a whole (Deadline is the earliest
+// deadline among the coalesced members).
+type BatchRequest struct {
+	Name    string
+	SQL     string
+	ArgSets [][]any
+
+	Span        *obs.Span
+	Session     *Session
+	Consistency Consistency
+	Deadline    Deadline
+}
+
+// BatchReq builds a plain BatchRequest.
+func BatchReq(name, sql string, argSets [][]any) BatchRequest {
+	return BatchRequest{Name: name, SQL: sql, ArgSets: argSets}
+}
+
+// WithSpan returns a copy of the batch request carrying sp.
+func (r BatchRequest) WithSpan(sp *obs.Span) BatchRequest { r.Span = sp; return r }
+
+// WithSession returns a copy of the batch request bound to sess.
+func (r BatchRequest) WithSession(sess *Session) BatchRequest { r.Session = sess; return r }
+
+// WithDeadline returns a copy of the batch request carrying dl.
+func (r BatchRequest) WithDeadline(dl Deadline) BatchRequest { r.Deadline = dl; return r }
+
+// Result is the outcome of one Exec. Exactly one of Value/Err is
+// meaningful; Info carries the executor's page/row accounting when the
+// backend produces it (zero otherwise).
+type Result struct {
+	Value any
+	Err   error
+	Info  sqlmini.ExecInfo
+}
+
+// Pair unpacks the result into the classic (value, error) shape.
+func (r Result) Pair() (any, error) { return r.Value, r.Err }
+
+// Ok wraps a successful value.
+func Ok(v any) Result { return Result{Value: v} }
+
+// Fail wraps an error.
+func Fail(err error) Result { return Result{Err: err} }
+
+// BatchResult is the outcome of one ExecBatch: Values[i]/Errs[i]
+// correspond to ArgSets[i]. Both slices always have len(ArgSets).
+type BatchResult struct {
+	Values []any
+	Errs   []error
+	Info   sqlmini.ExecInfo
+}
+
+// Pair unpacks the batch result into the classic (values, errs) shape.
+func (b BatchResult) Pair() ([]any, []error) { return b.Values, b.Errs }
+
+// FailAll builds a BatchResult with every member failed with err.
+func FailAll(n int, err error) BatchResult {
+	b := BatchResult{Values: make([]any, n), Errs: make([]error, n)}
+	for i := range b.Errs {
+		b.Errs[i] = err
+	}
+	return b
+}
+
+// Executor is the single execution surface every layer implements:
+// server.Server, replica.Group, shard.Router, the net client — all are
+// Executors, so layers stack by wrapping one Executor in another.
+type Executor interface {
+	Exec(req Request) Result
+	ExecBatch(req BatchRequest) BatchResult
+}

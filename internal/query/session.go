@@ -1,0 +1,81 @@
+package query
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Session is a client session token: the monotonic bookkeeping that makes
+// read-your-writes and bounded-staleness reads work. A session remembers
+// the LSN of its last acknowledged write (reads at ReadYourWrites must
+// observe it) and the LSN its last read was served at (so staleness can
+// also be monotonic per session).
+//
+// Sessions are hierarchical: a client holds one root session, and a shard
+// router derives one child per shard with Sub(i), since each shard's
+// replica group has its own LSN space. Children are created lazily and
+// cached, so a session is cheap until a shard actually serves it.
+//
+// A nil *Session is valid everywhere and means "sessionless".
+type Session struct {
+	write  atomic.Int64
+	served atomic.Int64
+
+	mu   sync.Mutex
+	subs map[int]*Session
+}
+
+// NewSession returns a fresh root session.
+func NewSession() *Session { return &Session{} }
+
+// Sub returns the child session for shard i, creating it on first use.
+// Safe on nil (returns nil).
+func (s *Session) Sub(i int) *Session {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.subs == nil {
+		s.subs = make(map[int]*Session)
+	}
+	c, ok := s.subs[i]
+	if !ok {
+		c = &Session{}
+		s.subs[i] = c
+	}
+	return c
+}
+
+// NoteWrite records the LSN of an acknowledged write.
+func (s *Session) NoteWrite(lsn int64) {
+	if s != nil {
+		s.write.Store(lsn)
+	}
+}
+
+// NoteServed records the LSN a read was served at — the state the
+// session's most recent read actually observed (not a high-water mark;
+// the serving layer keeps its own monotonic floor).
+func (s *Session) NoteServed(lsn int64) {
+	if s != nil {
+		s.served.Store(lsn)
+	}
+}
+
+// LastWriteLSN returns the LSN of the session's last acknowledged write.
+func (s *Session) LastWriteLSN() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.write.Load()
+}
+
+// LastServedLSN returns the highest LSN any read in this session was
+// served at.
+func (s *Session) LastServedLSN() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.served.Load()
+}

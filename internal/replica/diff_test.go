@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"repro/internal/query"
 	"strings"
 	"testing"
 	"time"
@@ -122,12 +123,12 @@ func TestRandomizedDifferentialAllApps(t *testing.T) {
 					func(sql string, args []any) (any, error) {
 						sp := tr.Start("request")
 						defer sp.End()
-						return rt.ExecSpan(sp, "w", sql, args)
+						return rt.Exec(query.Req("w", sql, args).WithSpan(sp)).Pair()
 					},
 					func(sql string, argSets [][]any) ([]any, []error) {
 						sp := tr.Start("request")
 						defer sp.End()
-						return rt.ExecBatchSpan(sp, "w", sql, argSets)
+						return rt.ExecBatch(query.BatchReq("w", sql, argSets).WithSpan(sp)).Pair()
 					}}
 			}
 			shardedC, replicatedC := traced(sharded), traced(replicated)
@@ -144,7 +145,7 @@ func TestRandomizedDifferentialAllApps(t *testing.T) {
 				for _, op := range ops {
 					opNo++
 					if op.Batch() {
-						wantVals, wantErrs := ref.ExecBatch("w", op.SQL, op.ArgSets)
+						wantVals, wantErrs := ref.ExecBatch(query.BatchReq("w", op.SQL, op.ArgSets)).Pair()
 						for _, c := range clusters {
 							gotVals, gotErrs := c.execBatch(op.SQL, op.ArgSets)
 							for j := range op.ArgSets {
@@ -158,7 +159,7 @@ func TestRandomizedDifferentialAllApps(t *testing.T) {
 						}
 						continue
 					}
-					wantV, wantErr := ref.Exec("w", op.SQL, op.ArgSets[0])
+					wantV, wantErr := ref.Exec(query.Req("w", op.SQL, op.ArgSets[0])).Pair()
 					for _, c := range clusters {
 						gotV, gotErr := c.exec(op.SQL, op.ArgSets[0])
 						want, got := fmtOut(wantV, wantErr), fmtOut(gotV, gotErr)
@@ -289,8 +290,8 @@ func TestDifferentialPrimaryCrashRecovery(t *testing.T) {
 				for _, op := range ops {
 					opNo++
 					if op.Batch() {
-						wantVals, wantErrs := ref.ExecBatch("w", op.SQL, op.ArgSets)
-						gotVals, gotErrs := rt.ExecBatch("w", op.SQL, op.ArgSets)
+						wantVals, wantErrs := ref.ExecBatch(query.BatchReq("w", op.SQL, op.ArgSets)).Pair()
+						gotVals, gotErrs := rt.ExecBatch(query.BatchReq("w", op.SQL, op.ArgSets)).Pair()
 						for j := range op.ArgSets {
 							want := fmtOut(wantVals[j], wantErrs[j])
 							got := fmtOut(gotVals[j], gotErrs[j])
@@ -301,8 +302,8 @@ func TestDifferentialPrimaryCrashRecovery(t *testing.T) {
 						}
 						continue
 					}
-					wantV, wantErr := ref.Exec("w", op.SQL, op.ArgSets[0])
-					gotV, gotErr := rt.Exec("w", op.SQL, op.ArgSets[0])
+					wantV, wantErr := ref.Exec(query.Req("w", op.SQL, op.ArgSets[0])).Pair()
+					gotV, gotErr := rt.Exec(query.Req("w", op.SQL, op.ArgSets[0])).Pair()
 					want, got := fmtOut(wantV, wantErr), fmtOut(gotV, gotErr)
 					if want != got {
 						t.Fatalf("seed %d op %d (%s) %q:\n  cluster: %s\n  single:  %s",
@@ -417,7 +418,7 @@ func runStalenessDifferential(t *testing.T, cons replica.Consistency, bound int6
 				break
 			}
 			// The log holds only acknowledged bindings: replay cannot fail.
-			if _, errs := checker.ExecBatch("c", r.SQL, r.ArgSets); firstNonNil(errs) != nil {
+			if _, errs := checker.ExecBatch(query.BatchReq("c", r.SQL, r.ArgSets)).Pair(); firstNonNil(errs) != nil {
 				t.Fatalf("checker replay of LSN %d: %v", r.LSN, firstNonNil(errs))
 			}
 			checkerLSN = r.LSN
@@ -463,8 +464,8 @@ func runStalenessDifferential(t *testing.T, cons replica.Consistency, bound int6
 				// Writes land on the primary — always the newest state, so
 				// they must match the reference byte for byte.
 				if op.Batch() {
-					wantVals, wantErrs := ref.ExecBatch("w", op.SQL, op.ArgSets)
-					gotVals, gotErrs := g.ExecBatchSession(sess, "w", op.SQL, op.ArgSets)
+					wantVals, wantErrs := ref.ExecBatch(query.BatchReq("w", op.SQL, op.ArgSets)).Pair()
+					gotVals, gotErrs := g.ExecBatch(query.BatchReq("w", op.SQL, op.ArgSets).WithSession(sess)).Pair()
 					for j := range op.ArgSets {
 						if want, got := fmtOut(wantVals[j], wantErrs[j]), fmtOut(gotVals[j], gotErrs[j]); want != got {
 							t.Fatalf("seed %d op %d write %q binding %d:\n  group:  %s\n  single: %s",
@@ -472,8 +473,8 @@ func runStalenessDifferential(t *testing.T, cons replica.Consistency, bound int6
 						}
 					}
 				} else {
-					wantV, wantErr := ref.Exec("w", op.SQL, op.ArgSets[0])
-					gotV, gotErr := g.ExecSession(sess, "w", op.SQL, op.ArgSets[0])
+					wantV, wantErr := ref.Exec(query.Req("w", op.SQL, op.ArgSets[0])).Pair()
+					gotV, gotErr := g.Exec(query.Req("w", op.SQL, op.ArgSets[0]).WithSession(sess)).Pair()
 					if want, got := fmtOut(wantV, wantErr), fmtOut(gotV, gotErr); want != got {
 						t.Fatalf("seed %d op %d write %q:\n  group:  %s\n  single: %s",
 							seed, opNo, op.SQL, got, want)
@@ -485,9 +486,9 @@ func runStalenessDifferential(t *testing.T, cons replica.Consistency, bound int6
 			var gotVals []any
 			var gotErrs []error
 			if op.Batch() {
-				gotVals, gotErrs = g.ExecBatchSession(sess, "q", op.SQL, op.ArgSets)
+				gotVals, gotErrs = g.ExecBatch(query.BatchReq("q", op.SQL, op.ArgSets).WithSession(sess)).Pair()
 			} else {
-				v, err := g.ExecSession(sess, "q", op.SQL, op.ArgSets[0])
+				v, err := g.Exec(query.Req("q", op.SQL, op.ArgSets[0]).WithSession(sess)).Pair()
 				gotVals, gotErrs = []any{v}, []error{err}
 			}
 			at := sess.LastServedLSN()
@@ -515,7 +516,7 @@ func runStalenessDifferential(t *testing.T, cons replica.Consistency, bound int6
 			// prefix it was served from.
 			advance(at)
 			if op.Batch() {
-				wantVals, wantErrs := checker.ExecBatch("q", op.SQL, op.ArgSets)
+				wantVals, wantErrs := checker.ExecBatch(query.BatchReq("q", op.SQL, op.ArgSets)).Pair()
 				for j := range op.ArgSets {
 					if want, got := fmtOut(wantVals[j], wantErrs[j]), fmtOut(gotVals[j], gotErrs[j]); want != got {
 						t.Fatalf("seed %d op %d read %q binding %d at LSN %d:\n  group:   %s\n  checker: %s",
@@ -523,7 +524,7 @@ func runStalenessDifferential(t *testing.T, cons replica.Consistency, bound int6
 					}
 				}
 			} else {
-				wantV, wantErr := checker.Exec("q", op.SQL, op.ArgSets[0])
+				wantV, wantErr := checker.Exec(query.Req("q", op.SQL, op.ArgSets[0])).Pair()
 				if want, got := fmtOut(wantV, wantErr), fmtOut(gotVals[0], gotErrs[0]); want != got {
 					t.Fatalf("seed %d op %d read %q at LSN %d:\n  group:   %s\n  checker: %s",
 						seed, opNo, op.SQL, at, got, want)

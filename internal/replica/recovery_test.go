@@ -3,6 +3,7 @@ package replica
 import (
 	"errors"
 	"fmt"
+	"repro/internal/query"
 	"sync"
 	"testing"
 	"time"
@@ -41,7 +42,7 @@ func newGroupOpts(t *testing.T, opts Options) *Group {
 // mustInsert acknowledges one row through the group write path.
 func mustInsert(t *testing.T, g *Group, id int64) {
 	t.Helper()
-	if _, err := g.Exec("w", ins, []any{id, fmt.Sprintf("v%d", id)}); err != nil {
+	if _, err := g.Exec(query.Req("w", ins, []any{id, fmt.Sprintf("v%d", id)})).Pair(); err != nil {
 		t.Fatalf("insert %d: %v", id, err)
 	}
 }
@@ -49,7 +50,7 @@ func mustInsert(t *testing.T, g *Group, id int64) {
 // wantVal asserts a read (optionally session-scoped) returns v<id>.
 func wantVal(t *testing.T, g *Group, sess *Session, id int64) {
 	t.Helper()
-	v, err := g.ExecSession(sess, "q", sel, []any{id})
+	v, err := g.Exec(query.Req("q", sel, []any{id}).WithSession(sess)).Pair()
 	if err != nil {
 		t.Fatalf("read %d: %v", id, err)
 	}
@@ -80,7 +81,7 @@ func TestCrashRestartKeepsAcknowledgedWrites(t *testing.T) {
 	if !g.PrimaryDown() {
 		t.Fatal("primary should be down")
 	}
-	if _, err := g.Exec("w", ins, []any{int64(999), "x"}); !errors.Is(err, ErrPrimaryDown) {
+	if _, err := g.Exec(query.Req("w", ins, []any{int64(999), "x"})).Pair(); !errors.Is(err, ErrPrimaryDown) {
 		t.Fatalf("write while down: %v, want ErrPrimaryDown", err)
 	}
 	// Sync replicas hold the full prefix and keep serving reads.
@@ -100,7 +101,7 @@ func TestCrashRestartKeepsAcknowledgedWrites(t *testing.T) {
 		t.Fatalf("restored primary has %d rows, want 120", n)
 	}
 	for i := int64(0); i < 120; i++ {
-		v, err := g.Primary().Exec("q", sel, []any{i})
+		v, err := g.Primary().Exec(query.Req("q", sel, []any{i})).Pair()
 		want := fmt.Sprintf("v%d", i)
 		if rs, ok := v.(interp.Rows); err != nil || !ok || len(rs) != 1 || rs[0]["val"] != want {
 			t.Fatalf("restored primary read %d: %v / %v", i, interp.Format(v), err)
@@ -358,7 +359,7 @@ func TestReadYourWritesSession(t *testing.T) {
 		t.Fatalf("sessionless read should ride the replica: %v", g.ReadCounts())
 	}
 	sess := g.NewSession()
-	if _, err := g.ExecSession(sess, "w", ins, []any{int64(200), "v200"}); err != nil {
+	if _, err := g.Exec(query.Req("w", ins, []any{int64(200), "v200"}).WithSession(sess)).Pair(); err != nil {
 		t.Fatal(err)
 	}
 	if sess.LastWriteLSN() != 1 {

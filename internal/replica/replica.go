@@ -23,9 +23,14 @@
 //     ReadYourWrites (session LSN tokens). The group maintains a monotonic
 //     "served" floor so successive reads never travel backwards in time.
 //
-// The Group exposes the same Exec/ExecTraced/ExecBatch shapes as
-// server.Server and satisfies shard.Backend, so a Router over replica groups
-// is a drop-in for a Router over bare servers.
+// The Group implements query.Executor — the same Exec(Request)/
+// ExecBatch(BatchRequest) pair as server.Server — and satisfies
+// shard.Backend, so a Router over replica groups is a drop-in for a Router
+// over bare servers. Request context consumed here: Session (read-your-
+// writes tokens), Consistency (per-request override of the group level),
+// Span (write-lock / replication / wal-commit children) and Deadline
+// (writes are rejected before the primary executes or abandoned at the
+// commit wait — never half-acked).
 package replica
 
 import (
@@ -34,6 +39,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/obs"
+	"repro/internal/query"
 	"repro/internal/server"
 	"repro/internal/sqlmini"
 	"repro/internal/storage"
@@ -56,20 +62,22 @@ const (
 )
 
 // Consistency selects what state an asynchronous group's reads may observe.
-// Synchronous groups always read the newest state regardless.
-type Consistency int
+// Synchronous groups always read the newest state regardless. The levels
+// live in internal/query (requests carry per-request overrides); these
+// aliases keep the replica vocabulary.
+type Consistency = query.Consistency
 
 const (
 	// Strong reads observe every acknowledged write.
-	Strong Consistency = iota
+	Strong = query.Strong
 	// BoundedStaleness reads observe a commit-order prefix at most
 	// Options.Bound acknowledged writes behind the newest. The bound is
 	// counted in writes (LSNs), not wall time, so it is deterministic under
 	// the simulated clock.
-	BoundedStaleness
+	BoundedStaleness = query.BoundedStaleness
 	// ReadYourWrites reads observe at least the session's own acknowledged
 	// writes (sessionless reads degrade to an arbitrary served prefix).
-	ReadYourWrites
+	ReadYourWrites = query.ReadYourWrites
 )
 
 // Options configure a group.
@@ -86,8 +94,9 @@ type Options struct {
 	// Async switches replicas from synchronous replication to background
 	// log shipping with Consistency/Bound read semantics.
 	Async bool
-	// Consistency is the read consistency of an Async group (default
-	// Strong).
+	// Consistency is the read consistency of an Async group (the zero
+	// value, ConsistencyDefault, means Strong). Requests may override it
+	// per call via query.Request.Consistency.
 	Consistency Consistency
 	// Bound is the BoundedStaleness lag, in acknowledged writes.
 	Bound int64
@@ -128,18 +137,9 @@ func (st *state) setApplied(lsn int64) {
 
 // Session carries the LSN tokens of one client session: its last
 // acknowledged write (the ReadYourWrites floor) and the state its last read
-// was served at.
-type Session struct {
-	write  atomic.Int64
-	served atomic.Int64
-}
-
-// LastWriteLSN returns the session's highest acknowledged write.
-func (s *Session) LastWriteLSN() int64 { return s.write.Load() }
-
-// LastServedLSN returns the commit-order prefix the session's most recent
-// read observed — the LSN the staleness harness checks reads against.
-func (s *Session) LastServedLSN() int64 { return s.served.Load() }
+// was served at. It is query.Session — requests carry it in their Session
+// field, and the shard router derives per-shard children with Sub.
+type Session = query.Session
 
 // Group is one replicated shard: a primary owning writes, a write-ahead log
 // owning durability, plus R read replicas. It is safe for concurrent use.
@@ -382,7 +382,7 @@ func (g *Group) WaitApplied(i int, lsn int64) {
 }
 
 // NewSession starts a client session (ReadYourWrites token carrier).
-func (g *Group) NewSession() *Session { return &Session{} }
+func (g *Group) NewSession() *Session { return query.NewSession() }
 
 // Recover brings replica i back into the read rotation. A synchronous group
 // replays the log suffix the replica missed before readmitting it (a replay
@@ -418,11 +418,9 @@ func (g *Group) Recover(i int) error {
 	recs, _ := g.log.RecordsAfter(st.applied.Load())
 	rep := g.replica(i)
 	for _, r := range recs {
-		_, errs := rep.ExecBatch(r.Name, r.SQL, r.ArgSets)
-		for _, err := range errs {
-			if err != nil {
-				return err
-			}
+		br := rep.ExecBatch(query.BatchReq(r.Name, r.SQL, r.ArgSets))
+		if err := firstErr(br.Errs); err != nil {
+			return err
 		}
 		st.setApplied(r.LSN)
 	}
@@ -614,8 +612,8 @@ func (g *Group) applier(i int) {
 				break
 			}
 			rep := g.replica(i)
-			_, errs := rep.ExecBatch(r.Name, r.SQL, r.ArgSets)
-			if err := firstErr(errs); err != nil {
+			br := rep.ExecBatch(query.BatchReq(r.Name, r.SQL, r.ArgSets))
+			if err := firstErr(br.Errs); err != nil {
 				if server.IsFault(err) {
 					st.faults.Add(1)
 				}
@@ -667,12 +665,17 @@ func (g *Group) pick(min int64) int {
 	}
 }
 
-// minLSN computes the commit-order prefix a read must observe.
-func (g *Group) minLSN(sess *Session) int64 {
+// minLSN computes the commit-order prefix a read must observe under the
+// effective consistency: the request's override when set, else the group
+// level (ConsistencyDefault meaning Strong).
+func (g *Group) minLSN(sess *Session, c Consistency) int64 {
 	if !g.async {
 		return 0 // synchronous replicas always hold the newest state
 	}
-	switch g.consistency {
+	if c == query.ConsistencyDefault {
+		c = g.consistency
+	}
+	switch c {
 	case BoundedStaleness:
 		m := g.commit.Load() - g.bound
 		if m < 0 {
@@ -680,11 +683,8 @@ func (g *Group) minLSN(sess *Session) int64 {
 		}
 		return m
 	case ReadYourWrites:
-		if sess != nil {
-			return sess.write.Load()
-		}
-		return 0
-	default: // Strong
+		return sess.LastWriteLSN()
+	default: // Strong (or ConsistencyDefault at the group level)
 		return g.commit.Load()
 	}
 }
@@ -700,120 +700,45 @@ func (g *Group) bumpServed(lsn int64) {
 }
 
 // Exec routes one statement: writes through the primary + log, reads to a
-// copy that satisfies the group's consistency. Its shape matches
-// exec.Runner.
-func (g *Group) Exec(name, sql string, args []any) (any, error) {
-	res, _, err := g.ExecTraced(name, sql, args)
-	return res, err
-}
-
-// ExecTraced is Exec plus the execution trace (the shard router's
-// scatter-gather merge consumes the matched row ids). Read traces come from
-// whichever copy served the read; write traces from the primary — row ids
-// agree across copies by the ordered-apply contract.
-func (g *Group) ExecTraced(name, sql string, args []any) (any, sqlmini.ExecInfo, error) {
-	return g.execTraced(nil, nil, name, sql, args)
-}
-
-// ExecSpan is Exec with the request's trace span threaded through: reads
-// hang a per-attempt "replica.read" child off it (labelled with the copy
-// that served), writes a "write.lock" / replication / "wal.commit" chain.
-func (g *Group) ExecSpan(sp *obs.Span, name, sql string, args []any) (any, error) {
-	res, _, err := g.execTraced(nil, sp, name, sql, args)
-	return res, err
-}
-
-// ExecTracedSpan is ExecTraced with the request's span threaded through.
-func (g *Group) ExecTracedSpan(sp *obs.Span, name, sql string, args []any) (any, sqlmini.ExecInfo, error) {
-	return g.execTraced(nil, sp, name, sql, args)
-}
-
-// ExecTracedSessionSpan is ExecTracedSession with the span threaded through.
-func (g *Group) ExecTracedSessionSpan(sess *Session, sp *obs.Span, name, sql string, args []any) (any, sqlmini.ExecInfo, error) {
-	return g.execTraced(sess, sp, name, sql, args)
-}
-
-// ExecBatchSpan is ExecBatch with the batch leader's span threaded through.
-func (g *Group) ExecBatchSpan(sp *obs.Span, name, sql string, argSets [][]any) ([]any, []error) {
-	vals, errs, _ := g.execBatchTraced(nil, sp, name, sql, argSets)
-	return vals, errs
-}
-
-// ExecBatchTracedSpan is ExecBatchTraced with the span threaded through.
-func (g *Group) ExecBatchTracedSpan(sp *obs.Span, name, sql string, argSets [][]any) ([]any, []error, sqlmini.ExecInfo) {
-	return g.execBatchTraced(nil, sp, name, sql, argSets)
-}
-
-// ExecBatchTracedSessionSpan is ExecBatchTracedSession with the span
-// threaded through.
-func (g *Group) ExecBatchTracedSessionSpan(sess *Session, sp *obs.Span, name, sql string, argSets [][]any) ([]any, []error, sqlmini.ExecInfo) {
-	return g.execBatchTraced(sess, sp, name, sql, argSets)
-}
-
-// ExecSession is Exec with session consistency tokens: the session's
-// acknowledged writes set the ReadYourWrites floor, and its LastServedLSN
-// records what each read observed.
-func (g *Group) ExecSession(sess *Session, name, sql string, args []any) (any, error) {
-	res, _, err := g.execTraced(sess, nil, name, sql, args)
-	return res, err
-}
-
-// ExecTracedSession is ExecTraced with session consistency tokens (the
-// shard router's session-aware scatter path consumes the trace).
-func (g *Group) ExecTracedSession(sess *Session, name, sql string, args []any) (any, sqlmini.ExecInfo, error) {
-	return g.execTraced(sess, nil, name, sql, args)
-}
-
-// ExecBatchTracedSession is ExecBatchTraced with session tokens.
-func (g *Group) ExecBatchTracedSession(sess *Session, name, sql string, argSets [][]any) ([]any, []error, sqlmini.ExecInfo) {
-	return g.execBatchTraced(sess, nil, name, sql, argSets)
-}
-
-func (g *Group) execTraced(sess *Session, sp *obs.Span, name, sql string, args []any) (any, sqlmini.ExecInfo, error) {
-	if st, err := g.prep.Prepare(sql); err == nil && st.Insert {
-		res, info, lsn, err := g.write(sp, name, sql, args)
-		if err == nil && sess != nil && lsn > 0 {
-			sess.write.Store(lsn)
+// copy that satisfies the effective consistency (the group level, or the
+// request's override). The request's Span grows per-attempt "replica.read"
+// children for reads (labelled with the copy that served) and a
+// "write.lock" / replication / "wal.commit" chain for writes; its Session
+// collects write/served LSN tokens; its Deadline rejects a write before
+// the primary executes or abandons the acknowledgement at the commit wait.
+// The result's Info carries the execution trace the shard router's
+// scatter-gather merge consumes — from whichever copy served a read, from
+// the primary for a write (row ids agree across copies by the
+// ordered-apply contract).
+func (g *Group) Exec(req query.Request) query.Result {
+	if st, err := g.prep.Prepare(req.SQL); err == nil && st.Insert {
+		res, info, lsn, err := g.write(req)
+		if err == nil && lsn > 0 {
+			req.Session.NoteWrite(lsn)
 		}
-		return res, info, err
+		return query.Result{Value: res, Err: err, Info: info}
 	}
 	// Reads — and malformed statements, whose error text is identical on
 	// every copy.
-	return g.read(sess, sp, g.minLSN(sess), name, sql, args)
+	return g.read(req, g.minLSN(req.Session, req.Consistency))
 }
 
 // ExecBatch is the set-oriented path: a write batch commits as one log
 // record (one commit wait, like one round trip), a read batch rides one
-// round trip to one qualifying copy. Its shape matches exec.BatchRunner.
-func (g *Group) ExecBatch(name, sql string, argSets [][]any) ([]any, []error) {
-	vals, errs, _ := g.ExecBatchTraced(name, sql, argSets)
-	return vals, errs
-}
-
-// ExecBatchSession is ExecBatch with session consistency tokens.
-func (g *Group) ExecBatchSession(sess *Session, name, sql string, argSets [][]any) ([]any, []error) {
-	vals, errs, _ := g.execBatchTraced(sess, nil, name, sql, argSets)
-	return vals, errs
-}
-
-// ExecBatchTraced is ExecBatch plus the primary's batch trace for writes
-// (info.InsertRids, which the shard router's insertion-order bookkeeping
-// consumes; row ids agree on every copy by the ordered-apply contract).
-// Read batches return a zero trace — the router never needs one.
-func (g *Group) ExecBatchTraced(name, sql string, argSets [][]any) ([]any, []error, sqlmini.ExecInfo) {
-	return g.execBatchTraced(nil, nil, name, sql, argSets)
-}
-
-func (g *Group) execBatchTraced(sess *Session, sp *obs.Span, name, sql string, argSets [][]any) ([]any, []error, sqlmini.ExecInfo) {
-	if st, err := g.prep.Prepare(sql); err == nil && st.Insert {
-		vals, errs, info, lsn := g.writeBatch(sp, name, sql, argSets)
-		if sess != nil && lsn > 0 {
-			sess.write.Store(lsn)
+// round trip to one qualifying copy. Request context is honoured as in
+// Exec, batch-wide. For write batches the result's Info.InsertRids is the
+// primary's trace (the shard router's insertion-order bookkeeping consumes
+// it); read batches return a zero Info — the router never needs one.
+func (g *Group) ExecBatch(req query.BatchRequest) query.BatchResult {
+	if st, err := g.prep.Prepare(req.SQL); err == nil && st.Insert {
+		vals, errs, info, lsn := g.writeBatch(req)
+		if lsn > 0 {
+			req.Session.NoteWrite(lsn)
 		}
-		return vals, errs, info
+		return query.BatchResult{Values: vals, Errs: errs, Info: info}
 	}
-	vals, errs := g.readBatch(sess, sp, g.minLSN(sess), name, sql, argSets)
-	return vals, errs, sqlmini.ExecInfo{}
+	vals, errs := g.readBatch(req, g.minLSN(req.Session, req.Consistency))
+	return query.BatchResult{Values: vals, Errs: errs}
 }
 
 // read serves one read with failover: injected faults fail the replica out
@@ -821,10 +746,13 @@ func (g *Group) execBatchTraced(sess *Session, sp *obs.Span, name, sql string, a
 // copy reproduces them identically). The effective floor is the maximum of
 // the consistency requirement and the group's served floor, so reads are
 // monotonic. When no replica qualifies the primary (always newest) serves.
-func (g *Group) read(sess *Session, sp *obs.Span, min int64, name, sql string, args []any) (any, sqlmini.ExecInfo, error) {
+func (g *Group) read(req query.Request, min int64) query.Result {
 	if s := g.served.Load(); s > min {
 		min = s
 	}
+	// The copy's request carries only the statement, the span child and the
+	// deadline — session bookkeeping belongs to this layer.
+	sub := query.Req(req.Name, req.SQL, req.Args).WithDeadline(req.Deadline)
 	for {
 		i := g.pick(min)
 		if i < 0 {
@@ -833,40 +761,42 @@ func (g *Group) read(sess *Session, sp *obs.Span, min int64, name, sql string, a
 		st := g.states[i]
 		at := st.applied.Load()
 		st.inflight.Add(1)
-		rd := sp.Child("replica.read")
+		rd := req.Span.Child("replica.read")
 		rd.SetDetail(obs.ReplicaLabel(i))
-		res, info, err := g.replica(i).ExecTracedSpan(rd, name, sql, args)
+		res := g.replica(i).Exec(sub.WithSpan(rd))
 		rd.End()
 		st.inflight.Add(-1)
-		if err != nil && server.IsFault(err) {
+		if res.Err != nil && server.IsFault(res.Err) {
 			st.faults.Add(1)
 			st.healthy.Store(false)
 			continue
 		}
 		st.reads.Add(1)
-		g.noteServed(sess, at)
-		return res, info, err
+		g.noteServed(req.Session, at)
+		return res
 	}
 	g.pmu.RLock()
 	p, down := g.primary, g.primaryDown
 	g.pmu.RUnlock()
 	if down {
-		return nil, sqlmini.ExecInfo{}, ErrPrimaryDown
+		return query.Fail(ErrPrimaryDown)
 	}
 	at := g.commit.Load()
-	rd := sp.Child("replica.read")
+	rd := req.Span.Child("replica.read")
 	rd.SetDetail("primary")
-	res, info, err := p.ExecTracedSpan(rd, name, sql, args)
+	res := p.Exec(sub.WithSpan(rd))
 	rd.End()
-	g.noteServed(sess, at)
-	return res, info, err
+	g.noteServed(req.Session, at)
+	return res
 }
 
 // readBatch is read for a whole binding set: one copy, one round trip.
-func (g *Group) readBatch(sess *Session, sp *obs.Span, min int64, name, sql string, argSets [][]any) ([]any, []error) {
+func (g *Group) readBatch(req query.BatchRequest, min int64) ([]any, []error) {
 	if s := g.served.Load(); s > min {
 		min = s
 	}
+	sub := query.BatchReq(req.Name, req.SQL, req.ArgSets)
+	sub.Deadline = req.Deadline
 	for {
 		i := g.pick(min)
 		if i < 0 {
@@ -875,9 +805,10 @@ func (g *Group) readBatch(sess *Session, sp *obs.Span, min int64, name, sql stri
 		st := g.states[i]
 		at := st.applied.Load()
 		st.inflight.Add(1)
-		rd := sp.Child("replica.read")
+		rd := req.Span.Child("replica.read")
 		rd.SetDetail(obs.ReplicaLabel(i))
-		vals, errs := g.replica(i).ExecBatchSpan(rd, name, sql, argSets)
+		sub.Span = rd
+		vals, errs := g.replica(i).ExecBatch(sub).Pair()
 		rd.End()
 		st.inflight.Add(-1)
 		if batchFaulted(errs) {
@@ -885,34 +816,30 @@ func (g *Group) readBatch(sess *Session, sp *obs.Span, min int64, name, sql stri
 			st.healthy.Store(false)
 			continue
 		}
-		st.reads.Add(int64(len(argSets)))
-		g.noteServed(sess, at)
+		st.reads.Add(int64(len(req.ArgSets)))
+		g.noteServed(req.Session, at)
 		return vals, errs
 	}
 	g.pmu.RLock()
 	p, down := g.primary, g.primaryDown
 	g.pmu.RUnlock()
 	if down {
-		errs := make([]error, len(argSets))
-		for i := range errs {
-			errs[i] = ErrPrimaryDown
-		}
-		return make([]any, len(argSets)), errs
+		br := query.FailAll(len(req.ArgSets), ErrPrimaryDown)
+		return br.Values, br.Errs
 	}
 	at := g.commit.Load()
-	rd := sp.Child("replica.read")
+	rd := req.Span.Child("replica.read")
 	rd.SetDetail("primary")
-	vals, errs := p.ExecBatchSpan(rd, name, sql, argSets)
+	sub.Span = rd
+	vals, errs := p.ExecBatch(sub).Pair()
 	rd.End()
-	g.noteServed(sess, at)
+	g.noteServed(req.Session, at)
 	return vals, errs
 }
 
 func (g *Group) noteServed(sess *Session, at int64) {
 	g.bumpServed(at)
-	if sess != nil {
-		sess.served.Store(at)
-	}
+	sess.NoteServed(at)
 }
 
 // batchFaulted reports whether a batch died of an injected transport fault
@@ -929,11 +856,18 @@ func batchFaulted(errs []error) bool {
 
 // write commits one statement: primary execution, WAL append, durability
 // wait, synchronous replication (sync groups). A primary error — fault or
-// validation — aborts before the log or any replica is touched.
-func (g *Group) write(sp *obs.Span, name, sql string, args []any) (any, sqlmini.ExecInfo, int64, error) {
+// validation — aborts before the log or any replica is touched, as does a
+// deadline already expired when the write acquires the group write lock
+// (a clean rejection: nothing executed, nothing logged).
+func (g *Group) write(req query.Request) (any, sqlmini.ExecInfo, int64, error) {
+	sp := req.Span
 	lock := sp.Child("write.lock") // group write-order serialization wait
 	g.wmu.Lock()
 	lock.End()
+	if req.Deadline.Expired() {
+		g.wmu.Unlock()
+		return nil, sqlmini.ExecInfo{}, 0, query.ErrDeadlineExceeded
+	}
 	g.pmu.RLock()
 	p, down := g.primary, g.primaryDown
 	g.pmu.RUnlock()
@@ -942,17 +876,20 @@ func (g *Group) write(sp *obs.Span, name, sql string, args []any) (any, sqlmini.
 		return nil, sqlmini.ExecInfo{}, 0, ErrPrimaryDown
 	}
 	g.ensureBaseSnapshot(p)
-	res, info, err := p.ExecTracedSpan(sp, name, sql, args)
-	if err != nil {
+	// The primary call carries no deadline: once execution starts the write
+	// is in the log's order, and the deadline is enforced at the commit
+	// wait below instead — abandoned, never half-acked.
+	res := p.Exec(query.Req(req.Name, req.SQL, req.Args).WithSpan(sp))
+	if res.Err != nil {
 		g.wmu.Unlock()
-		return nil, info, 0, err
+		return nil, res.Info, 0, res.Err
 	}
-	lsn := g.stageRecord(sp, name, sql, [][]any{args})
+	lsn := g.stageRecord(sp, req.Name, req.SQL, [][]any{req.Args})
 	g.wmu.Unlock()
-	if err := g.awaitCommit(sp, lsn); err != nil {
-		return nil, info, 0, err
+	if err := g.awaitCommit(sp, lsn, req.Deadline); err != nil {
+		return nil, res.Info, 0, err
 	}
-	return res, info, lsn, nil
+	return res.Value, res.Info, lsn, nil
 }
 
 // writeBatch commits a binding set: the primary executes it, the committed
@@ -960,23 +897,29 @@ func (g *Group) write(sp *obs.Span, name, sql string, args []any) (any, sqlmini.
 // wait. A transport fault on the primary aborts the batch (no log, no
 // replica); per-binding validation errors return with the batch and never
 // enter the log (only acknowledged rows replicate or replay).
-func (g *Group) writeBatch(sp *obs.Span, name, sql string, argSets [][]any) ([]any, []error, sqlmini.ExecInfo, int64) {
+func (g *Group) writeBatch(req query.BatchRequest) ([]any, []error, sqlmini.ExecInfo, int64) {
+	sp, argSets := req.Span, req.ArgSets
 	lock := sp.Child("write.lock")
 	g.wmu.Lock()
 	lock.End()
+	if req.Deadline.Expired() {
+		g.wmu.Unlock()
+		br := query.FailAll(len(argSets), query.ErrDeadlineExceeded)
+		return br.Values, br.Errs, sqlmini.ExecInfo{}, 0
+	}
 	g.pmu.RLock()
 	p, down := g.primary, g.primaryDown
 	g.pmu.RUnlock()
 	if down {
 		g.wmu.Unlock()
-		errs := make([]error, len(argSets))
-		for i := range errs {
-			errs[i] = ErrPrimaryDown
-		}
-		return make([]any, len(argSets)), errs, sqlmini.ExecInfo{}, 0
+		br := query.FailAll(len(argSets), ErrPrimaryDown)
+		return br.Values, br.Errs, sqlmini.ExecInfo{}, 0
 	}
 	g.ensureBaseSnapshot(p)
-	vals, errs, info := p.ExecBatchTracedSpan(sp, name, sql, argSets)
+	sub := query.BatchReq(req.Name, req.SQL, argSets)
+	sub.Span = sp
+	pres := p.ExecBatch(sub)
+	vals, errs, info := pres.Values, pres.Errs, pres.Info
 	if batchFaulted(errs) {
 		g.wmu.Unlock()
 		return vals, errs, info, 0
@@ -991,14 +934,11 @@ func (g *Group) writeBatch(sp *obs.Span, name, sql string, argSets [][]any) ([]a
 		g.wmu.Unlock()
 		return vals, errs, info, 0
 	}
-	lsn := g.stageRecord(sp, name, sql, okSets)
+	lsn := g.stageRecord(sp, req.Name, req.SQL, okSets)
 	g.wmu.Unlock()
-	if err := g.awaitCommit(sp, lsn); err != nil {
-		failed := make([]error, len(argSets))
-		for i := range failed {
-			failed[i] = err
-		}
-		return make([]any, len(argSets)), failed, info, 0
+	if err := g.awaitCommit(sp, lsn, req.Deadline); err != nil {
+		br := query.FailAll(len(argSets), err)
+		return br.Values, br.Errs, info, 0
 	}
 	return vals, errs, info, lsn
 }
@@ -1019,9 +959,13 @@ func (g *Group) stageRecord(sp *obs.Span, name, sql string, argSets [][]any) int
 // then advances the acknowledged-write watermark and triggers the automatic
 // checkpoint. A primary crash racing the wait truncates the record away; the
 // write then reports ErrPrimaryDown instead of acknowledging state that no
-// longer exists.
-func (g *Group) awaitCommit(sp *obs.Span, lsn int64) error {
-	g.log.CommitSpan(sp, lsn)
+// longer exists. A deadline expiring first abandons the wait with
+// query.ErrDeadlineExceeded instead — whichever condition the waiter
+// observes first wins, so the client sees exactly one error either way.
+func (g *Group) awaitCommit(sp *obs.Span, lsn int64, dl query.Deadline) error {
+	if err := g.log.CommitWait(sp, lsn, dl); err != nil {
+		return err
+	}
 	if g.log.Mode() != wal.Off && g.log.DurableLSN() < lsn {
 		return ErrPrimaryDown
 	}
@@ -1054,9 +998,11 @@ func (g *Group) replicate(sp *obs.Span, rec wal.Record) {
 			defer wg.Done()
 			ap := sp.Child("replica.apply")
 			ap.SetDetail(obs.ReplicaLabel(i))
-			_, errs := g.replica(i).ExecBatchSpan(ap, rec.Name, rec.SQL, rec.ArgSets)
+			sub := query.BatchReq(rec.Name, rec.SQL, rec.ArgSets)
+			sub.Span = ap
+			br := g.replica(i).ExecBatch(sub)
 			ap.End()
-			if err := firstErr(errs); err != nil {
+			if err := firstErr(br.Errs); err != nil {
 				faulted[i] = true
 				return
 			}

@@ -2,6 +2,7 @@ package replica
 
 import (
 	"fmt"
+	"repro/internal/query"
 	"sync"
 	"testing"
 
@@ -45,7 +46,7 @@ func rows(table string, s *server.Server) int {
 func TestReadsRoundRobinAcrossReplicas(t *testing.T) {
 	g := newGroup(t, 3, RoundRobin)
 	for i := int64(0); i < 30; i++ {
-		v, err := g.Exec("q", sel, []any{i % 100})
+		v, err := g.Exec(query.Req("q", sel, []any{i % 100})).Pair()
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -71,7 +72,7 @@ func TestLeastLoadedPrefersIdleReplica(t *testing.T) {
 	// Serial reads always find every replica idle: ties resolve to the first
 	// healthy replica, deterministically.
 	for i := int64(0); i < 5; i++ {
-		if _, err := g.Exec("q", sel, []any{i}); err != nil {
+		if _, err := g.Exec(query.Req("q", sel, []any{i})).Pair(); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -80,7 +81,7 @@ func TestLeastLoadedPrefersIdleReplica(t *testing.T) {
 	}
 	// With the first replica failed out, reads move to the next.
 	g.FailOut(0)
-	if _, err := g.Exec("q", sel, []any{int64(1)}); err != nil {
+	if _, err := g.Exec(query.Req("q", sel, []any{int64(1)})).Pair(); err != nil {
 		t.Fatal(err)
 	}
 	if counts := g.ReadCounts(); counts[1] != 1 {
@@ -91,7 +92,7 @@ func TestLeastLoadedPrefersIdleReplica(t *testing.T) {
 func TestWritesReplicateSynchronously(t *testing.T) {
 	g := newGroup(t, 2, RoundRobin)
 	for i := int64(100); i < 120; i++ {
-		if _, err := g.Exec("ins", ins, []any{i, fmt.Sprintf("v%d", i)}); err != nil {
+		if _, err := g.Exec(query.Req("ins", ins, []any{i, fmt.Sprintf("v%d", i)})).Pair(); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -105,7 +106,7 @@ func TestWritesReplicateSynchronously(t *testing.T) {
 	}
 	// Read the new rows back through the replicas.
 	for i := int64(100); i < 120; i++ {
-		v, err := g.Exec("q", sel, []any{i})
+		v, err := g.Exec(query.Req("q", sel, []any{i})).Pair()
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -120,14 +121,14 @@ func TestWritesReplicateSynchronously(t *testing.T) {
 // surviving copy, returning exactly what a healthy group returns.
 func TestReplicaFaultFailsOverWithoutResultChange(t *testing.T) {
 	g := newGroup(t, 2, RoundRobin)
-	want, err := g.Exec("q", sel, []any{int64(7)})
+	want, err := g.Exec(query.Req("q", sel, []any{int64(7)})).Pair()
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, rep := range g.Replicas() {
 		rep.FailNext(1)
 	}
-	got, err := g.Exec("q", sel, []any{int64(7)})
+	got, err := g.Exec(query.Req("q", sel, []any{int64(7)})).Pair()
 	if err != nil {
 		t.Fatalf("failover read errored: %v", err)
 	}
@@ -157,7 +158,7 @@ func TestReplicaKilledMidBatch(t *testing.T) {
 	for i := range argSets {
 		argSets[i] = []any{int64(i * 3 % 100)}
 	}
-	wantVals, wantErrs := g.ExecBatch("q", sel, argSets)
+	wantVals, wantErrs := g.ExecBatch(query.BatchReq("q", sel, argSets)).Pair()
 	for i, err := range wantErrs {
 		if err != nil {
 			t.Fatalf("baseline binding %d: %v", i, err)
@@ -167,7 +168,7 @@ func TestReplicaKilledMidBatch(t *testing.T) {
 	for _, rep := range g.Replicas() {
 		rep.FailNext(1)
 	}
-	gotVals, gotErrs := g.ExecBatch("q", sel, argSets)
+	gotVals, gotErrs := g.ExecBatch(query.BatchReq("q", sel, argSets)).Pair()
 	for i := range argSets {
 		if gotErrs[i] != nil {
 			t.Fatalf("binding %d errored after failover: %v", i, gotErrs[i])
@@ -189,7 +190,7 @@ func TestAllCopiesDownErrorFidelity(t *testing.T) {
 	single := server.New(server.SYS1(), 0)
 	defer single.Close()
 	single.FailNext(1)
-	_, wantErr := single.Exec("q", sel, []any{int64(1)})
+	_, wantErr := single.Exec(query.Req("q", sel, []any{int64(1)})).Pair()
 	if wantErr == nil {
 		t.Fatal("single server did not fault")
 	}
@@ -199,7 +200,7 @@ func TestAllCopiesDownErrorFidelity(t *testing.T) {
 		rep.FailNext(1)
 	}
 	g.Primary().FailNext(1)
-	_, gotErr := g.Exec("q", sel, []any{int64(1)})
+	_, gotErr := g.Exec(query.Req("q", sel, []any{int64(1)})).Pair()
 	if gotErr == nil {
 		t.Fatal("fully failed group did not error")
 	}
@@ -212,13 +213,13 @@ func TestAllCopiesDownErrorFidelity(t *testing.T) {
 
 	// Batch path: same fidelity, per binding.
 	single.FailNext(1)
-	_, wantErrs := single.ExecBatch("q", sel, [][]any{{int64(1)}, {int64(2)}})
+	_, wantErrs := single.ExecBatch(query.BatchReq("q", sel, [][]any{{int64(1)}, {int64(2)}})).Pair()
 	g2 := newGroup(t, 2, RoundRobin)
 	for _, rep := range g2.Replicas() {
 		rep.FailNext(1)
 	}
 	g2.Primary().FailNext(1)
-	_, gotErrs := g2.ExecBatch("q", sel, [][]any{{int64(1)}, {int64(2)}})
+	_, gotErrs := g2.ExecBatch(query.BatchReq("q", sel, [][]any{{int64(1)}, {int64(2)}})).Pair()
 	for i := range wantErrs {
 		if gotErrs[i] == nil || gotErrs[i].Error() != wantErrs[i].Error() {
 			t.Fatalf("batch binding %d: group %v, single server %v", i, gotErrs[i], wantErrs[i])
@@ -238,8 +239,8 @@ func TestStatementErrorsDoNotTriggerFailover(t *testing.T) {
 		"select val from nosuch where id = ?",
 		"delete from kv",
 	} {
-		_, wantErr := single.Exec("q", q, []any{int64(1)})
-		_, gotErr := g.Exec("q", q, []any{int64(1)})
+		_, wantErr := single.Exec(query.Req("q", q, []any{int64(1)})).Pair()
+		_, gotErr := g.Exec(query.Req("q", q, []any{int64(1)})).Pair()
 		// The single server has no kv table, so compare only the statements
 		// whose error is schema-independent.
 		if q == "delete from kv" && (gotErr == nil || wantErr == nil || gotErr.Error() != wantErr.Error()) {
@@ -263,7 +264,7 @@ func TestReplicaRejoinAfterRecovery(t *testing.T) {
 	g := newGroup(t, 2, RoundRobin)
 	g.FailOut(0)
 	for i := int64(100); i < 130; i++ {
-		if _, err := g.Exec("ins", ins, []any{i, fmt.Sprintf("v%d", i)}); err != nil {
+		if _, err := g.Exec(query.Req("ins", ins, []any{i, fmt.Sprintf("v%d", i)})).Pair(); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -282,7 +283,7 @@ func TestReplicaRejoinAfterRecovery(t *testing.T) {
 	// Force reads onto the rejoined replica and check the replayed data.
 	g.FailOut(1)
 	for i := int64(100); i < 130; i++ {
-		v, err := g.Exec("q", sel, []any{i})
+		v, err := g.Exec(query.Req("q", sel, []any{i})).Pair()
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -302,7 +303,7 @@ func TestRecoverReplayFaultKeepsReplicaDown(t *testing.T) {
 	g := newGroup(t, 1, RoundRobin)
 	g.FailOut(0)
 	for i := int64(100); i < 105; i++ {
-		if _, err := g.Exec("ins", ins, []any{i, fmt.Sprintf("v%d", i)}); err != nil {
+		if _, err := g.Exec(query.Req("ins", ins, []any{i, fmt.Sprintf("v%d", i)})).Pair(); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -337,13 +338,13 @@ func TestConcurrentReadsWritesAndFailover(t *testing.T) {
 			for i := 0; i < 50; i++ {
 				if i%10 == 0 {
 					id := int64(1000 + w*100 + i)
-					if _, err := g.Exec("ins", ins, []any{id, "x"}); err != nil {
+					if _, err := g.Exec(query.Req("ins", ins, []any{id, "x"})).Pair(); err != nil {
 						t.Errorf("insert: %v", err)
 						return
 					}
 					continue
 				}
-				if _, err := g.Exec("q", sel, []any{int64(i % 100)}); err != nil {
+				if _, err := g.Exec(query.Req("q", sel, []any{int64(i % 100)})).Pair(); err != nil {
 					t.Errorf("read: %v", err)
 					return
 				}

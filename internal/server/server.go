@@ -25,6 +25,7 @@ import (
 	"repro/internal/buffer"
 	"repro/internal/disk"
 	"repro/internal/obs"
+	"repro/internal/query"
 	"repro/internal/simclock"
 	"repro/internal/sqlmini"
 	"repro/internal/storage"
@@ -120,7 +121,7 @@ type Server struct {
 	batches atomic.Int64 // ExecBatch calls
 
 	// failNext counts armed fault injections: while positive, each arriving
-	// Exec/ExecTraced/ExecBatch call consumes one and fails with ErrInjected.
+	// Exec/ExecBatch call consumes one and fails with ErrInjected.
 	failNext atomic.Int64
 
 	// extents tracks (extent -> page count) for warming.
@@ -271,7 +272,7 @@ func (s *Server) AddIndex(table, column string, unique bool) error {
 	return nil
 }
 
-// FailNext arms fault injection: the next n Exec/ExecTraced/ExecBatch calls
+// FailNext arms fault injection: the next n Exec/ExecBatch calls
 // fail with ErrInjected after paying their round trip, modelling a server
 // that crashes mid-service (tests, failover drills). A batch call counts as
 // one fault and fails every binding.
@@ -339,53 +340,41 @@ func (s *Server) Warm() {
 func (s *Server) ColdStart() { s.pool.Reset() }
 
 // Exec is the blocking query path: one network round trip, then execution.
-// It implements exec.Runner's shape and is safe for concurrent use — the
+// It implements query.Executor and is safe for concurrent use — the
 // concurrency benefits of asynchronous submission arise precisely because
-// multiple Execs can be in flight.
-func (s *Server) Exec(name, sql string, args []any) (any, error) {
-	res, _, err := s.ExecTraced(name, sql, args)
-	return res, err
-}
-
-// ExecTraced is Exec plus the execution trace (sqlmini.ExecInfo, including
-// the matched row ids). The shard router's scatter-gather merge consumes the
-// trace to restore the global row order; cost accounting is identical to
-// Exec.
-func (s *Server) ExecTraced(name, sql string, args []any) (any, sqlmini.ExecInfo, error) {
-	return s.ExecTracedSpan(nil, name, sql, args)
-}
-
-// ExecSpan is Exec with the request's trace span threaded through; the
-// server hangs a "server.exec" child (with io / cpu / wal.commit
-// sub-spans) off it. A nil span costs a few nil checks and nothing else.
-func (s *Server) ExecSpan(sp *obs.Span, name, sql string, args []any) (any, error) {
-	res, _, err := s.ExecTracedSpan(sp, name, sql, args)
-	return res, err
-}
-
-// ExecTracedSpan is the span-threading core of the single-statement path.
-// Simulated charges attributed: the RTT on the exec span, the CPU hold on
-// the cpu span (the IO phase's disk time is queue-dependent and already
-// visible as the io span's wall time).
-func (s *Server) ExecTracedSpan(sp *obs.Span, name, sql string, args []any) (any, sqlmini.ExecInfo, error) {
-	ex := sp.Child("server.exec")
+// multiple Execs can be in flight. The request's optional context rides the
+// struct: its Span grows a "server.exec" child (with io / cpu / wal.commit
+// sub-spans; a nil span costs a few nil checks and nothing else), its
+// Deadline is checked on arrival — an expired request is rejected after the
+// round trip, before execution — and again at the WAL commit wait, where an
+// expiring deadline abandons the acknowledgement with
+// query.ErrDeadlineExceeded rather than blocking past it.
+//
+// The result carries the execution trace (sqlmini.ExecInfo, including the
+// matched row ids); the shard router's scatter-gather merge consumes it to
+// restore the global row order.
+func (s *Server) Exec(req query.Request) query.Result {
+	ex := req.Span.Child("server.exec")
 	defer ex.End()
 	s.Clock.Sleep(s.Profile.RTT)
 	ex.Charge(s.Profile.RTT)
 	s.netReqs.Add(1) // the round trip is paid whether or not the statement succeeds
-	if s.takeFault() {
-		return nil, sqlmini.ExecInfo{}, ErrInjected
+	if req.Deadline.Expired() {
+		return query.Fail(query.ErrDeadlineExceeded)
 	}
-	st, err := s.prep.Prepare(sql)
+	if s.takeFault() {
+		return query.Fail(ErrInjected)
+	}
+	st, err := s.prep.Prepare(req.SQL)
 	if err != nil {
-		return nil, sqlmini.ExecInfo{}, err
+		return query.Fail(err)
 	}
 	// IO phase: page faults ride the disk queue without holding a core.
 	io := ex.Child("server.io")
-	res, info, err := sqlmini.Execute(st, s.cat, s.pool, args)
+	res, info, err := sqlmini.Execute(st, s.cat, s.pool, req.Args)
 	io.End()
 	if err != nil {
-		return nil, info, err
+		return query.Result{Err: err, Info: info}
 	}
 	// CPU phase: hold one of the K cores.
 	cpu := s.Profile.CPUFixed + time.Duration(info.RowsExamined)*s.Profile.CPUPerRow
@@ -401,7 +390,9 @@ func (s *Server) ExecTracedSpan(sp *obs.Span, name, sql string, args []any) (any
 	// mode) before the client sees success.
 	if st.Insert {
 		if l := s.wlog.Load(); l != nil {
-			l.CommitSpan(ex, l.Append(name, sql, [][]any{args}))
+			if err := l.CommitWait(ex, l.Append(req.Name, req.SQL, [][]any{req.Args}), req.Deadline); err != nil {
+				return query.Result{Err: err, Info: info}
+			}
 		}
 	}
 
@@ -410,60 +401,36 @@ func (s *Server) ExecTracedSpan(sp *obs.Span, name, sql string, args []any) (any
 		s.inserts.Add(1)
 	}
 	s.rows.Add(int64(info.RowsExamined))
-	return res, info, nil
+	return query.Result{Value: res, Info: info}
 }
 
 // ExecBatch is the set-oriented query path (batched submission): one network
 // round trip and one planning/dispatch charge cover the whole binding set,
 // and execution shares page accesses across bindings (sqlmini.ExecuteBatch).
 // It returns one result and one error per binding, in binding order, each
-// identical to what Exec would have returned for that binding. Its shape
-// matches exec.BatchRunner.
-func (s *Server) ExecBatch(name, sql string, argSets [][]any) ([]any, []error) {
-	results, errs, _ := s.ExecBatchTraced(name, sql, argSets)
-	return results, errs
-}
-
-// ExecBatchTraced is ExecBatch plus the batch's aggregate execution trace;
-// for INSERT batches info.InsertRids records where every binding's row
+// identical to what Exec would have returned for that binding. For INSERT
+// batches the result's Info.InsertRids records where every binding's row
 // landed, which the shard router uses to keep scatter-gather merges in exact
-// single-server insertion order. Cost accounting is identical to ExecBatch.
-func (s *Server) ExecBatchTraced(name, sql string, argSets [][]any) ([]any, []error, sqlmini.ExecInfo) {
-	return s.ExecBatchTracedSpan(nil, name, sql, argSets)
-}
-
-// ExecBatchSpan is ExecBatch with the batch leader's span threaded
-// through (see exec: the first traced member of a coalesced batch owns
-// the execution subtree).
-func (s *Server) ExecBatchSpan(sp *obs.Span, name, sql string, argSets [][]any) ([]any, []error) {
-	results, errs, _ := s.ExecBatchTracedSpan(sp, name, sql, argSets)
-	return results, errs
-}
-
-// ExecBatchTracedSpan is the span-threading core of the batched path: one
-// "server.execbatch" child covers the whole binding set, mirroring how
-// one round trip and one planning charge do.
-func (s *Server) ExecBatchTracedSpan(sp *obs.Span, name, sql string, argSets [][]any) ([]any, []error, sqlmini.ExecInfo) {
-	ex := sp.Child("server.execbatch")
+// single-server insertion order. One "server.execbatch" child span covers
+// the whole binding set, mirroring how one round trip and one planning
+// charge do; the deadline semantics match Exec, applied batch-wide.
+func (s *Server) ExecBatch(req query.BatchRequest) query.BatchResult {
+	argSets := req.ArgSets
+	ex := req.Span.Child("server.execbatch")
 	defer ex.End()
 	s.Clock.Sleep(s.Profile.RTT)
 	ex.Charge(s.Profile.RTT)
 	s.netReqs.Add(1) // one round trip per batch, paid whether or not it succeeds
 	s.batches.Add(1)
-	if s.takeFault() {
-		errs := make([]error, len(argSets))
-		for i := range errs {
-			errs[i] = ErrInjected
-		}
-		return make([]any, len(argSets)), errs, sqlmini.ExecInfo{}
+	if req.Deadline.Expired() {
+		return query.FailAll(len(argSets), query.ErrDeadlineExceeded)
 	}
-	st, err := s.prep.Prepare(sql)
+	if s.takeFault() {
+		return query.FailAll(len(argSets), ErrInjected)
+	}
+	st, err := s.prep.Prepare(req.SQL)
 	if err != nil {
-		errs := make([]error, len(argSets))
-		for i := range errs {
-			errs[i] = err
-		}
-		return make([]any, len(argSets)), errs, sqlmini.ExecInfo{}
+		return query.FailAll(len(argSets), err)
 	}
 	// IO phase: page faults ride the disk queue without holding a core; the
 	// batch dedupes page accesses across bindings before touching the pool.
@@ -491,7 +458,9 @@ func (s *Server) ExecBatchTracedSpan(sp *obs.Span, name, sql string, argSets [][
 	}
 
 	// Durability: the batch's committed inserts become one WAL record (the
-	// whole batch shares one commit wait, like it shared one round trip).
+	// whole batch shares one commit wait, like it shared one round trip). A
+	// deadline expiring during the wait abandons the acknowledgement for
+	// every committed binding — never a half-acked batch.
 	if st.Insert {
 		if l := s.wlog.Load(); l != nil {
 			var okSets [][]any
@@ -501,7 +470,14 @@ func (s *Server) ExecBatchTracedSpan(sp *obs.Span, name, sql string, argSets [][
 				}
 			}
 			if len(okSets) > 0 {
-				l.CommitSpan(ex, l.Append(name, sql, okSets))
+				if werr := l.CommitWait(ex, l.Append(req.Name, req.SQL, okSets), req.Deadline); werr != nil {
+					for i, e := range errs {
+						if e == nil {
+							results[i], errs[i] = nil, werr
+						}
+					}
+					return query.BatchResult{Values: results, Errs: errs, Info: info}
+				}
 			}
 		}
 	}
@@ -517,17 +493,7 @@ func (s *Server) ExecBatchTracedSpan(sp *obs.Span, name, sql string, argSets [][
 		s.inserts.Add(ok)
 	}
 	s.rows.Add(int64(info.RowsExamined))
-	return results, errs, info
-}
-
-// Runner adapts the server for the async executor.
-func (s *Server) Runner() func(name, sql string, args []any) (any, error) {
-	return s.Exec
-}
-
-// BatchRunner adapts the server's set-oriented path for the batch executor.
-func (s *Server) BatchRunner() func(name, sql string, argSets [][]any) ([]any, []error) {
-	return s.ExecBatch
+	return query.BatchResult{Values: results, Errs: errs, Info: info}
 }
 
 // Stats summarizes server activity. NetRequests counts client-visible round

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"repro/internal/query"
 	"sync"
 	"testing"
 
@@ -29,7 +30,7 @@ func loaded(t *testing.T) *Server {
 func TestExecSelect(t *testing.T) {
 	s := loaded(t)
 	defer s.Close()
-	v, err := s.Exec("q", "select sum(v) from kv where k = ?", []any{int64(21)})
+	v, err := s.Exec(query.Req("q", "select sum(v) from kv where k = ?", []any{int64(21)})).Pair()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,14 +45,14 @@ func TestExecSelect(t *testing.T) {
 func TestExecInsertAndStats(t *testing.T) {
 	s := loaded(t)
 	defer s.Close()
-	if _, err := s.Exec("ins", "insert into kv values (?, ?)", []any{int64(9000), int64(1)}); err != nil {
+	if _, err := s.Exec(query.Req("ins", "insert into kv values (?, ?)", []any{int64(9000), int64(1)})).Pair(); err != nil {
 		t.Fatal(err)
 	}
 	st := s.Stats()
 	if st.Inserts != 1 {
 		t.Fatalf("stats: %+v", st)
 	}
-	v, err := s.Exec("q", "select count(v) from kv where k = ?", []any{int64(9000)})
+	v, err := s.Exec(query.Req("q", "select count(v) from kv where k = ?", []any{int64(9000)})).Pair()
 	if err != nil || v != int64(1) {
 		t.Fatalf("%v %v", v, err)
 	}
@@ -62,7 +63,7 @@ func TestWarmVsColdHits(t *testing.T) {
 	defer s.Close()
 	s.Warm()
 	for i := int64(0); i < 50; i++ {
-		if _, err := s.Exec("q", "select sum(v) from kv where k = ?", []any{i * 7 % 500}); err != nil {
+		if _, err := s.Exec(query.Req("q", "select sum(v) from kv where k = ?", []any{i * 7 % 500})).Pair(); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -71,7 +72,7 @@ func TestWarmVsColdHits(t *testing.T) {
 		t.Fatalf("warm run missed %d pages", st.BufferMiss)
 	}
 	s.ColdStart()
-	if _, err := s.Exec("q", "select sum(v) from kv where k = ?", []any{int64(3)}); err != nil {
+	if _, err := s.Exec(query.Req("q", "select sum(v) from kv where k = ?", []any{int64(3)})).Pair(); err != nil {
 		t.Fatal(err)
 	}
 	if _, m := s.Pool().Stats(); m == 0 {
@@ -83,7 +84,7 @@ func TestPreparedStatementCache(t *testing.T) {
 	s := loaded(t)
 	defer s.Close()
 	for i := 0; i < 10; i++ {
-		if _, err := s.Exec("q", "select sum(v) from kv where k = ?", []any{int64(i)}); err != nil {
+		if _, err := s.Exec(query.Req("q", "select sum(v) from kv where k = ?", []any{int64(i)})).Pair(); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -104,7 +105,7 @@ func TestConcurrentExec(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 50; i++ {
 				k := int64((g*50 + i) % 500)
-				v, err := s.Exec("q", "select sum(v) from kv where k = ?", []any{k})
+				v, err := s.Exec(query.Req("q", "select sum(v) from kv where k = ?", []any{k})).Pair()
 				if err != nil {
 					errs <- err
 					return
@@ -128,7 +129,7 @@ func TestConcurrentExec(t *testing.T) {
 func TestBadSQLError(t *testing.T) {
 	s := loaded(t)
 	defer s.Close()
-	if _, err := s.Exec("bad", "frobnicate the database", nil); err == nil {
+	if _, err := s.Exec(query.Req("bad", "frobnicate the database", nil)).Pair(); err == nil {
 		t.Fatal("want parse error")
 	}
 }
@@ -148,12 +149,12 @@ func TestExecBatchMatchesExec(t *testing.T) {
 	s := loaded(t)
 	defer s.Close()
 	argSets := [][]any{{int64(1)}, {int64(21)}, {int64(499)}, {int64(9999)}}
-	vals, errs := s.ExecBatch("q", "select sum(v) from kv where k = ?", argSets)
+	vals, errs := s.ExecBatch(query.BatchReq("q", "select sum(v) from kv where k = ?", argSets)).Pair()
 	if len(vals) != len(argSets) || len(errs) != len(argSets) {
 		t.Fatalf("arity: %d vals, %d errs", len(vals), len(errs))
 	}
 	for i, args := range argSets {
-		want, wantErr := s.Exec("q", "select sum(v) from kv where k = ?", args)
+		want, wantErr := s.Exec(query.Req("q", "select sum(v) from kv where k = ?", args)).Pair()
 		if (errs[i] == nil) != (wantErr == nil) || vals[i] != want {
 			t.Fatalf("binding %d: (%v, %v), want (%v, %v)", i, vals[i], errs[i], want, wantErr)
 		}
@@ -163,8 +164,7 @@ func TestExecBatchMatchesExec(t *testing.T) {
 func TestExecBatchOneRoundTripAndPlanning(t *testing.T) {
 	s := loaded(t)
 	defer s.Close()
-	if _, errs := s.ExecBatch("q", "select sum(v) from kv where k = ?",
-		[][]any{{int64(1)}, {int64(2)}, {int64(3)}}); errs[0] != nil || errs[1] != nil || errs[2] != nil {
+	if _, errs := s.ExecBatch(query.BatchReq("q", "select sum(v) from kv where k = ?", [][]any{{int64(1)}, {int64(2)}, {int64(3)}})).Pair(); errs[0] != nil || errs[1] != nil || errs[2] != nil {
 		t.Fatalf("batch errors: %v", errs)
 	}
 	st := s.Stats()
@@ -179,7 +179,7 @@ func TestExecBatchOneRoundTripAndPlanning(t *testing.T) {
 	}
 	// A per-query run of the same statements pays three round trips.
 	for i := int64(1); i <= 3; i++ {
-		if _, err := s.Exec("q", "select sum(v) from kv where k = ?", []any{i}); err != nil {
+		if _, err := s.Exec(query.Req("q", "select sum(v) from kv where k = ?", []any{i})).Pair(); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -191,7 +191,7 @@ func TestExecBatchOneRoundTripAndPlanning(t *testing.T) {
 func TestExecBatchParseError(t *testing.T) {
 	s := loaded(t)
 	defer s.Close()
-	_, errs := s.ExecBatch("bad", "frobnicate the database", [][]any{nil, nil})
+	_, errs := s.ExecBatch(query.BatchReq("bad", "frobnicate the database", [][]any{nil, nil})).Pair()
 	if len(errs) != 2 || errs[0] == nil || errs[1] == nil {
 		t.Fatalf("want parse error per binding: %v", errs)
 	}
@@ -204,14 +204,13 @@ func TestExecBatchSharedBufferAccesses(t *testing.T) {
 	s := loaded(t)
 	defer s.Close()
 	s.ColdStart()
-	if _, err := s.Exec("q", "select sum(v) from kv where k = ?", []any{int64(7)}); err != nil {
+	if _, err := s.Exec(query.Req("q", "select sum(v) from kv where k = ?", []any{int64(7)})).Pair(); err != nil {
 		t.Fatal(err)
 	}
 	_, missesSingle := s.Pool().Stats()
 
 	s.ColdStart()
-	_, errs := s.ExecBatch("q", "select sum(v) from kv where k = ?",
-		[][]any{{int64(7)}, {int64(7)}, {int64(7)}})
+	_, errs := s.ExecBatch(query.BatchReq("q", "select sum(v) from kv where k = ?", [][]any{{int64(7)}, {int64(7)}, {int64(7)}})).Pair()
 	for _, err := range errs {
 		if err != nil {
 			t.Fatal(err)
@@ -228,13 +227,13 @@ func TestExecBatchSharedBufferAccesses(t *testing.T) {
 func TestRoundTripsCountedOnErrorPaths(t *testing.T) {
 	s := loaded(t)
 	defer s.Close()
-	if _, err := s.Exec("bad", "select sum(v) from nosuch where k = ?", []any{int64(1)}); err == nil {
+	if _, err := s.Exec(query.Req("bad", "select sum(v) from nosuch where k = ?", []any{int64(1)})).Pair(); err == nil {
 		t.Fatal("want error")
 	}
 	if st := s.Stats(); st.NetRequests != 1 {
 		t.Fatalf("failed Exec counted %d round trips, want 1", st.NetRequests)
 	}
-	_, errs := s.ExecBatch("bad", "frobnicate", [][]any{nil, nil})
+	_, errs := s.ExecBatch(query.BatchReq("bad", "frobnicate", [][]any{nil, nil})).Pair()
 	if errs[0] == nil {
 		t.Fatal("want parse error")
 	}

@@ -12,9 +12,14 @@
 // into per-shard sub-batches that execute in parallel and are demultiplexed
 // back into binding order.
 //
-// The Router exposes the same Runner/BatchRunner shapes as server.Server, so
-// exec.Service, the internal/batch coalescer, and transformed programs run
-// unchanged on top of it.
+// The Router implements query.Executor — the same Exec(Request)/
+// ExecBatch(BatchRequest) pair as its backends — so exec.Service, the
+// internal/batch coalescer, the network front door and transformed
+// programs run unchanged on top of it. Request context fans out with the
+// dispatch: every shard leg gets a "shard.exec"/"shard.batch" span child,
+// the per-shard child of the request's Session (each shard's replica group
+// has its own LSN space), and the request's Deadline and Consistency
+// verbatim.
 package shard
 
 import (
@@ -23,9 +28,9 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"repro/internal/exec"
 	"repro/internal/interp"
 	"repro/internal/obs"
+	"repro/internal/query"
 	"repro/internal/replica"
 	"repro/internal/server"
 	"repro/internal/sqlmini"
@@ -35,14 +40,13 @@ import (
 
 // Backend is one shard's execution engine: a bare server.Server, or a
 // replica.Group fronting a primary with R read replicas (Options.Replicas).
-// The router needs statement execution (with traces for the scatter-gather
-// merge), the bulk-load path, the planner's index statistics, and cache /
-// clock / lifecycle control.
+// One interface covers everything the router needs: Request-based statement
+// execution (query.Executor — span, session, consistency and deadline all
+// ride the request; the result's Info feeds the scatter-gather merge), the
+// bulk-load path, the planner's index statistics, cache / clock / lifecycle
+// control, and the obs metrics hookup.
 type Backend interface {
-	Exec(name, sql string, args []any) (any, error)
-	ExecTraced(name, sql string, args []any) (any, sqlmini.ExecInfo, error)
-	ExecBatch(name, sql string, argSets [][]any) ([]any, []error)
-	ExecBatchTraced(name, sql string, argSets [][]any) ([]any, []error, sqlmini.ExecInfo)
+	query.Executor
 
 	CreateTable(name string, schema *storage.Schema, rowsPerPage int) error
 	InsertRow(table string, row []any) error
@@ -55,23 +59,7 @@ type Backend interface {
 	SetScale(scale float64)
 	Close()
 	Stats() server.Stats
-}
 
-// spanBackend is the optional tracing extension of Backend: execution entry
-// points that thread a request span down into the engine (RTT, I/O, CPU and
-// WAL-commit children). Both server.Server and replica.Group implement it;
-// the router type-asserts per dispatch so third-party Backends without spans
-// keep working untraced.
-type spanBackend interface {
-	ExecSpan(sp *obs.Span, name, sql string, args []any) (any, error)
-	ExecTracedSpan(sp *obs.Span, name, sql string, args []any) (any, sqlmini.ExecInfo, error)
-	ExecBatchSpan(sp *obs.Span, name, sql string, argSets [][]any) ([]any, []error)
-	ExecBatchTracedSpan(sp *obs.Span, name, sql string, argSets [][]any) ([]any, []error, sqlmini.ExecInfo)
-}
-
-// metricBackend is the optional metrics extension of Backend: hooking the
-// engine's counters and WAL fsync histograms into a unified obs.Registry.
-type metricBackend interface {
 	SetMetrics(reg *obs.Registry)
 	RegisterMetrics(reg *obs.Registry, prefix string)
 }
@@ -354,41 +342,14 @@ func (r *Router) table(name string) *tableInfo {
 	return r.tables[name]
 }
 
-// Session carries per-shard consistency tokens for session-aware routing:
-// each shard group gets its own replica.Session, so ReadYourWrites floors
-// (the LSNs of the session's own acknowledged writes) and served-state
-// bookkeeping follow the client through point, scatter and batched
-// submissions alike. Over a bare (unreplicated) router a Session is a
-// transparent passthrough.
-type Session struct {
-	groups   []*replica.Group
-	sessions []*replica.Session
-}
-
-// NewSession starts a client session.
-func (r *Router) NewSession() *Session {
-	s := &Session{groups: r.Groups()}
-	if s.groups != nil {
-		s.sessions = make([]*replica.Session, len(s.groups))
-		for i := range s.sessions {
-			s.sessions[i] = &replica.Session{}
-		}
-	}
-	return s
-}
-
-// ShardSessions exposes the per-shard replica sessions (tests, staleness
-// harness introspection), or nil over bare backends.
-func (s *Session) ShardSessions() []*replica.Session { return s.sessions }
-
-// at returns shard i's group and session token, or nils when the session is
-// nil or the router runs bare servers.
-func (s *Session) at(i int) (*replica.Group, *replica.Session) {
-	if s == nil || s.sessions == nil {
-		return nil, nil
-	}
-	return s.groups[i], s.sessions[i]
-}
+// NewSession starts a client session. The router derives one child session
+// per shard (query.Session.Sub) as requests fan out, so ReadYourWrites
+// floors (the LSNs of the session's own acknowledged writes) and
+// served-state bookkeeping follow the client through point, scatter and
+// batched submissions alike — each shard's replica group has its own LSN
+// space, hence its own child. Over bare (unreplicated) backends the tokens
+// are simply never consulted.
+func (r *Router) NewSession() *query.Session { return query.NewSession() }
 
 // shardSpan opens the per-shard fan-out child: one leg of a scatter, a
 // routed point statement, or a per-shard sub-batch. Nil in, nil out.
@@ -398,158 +359,91 @@ func shardSpan(sp *obs.Span, what string, i int) *obs.Span {
 	return c
 }
 
-// bexec dispatches one statement to shard i, session-aware when possible.
-func (r *Router) bexec(sp *obs.Span, sess *Session, i int, name, sql string, args []any) (any, error) {
-	c := shardSpan(sp, "shard.exec", i)
+// bexec dispatches one statement to shard i: the request is re-scoped with
+// the shard's span child and the session's per-shard child, everything else
+// (deadline, consistency) passes through verbatim.
+func (r *Router) bexec(req query.Request, i int) query.Result {
+	c := shardSpan(req.Span, "shard.exec", i)
 	defer c.End()
-	if g, rs := sess.at(i); g != nil {
-		if c != nil {
-			res, _, err := g.ExecTracedSessionSpan(rs, c, name, sql, args)
-			return res, err
-		}
-		return g.ExecSession(rs, name, sql, args)
-	}
-	if c != nil {
-		if sb, ok := r.backends[i].(spanBackend); ok {
-			return sb.ExecSpan(c, name, sql, args)
-		}
-	}
-	return r.backends[i].Exec(name, sql, args)
+	req.Span = c
+	req.Session = req.Session.Sub(i)
+	return r.backends[i].Exec(req)
 }
 
-func (r *Router) bexecTraced(sp *obs.Span, sess *Session, i int, name, sql string, args []any) (any, sqlmini.ExecInfo, error) {
-	c := shardSpan(sp, "shard.exec", i)
+// bexecBatch is bexec for a per-shard sub-batch.
+func (r *Router) bexecBatch(req query.BatchRequest, i int) query.BatchResult {
+	c := shardSpan(req.Span, "shard.batch", i)
 	defer c.End()
-	if g, rs := sess.at(i); g != nil {
-		return g.ExecTracedSessionSpan(rs, c, name, sql, args)
-	}
-	if c != nil {
-		if sb, ok := r.backends[i].(spanBackend); ok {
-			return sb.ExecTracedSpan(c, name, sql, args)
-		}
-	}
-	return r.backends[i].ExecTraced(name, sql, args)
-}
-
-func (r *Router) bexecBatch(sp *obs.Span, sess *Session, i int, name, sql string, argSets [][]any) ([]any, []error) {
-	c := shardSpan(sp, "shard.batch", i)
-	defer c.End()
-	if g, rs := sess.at(i); g != nil {
-		if c != nil {
-			vals, errs, _ := g.ExecBatchTracedSessionSpan(rs, c, name, sql, argSets)
-			return vals, errs
-		}
-		return g.ExecBatchSession(rs, name, sql, argSets)
-	}
-	if c != nil {
-		if sb, ok := r.backends[i].(spanBackend); ok {
-			return sb.ExecBatchSpan(c, name, sql, argSets)
-		}
-	}
-	return r.backends[i].ExecBatch(name, sql, argSets)
-}
-
-func (r *Router) bexecBatchTraced(sp *obs.Span, sess *Session, i int, name, sql string, argSets [][]any) ([]any, []error, sqlmini.ExecInfo) {
-	c := shardSpan(sp, "shard.batch", i)
-	defer c.End()
-	if g, rs := sess.at(i); g != nil {
-		return g.ExecBatchTracedSessionSpan(rs, c, name, sql, argSets)
-	}
-	if c != nil {
-		if sb, ok := r.backends[i].(spanBackend); ok {
-			return sb.ExecBatchTracedSpan(c, name, sql, argSets)
-		}
-	}
-	return r.backends[i].ExecBatchTraced(name, sql, argSets)
+	req.Span = c
+	req.Session = req.Session.Sub(i)
+	return r.backends[i].ExecBatch(req)
 }
 
 // Exec routes one statement: to the owning shard for point statements, to
 // shard 0 for replicated-table reads and statements that will fail
 // validation (any backend produces the identical error), broadcast for
-// replicated-table writes, and scatter-gather for the rest. Its shape
-// matches exec.Runner.
-func (r *Router) Exec(name, sql string, args []any) (any, error) {
-	return r.execSess(nil, nil, name, sql, args)
-}
-
-// ExecSpan is Exec with the request's trace span threaded through: every
+// replicated-table writes, and scatter-gather for the rest. Every
 // dispatched shard leg hangs a "shard.exec" child (with its shard id) off
-// sp, and the backend continues the tree down to RTT, I/O, CPU and WAL
-// commit. Its shape matches exec.SpanRunner.
-func (r *Router) ExecSpan(sp *obs.Span, name, sql string, args []any) (any, error) {
-	return r.execSess(sp, nil, name, sql, args)
-}
-
-// SessionExec is Exec with per-shard session consistency tokens threaded
-// through every routing path (see Session).
-func (r *Router) SessionExec(sess *Session, name, sql string, args []any) (any, error) {
-	return r.execSess(nil, sess, name, sql, args)
-}
-
-// SessionExecSpan combines SessionExec and ExecSpan.
-func (r *Router) SessionExecSpan(sp *obs.Span, sess *Session, name, sql string, args []any) (any, error) {
-	return r.execSess(sp, sess, name, sql, args)
-}
-
-func (r *Router) execSess(sp *obs.Span, sess *Session, name, sql string, args []any) (any, error) {
-	st, err := r.prep.Prepare(sql)
+// the request's span, and the backend continues the tree down to RTT, I/O,
+// CPU and WAL commit.
+func (r *Router) Exec(req query.Request) query.Result {
+	st, err := r.prep.Prepare(req.SQL)
 	if err != nil {
 		// Ship the malformed statement to a real backend so the round trip
 		// and the error text match the single-server path exactly.
-		return r.bexec(sp, sess, 0, name, sql, args)
+		return r.bexec(req, 0)
 	}
 	ti := r.table(st.Table)
 	if ti == nil {
 		// Unknown table: identical "no table" error from any backend.
-		return r.bexec(sp, sess, 0, name, sql, args)
+		return r.bexec(req, 0)
 	}
 	if st.Insert {
 		if ti.key == "" {
-			return r.broadcast(sp, sess, name, sql, args)
+			return r.broadcast(req)
 		}
-		if v, ok := st.InsertValue(ti.keyPos, args); ok {
+		if v, ok := st.InsertValue(ti.keyPos, req.Args); ok {
 			s := Partition(v, len(r.backends))
-			res, info, err := r.bexecTraced(sp, sess, s, name, sql, args)
-			if err == nil && len(info.Matched) == 1 {
+			res := r.bexec(req, s)
+			if res.Err == nil && len(res.Info.Matched) == 1 {
 				// Record where the row landed so scatter merges keep the
 				// exact single-server insertion order.
-				ti.notePos(s, info.Matched[0])
+				ti.notePos(s, res.Info.Matched[0])
 			}
-			return res, err
+			return res
 		}
 		// Arity/parameter errors surface identically on any backend.
-		return r.bexec(sp, sess, 0, name, sql, args)
+		return r.bexec(req, 0)
 	}
 	if ti.key != "" {
-		if v, ok := st.WhereEqValue(ti.key, args); ok {
-			return r.bexec(sp, sess, Partition(v, len(r.backends)), name, sql, args)
+		if v, ok := st.WhereEqValue(ti.key, req.Args); ok {
+			return r.bexec(req, Partition(v, len(r.backends)))
 		}
-		return r.scatter(sp, sess, name, sql, st, ti, args)
+		return r.scatter(req, st, ti)
 	}
 	// Replicated table: every shard holds the full data; read one.
-	return r.bexec(sp, sess, 0, name, sql, args)
+	return r.bexec(req, 0)
 }
 
 // broadcast runs a replicated-table write on every shard in parallel so the
 // replicas stay identical, returning one representative result.
-func (r *Router) broadcast(sp *obs.Span, sess *Session, name, sql string, args []any) (any, error) {
-	vals := make([]any, len(r.backends))
-	errs := make([]error, len(r.backends))
+func (r *Router) broadcast(req query.Request) query.Result {
+	res := make([]query.Result, len(r.backends))
 	var wg sync.WaitGroup
 	for i := range r.backends {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			vals[i], errs[i] = r.bexec(sp, sess, i, name, sql, args)
+			res[i] = r.bexec(req, i)
 		}(i)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	for _, re := range res {
+		if re.Err != nil {
+			return query.Fail(re.Err)
 		}
 	}
-	return vals[0], nil
+	return res[0]
 }
 
 // pruneTargets is the scatter planner's cheap fast path: a statement with a
@@ -604,8 +498,8 @@ func (r *Router) ScatterPruned() int64 { return r.pruned.Load() }
 // prove empty for the predicate are skipped (pruneTargets); an empty shard's
 // contribution to every merge is the identity, so pruning is invisible in
 // the results.
-func (r *Router) scatter(sp *obs.Span, sess *Session, name, sql string, st *sqlmini.Stmt, ti *tableInfo, args []any) (any, error) {
-	targets := r.pruneTargets(st, args)
+func (r *Router) scatter(req query.Request, st *sqlmini.Stmt, ti *tableInfo) query.Result {
+	targets := r.pruneTargets(st, req.Args)
 	if targets == nil {
 		targets = make([]int, len(r.backends))
 		for i := range targets {
@@ -615,17 +509,15 @@ func (r *Router) scatter(sp *obs.Span, sess *Session, name, sql string, st *sqlm
 		r.pruned.Add(int64(skipped))
 	}
 	n := len(targets)
-	vals := make([]any, n)
-	infos := make([]sqlmini.ExecInfo, n)
-	errs := make([]error, n)
+	res := make([]query.Result, n)
 	var wg sync.WaitGroup
 	for k, s := range targets {
 		wg.Add(1)
 		go func(k, s int) {
 			defer wg.Done()
 			// Span.Child is concurrency-safe, so each leg hangs its own
-			// "shard.exec" child off sp from inside the fan-out.
-			vals[k], infos[k], errs[k] = r.bexecTraced(sp, sess, s, name, sql, args)
+			// "shard.exec" child off the request span from inside the fan-out.
+			res[k] = r.bexec(req, s)
 		}(k, s)
 	}
 	wg.Wait()
@@ -633,15 +525,19 @@ func (r *Router) scatter(sp *obs.Span, sess *Session, name, sql string, st *sqlm
 	// every shard, so all shards fail alike; data-dependent errors (bad
 	// aggregate column type) fire on whichever shard holds a matching row.
 	// Either way any non-nil error is the single-server error.
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	vals := make([]any, n)
+	infos := make([]sqlmini.ExecInfo, n)
+	for k, re := range res {
+		if re.Err != nil {
+			return query.Fail(re.Err)
 		}
+		vals[k], infos[k] = re.Value, re.Info
 	}
 	if st.Agg != sqlmini.AggNone {
-		return mergeAgg(st.Agg, vals)
+		v, err := mergeAgg(st.Agg, vals)
+		return query.Result{Value: v, Err: err}
 	}
-	return mergeRows(ti, targets, vals, infos), nil
+	return query.Ok(mergeRows(ti, targets, vals, infos))
 }
 
 // mergeAgg combines per-shard aggregates. COUNT and SUM add (both are 0 on
@@ -727,45 +623,29 @@ func mergeRows(ti *tableInfo, targets []int, vals []any, infos []sqlmini.ExecInf
 // with no shard-key value, and demultiplexes everything back into binding
 // order. Each sub-batch pays its shard one round trip and one planning
 // charge, so an N-shard cluster executes a large batch roughly N-way
-// parallel. Its shape matches exec.BatchRunner.
-func (r *Router) ExecBatch(name, sql string, argSets [][]any) ([]any, []error) {
-	return r.execBatchSess(nil, nil, name, sql, argSets)
+// parallel. Per-shard sub-batches hang "shard.batch" children off the
+// request's span, scatter fallbacks hang "shard.exec" legs; session,
+// deadline and consistency fan out with them.
+func (r *Router) ExecBatch(req query.BatchRequest) query.BatchResult {
+	vals, errs := r.execBatch(req)
+	return query.BatchResult{Values: vals, Errs: errs}
 }
 
-// ExecBatchSpan is ExecBatch with the batch leader's trace span threaded
-// through: per-shard sub-batches hang "shard.batch" children off sp, scatter
-// fallbacks hang "shard.exec" legs. Its shape matches exec.SpanBatchRunner.
-func (r *Router) ExecBatchSpan(sp *obs.Span, name, sql string, argSets [][]any) ([]any, []error) {
-	return r.execBatchSess(sp, nil, name, sql, argSets)
-}
-
-// SessionExecBatch is ExecBatch with per-shard session consistency tokens:
-// the split sub-batches and scatter fallbacks all carry the session, so a
-// batched submission updates and honors the same LSN floors a sequence of
-// SessionExec calls would.
-func (r *Router) SessionExecBatch(sess *Session, name, sql string, argSets [][]any) ([]any, []error) {
-	return r.execBatchSess(nil, sess, name, sql, argSets)
-}
-
-// SessionExecBatchSpan combines SessionExecBatch and ExecBatchSpan.
-func (r *Router) SessionExecBatchSpan(sp *obs.Span, sess *Session, name, sql string, argSets [][]any) ([]any, []error) {
-	return r.execBatchSess(sp, sess, name, sql, argSets)
-}
-
-func (r *Router) execBatchSess(sp *obs.Span, sess *Session, name, sql string, argSets [][]any) ([]any, []error) {
-	st, err := r.prep.Prepare(sql)
+func (r *Router) execBatch(req query.BatchRequest) ([]any, []error) {
+	argSets := req.ArgSets
+	st, err := r.prep.Prepare(req.SQL)
 	if err != nil {
-		return r.bexecBatch(sp, sess, 0, name, sql, argSets)
+		return r.bexecBatch(req, 0).Pair()
 	}
 	ti := r.table(st.Table)
 	if ti == nil {
-		return r.bexecBatch(sp, sess, 0, name, sql, argSets)
+		return r.bexecBatch(req, 0).Pair()
 	}
 	if ti.key == "" {
 		if st.Insert {
-			return r.broadcastBatch(sp, sess, name, sql, argSets)
+			return r.broadcastBatch(req)
 		}
-		return r.bexecBatch(sp, sess, 0, name, sql, argSets)
+		return r.bexecBatch(req, 0).Pair()
 	}
 
 	n := len(argSets)
@@ -814,16 +694,18 @@ func (r *Router) execBatchSess(sp *obs.Span, sess *Session, name, sql string, ar
 			for j, i := range idxs {
 				sub[j] = argSets[i]
 			}
-			vals, es, info := r.bexecBatchTraced(sp, sess, s, name, sql, sub)
+			sreq := req
+			sreq.ArgSets = sub
+			br := r.bexecBatch(sreq, s)
 			for j, i := range idxs {
-				if j < len(vals) {
-					results[i] = vals[j]
+				if j < len(br.Values) {
+					results[i] = br.Values[j]
 				}
-				if j < len(es) {
-					errs[i] = es[j]
+				if j < len(br.Errs) {
+					errs[i] = br.Errs[j]
 				}
-				if landed != nil && j < len(info.InsertRids) && info.InsertRids[j] >= 0 {
-					landed[i] = [2]int{s, info.InsertRids[j]}
+				if landed != nil && j < len(br.Info.InsertRids) && br.Info.InsertRids[j] >= 0 {
+					landed[i] = [2]int{s, br.Info.InsertRids[j]}
 				}
 			}
 		}(s, idxs)
@@ -832,7 +714,13 @@ func (r *Router) execBatchSess(sp *obs.Span, sess *Session, name, sql string, ar
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], errs[i] = r.scatter(sp, sess, name, sql, st, ti, argSets[i])
+			sub := query.Request{
+				Name: req.Name, SQL: req.SQL, Args: argSets[i],
+				Span: req.Span, Session: req.Session,
+				Consistency: req.Consistency, Deadline: req.Deadline,
+			}
+			res := r.scatter(sub, st, ti)
+			results[i], errs[i] = res.Value, res.Err
 		}(i)
 	}
 	wg.Wait()
@@ -846,22 +734,18 @@ func (r *Router) execBatchSess(sp *obs.Span, sess *Session, name, sql string, ar
 
 // broadcastBatch applies a replicated-table write batch to every shard in
 // parallel and returns shard 0's per-binding results.
-func (r *Router) broadcastBatch(sp *obs.Span, sess *Session, name, sql string, argSets [][]any) ([]any, []error) {
-	type res struct {
-		vals []any
-		errs []error
-	}
-	out := make([]res, len(r.backends))
+func (r *Router) broadcastBatch(req query.BatchRequest) ([]any, []error) {
+	out := make([]query.BatchResult, len(r.backends))
 	var wg sync.WaitGroup
 	for i := range r.backends {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			out[i].vals, out[i].errs = r.bexecBatch(sp, sess, i, name, sql, argSets)
+			out[i] = r.bexecBatch(req, i)
 		}(i)
 	}
 	wg.Wait()
-	return out[0].vals, out[0].errs
+	return out[0].Pair()
 }
 
 // BatchGroup is the coalescing refinement for batched submission
@@ -892,52 +776,11 @@ func (r *Router) BatchGroup(name, sql string, args []any) int {
 	return Partition(v, len(r.backends))
 }
 
-// Runner adapts the router for the async executor.
-func (r *Router) Runner() exec.Runner { return r.Exec }
-
-// BatchRunner adapts the router's split/scatter batch path for the batch
-// executor.
-func (r *Router) BatchRunner() exec.BatchRunner { return r.ExecBatch }
-
-// SessionRunner binds a session's consistency tokens into an exec.Runner,
-// so exec.Service submissions carry ReadYourWrites floors transparently.
-func (r *Router) SessionRunner(sess *Session) exec.Runner {
-	return func(name, sql string, args []any) (any, error) {
-		return r.SessionExec(sess, name, sql, args)
-	}
-}
-
-// SessionBatchRunner binds a session into an exec.BatchRunner for the batch
-// coalescer: batched submissions honor and update the same per-shard LSN
-// tokens as the blocking path.
-func (r *Router) SessionBatchRunner(sess *Session) exec.BatchRunner {
-	return func(name, sql string, argSets [][]any) ([]any, []error) {
-		return r.SessionExecBatch(sess, name, sql, argSets)
-	}
-}
-
-// SessionSpanRunner binds a session into an exec.SpanRunner (the tracing
-// sibling of SessionRunner, for exec.Service.EnableTracing).
-func (r *Router) SessionSpanRunner(sess *Session) exec.SpanRunner {
-	return func(sp *obs.Span, name, sql string, args []any) (any, error) {
-		return r.SessionExecSpan(sp, sess, name, sql, args)
-	}
-}
-
-// SessionSpanBatchRunner binds a session into an exec.SpanBatchRunner.
-func (r *Router) SessionSpanBatchRunner(sess *Session) exec.SpanBatchRunner {
-	return func(sp *obs.Span, name, sql string, argSets [][]any) ([]any, []error) {
-		return r.SessionExecBatchSpan(sp, sess, name, sql, argSets)
-	}
-}
-
 // SetMetrics points every shard's passive instrumentation (WAL fsync
 // histograms) at reg. Safe to call at any time; a nil registry detaches.
 func (r *Router) SetMetrics(reg *obs.Registry) {
 	for _, b := range r.backends {
-		if m, ok := b.(metricBackend); ok {
-			m.SetMetrics(reg)
-		}
+		b.SetMetrics(reg)
 	}
 }
 
@@ -948,9 +791,7 @@ func (r *Router) SetMetrics(reg *obs.Registry) {
 func (r *Router) RegisterMetrics(reg *obs.Registry, prefix string) {
 	r.SetMetrics(reg)
 	for i, b := range r.backends {
-		if m, ok := b.(metricBackend); ok {
-			m.RegisterMetrics(reg, fmt.Sprintf("%sshard%d.", prefix, i))
-		}
+		b.RegisterMetrics(reg, fmt.Sprintf("%sshard%d.", prefix, i))
 	}
 	reg.RegisterSource(prefix+"router", func() map[string]float64 {
 		return map[string]float64{"scatter.pruned": float64(r.pruned.Load())}

@@ -3,6 +3,7 @@ package shard
 import (
 	"fmt"
 	"math/rand"
+	"repro/internal/query"
 	"testing"
 
 	"repro/internal/interp"
@@ -118,8 +119,8 @@ func TestPointQueryRoutesToOwningShard(t *testing.T) {
 	ref, r := newFixture(t, 3)
 	const q = "select name, grp from users where uid = ?"
 	for i := int64(0); i < 100; i++ {
-		want, wantErr := ref.Exec("q", q, []any{i})
-		got, gotErr := r.Exec("q", q, []any{i})
+		want, wantErr := ref.Exec(query.Req("q", q, []any{i})).Pair()
+		got, gotErr := r.Exec(query.Req("q", q, []any{i})).Pair()
 		same(t, fmt.Sprintf("uid=%d", i), want, got, wantErr, gotErr)
 	}
 	// Point queries must not fan out: exactly one backend round trip each.
@@ -144,8 +145,8 @@ func TestScatterRowSelectPreservesGlobalOrder(t *testing.T) {
 	// single-server result interleaves them in insertion (rid) order.
 	const q = "select uid, name from users where grp = ?"
 	for g := int64(0); g < 20; g++ {
-		want, wantErr := ref.Exec("q", q, []any{g})
-		got, gotErr := r.Exec("q", q, []any{g})
+		want, wantErr := ref.Exec(query.Req("q", q, []any{g})).Pair()
+		got, gotErr := r.Exec(query.Req("q", q, []any{g})).Pair()
 		same(t, fmt.Sprintf("grp=%d", g), want, got, wantErr, gotErr)
 		if rows, ok := want.(interp.Rows); !ok || len(rows) == 0 {
 			t.Fatalf("grp=%d: degenerate fixture, want non-empty rows", g)
@@ -163,8 +164,8 @@ func TestScatterAggregates(t *testing.T) {
 	}
 	for _, q := range queries {
 		for _, g := range []int64{0, 7, 19, 99} { // 99 matches nothing
-			want, wantErr := ref.Exec("q", q, []any{g})
-			got, gotErr := r.Exec("q", q, []any{g})
+			want, wantErr := ref.Exec(query.Req("q", q, []any{g})).Pair()
+			got, gotErr := r.Exec(query.Req("q", q, []any{g})).Pair()
 			same(t, fmt.Sprintf("%s g=%d", q, g), want, got, wantErr, gotErr)
 		}
 	}
@@ -173,8 +174,8 @@ func TestScatterAggregates(t *testing.T) {
 		"select count(uid) from users",
 		"select sum(grp) from users",
 	} {
-		want, wantErr := ref.Exec("q", q, nil)
-		got, gotErr := r.Exec("q", q, nil)
+		want, wantErr := ref.Exec(query.Req("q", q, nil)).Pair()
+		got, gotErr := r.Exec(query.Req("q", q, nil)).Pair()
 		same(t, q, want, got, wantErr, gotErr)
 	}
 }
@@ -185,8 +186,8 @@ func TestRoutedInsertAndReadBack(t *testing.T) {
 	const sel = "select name from users where uid = ?"
 	for i := int64(1000); i < 1020; i++ {
 		args := []any{i, fmt.Sprintf("new%d", i), int64(3)}
-		want, wantErr := ref.Exec("ins", ins, args)
-		got, gotErr := r.Exec("ins", ins, args)
+		want, wantErr := ref.Exec(query.Req("ins", ins, args)).Pair()
+		got, gotErr := r.Exec(query.Req("ins", ins, args)).Pair()
 		same(t, "insert", want, got, wantErr, gotErr)
 	}
 	var total int
@@ -198,31 +199,31 @@ func TestRoutedInsertAndReadBack(t *testing.T) {
 			ref.Catalog().Table("users").NumRows())
 	}
 	for i := int64(1000); i < 1020; i++ {
-		want, wantErr := ref.Exec("q", sel, []any{i})
-		got, gotErr := r.Exec("q", sel, []any{i})
+		want, wantErr := ref.Exec(query.Req("q", sel, []any{i})).Pair()
+		got, gotErr := r.Exec(query.Req("q", sel, []any{i})).Pair()
 		same(t, fmt.Sprintf("readback uid=%d", i), want, got, wantErr, gotErr)
 	}
 	// Scatter reads see the runtime-inserted rows in exact insertion order:
 	// the grp=3 result now interleaves loaded rows with the new ones (which
 	// landed on different shards), and the router's insert trace must merge
 	// them where a single server would.
-	want, wantErr := ref.Exec("q", "select uid, name from users where grp = ?", []any{int64(3)})
-	got, gotErr := r.Exec("q", "select uid, name from users where grp = ?", []any{int64(3)})
+	want, wantErr := ref.Exec(query.Req("q", "select uid, name from users where grp = ?", []any{int64(3)})).Pair()
+	got, gotErr := r.Exec(query.Req("q", "select uid, name from users where grp = ?", []any{int64(3)})).Pair()
 	same(t, "scatter after inserts", want, got, wantErr, gotErr)
 }
 
 func TestReplicatedTableBroadcastsWritesAndReadsLocally(t *testing.T) {
 	ref, r := newFixture(t, 3)
-	want, wantErr := ref.Exec("ins", "insert into logs values (?, ?)", []any{int64(100), "hello"})
-	got, gotErr := r.Exec("ins", "insert into logs values (?, ?)", []any{int64(100), "hello"})
+	want, wantErr := ref.Exec(query.Req("ins", "insert into logs values (?, ?)", []any{int64(100), "hello"})).Pair()
+	got, gotErr := r.Exec(query.Req("ins", "insert into logs values (?, ?)", []any{int64(100), "hello"})).Pair()
 	same(t, "replicated insert", want, got, wantErr, gotErr)
 	for s, b := range r.Backends() {
 		if n := b.(*server.Server).Catalog().Table("logs").NumRows(); n != 41 {
 			t.Fatalf("shard %d: replicated logs has %d rows, want 41", s, n)
 		}
 	}
-	want, wantErr = ref.Exec("q", "select msg from logs where id = ?", []any{int64(100)})
-	got, gotErr = r.Exec("q", "select msg from logs where id = ?", []any{int64(100)})
+	want, wantErr = ref.Exec(query.Req("q", "select msg from logs where id = ?", []any{int64(100)})).Pair()
+	got, gotErr = r.Exec(query.Req("q", "select msg from logs where id = ?", []any{int64(100)})).Pair()
 	same(t, "replicated read", want, got, wantErr, gotErr)
 }
 
@@ -234,8 +235,8 @@ func TestExecBatchSplitsAndDemultiplexesInOrder(t *testing.T) {
 	for i := range argSets {
 		argSets[i] = []any{int64(rng.Intn(500))}
 	}
-	wantVals, wantErrs := ref.ExecBatch("q", q, argSets)
-	gotVals, gotErrs := r.ExecBatch("q", q, argSets)
+	wantVals, wantErrs := ref.ExecBatch(query.BatchReq("q", q, argSets)).Pair()
+	gotVals, gotErrs := r.ExecBatch(query.BatchReq("q", q, argSets)).Pair()
 	if len(gotVals) != len(argSets) || len(gotErrs) != len(argSets) {
 		t.Fatalf("batch result arity: %d vals, %d errs", len(gotVals), len(gotErrs))
 	}
@@ -259,8 +260,8 @@ func TestExecBatchScatterBindings(t *testing.T) {
 	// still demultiplex back into binding order.
 	const q = "select uid from users where grp = ?"
 	argSets := [][]any{{int64(3)}, {int64(99)}, {int64(3)}, {int64(17)}}
-	wantVals, wantErrs := ref.ExecBatch("q", q, argSets)
-	gotVals, gotErrs := r.ExecBatch("q", q, argSets)
+	wantVals, wantErrs := ref.ExecBatch(query.BatchReq("q", q, argSets)).Pair()
+	gotVals, gotErrs := r.ExecBatch(query.BatchReq("q", q, argSets)).Pair()
 	for i := range argSets {
 		same(t, fmt.Sprintf("scatter binding %d", i), wantVals[i], gotVals[i], wantErrs[i], gotErrs[i])
 	}
@@ -281,16 +282,16 @@ func TestErrorTextsMatchSingleServer(t *testing.T) {
 		{"insert arity", "insert into users values (?)", []any{int64(1)}},
 	}
 	for _, c := range cases {
-		want, wantErr := ref.Exec("q", c.sql, c.args)
-		got, gotErr := r.Exec("q", c.sql, c.args)
+		want, wantErr := ref.Exec(query.Req("q", c.sql, c.args)).Pair()
+		got, gotErr := r.Exec(query.Req("q", c.sql, c.args)).Pair()
 		if wantErr == nil {
 			t.Fatalf("%s: fixture expected an error", c.label)
 		}
 		same(t, c.label, want, got, wantErr, gotErr)
 	}
 	// Batch path: malformed statements fail every binding with the same text.
-	wantVals, wantErrs := ref.ExecBatch("q", "select a from nosuch where a = ?", [][]any{{int64(1)}, {int64(2)}})
-	gotVals, gotErrs := r.ExecBatch("q", "select a from nosuch where a = ?", [][]any{{int64(1)}, {int64(2)}})
+	wantVals, wantErrs := ref.ExecBatch(query.BatchReq("q", "select a from nosuch where a = ?", [][]any{{int64(1)}, {int64(2)}})).Pair()
+	gotVals, gotErrs := r.ExecBatch(query.BatchReq("q", "select a from nosuch where a = ?", [][]any{{int64(1)}, {int64(2)}})).Pair()
 	for i := range wantErrs {
 		same(t, fmt.Sprintf("batch err %d", i), wantVals[i], gotVals[i], wantErrs[i], gotErrs[i])
 	}
@@ -300,7 +301,7 @@ func TestStatsAggregateAndWarm(t *testing.T) {
 	_, r := newFixture(t, 2)
 	r.ColdStart()
 	r.Warm()
-	if _, err := r.Exec("q", "select name from users where uid = ?", []any{int64(1)}); err != nil {
+	if _, err := r.Exec(query.Req("q", "select name from users where uid = ?", []any{int64(1)})).Pair(); err != nil {
 		t.Fatal(err)
 	}
 	agg := r.Stats()
@@ -347,14 +348,14 @@ func TestScatterMergeEdgeCases(t *testing.T) {
 		{"select tag from empty where eid = ?", []any{int64(1)}},
 	}
 	for _, q := range queries {
-		want, wantErr := ref.Exec("q", q.sql, q.args)
-		got, gotErr := r.Exec("q", q.sql, q.args)
+		want, wantErr := ref.Exec(query.Req("q", q.sql, q.args)).Pair()
+		got, gotErr := r.Exec(query.Req("q", q.sql, q.args)).Pair()
 		same(t, q.sql, want, got, wantErr, gotErr)
 	}
 	// Batch over the empty table: every binding merges the identity.
 	argSets := [][]any{{int64(1)}, {int64(2)}, {int64(3)}}
-	wantVals, wantErrs := ref.ExecBatch("q", "select count(eid) from empty where eid = ?", argSets)
-	gotVals, gotErrs := r.ExecBatch("q", "select count(eid) from empty where eid = ?", argSets)
+	wantVals, wantErrs := ref.ExecBatch(query.BatchReq("q", "select count(eid) from empty where eid = ?", argSets)).Pair()
+	gotVals, gotErrs := r.ExecBatch(query.BatchReq("q", "select count(eid) from empty where eid = ?", argSets)).Pair()
 	for i := range argSets {
 		same(t, fmt.Sprintf("empty batch %d", i), wantVals[i], gotVals[i], wantErrs[i], gotErrs[i])
 	}
@@ -375,8 +376,8 @@ func TestDuplicateShardKeyInserts(t *testing.T) {
 		{int64(5000), "dup4", int64(901)},
 	}
 	for _, args := range dups {
-		want, wantErr := ref.Exec("ins", ins, args)
-		got, gotErr := r.Exec("ins", ins, args)
+		want, wantErr := ref.Exec(query.Req("ins", ins, args)).Pair()
+		got, gotErr := r.Exec(query.Req("ins", ins, args)).Pair()
 		same(t, "dup insert", want, got, wantErr, gotErr)
 	}
 	for _, q := range []struct {
@@ -388,8 +389,8 @@ func TestDuplicateShardKeyInserts(t *testing.T) {
 		{"select uid, name from users where grp = ?", []any{int64(901)}},
 		{"select count(uid) from users where uid = ?", []any{int64(77)}},
 	} {
-		want, wantErr := ref.Exec("q", q.sql, q.args)
-		got, gotErr := r.Exec("q", q.sql, q.args)
+		want, wantErr := ref.Exec(query.Req("q", q.sql, q.args)).Pair()
+		got, gotErr := r.Exec(query.Req("q", q.sql, q.args)).Pair()
 		same(t, q.sql, want, got, wantErr, gotErr)
 		if rows, ok := want.(interp.Rows); ok && len(rows) < 2 {
 			t.Fatalf("%s: degenerate fixture, want >= 2 rows, got %d", q.sql, len(rows))
@@ -408,14 +409,14 @@ func TestBatchedInsertsKeepScatterOrder(t *testing.T) {
 	for i := range argSets {
 		argSets[i] = []any{int64(2000 + i), fmt.Sprintf("b%d", i), int64(555)}
 	}
-	wantVals, wantErrs := ref.ExecBatch("ins", ins, argSets)
-	gotVals, gotErrs := r.ExecBatch("ins", ins, argSets)
+	wantVals, wantErrs := ref.ExecBatch(query.BatchReq("ins", ins, argSets)).Pair()
+	gotVals, gotErrs := r.ExecBatch(query.BatchReq("ins", ins, argSets)).Pair()
 	for i := range argSets {
 		same(t, fmt.Sprintf("batch insert %d", i), wantVals[i], gotVals[i], wantErrs[i], gotErrs[i])
 	}
 	// The scatter read's merge order is the single server's insertion order.
-	want, wantErr := ref.Exec("q", "select uid, name from users where grp = ?", []any{int64(555)})
-	got, gotErr := r.Exec("q", "select uid, name from users where grp = ?", []any{int64(555)})
+	want, wantErr := ref.Exec(query.Req("q", "select uid, name from users where grp = ?", []any{int64(555)})).Pair()
+	got, gotErr := r.Exec(query.Req("q", "select uid, name from users where grp = ?", []any{int64(555)})).Pair()
 	same(t, "scatter after batched inserts", want, got, wantErr, gotErr)
 	if rows := want.(interp.Rows); len(rows) != len(argSets) {
 		t.Fatalf("degenerate fixture: %d rows", len(rows))
@@ -457,17 +458,17 @@ func TestReplicatedBackendsMatchSingleServer(t *testing.T) {
 	battery := func(label string) {
 		t.Helper()
 		for i := int64(0); i < 40; i++ {
-			want, wantErr := ref.Exec("q", "select name, grp from users where uid = ?", []any{i * 13 % 600})
-			got, gotErr := r.Exec("q", "select name, grp from users where uid = ?", []any{i * 13 % 600})
+			want, wantErr := ref.Exec(query.Req("q", "select name, grp from users where uid = ?", []any{i * 13 % 600})).Pair()
+			got, gotErr := r.Exec(query.Req("q", "select name, grp from users where uid = ?", []any{i * 13 % 600})).Pair()
 			same(t, fmt.Sprintf("%s point uid=%d", label, i*13%600), want, got, wantErr, gotErr)
 		}
 		for g := int64(0); g < 8; g++ {
-			want, wantErr := ref.Exec("q", "select uid, name from users where grp = ?", []any{g})
-			got, gotErr := r.Exec("q", "select uid, name from users where grp = ?", []any{g})
+			want, wantErr := ref.Exec(query.Req("q", "select uid, name from users where grp = ?", []any{g})).Pair()
+			got, gotErr := r.Exec(query.Req("q", "select uid, name from users where grp = ?", []any{g})).Pair()
 			same(t, fmt.Sprintf("%s scatter grp=%d", label, g), want, got, wantErr, gotErr)
 		}
-		want, wantErr := ref.Exec("q", "select sum(uid) from users", nil)
-		got, gotErr := r.Exec("q", "select sum(uid) from users", nil)
+		want, wantErr := ref.Exec(query.Req("q", "select sum(uid) from users", nil)).Pair()
+		got, gotErr := r.Exec(query.Req("q", "select sum(uid) from users", nil)).Pair()
 		same(t, label+" sum", want, got, wantErr, gotErr)
 	}
 
@@ -476,8 +477,8 @@ func TestReplicatedBackendsMatchSingleServer(t *testing.T) {
 	// Writes replicate: insert through the router, read through replicas.
 	for i := int64(600); i < 620; i++ {
 		args := []any{i, fmt.Sprintf("n%d", i), int64(3)}
-		want, wantErr := ref.Exec("ins", "insert into users values (?, ?, ?)", args)
-		got, gotErr := r.Exec("ins", "insert into users values (?, ?, ?)", args)
+		want, wantErr := ref.Exec(query.Req("ins", "insert into users values (?, ?, ?)", args)).Pair()
+		got, gotErr := r.Exec(query.Req("ins", "insert into users values (?, ?, ?)", args)).Pair()
 		same(t, "replicated routed insert", want, got, wantErr, gotErr)
 	}
 	battery("after inserts")
@@ -527,10 +528,10 @@ func TestScatterPrunesBySecondaryIndexStats(t *testing.T) {
 	const ins = "insert into users values (?, ?, ?)"
 	for _, uid := range uids {
 		args := []any{uid, fmt.Sprintf("u%d", uid), int64(777)}
-		if _, err := ref.Exec("ins", ins, args); err != nil {
+		if _, err := ref.Exec(query.Req("ins", ins, args)).Pair(); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := r.Exec("ins", ins, args); err != nil {
+		if _, err := r.Exec(query.Req("ins", ins, args)).Pair(); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -547,8 +548,8 @@ func TestScatterPrunesBySecondaryIndexStats(t *testing.T) {
 	// scatter must visit shard 2 alone.
 	before := netReqs()
 	const q = "select name, grp from users where grp = ?"
-	want, wantErr := ref.Exec("q", q, []any{int64(777)})
-	got, gotErr := r.Exec("q", q, []any{int64(777)})
+	want, wantErr := ref.Exec(query.Req("q", q, []any{int64(777)})).Pair()
+	got, gotErr := r.Exec(query.Req("q", q, []any{int64(777)})).Pair()
 	same(t, "grp=777", want, got, wantErr, gotErr)
 	after := netReqs()
 	for s := 0; s < 4; s++ {
@@ -564,8 +565,8 @@ func TestScatterPrunesBySecondaryIndexStats(t *testing.T) {
 	// A key no shard holds prunes down to one representative execution and
 	// still returns the single-server (empty) result.
 	before = after
-	want, wantErr = ref.Exec("q", q, []any{int64(888)})
-	got, gotErr = r.Exec("q", q, []any{int64(888)})
+	want, wantErr = ref.Exec(query.Req("q", q, []any{int64(888)})).Pair()
+	got, gotErr = r.Exec(query.Req("q", q, []any{int64(888)})).Pair()
 	same(t, "grp=888", want, got, wantErr, gotErr)
 	after = netReqs()
 	var total int64
@@ -577,14 +578,14 @@ func TestScatterPrunesBySecondaryIndexStats(t *testing.T) {
 	}
 
 	// An aggregate over the pruned predicate merges identically too.
-	want, wantErr = ref.Exec("q", "select count(uid) from users where grp = ?", []any{int64(777)})
-	got, gotErr = r.Exec("q", "select count(uid) from users where grp = ?", []any{int64(777)})
+	want, wantErr = ref.Exec(query.Req("q", "select count(uid) from users where grp = ?", []any{int64(777)})).Pair()
+	got, gotErr = r.Exec(query.Req("q", "select count(uid) from users where grp = ?", []any{int64(777)})).Pair()
 	same(t, "count grp=777", want, got, wantErr, gotErr)
 
 	// name is unindexed: no statistics, no pruning — every shard executes.
 	before = netReqs()
-	want, wantErr = ref.Exec("q", "select uid from users where name = ?", []any{"u1"})
-	got, gotErr = r.Exec("q", "select uid from users where name = ?", []any{"u1"})
+	want, wantErr = ref.Exec(query.Req("q", "select uid from users where name = ?", []any{"u1"})).Pair()
+	got, gotErr = r.Exec(query.Req("q", "select uid from users where name = ?", []any{"u1"})).Pair()
 	same(t, "name=u1", want, got, wantErr, gotErr)
 	after = netReqs()
 	for s := 0; s < 4; s++ {

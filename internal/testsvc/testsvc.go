@@ -12,13 +12,14 @@ import (
 
 	"repro/internal/exec"
 	"repro/internal/interp"
+	"repro/internal/query"
 )
 
 // Runner returns a thread-safe exec.Runner whose result for (name, args) is
 // a small deterministic integer.
 func Runner() exec.Runner {
-	return func(name, sql string, args []any) (any, error) {
-		return Hash(name, args), nil
+	return func(req query.Request) query.Result {
+		return query.Ok(Hash(req.Name, req.Args))
 	}
 }
 
@@ -73,15 +74,15 @@ type LoggingRunner struct {
 }
 
 // Run is the exec.Runner method value to pass to services.
-func (l *LoggingRunner) Run(name, sql string, args []any) (any, error) {
+func (l *LoggingRunner) Run(req query.Request) query.Result {
 	l.mu.Lock()
-	entry := name
-	for _, a := range args {
+	entry := req.Name
+	for _, a := range req.Args {
 		entry += "|" + interp.Format(a)
 	}
 	l.log = append(l.log, entry)
 	l.mu.Unlock()
-	return Hash(name, args), nil
+	return query.Ok(Hash(req.Name, req.Args))
 }
 
 // Log returns a copy of the executions so far.
@@ -94,12 +95,12 @@ func (l *LoggingRunner) Log() []string {
 // BatchRunner returns the set-oriented sibling of Runner: every binding
 // yields the same deterministic Hash value a per-query execution would.
 func BatchRunner() exec.BatchRunner {
-	return func(name, sql string, argSets [][]any) ([]any, []error) {
-		vals := make([]any, len(argSets))
-		for i, args := range argSets {
-			vals[i] = Hash(name, args)
+	return func(req query.BatchRequest) query.BatchResult {
+		vals := make([]any, len(req.ArgSets))
+		for i, args := range req.ArgSets {
+			vals[i] = Hash(req.Name, args)
 		}
-		return vals, make([]error, len(argSets))
+		return query.BatchResult{Values: vals, Errs: make([]error, len(req.ArgSets))}
 	}
 }
 
@@ -116,10 +117,10 @@ func FailingRunner(bad ...string) exec.Runner {
 	for _, b := range bad {
 		set[b] = true
 	}
-	return func(name, sql string, args []any) (any, error) {
-		if set[name] {
-			return nil, fmt.Errorf("injected failure for %s", name)
+	return func(req query.Request) query.Result {
+		if set[req.Name] {
+			return query.Fail(fmt.Errorf("injected failure for %s", req.Name))
 		}
-		return Hash(name, args), nil
+		return query.Ok(Hash(req.Name, req.Args))
 	}
 }

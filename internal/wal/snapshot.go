@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/query"
 	"repro/internal/storage"
 )
 
@@ -97,7 +98,7 @@ func (s *Snapshot) RestoreTo(l Loader) error {
 // Execer is the statement surface replay drives — server.Server implements
 // it via ExecBatch.
 type Execer interface {
-	ExecBatch(name, sql string, argSets [][]any) ([]any, []error)
+	ExecBatch(req query.BatchRequest) query.BatchResult
 }
 
 // Replay applies records in LSN order through e. Only acknowledged
@@ -105,8 +106,8 @@ type Execer interface {
 // transport fault — the first one aborts and is returned.
 func Replay(e Execer, recs []Record) error {
 	for _, r := range recs {
-		_, errs := e.ExecBatch(r.Name, r.SQL, r.ArgSets)
-		for _, err := range errs {
+		br := e.ExecBatch(query.BatchReq(r.Name, r.SQL, r.ArgSets))
+		for _, err := range br.Errs {
 			if err != nil {
 				return fmt.Errorf("wal: replay lsn %d: %w", r.LSN, err)
 			}

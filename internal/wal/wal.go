@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/query"
 )
 
 // Mode selects how Commit acknowledges durability.
@@ -184,6 +185,52 @@ func (l *Log) CommitSpan(sp *obs.Span, lsn int64) {
 	c := sp.Child("wal.commit")
 	l.Commit(lsn)
 	c.End()
+}
+
+// CommitWait is CommitSpan with a deadline: the wait gives up when dl
+// expires before the record becomes durable, returning
+// query.ErrDeadlineExceeded. The record itself stays in the log and will
+// still be fsynced — only the acknowledgement is abandoned, so the caller
+// must report the write as "never acknowledged", not as lost. Like SyncTo,
+// a crash that truncates the record away also releases the wait (with a
+// nil error); the caller must then check DurableLSN to discover the loss.
+// A zero deadline waits exactly like CommitSpan.
+func (l *Log) CommitWait(sp *obs.Span, lsn int64, dl query.Deadline) error {
+	if l.mode == Off {
+		return nil
+	}
+	if dl.IsZero() {
+		l.CommitSpan(sp, lsn)
+		return nil
+	}
+	c := sp.Child("wal.commit")
+	defer c.End()
+	var timer *time.Timer
+	l.mu.Lock()
+	for l.synced < lsn && !l.closed && lsn < l.next {
+		if dl.Expired() {
+			l.mu.Unlock()
+			if timer != nil {
+				timer.Stop()
+			}
+			return query.ErrDeadlineExceeded
+		}
+		if timer == nil {
+			// One shot at the deadline wakes this waiter (Broadcast: cond has
+			// no directed signal) so an idle log cannot strand it past dl.
+			timer = time.AfterFunc(dl.Remaining(), func() {
+				l.mu.Lock()
+				l.durable.Broadcast()
+				l.mu.Unlock()
+			})
+		}
+		l.durable.Wait()
+	}
+	l.mu.Unlock()
+	if timer != nil {
+		timer.Stop()
+	}
+	return nil
 }
 
 // New starts a log and its flusher goroutine.

@@ -2,6 +2,7 @@ package wal_test
 
 import (
 	"fmt"
+	"repro/internal/query"
 	"sync"
 	"testing"
 	"time"
@@ -41,7 +42,7 @@ func dump(t *testing.T, s *server.Server, n int) string {
 	t.Helper()
 	out := ""
 	for i := 0; i < n; i++ {
-		v, err := s.Exec("t", "SELECT val FROM kv WHERE id = ?", []any{int64(i)})
+		v, err := s.Exec(query.Req("t", "SELECT val FROM kv WHERE id = ?", []any{int64(i)})).Pair()
 		out += fmt.Sprintf("%d:%v/%v\n", i, v, err)
 	}
 	return out
@@ -141,7 +142,7 @@ func TestRecordRoundTripPreservesTypes(t *testing.T) {
 
 func TestSnapshotRestoreIsByteIdentical(t *testing.T) {
 	src := newKVServer(t, 40)
-	if _, err := src.Exec("t", "INSERT INTO kv VALUES (?, ?)", []any{int64(40), "v40"}); err != nil {
+	if _, err := src.Exec(query.Req("t", "INSERT INTO kv VALUES (?, ?)", []any{int64(40), "v40"})).Pair(); err != nil {
 		t.Fatal(err)
 	}
 	snap := wal.Capture(src.Catalog(), 1)
@@ -170,7 +171,7 @@ func TestReplayAfterSnapshotRebuildsState(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 10; i < 20; i++ {
-		if _, err := src.Exec("t", "INSERT INTO kv VALUES (?, ?)", []any{int64(i), fmt.Sprintf("v%d", i)}); err != nil {
+		if _, err := src.Exec(query.Req("t", "INSERT INTO kv VALUES (?, ?)", []any{int64(i), fmt.Sprintf("v%d", i)})).Pair(); err != nil {
 			t.Fatal(err)
 		}
 		l.Commit(l.Append("w", "INSERT INTO kv VALUES (?, ?)", [][]any{{int64(i), fmt.Sprintf("v%d", i)}}))
