@@ -110,6 +110,14 @@ func validateLoadReport(rep net.LoadReport) error {
 				rep.P50Ms, rep.P99Ms, rep.P999Ms, rep.MaxMs)
 		}
 	}
+	if rep.Retries < 0 || rep.Reconnects < 0 || rep.Hedges < 0 || rep.BreakerTrips < 0 {
+		return fmt.Errorf("load report: negative resilience counters: retries %d reconnects %d hedges %d trips %d",
+			rep.Retries, rep.Reconnects, rep.Hedges, rep.BreakerTrips)
+	}
+	if rep.RetryBudget > 0 && rep.Retries > rep.RetryBudget*int64(rep.Conns) {
+		return fmt.Errorf("load report: %d retries exceed the budget (%d per connection × %d conns)",
+			rep.Retries, rep.RetryBudget, rep.Conns)
+	}
 	return nil
 }
 

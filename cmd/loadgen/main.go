@@ -39,6 +39,9 @@ func main() {
 	op := flag.String("op", "select", "workload: select (point reads) or insert (unique-key writes)")
 	rows := flag.Int("rows", 10000, "key range of the server's load table (must match -serve -rows)")
 	seed := flag.Int64("seed", 1, "argument-generator seed")
+	retries := flag.Int("retries", 0, "max attempts per request (0 or 1 = no retries, the historical client)")
+	backoff := flag.Duration("backoff", time.Millisecond, "base retry backoff (doubles per retry)")
+	budget := flag.Int64("retry-budget", 0, "lifetime retry cap per connection (0 = unlimited)")
 	jsonOut := flag.String("json", "", "also write the report as JSON to `file`")
 	flag.Parse()
 
@@ -49,6 +52,14 @@ func main() {
 		Duration: *dur,
 		Deadline: *deadline,
 		Seed:     *seed,
+		Client: net.ClientOptions{
+			Retry: net.RetryPolicy{
+				MaxAttempts: *retries,
+				BaseBackoff: *backoff,
+				Jitter:      0.5,
+				Budget:      *budget,
+			},
+		},
 	}
 	switch *op {
 	case "select":
@@ -86,6 +97,11 @@ func main() {
 		rep.Shed, 100*rep.ShedRate(), rep.Deadlined, rep.Failed, rep.Hung)
 	fmt.Printf("  latency ms: p50 %.2f  p99 %.2f  p999 %.2f  mean %.2f  max %.2f\n",
 		rep.P50Ms, rep.P99Ms, rep.P999Ms, rep.MeanMs, rep.MaxMs)
+	fmt.Printf("  resilience: retries %d  reconnects %d", rep.Retries, rep.Reconnects)
+	if rep.RetryBudget > 0 {
+		fmt.Printf(" (budget %d/conn)", rep.RetryBudget)
+	}
+	fmt.Println()
 
 	if *jsonOut != "" {
 		data, err := json.MarshalIndent(rep, "", "  ")

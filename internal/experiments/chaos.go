@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/net"
+	"repro/internal/obs"
+	"repro/internal/replica"
+	"repro/internal/server"
+	"repro/internal/wal"
+)
+
+// ChaosMeasurement is one fault-rate data point of the chaos figure: the
+// loadgen report for a closed-loop read run with every fault kind firing at
+// Percent% per decision, plus the backend's resilience accounting.
+type ChaosMeasurement struct {
+	Percent    int // per-decision fault probability, percent
+	Report     net.LoadReport
+	Resilience replica.ResilienceStats
+	SyncErrors int64
+	Fired      map[string]int64
+}
+
+// startChaos is startFrontdoor with the resilience layer armed: a 2-replica
+// group over a fault-wrapped store with hedged reads and circuit breakers,
+// its reads subject to injected replica crashes.
+func (h *Harness) startChaos(rows int, inj *fault.Injector) (*frontdoorFixture, *obs.Registry, error) {
+	reg := obs.NewRegistry()
+	g := replica.NewGroup(server.SYS1(), h.Scale, replica.Options{
+		Replicas:   2,
+		Durability: wal.Group,
+		Store:      fault.NewStore(wal.NewMemStore(), inj),
+		Hedge:      5 * time.Millisecond,
+		Breaker:    replica.BreakerOptions{Enabled: true, Cooldown: 2 * time.Millisecond},
+		Fault:      inj,
+	})
+	if err := loadPointTable(g, rows); err != nil {
+		g.Close()
+		return nil, nil, err
+	}
+	g.Warm()
+	g.SetMetrics(reg)
+
+	fd := net.NewServer(g, net.ServerOptions{Metrics: reg})
+	if err := fd.Listen("127.0.0.1:0"); err != nil {
+		g.Close()
+		return nil, nil, err
+	}
+	return &frontdoorFixture{g: g, fd: fd}, reg, nil
+}
+
+// FigChaos — client-observed latency percentiles and goodput vs injected
+// fault rate. A closed-loop read workload drives the full resilient stack —
+// retrying TCP client, hedged reads, per-replica circuit breakers, flaky
+// fsyncs — while every fault kind (connection reset, torn frame, slow link,
+// fsync error/stall, replica crash) fires at the swept per-decision rate.
+// The property under test is graceful degradation: as the fault rate climbs
+// to 10%, goodput sags and the tail stretches (retry backoff, hedges,
+// failover), but every request completes — zero hung, zero failed — and
+// writes are never manufactured (the workload is reads; the client retries
+// only what is provably safe). The resilience counters make the absorbed
+// faults visible: retries, reconnects, breaker trips, hedges.
+func (h *Harness) FigChaos() (*Figure, error) {
+	const (
+		rows  = 5000
+		conns = 8
+		seed  = 20110411
+	)
+	dur := 2 * time.Second
+	if h.Quick {
+		dur = time.Second
+	}
+	percents := h.pick([]int{0, 2, 5, 10}, []int{0, 10})
+
+	f := &Figure{
+		ID:     "Chaos",
+		Title:  "Resilient front-door latency and goodput vs injected fault rate",
+		XLabel: "Per-decision fault rate (%)",
+		YLabel: "Latency (ms, wall) / goodput (req/s)",
+	}
+	series := []Series{
+		{Label: "p50 ms"}, {Label: "p99 ms"}, {Label: "p999 ms"}, {Label: "goodput req/s"},
+	}
+	var points []ChaosMeasurement
+	for _, pct := range percents {
+		p := float64(pct) / 100
+		// A fresh, deterministically seeded injector per point: client-side
+		// connection faults and backend disk/replica faults all at rate p.
+		inj := fault.New(seed+int64(pct)).
+			Rate(fault.ConnReset, p).
+			Rate(fault.TornWrite, p).
+			Rate(fault.SlowLink, p).Delay(fault.SlowLink, 500*time.Microsecond).
+			Rate(fault.SyncErr, p).
+			Rate(fault.SyncStall, p).Delay(fault.SyncStall, 200*time.Microsecond).
+			Rate(fault.ReplicaCrash, p)
+
+		fx, _, err := h.startChaos(rows, inj)
+		if err != nil {
+			return nil, fmt.Errorf("chaos %d%%: %w", pct, err)
+		}
+		opts := fx.load(rows)
+		opts.Conns = conns
+		opts.Duration = dur
+		opts.Client = net.ClientOptions{
+			Retry: net.RetryPolicy{
+				MaxAttempts: 8,
+				BaseBackoff: 200 * time.Microsecond,
+				Jitter:      0.5,
+			},
+			Fault: inj,
+		}
+		rep, err := net.RunLoad(opts)
+		if err != nil {
+			fx.Close()
+			return nil, fmt.Errorf("chaos %d%%: %w", pct, err)
+		}
+		res := fx.g.Resilience()
+		rep.Hedges = res.HedgesLaunched
+		rep.BreakerTrips = res.BreakerTrips
+		syncErrs := fx.g.WALStats().SyncErrors
+		fired := inj.Counts()
+		fx.Close()
+
+		// Graceful degradation means every request still answers: a hang or
+		// a surfaced transport error at any fault rate fails the figure.
+		if rep.Hung > 0 || rep.Failed > 0 {
+			return nil, fmt.Errorf("chaos %d%%: %d hung, %d failed requests (seed %d)",
+				pct, rep.Hung, rep.Failed, seed+int64(pct))
+		}
+		if pct == 0 && (rep.Retries > 0 || rep.BreakerTrips > 0) {
+			return nil, fmt.Errorf("chaos 0%%: phantom faults: %d retries, %d trips",
+				rep.Retries, rep.BreakerTrips)
+		}
+		points = append(points, ChaosMeasurement{
+			Percent: pct, Report: rep, Resilience: res,
+			SyncErrors: syncErrs, Fired: fired,
+		})
+		series[0].Points = append(series[0].Points, Point{X: pct, Y: rep.P50Ms})
+		series[1].Points = append(series[1].Points, Point{X: pct, Y: rep.P99Ms})
+		series[2].Points = append(series[2].Points, Point{X: pct, Y: rep.P999Ms})
+		series[3].Points = append(series[3].Points, Point{X: pct, Y: rep.ThroughputRPS})
+	}
+	// At the top fault rate the machinery must visibly work: transport
+	// faults were retried and replica crashes tripped breakers.
+	top := points[len(points)-1]
+	if top.Percent >= 10 {
+		if top.Report.Retries == 0 {
+			return nil, fmt.Errorf("chaos: no retries at %d%% fault rate", top.Percent)
+		}
+		if top.Report.BreakerTrips == 0 {
+			return nil, fmt.Errorf("chaos: no breaker trips at %d%% fault rate", top.Percent)
+		}
+		if top.Report.Completed == 0 {
+			return nil, fmt.Errorf("chaos: nothing completed at %d%% fault rate", top.Percent)
+		}
+	}
+	f.Series = series
+	f.Notes = append(f.Notes,
+		fmt.Sprintf("Database: %s, 2 replicas + breaker (2ms cooldown) + 5ms hedge, closed loop %d conns, seed %d",
+			server.SYS1().Name, conns, seed),
+		fmt.Sprintf("At %d%%: completed %d, retries %d, reconnects %d, breaker trips %d, probes %d, hedges %d, wal sync errors %d",
+			top.Percent, top.Report.Completed, top.Report.Retries, top.Report.Reconnects,
+			top.Resilience.BreakerTrips, top.Resilience.BreakerProbes,
+			top.Resilience.HedgesLaunched, top.SyncErrors),
+		fmt.Sprintf("Faults fired at %d%%: %v", top.Percent, top.Fired),
+		"Every request completes at every fault rate (zero hung, zero failed): degradation is latency and goodput, never correctness")
+	return f, nil
+}

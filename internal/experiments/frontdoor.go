@@ -31,27 +31,31 @@ type frontdoorFixture struct {
 	fd *net.Server
 }
 
-func (h *Harness) startFrontdoor(rows, inflight int) (*frontdoorFixture, error) {
-	g := replica.NewGroup(server.SYS1(), h.Scale, replica.Options{
-		Replicas:   1,
-		Durability: wal.Group,
-	})
+// loadPointTable creates and fills the point-read "load" table the load
+// generator drives (shared by the frontdoor and chaos fixtures).
+func loadPointTable(g *replica.Group, rows int) error {
 	schema := storage.NewSchema(
 		storage.Column{Name: "id", Type: storage.TInt},
 		storage.Column{Name: "val", Type: storage.TString},
 	)
 	if err := g.CreateTable("load", schema, 0); err != nil {
-		g.Close()
-		return nil, err
+		return err
 	}
 	for i := 1; i <= rows; i++ {
 		if err := g.InsertRow("load", []any{int64(i), fmt.Sprintf("v%d", i)}); err != nil {
-			g.Close()
-			return nil, err
+			return err
 		}
 	}
 	g.FinishLoad()
-	if err := g.AddIndex("load", "id", true); err != nil {
+	return g.AddIndex("load", "id", true)
+}
+
+func (h *Harness) startFrontdoor(rows, inflight int) (*frontdoorFixture, error) {
+	g := replica.NewGroup(server.SYS1(), h.Scale, replica.Options{
+		Replicas:   1,
+		Durability: wal.Group,
+	})
+	if err := loadPointTable(g, rows); err != nil {
 		g.Close()
 		return nil, err
 	}

@@ -1,36 +1,77 @@
 package net
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/rand"
 	stdnet "net"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/query"
+	"repro/internal/sqlmini"
 )
 
 // ErrClientClosed is returned for requests issued after Close, and for
-// requests in flight when the connection dies without an answer.
+// requests in flight when the caller closes the client under them. A
+// connection that dies on its own fails requests with query.ErrConnLost
+// instead — the retryable sentinel.
 var ErrClientClosed = errors.New("net: client closed")
 
-// Client is one wire-protocol connection. It implements query.Executor,
+// errUnsent classifies connection losses where the request's frame never
+// completely left this process: the server cannot have decoded — let alone
+// executed — the request, so re-sending it on a fresh connection is safe
+// even for a write. It wraps query.ErrConnLost, so callers testing the
+// public sentinel see exactly what they saw before.
+var errUnsent = fmt.Errorf("%w: request frame never completed", query.ErrConnLost)
+
+// ClientOptions configure resilience and fault injection.
+type ClientOptions struct {
+	// Retry is the transport retry policy. The zero value disables
+	// retries: every query.ErrConnLost surfaces to the caller.
+	Retry RetryPolicy
+	// Fault, when set, arms chaos injection on this client's connections:
+	// SlowLink delays on writes, TornWrite cuts frames mid-write, and
+	// ConnReset tears the connection down between requests. Reset and torn
+	// frames are only injected at points the retry contract can absorb —
+	// see the resilience contract in README.md.
+	Fault *fault.Injector
+}
+
+// Client is one logical wire-protocol peer. It implements query.Executor,
 // so the whole client runtime — exec.Service, batch.Coalescer, the
 // interpreter — runs against a remote server by handing it a Client where
 // it previously took a server.Exec closure. Requests are pipelined: many
-// goroutines may call Exec/ExecBatch concurrently on one connection, each
-// response is matched to its caller by request id.
+// goroutines may call Exec/ExecBatch concurrently, each response matched
+// to its caller by request id. When the underlying connection dies the
+// client reconnects (single-flight) and, under a RetryPolicy, replays the
+// requests that are provably safe to replay: idempotent reads, and any
+// request whose frame never finished sending. Writes whose outcome is
+// unknown are never replayed — the caller gets query.ErrConnLost and the
+// exactly-once decision.
 type Client struct {
-	conn stdnet.Conn
+	addr string
+	opts ClientOptions
 
-	wmu sync.Mutex // serializes request frames
+	// prep routes statements read vs write for the retry contract; only
+	// successful parses cache, and only provable INSERTs count as writes.
+	prep sqlmini.PrepCache
 
-	mu      sync.Mutex
-	nextID  uint64
-	pending map[uint64]chan response
-	err     error // terminal connection error, set once
+	mu       sync.Mutex
+	dialWait sync.Cond
+	cc       *clientConn
+	dialing  bool
+	closed   bool
 
-	readerDone chan struct{}
+	retries    atomic.Int64 // re-sent requests (transport retries)
+	reconnects atomic.Int64 // successful re-dials after a lost connection
+	budgetUsed atomic.Int64
+
+	rngMu sync.Mutex
+	rng   *rand.Rand // backoff jitter
 }
 
 type response struct {
@@ -38,12 +79,58 @@ type response struct {
 	payload []byte
 }
 
-// Dial connects to a front door and performs the handshake.
+// pendingReq is one in-flight request slot on a connection.
+type pendingReq struct {
+	ch    chan response
+	write bool
+}
+
+// clientConn is one live connection generation: requests register here,
+// and when the connection dies the whole generation fails over.
+type clientConn struct {
+	conn stdnet.Conn
+	inj  *fault.Injector
+
+	wmu sync.Mutex // serializes request frames
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]pendingReq
+	writes  int   // write requests in flight (fault-injection gating)
+	err     error // terminal connection error, set once
+
+	readerDone chan struct{}
+}
+
+// Dial connects to a front door and performs the handshake, with no retry
+// policy and no fault injection.
 func Dial(addr string) (*Client, error) {
-	conn, err := stdnet.Dial("tcp", addr)
+	return DialOptions(addr, ClientOptions{})
+}
+
+// DialOptions is Dial with a retry policy and/or chaos injection.
+func DialOptions(addr string, opts ClientOptions) (*Client, error) {
+	cc, err := dialConn(addr, opts.Fault)
 	if err != nil {
 		return nil, err
 	}
+	seed := time.Now().UnixNano()
+	if opts.Fault != nil {
+		seed = opts.Fault.Seed()
+	}
+	c := &Client{addr: addr, opts: opts, cc: cc, rng: rand.New(rand.NewSource(seed))}
+	c.dialWait.L = &c.mu
+	return c, nil
+}
+
+// dialConn establishes one connection generation: TCP dial, handshake,
+// reader started.
+func dialConn(addr string, inj *fault.Injector) (*clientConn, error) {
+	raw, err := stdnet.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn := fault.WrapConn(raw, inj)
 	if err := WriteFrame(conn, MsgHello, EncodeHello()); err != nil {
 		conn.Close()
 		return nil, err
@@ -66,95 +153,251 @@ func Dial(addr string) (*Client, error) {
 		conn.Close()
 		return nil, fmt.Errorf("%w: server speaks v%d, client v%d", ErrVersionMismatch, ver, Version)
 	}
-	c := &Client{
+	cc := &clientConn{
 		conn:       conn,
-		pending:    map[uint64]chan response{},
+		inj:        inj,
+		pending:    map[uint64]pendingReq{},
 		readerDone: make(chan struct{}),
 	}
-	go c.readLoop()
-	return c, nil
+	go cc.readLoop()
+	return cc, nil
 }
+
+// conn returns the live connection, reconnecting (single-flight) when the
+// current one is dead. Concurrent callers wait for the dial in flight —
+// this is the reconnect that pipelined requests replay over.
+func (c *Client) conn() (*clientConn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if c.closed {
+			return nil, ErrClientClosed
+		}
+		if c.cc != nil && !c.cc.dead() {
+			return c.cc, nil
+		}
+		if c.dialing {
+			c.dialWait.Wait()
+			continue
+		}
+		c.dialing = true
+		c.mu.Unlock()
+		cc, err := dialConn(c.addr, c.opts.Fault)
+		c.mu.Lock()
+		c.dialing = false
+		c.dialWait.Broadcast()
+		if err != nil {
+			// Nothing was sent on a connection that failed to come up, so
+			// the failure is unsent-class: a retrying caller may try again.
+			return nil, fmt.Errorf("%w: reconnect %s: %v", errUnsent, c.addr, err)
+		}
+		if c.closed {
+			c.mu.Unlock()
+			cc.shutdown(ErrClientClosed)
+			c.mu.Lock()
+			return nil, ErrClientClosed
+		}
+		c.cc = cc
+		c.reconnects.Add(1)
+		return cc, nil
+	}
+}
+
+// Retries reports how many requests this client re-sent after losing a
+// connection.
+func (c *Client) Retries() int64 { return c.retries.Load() }
+
+// Reconnects reports how many replacement connections this client dialed.
+func (c *Client) Reconnects() int64 { return c.reconnects.Load() }
 
 // readLoop dispatches response frames to their waiting requests. On any
 // read error it fails every pending request: a dead connection never
 // leaves a caller blocked.
-func (c *Client) readLoop() {
-	defer close(c.readerDone)
+func (cc *clientConn) readLoop() {
+	defer close(cc.readerDone)
 	for {
-		msgType, payload, err := ReadFrame(c.conn)
+		msgType, payload, err := ReadFrame(cc.conn)
 		if err != nil {
-			c.failAll(ErrClientClosed)
+			// User Close set cc.err first; an uninvited death is conn-lost.
+			cc.failAll(query.ErrConnLost)
 			return
 		}
 		if msgType != MsgResult && msgType != MsgBatchResult {
-			c.failAll(fmt.Errorf("%w: unexpected frame %d", ErrBadFrame, msgType))
-			c.conn.Close()
+			cc.failAll(fmt.Errorf("%w: unexpected frame %d", ErrBadFrame, msgType))
+			cc.conn.Close()
 			return
 		}
 		if len(payload) < 8 {
-			c.failAll(ErrBadFrame)
-			c.conn.Close()
+			cc.failAll(ErrBadFrame)
+			cc.conn.Close()
 			return
 		}
 		id := (&reader{b: payload}).u64()
-		c.mu.Lock()
-		ch := c.pending[id]
-		delete(c.pending, id)
-		c.mu.Unlock()
-		if ch != nil {
-			ch <- response{msgType, payload} // buffered: never blocks the loop
+		cc.mu.Lock()
+		pr, ok := cc.pending[id]
+		if ok {
+			delete(cc.pending, id)
+			if pr.write {
+				cc.writes--
+			}
+		}
+		cc.mu.Unlock()
+		if ok {
+			pr.ch <- response{msgType, payload} // buffered: never blocks the loop
 		}
 		// Unknown ids are responses to requests the caller abandoned at
 		// their deadline; the frame is simply dropped.
 	}
 }
 
-func (c *Client) failAll(err error) {
-	c.mu.Lock()
-	if c.err == nil {
-		c.err = err
+// failAll terminates the generation: the first error wins, every pending
+// request's channel closes (a closed channel reads as the terminal error).
+func (cc *clientConn) failAll(err error) {
+	cc.mu.Lock()
+	if cc.err == nil {
+		cc.err = err
 	}
-	pend := c.pending
-	c.pending = map[uint64]chan response{}
-	c.mu.Unlock()
-	for _, ch := range pend {
-		close(ch) // a closed channel reads the zero response = connection error
+	pend := cc.pending
+	cc.pending = map[uint64]pendingReq{}
+	cc.writes = 0
+	cc.mu.Unlock()
+	for _, pr := range pend {
+		close(pr.ch)
 	}
 }
 
-// register allocates a request id and its response slot.
-func (c *Client) register() (uint64, chan response, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.err != nil {
-		return 0, nil, c.err
+// dead reports whether the generation has a terminal error.
+func (cc *clientConn) dead() bool {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.err != nil
+}
+
+// termErr is the error a pending request observes when its channel closed.
+func (cc *clientConn) termErr() error {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if cc.err != nil {
+		return cc.err
 	}
-	c.nextID++
-	id := c.nextID
+	return query.ErrConnLost
+}
+
+// poison marks the generation dead (first error wins) and closes the
+// socket, which makes the read loop fail every pending request.
+func (cc *clientConn) poison(err error) {
+	cc.mu.Lock()
+	if cc.err == nil {
+		cc.err = err
+	}
+	cc.mu.Unlock()
+	cc.conn.Close()
+}
+
+// shutdown is poison plus waiting for the reader to drain (user Close).
+func (cc *clientConn) shutdown(err error) {
+	cc.poison(err)
+	<-cc.readerDone
+}
+
+// register allocates a request id and its response slot.
+func (cc *clientConn) register(isWrite bool) (uint64, chan response, error) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if cc.err != nil {
+		return 0, nil, cc.err
+	}
+	cc.nextID++
+	id := cc.nextID
 	ch := make(chan response, 1)
-	c.pending[id] = ch
+	cc.pending[id] = pendingReq{ch: ch, write: isWrite}
+	if isWrite {
+		cc.writes++
+	}
 	return id, ch, nil
 }
 
 // abandon forgets a request the caller gave up on (deadline expiry). The
 // server's eventual response frame is dropped by the read loop.
-func (c *Client) abandon(id uint64) {
-	c.mu.Lock()
-	delete(c.pending, id)
-	c.mu.Unlock()
+func (cc *clientConn) abandon(id uint64) {
+	cc.mu.Lock()
+	if pr, ok := cc.pending[id]; ok {
+		delete(cc.pending, id)
+		if pr.write {
+			cc.writes--
+		}
+	}
+	cc.mu.Unlock()
 }
 
-// send writes one request frame.
-func (c *Client) send(msgType byte, payload []byte) error {
-	c.wmu.Lock()
-	defer c.wmu.Unlock()
-	return WriteFrame(c.conn, msgType, payload)
+// injectReset simulates the peer (or a middlebox) resetting the
+// connection, but only while no write is in flight: severing a sent write
+// would leave its outcome unknown, and the injected chaos must stay inside
+// what the retry contract can absorb. Reads severed here fail with
+// query.ErrConnLost and replay on the next generation.
+func (cc *clientConn) injectReset() bool {
+	cc.mu.Lock()
+	if cc.writes > 0 || cc.err != nil {
+		cc.mu.Unlock()
+		return false
+	}
+	cc.err = fmt.Errorf("%w: injected connection reset", query.ErrConnLost)
+	cc.mu.Unlock()
+	cc.conn.Close()
+	return true
+}
+
+// canTear reports whether tearing the current frame is inside the retry
+// contract: the torn request itself never decodes server-side (safe to
+// re-send, write or read), but the kill takes every *other* in-flight
+// write's response with it — so tearing is gated on no other write being
+// in flight. The caller's own registration is excluded.
+func (cc *clientConn) canTear(isWrite bool) bool {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	own := 0
+	if isWrite {
+		own = 1
+	}
+	return cc.writes <= own && cc.err == nil
+}
+
+// tear writes a deliberately incomplete frame and kills the connection —
+// the mid-write failure mode (process death, RST mid-send). The peer's
+// ReadFrame blocks on the missing bytes until the close, then discards.
+func (cc *clientConn) tear(msgType byte, payload []byte) {
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+	hdr[4] = msgType
+	if _, err := cc.conn.Write(hdr[:]); err == nil && len(payload) > 1 {
+		_, _ = cc.conn.Write(payload[:len(payload)/2])
+	}
+	cc.poison(fmt.Errorf("%w: injected torn frame", query.ErrConnLost))
+}
+
+// send writes one request frame. Any write error — including a torn frame
+// part-way through — poisons the connection immediately: the stream is
+// desynchronized and no later request may be written to it. The returned
+// error is unsent-class: this request's frame never completed, so the
+// server cannot have executed it.
+func (cc *clientConn) send(msgType byte, payload []byte, isWrite bool) error {
+	cc.wmu.Lock()
+	defer cc.wmu.Unlock()
+	if cc.inj.Should(fault.TornWrite) && cc.canTear(isWrite) {
+		cc.tear(msgType, payload)
+		return fmt.Errorf("%w: injected torn frame", errUnsent)
+	}
+	if err := WriteFrame(cc.conn, msgType, payload); err != nil {
+		cc.poison(fmt.Errorf("%w: send failed: %v", query.ErrConnLost, err))
+		return fmt.Errorf("%w: %v", errUnsent, err)
+	}
+	return nil
 }
 
 // await blocks for the response, bounded by the request deadline. At the
 // deadline the request is abandoned locally — the server may still execute
 // it, but this caller gets exactly one answer: ErrDeadlineExceeded.
-func (c *Client) await(id uint64, ch chan response, dl query.Deadline) (response, error) {
+func (cc *clientConn) await(id uint64, ch chan response, dl query.Deadline) (response, error) {
 	var timeout <-chan time.Time
 	if t, ok := dl.Time(); ok {
 		timer := time.NewTimer(time.Until(t))
@@ -164,11 +407,11 @@ func (c *Client) await(id uint64, ch chan response, dl query.Deadline) (response
 	select {
 	case resp, ok := <-ch:
 		if !ok {
-			return response{}, ErrClientClosed
+			return response{}, cc.termErr()
 		}
 		return resp, nil
 	case <-timeout:
-		c.abandon(id)
+		cc.abandon(id)
 		// The response may have raced the timer; prefer it if already here.
 		select {
 		case resp, ok := <-ch:
@@ -181,29 +424,82 @@ func (c *Client) await(id uint64, ch chan response, dl query.Deadline) (response
 	}
 }
 
-// Exec implements query.Executor over the wire. The request's Span and
-// Session stay client-side (the server binds its own per-connection
-// session); Name, SQL, Args, Consistency and Deadline cross.
-func (c *Client) Exec(req query.Request) query.Result {
-	if req.Deadline.Expired() {
-		return query.Fail(query.ErrDeadlineExceeded)
+// isWrite reports whether sql is a provable INSERT. Anything else —
+// reads, and malformed statements that fail identically wherever they
+// run — is idempotent for retry purposes.
+func (c *Client) isWrite(sql string) bool {
+	st, err := c.prep.Prepare(sql)
+	return err == nil && st.Insert
+}
+
+// retryable applies the contract: only connection losses retry, and a
+// write only when its frame provably never completed.
+func (c *Client) retryable(err error, isWrite bool) bool {
+	if !errors.Is(err, query.ErrConnLost) {
+		return false
 	}
-	id, ch, err := c.register()
+	return !isWrite || errors.Is(err, errUnsent)
+}
+
+// takeBudget consumes one unit of the lifetime retry budget.
+func (c *Client) takeBudget() bool {
+	b := c.opts.Retry.Budget
+	if b <= 0 {
+		return true
+	}
+	if c.budgetUsed.Add(1) > b {
+		c.budgetUsed.Add(-1)
+		return false
+	}
+	return true
+}
+
+// backoff sleeps before a retry, bounded by the request deadline. Reports
+// false when the deadline expires first.
+func (c *Client) backoff(attempt int, dl query.Deadline) bool {
+	c.rngMu.Lock()
+	d := c.opts.Retry.backoff(attempt, c.rng)
+	c.rngMu.Unlock()
+	if !dl.IsZero() {
+		if r := dl.Remaining(); time.Duration(r) <= d {
+			return false
+		}
+	}
+	if d > 0 {
+		time.Sleep(d)
+	}
+	return !dl.Expired()
+}
+
+// execOnce performs one attempt: acquire a connection (firing any
+// scheduled connection reset first), register, encode, send, await.
+func (c *Client) execOnce(req query.Request, isWrite bool) query.Result {
+	cc, err := c.conn()
 	if err != nil {
 		return query.Fail(err)
 	}
+	if c.opts.Fault.Should(fault.ConnReset) {
+		cc.injectReset()
+		if cc, err = c.conn(); err != nil {
+			return query.Fail(err)
+		}
+	}
+	id, ch, err := cc.register(isWrite)
+	if err != nil {
+		return query.Fail(preSend(err))
+	}
 	payload, err := EncodeExec(id, req)
 	if err != nil {
-		c.abandon(id)
+		cc.abandon(id)
 		return query.Fail(err)
 	}
 	sp := req.Span.Child("net.roundtrip") // nil-safe
 	defer sp.End()
-	if err := c.send(MsgExec, payload); err != nil {
-		c.abandon(id)
-		return query.Fail(fmt.Errorf("net: send: %w", err))
+	if err := cc.send(MsgExec, payload, isWrite); err != nil {
+		cc.abandon(id)
+		return query.Fail(err)
 	}
-	resp, err := c.await(id, ch, req.Deadline)
+	resp, err := cc.await(id, ch, req.Deadline)
 	if err != nil {
 		return query.Fail(err)
 	}
@@ -217,28 +513,70 @@ func (c *Client) Exec(req query.Request) query.Result {
 	return res
 }
 
-// ExecBatch implements the set-oriented half of query.Executor.
-func (c *Client) ExecBatch(req query.BatchRequest) query.BatchResult {
-	n := len(req.ArgSets)
-	if req.Deadline.Expired() {
-		return query.FailAll(n, query.ErrDeadlineExceeded)
+// preSend reclassifies a registration failure: the generation was already
+// dead, so this request never went anywhere — unsent-class, retry-safe.
+func preSend(err error) error {
+	if errors.Is(err, query.ErrConnLost) && !errors.Is(err, errUnsent) {
+		return fmt.Errorf("%w: connection already down", errUnsent)
 	}
-	id, ch, err := c.register()
+	return err
+}
+
+// Exec implements query.Executor over the wire. The request's Span and
+// Session stay client-side (the server binds its own per-connection
+// session); Name, SQL, Args, Consistency and Deadline cross. Under a
+// RetryPolicy, attempts that die with the connection are re-sent on a
+// fresh one when the contract allows (reads always; writes only unsent).
+func (c *Client) Exec(req query.Request) query.Result {
+	if req.Deadline.Expired() {
+		return query.Fail(query.ErrDeadlineExceeded)
+	}
+	isWrite := c.isWrite(req.SQL)
+	attempts := c.opts.Retry.attempts()
+	for attempt := 0; ; attempt++ {
+		res := c.execOnce(req, isWrite)
+		if res.Err == nil || attempt+1 >= attempts || !c.retryable(res.Err, isWrite) {
+			return res
+		}
+		if !c.takeBudget() {
+			return res
+		}
+		if !c.backoff(attempt, req.Deadline) {
+			return query.Fail(query.ErrDeadlineExceeded)
+		}
+		c.retries.Add(1)
+	}
+}
+
+// execBatchOnce is execOnce for a binding set.
+func (c *Client) execBatchOnce(req query.BatchRequest, isWrite bool) query.BatchResult {
+	n := len(req.ArgSets)
+	cc, err := c.conn()
 	if err != nil {
 		return query.FailAll(n, err)
 	}
+	if c.opts.Fault.Should(fault.ConnReset) {
+		cc.injectReset()
+		if cc, err = c.conn(); err != nil {
+			return query.FailAll(n, err)
+		}
+	}
+	id, ch, err := cc.register(isWrite)
+	if err != nil {
+		return query.FailAll(n, preSend(err))
+	}
 	payload, err := EncodeExecBatch(id, req)
 	if err != nil {
-		c.abandon(id)
+		cc.abandon(id)
 		return query.FailAll(n, err)
 	}
 	sp := req.Span.Child("net.roundtrip")
 	defer sp.End()
-	if err := c.send(MsgExecBatch, payload); err != nil {
-		c.abandon(id)
-		return query.FailAll(n, fmt.Errorf("net: send: %w", err))
+	if err := cc.send(MsgExecBatch, payload, isWrite); err != nil {
+		cc.abandon(id)
+		return query.FailAll(n, err)
 	}
-	resp, err := c.await(id, ch, req.Deadline)
+	resp, err := cc.await(id, ch, req.Deadline)
 	if err != nil {
 		return query.FailAll(n, err)
 	}
@@ -255,9 +593,51 @@ func (c *Client) ExecBatch(req query.BatchRequest) query.BatchResult {
 	return res
 }
 
+// ExecBatch implements the set-oriented half of query.Executor, with the
+// same retry contract as Exec applied batch-wide: a batch that died with
+// the connection is re-sent whole (transport failures fail every binding
+// with one error, so the decision is uniform).
+func (c *Client) ExecBatch(req query.BatchRequest) query.BatchResult {
+	n := len(req.ArgSets)
+	if req.Deadline.Expired() {
+		return query.FailAll(n, query.ErrDeadlineExceeded)
+	}
+	isWrite := c.isWrite(req.SQL)
+	attempts := c.opts.Retry.attempts()
+	for attempt := 0; ; attempt++ {
+		res := c.execBatchOnce(req, isWrite)
+		err := firstBatchErr(res.Errs)
+		if err == nil || attempt+1 >= attempts || !c.retryable(err, isWrite) {
+			return res
+		}
+		if !c.takeBudget() {
+			return res
+		}
+		if !c.backoff(attempt, req.Deadline) {
+			return query.FailAll(n, query.ErrDeadlineExceeded)
+		}
+		c.retries.Add(1)
+	}
+}
+
+func firstBatchErr(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Close tears down the connection; in-flight requests fail with
 // ErrClientClosed. Safe to call more than once.
 func (c *Client) Close() {
-	c.conn.Close()
-	<-c.readerDone
+	c.mu.Lock()
+	c.closed = true
+	cc := c.cc
+	c.mu.Unlock()
+	c.dialWait.Broadcast()
+	if cc != nil {
+		cc.shutdown(ErrClientClosed)
+	}
 }

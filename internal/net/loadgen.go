@@ -36,6 +36,10 @@ type LoadOptions struct {
 	ArgFn func(r *rand.Rand) []any
 	// Seed feeds the per-worker argument generators.
 	Seed int64
+	// Client configures each connection's resilience: retry policy and
+	// (chaos figures, tests) fault injection. The zero value is the
+	// historical client — no retries, transport errors surface as failures.
+	Client ClientOptions
 }
 
 // LoadReport is the result of one load run — the front-door triple the
@@ -55,6 +59,18 @@ type LoadReport struct {
 	Hung      int64 `json:"hung"`      // requests never answered by run end
 
 	ThroughputRPS float64 `json:"throughput_rps"`
+
+	// Resilience accounting. Retries/Reconnects aggregate over the pool's
+	// clients; RetryBudget echoes the per-client lifetime cap (0 =
+	// unlimited) so the validator can check retries stayed within it.
+	// Hedges/BreakerTrips are server-side counters the caller fills in when
+	// it owns the backend (see the chaos figure); a plain remote loadgen run
+	// leaves them zero.
+	Retries      int64 `json:"retries"`
+	Reconnects   int64 `json:"reconnects"`
+	RetryBudget  int64 `json:"retry_budget,omitempty"`
+	Hedges       int64 `json:"hedges,omitempty"`
+	BreakerTrips int64 `json:"breaker_trips,omitempty"`
 
 	// Latency percentiles over successful requests, milliseconds.
 	P50Ms  float64 `json:"p50_ms"`
@@ -98,7 +114,7 @@ func RunLoad(opts LoadOptions) (LoadReport, error) {
 
 	clients := make([]*Client, opts.Conns)
 	for i := range clients {
-		c, err := Dial(opts.Addr)
+		c, err := DialOptions(opts.Addr, opts.Client)
 		if err != nil {
 			for _, p := range clients[:i] {
 				p.Close()
@@ -212,6 +228,11 @@ func RunLoad(opts LoadOptions) (LoadReport, error) {
 	rep.Shed = shed.Load()
 	rep.Deadlined = deadlined.Load()
 	rep.Failed = failed.Load()
+	rep.RetryBudget = opts.Client.Retry.Budget
+	for _, c := range clients {
+		rep.Retries += c.Retries()
+		rep.Reconnects += c.Reconnects()
+	}
 	rep.ThroughputRPS = float64(rep.Completed) / opts.Duration.Seconds()
 	snap := hist.Snapshot()
 	if snap.Count > 0 {

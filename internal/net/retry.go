@@ -1,0 +1,70 @@
+package net
+
+import (
+	"math/rand"
+	"time"
+)
+
+// RetryPolicy governs how a Client re-sends requests that died with the
+// connection (query.ErrConnLost). What is eligible is not the policy's
+// business — the client retries idempotent reads, plus any request whose
+// frame provably never left the process (see the resilience contract in
+// README.md); the policy only shapes how hard and how long to try.
+type RetryPolicy struct {
+	// MaxAttempts bounds total attempts per request, first send included.
+	// 0 or 1 disables retries (the zero value is the historical client:
+	// one attempt, transport errors surface to the caller).
+	MaxAttempts int
+	// BaseBackoff is the wait before the first retry; each further retry
+	// doubles it (exponential). 0 defaults to 1ms when retries are on.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth. 0 defaults to 64× base.
+	MaxBackoff time.Duration
+	// Jitter randomizes each backoff to ±(Jitter/2)×backoff, decorrelating
+	// retry storms across pipelined callers. 0 means no jitter.
+	Jitter float64
+	// Budget caps total retries across the client's lifetime (all requests
+	// summed); once spent, further failures surface immediately. 0 means
+	// unlimited. The budget is the backstop that turns a dead server into
+	// fast failures instead of an ever-growing retry queue.
+	Budget int64
+}
+
+// attempts normalizes MaxAttempts.
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// backoff computes the wait before retry number attempt (0-based).
+func (p RetryPolicy) backoff(attempt int, rng *rand.Rand) time.Duration {
+	base := p.BaseBackoff
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	max := p.MaxBackoff
+	if max <= 0 {
+		max = 64 * base
+	}
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	if p.Jitter > 0 && rng != nil {
+		j := p.Jitter
+		if j > 1 {
+			j = 1
+		}
+		// Uniform in [d·(1−j/2), d·(1+j/2)].
+		d = time.Duration(float64(d) * (1 - j/2 + j*rng.Float64()))
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}

@@ -65,6 +65,7 @@ const (
 	errGeneric
 	errOverloaded
 	errDeadline
+	errConnLost
 )
 
 // Value tags. The mini-language's runtime values are closed (nil, int64,
@@ -537,6 +538,10 @@ func appendErr(b []byte, err error) []byte {
 		return append(b, errOverloaded)
 	case errors.Is(err, query.ErrDeadlineExceeded):
 		return append(b, errDeadline)
+	case errors.Is(err, query.ErrConnLost):
+		// A proxying backend lost *its* upstream connection; the sentinel
+		// survives the hop so the far client can apply its retry contract.
+		return append(b, errConnLost)
 	default:
 		return putString(append(b, errGeneric), err.Error())
 	}
@@ -552,6 +557,8 @@ func (r *reader) errSlot() error {
 		return query.ErrOverloaded
 	case errDeadline:
 		return query.ErrDeadlineExceeded
+	case errConnLost:
+		return query.ErrConnLost
 	default:
 		if r.err == nil {
 			r.err = fmt.Errorf("%w: unknown error code %d", ErrBadFrame, code)

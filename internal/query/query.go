@@ -30,6 +30,15 @@ import (
 // WAL, and may be retried.
 var ErrOverloaded = errors.New("query: server overloaded")
 
+// ErrConnLost is returned when the connection carrying a request died with
+// the request's outcome unknown: the frame (or its response) was lost with
+// the stream. It is the retryable transport sentinel — an idempotent read
+// may be re-sent on a new connection; a write must not be, because the
+// server may have executed it before the connection died (the client
+// re-sends a write only when it can prove the frame never fully left this
+// process, in which case the server cannot have seen it).
+var ErrConnLost = errors.New("query: connection lost")
+
 // ErrDeadlineExceeded is returned when a request's deadline expires before
 // the layer holding it could finish. A write rejected with this error
 // before the primary executed it had no effect; a write abandoned in the

@@ -37,7 +37,9 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/server"
@@ -105,6 +107,19 @@ type Options struct {
 	SnapshotEvery int64
 	// Store is the WAL's persistence backend (nil: in-memory).
 	Store wal.Store
+	// Hedge, when positive, arms hedged reads: if a replica read has not
+	// answered within this delay, a second attempt launches on another
+	// qualifying replica and the first non-faulted answer wins. Writes are
+	// never hedged (they are not idempotent at this layer).
+	Hedge time.Duration
+	// Breaker configures the per-replica circuit breaker (see
+	// BreakerOptions). Disabled by default: faulted replicas then stay out
+	// of rotation until an explicit Recover, the historical contract.
+	Breaker BreakerOptions
+	// Fault, when set, injects ReplicaCrash decisions ahead of replica read
+	// attempts (the crashed attempt faults, and the fail-out / breaker /
+	// hedge machinery absorbs it). Nil means no injection.
+	Fault *fault.Injector
 }
 
 // state is the health tracker's view of one replica.
@@ -126,6 +141,11 @@ type state struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 	held bool // HoldApply freeze: the applier parks, applied stays exact
+
+	// bmu/bstate are the replica's circuit breaker (see resilience.go);
+	// bstate only changes when BreakerOptions.Enabled.
+	bmu    sync.Mutex
+	bstate int32
 }
 
 func (st *state) setApplied(lsn int64) {
@@ -183,6 +203,20 @@ type Group struct {
 	consistency   Consistency
 	bound         int64
 	snapshotEvery int64
+
+	// Resilience layer (see resilience.go): hedged reads, per-replica
+	// circuit breakers, and injected replica crashes.
+	hedge   time.Duration
+	breaker BreakerOptions
+	fault   *fault.Injector
+
+	reg          atomic.Pointer[obs.Registry]
+	res          resCounters
+	openBreakers atomic.Int64
+
+	stop chan struct{}  // closed by Close: unblocks sleeping probes
+	bgMu sync.Mutex     // guards bgWg.Add vs Close
+	bgWg sync.WaitGroup // breaker probes + hedge lanes
 }
 
 // NewGroup starts a primary and opts.Replicas fresh replicas of the given
@@ -231,6 +265,10 @@ func buildGroup(primary *server.Server, replicas []*server.Server, opts Options)
 		consistency:   opts.Consistency,
 		bound:         opts.Bound,
 		snapshotEvery: opts.SnapshotEvery,
+		hedge:         opts.Hedge,
+		breaker:       opts.Breaker,
+		fault:         opts.Fault,
+		stop:          make(chan struct{}),
 	}
 	for i := range g.states {
 		g.states[i] = &state{}
@@ -296,6 +334,7 @@ func (g *Group) SetMetrics(reg *obs.Registry) {
 	if reg == nil {
 		return
 	}
+	g.reg.Store(reg)
 	g.log.SetMetrics(reg)
 	for _, s := range g.copies() {
 		s.SetMetrics(reg)
@@ -742,10 +781,13 @@ func (g *Group) ExecBatch(req query.BatchRequest) query.BatchResult {
 }
 
 // read serves one read with failover: injected faults fail the replica out
-// and retry on a surviving copy; statement errors return immediately (every
-// copy reproduces them identically). The effective floor is the maximum of
-// the consistency requirement and the group's served floor, so reads are
-// monotonic. When no replica qualifies the primary (always newest) serves.
+// (tripping its breaker when one is configured) and retry on a surviving
+// copy; statement errors return immediately (every copy reproduces them
+// identically). With Options.Hedge set, a slow attempt races a delayed
+// second attempt on another copy (see resilience.go). The effective floor
+// is the maximum of the consistency requirement and the group's served
+// floor, so reads are monotonic. When no replica qualifies the primary
+// (always newest) serves.
 func (g *Group) read(req query.Request, min int64) query.Result {
 	if s := g.served.Load(); s > min {
 		min = s
@@ -753,27 +795,28 @@ func (g *Group) read(req query.Request, min int64) query.Result {
 	// The copy's request carries only the statement, the span child and the
 	// deadline — session bookkeeping belongs to this layer.
 	sub := query.Req(req.Name, req.SQL, req.Args).WithDeadline(req.Deadline)
-	for {
-		i := g.pick(min)
-		if i < 0 {
-			break
-		}
+	run := func(i int, hedged bool) attempt {
 		st := g.states[i]
 		at := st.applied.Load()
 		st.inflight.Add(1)
 		rd := req.Span.Child("replica.read")
 		rd.SetDetail(obs.ReplicaLabel(i))
+		g.crashMaybe(i)
 		res := g.replica(i).Exec(sub.WithSpan(rd))
 		rd.End()
 		st.inflight.Add(-1)
+		a := attempt{res: res, at: at, hedged: hedged}
 		if res.Err != nil && server.IsFault(res.Err) {
-			st.faults.Add(1)
-			st.healthy.Store(false)
-			continue
+			a.faulted = true
+			g.failOut(i)
+		} else {
+			st.reads.Add(1)
 		}
-		st.reads.Add(1)
-		g.noteServed(req.Session, at)
-		return res
+		return a
+	}
+	if a, ok := g.readLoop(min, run); ok {
+		g.noteServed(req.Session, a.at)
+		return a.res
 	}
 	g.pmu.RLock()
 	p, down := g.primary, g.primaryDown
@@ -797,28 +840,30 @@ func (g *Group) readBatch(req query.BatchRequest, min int64) ([]any, []error) {
 	}
 	sub := query.BatchReq(req.Name, req.SQL, req.ArgSets)
 	sub.Deadline = req.Deadline
-	for {
-		i := g.pick(min)
-		if i < 0 {
-			break
-		}
+	run := func(i int, hedged bool) attempt {
 		st := g.states[i]
 		at := st.applied.Load()
 		st.inflight.Add(1)
 		rd := req.Span.Child("replica.read")
 		rd.SetDetail(obs.ReplicaLabel(i))
-		sub.Span = rd
-		vals, errs := g.replica(i).ExecBatch(sub).Pair()
+		b := sub // copy: hedge lanes run concurrently, each with its own span
+		b.Span = rd
+		g.crashMaybe(i)
+		vals, errs := g.replica(i).ExecBatch(b).Pair()
 		rd.End()
 		st.inflight.Add(-1)
+		a := attempt{vals: vals, errs: errs, at: at, hedged: hedged}
 		if batchFaulted(errs) {
-			st.faults.Add(1)
-			st.healthy.Store(false)
-			continue
+			a.faulted = true
+			g.failOut(i)
+		} else {
+			st.reads.Add(int64(len(req.ArgSets)))
 		}
-		st.reads.Add(int64(len(req.ArgSets)))
-		g.noteServed(req.Session, at)
-		return vals, errs
+		return a
+	}
+	if a, ok := g.readLoop(min, run); ok {
+		g.noteServed(req.Session, a.at)
+		return a.vals, a.errs
 	}
 	g.pmu.RLock()
 	p, down := g.primary, g.primaryDown
@@ -1100,6 +1145,13 @@ func (g *Group) Close() {
 	if g.closed.Swap(true) {
 		return
 	}
+	// Stop the resilience goroutines first: sleeping probes wake via stop,
+	// in-flight probes and hedge lanes finish against the still-open log and
+	// copies, and guardGo refuses new ones once closed is set.
+	g.bgMu.Lock()
+	close(g.stop)
+	g.bgMu.Unlock()
+	g.bgWg.Wait()
 	g.log.Close()
 	for _, st := range g.states {
 		st.mu.Lock()

@@ -1,0 +1,274 @@
+package replica
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/query"
+)
+
+// BreakerOptions configure the per-replica circuit breaker. A breaker wraps
+// the existing fail-out mechanism: a read fault still removes the replica
+// from rotation immediately (the breaker "trips" open), but instead of
+// waiting for a manual Recover, the group schedules a half-open probe after
+// Cooldown. The probe IS a Recover call — it replays the log suffix the
+// replica missed — so a probe that succeeds readmits a byte-identical copy,
+// never a stale one. A probe that fails reopens the breaker and tries again
+// after another cooldown.
+type BreakerOptions struct {
+	// Enabled turns the breaker on. Off (the zero value) preserves the
+	// historical contract: a faulted replica stays down until Recover.
+	Enabled bool
+	// Cooldown is how long a tripped breaker stays open before the
+	// half-open probe fires. Zero defaults to 10ms.
+	Cooldown time.Duration
+}
+
+func (b BreakerOptions) cooldown() time.Duration {
+	if b.Cooldown > 0 {
+		return b.Cooldown
+	}
+	return 10 * time.Millisecond
+}
+
+// Breaker states. The per-replica state lives in state.bstate, guarded by
+// state.bmu (transitions are rare; a mutex keeps the trip/probe/fail-out
+// races straightforward to reason about).
+const (
+	bkClosed int32 = iota
+	bkOpen
+	bkHalfOpen
+)
+
+// resCounters are the group's resilience counters, mirrored into the obs
+// registry (when one is attached) under the replica.* names.
+type resCounters struct {
+	breakerTrips  atomic.Int64
+	breakerProbes atomic.Int64
+	hedgeLaunched atomic.Int64
+	hedgeWins     atomic.Int64
+}
+
+// ResilienceStats is a snapshot of the group's breaker and hedging activity.
+type ResilienceStats struct {
+	BreakerTrips   int64 // fail-outs that tripped a closed breaker open
+	BreakerProbes  int64 // half-open probes fired (each probe is a Recover)
+	HedgesLaunched int64 // second read attempts launched after the hedge delay
+	HedgeWins      int64 // hedged attempts that answered before the first
+	OpenBreakers   int64 // breakers currently open or half-open
+}
+
+// Resilience returns the group's breaker/hedge counters.
+func (g *Group) Resilience() ResilienceStats {
+	return ResilienceStats{
+		BreakerTrips:   g.res.breakerTrips.Load(),
+		BreakerProbes:  g.res.breakerProbes.Load(),
+		HedgesLaunched: g.res.hedgeLaunched.Load(),
+		HedgeWins:      g.res.hedgeWins.Load(),
+		OpenBreakers:   g.openBreakers.Load(),
+	}
+}
+
+// bump increments an internal counter and its obs mirror.
+func (g *Group) bump(c *atomic.Int64, name string) {
+	c.Add(1)
+	if reg := g.reg.Load(); reg != nil {
+		reg.Counter(name).Add(1)
+	}
+}
+
+// setOpenGauge publishes the open-breaker count to the obs registry.
+func (g *Group) setOpenGauge() {
+	if reg := g.reg.Load(); reg != nil {
+		reg.Gauge("replica.breaker.open").Set(float64(g.openBreakers.Load()))
+	}
+}
+
+// guardGo spawns a group-owned goroutine tracked by bgWg, refusing once the
+// group is closed (Close waits for every goroutine spawned this way before
+// tearing down the log and the copies). Reports whether fn was launched.
+func (g *Group) guardGo(fn func()) bool {
+	g.bgMu.Lock()
+	if g.closed.Load() {
+		g.bgMu.Unlock()
+		return false
+	}
+	g.bgWg.Add(1)
+	g.bgMu.Unlock()
+	go func() {
+		defer g.bgWg.Done()
+		fn()
+	}()
+	return true
+}
+
+// crashMaybe consults the group's fault injector before a read attempt on
+// replica i: a ReplicaCrash decision arms the replica to fail its next
+// request, which the normal fail-out / breaker / hedge machinery then
+// absorbs. Injection happens before the replica executes, so a crashed
+// attempt has no side effects to undo.
+func (g *Group) crashMaybe(i int) {
+	if g.fault.Should(fault.ReplicaCrash) {
+		g.replica(i).FailNext(1)
+	}
+}
+
+// failOut removes replica i from the read rotation after a fault and, when
+// the breaker is enabled, trips its breaker and schedules the half-open
+// probe. Only a closed breaker trips (and counts); an open or half-open one
+// already has a probe in flight.
+func (g *Group) failOut(i int) {
+	st := g.states[i]
+	st.faults.Add(1)
+	st.healthy.Store(false)
+	if !g.breaker.Enabled {
+		return
+	}
+	st.bmu.Lock()
+	trip := st.bstate == bkClosed
+	if trip {
+		st.bstate = bkOpen
+	}
+	st.bmu.Unlock()
+	if trip {
+		g.openBreakers.Add(1)
+		g.bump(&g.res.breakerTrips, "replica.breaker.trips")
+		g.setOpenGauge()
+		g.scheduleProbe(i)
+	}
+}
+
+func (g *Group) scheduleProbe(i int) {
+	g.guardGo(func() { g.probe(i) })
+}
+
+// errProbeLost marks a probe whose Recover succeeded but lost a race with a
+// concurrent fail-out: the replica is unhealthy again, so the breaker stays
+// open and another probe is scheduled.
+var errProbeLost = errors.New("replica: probe raced a concurrent fault")
+
+// probe waits out the cooldown, then half-opens the breaker and attempts a
+// Recover. Recover replays the exact log suffix the replica missed, so a
+// successful probe closes the breaker on a byte-identical copy. Failure
+// reopens and reschedules.
+func (g *Group) probe(i int) {
+	t := time.NewTimer(g.breaker.cooldown())
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-g.stop:
+		return
+	}
+	st := g.states[i]
+	st.bmu.Lock()
+	st.bstate = bkHalfOpen
+	st.bmu.Unlock()
+	g.bump(&g.res.breakerProbes, "replica.breaker.probes")
+	err := g.Recover(i)
+	st.bmu.Lock()
+	if err == nil && !st.healthy.Load() {
+		err = errProbeLost
+	}
+	if err != nil {
+		st.bstate = bkOpen
+	} else {
+		st.bstate = bkClosed
+	}
+	st.bmu.Unlock()
+	if err != nil {
+		g.scheduleProbe(i)
+		return
+	}
+	g.openBreakers.Add(-1)
+	g.setOpenGauge()
+}
+
+// attempt is the outcome of one replica read attempt (single or batch).
+type attempt struct {
+	res     query.Result
+	vals    []any
+	errs    []error
+	at      int64 // the replica's applied LSN when the attempt started
+	hedged  bool  // this was the delayed second attempt
+	faulted bool  // the attempt died to an injected fault (replica failed out)
+}
+
+// pickExcept is pick, excluding one replica (the hedge's first lane).
+func (g *Group) pickExcept(min int64, except int) int {
+	n := len(g.states)
+	start := int(g.rr.Add(1) % uint64(n))
+	for k := 0; k < n; k++ {
+		i := (start + k) % n
+		if i == except {
+			continue
+		}
+		if g.states[i].healthy.Load() && g.states[i].applied.Load() >= min {
+			return i
+		}
+	}
+	return -1
+}
+
+// readLoop drives the pick / hedge / failover loop shared by read and
+// readBatch. run executes one attempt against replica i; ok=false means no
+// replica could serve (the caller falls back to the primary).
+func (g *Group) readLoop(min int64, run func(i int, hedged bool) attempt) (attempt, bool) {
+	for {
+		i := g.pick(min)
+		if i < 0 {
+			return attempt{}, false
+		}
+		if g.hedge <= 0 {
+			a := run(i, false)
+			if a.faulted {
+				continue
+			}
+			return a, true
+		}
+		if a, ok := g.hedgedAttempt(i, min, run); ok {
+			return a, true
+		}
+		// Every lane faulted: pick again over whatever copies survive.
+	}
+}
+
+// hedgedAttempt runs the first attempt on replica i in the background; if it
+// has not answered within the hedge delay, a second attempt launches on a
+// different qualifying replica. The first non-faulted answer wins — the
+// loser finishes in the background (its result is discarded, its fail-out
+// bookkeeping still counts). ok=false means every launched lane faulted.
+func (g *Group) hedgedAttempt(i int, min int64, run func(int, bool) attempt) (attempt, bool) {
+	ch := make(chan attempt, 2)
+	if !g.guardGo(func() { ch <- run(i, false) }) {
+		// Shutting down: degrade to the plain in-line path.
+		a := run(i, false)
+		return a, !a.faulted
+	}
+	pending := 1
+	timer := time.NewTimer(g.hedge)
+	defer timer.Stop()
+	for pending > 0 {
+		select {
+		case a := <-ch:
+			pending--
+			if !a.faulted {
+				if a.hedged {
+					g.bump(&g.res.hedgeWins, "replica.hedge.wins")
+				}
+				return a, true
+			}
+		case <-timer.C:
+			j := g.pickExcept(min, i)
+			if j < 0 {
+				continue // no second lane available; keep waiting on the first
+			}
+			if g.guardGo(func() { ch <- run(j, true) }) {
+				pending++
+				g.bump(&g.res.hedgeLaunched, "replica.hedge.launched")
+			}
+		}
+	}
+	return attempt{}, false
+}

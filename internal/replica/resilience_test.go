@@ -1,0 +1,186 @@
+package replica
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/interp"
+	"repro/internal/obs"
+	"repro/internal/query"
+)
+
+// A slow first lane loses to the delayed hedge: the second attempt launches
+// after the hedge delay, answers first, and is counted as a hedge win.
+func TestHedgedAttemptSecondLaneWins(t *testing.T) {
+	g := newGroupOpts(t, Options{Replicas: 2, Hedge: 2 * time.Millisecond})
+	run := func(i int, hedged bool) attempt {
+		if !hedged {
+			time.Sleep(50 * time.Millisecond) // the lane the hedge rescues
+		}
+		return attempt{res: query.Ok(int64(i)), hedged: hedged}
+	}
+	a, ok := g.hedgedAttempt(0, 0, run)
+	if !ok {
+		t.Fatal("hedged attempt should produce an answer")
+	}
+	if !a.hedged {
+		t.Fatal("the delayed second lane should have answered first")
+	}
+	st := g.Resilience()
+	if st.HedgesLaunched != 1 || st.HedgeWins != 1 {
+		t.Fatalf("launched=%d wins=%d, want 1/1", st.HedgesLaunched, st.HedgeWins)
+	}
+}
+
+// A fast first lane answers before the hedge delay: no second attempt is
+// ever launched.
+func TestHedgedAttemptFirstLaneWinsWithoutHedge(t *testing.T) {
+	g := newGroupOpts(t, Options{Replicas: 2, Hedge: 50 * time.Millisecond})
+	run := func(i int, hedged bool) attempt {
+		return attempt{res: query.Ok(int64(i)), hedged: hedged}
+	}
+	a, ok := g.hedgedAttempt(0, 0, run)
+	if !ok || a.hedged {
+		t.Fatalf("first lane should win in place: ok=%v hedged=%v", ok, a.hedged)
+	}
+	if st := g.Resilience(); st.HedgesLaunched != 0 {
+		t.Fatalf("hedges launched %d, want 0", st.HedgesLaunched)
+	}
+}
+
+// When every lane faults the hedged attempt reports no answer, and the
+// outer read loop falls back to picking again (ultimately the primary).
+func TestHedgedAttemptAllLanesFault(t *testing.T) {
+	g := newGroupOpts(t, Options{Replicas: 2, Hedge: time.Millisecond})
+	run := func(i int, hedged bool) attempt {
+		time.Sleep(5 * time.Millisecond) // let the hedge launch
+		return attempt{faulted: true, hedged: hedged}
+	}
+	if _, ok := g.hedgedAttempt(0, 0, run); ok {
+		t.Fatal("all-faulted lanes must report no answer")
+	}
+}
+
+// End-to-end hedging: reads with a hedge configured still answer correctly
+// on instant replicas (the hedge never needs to fire).
+func TestHedgedReadsAnswerCorrectly(t *testing.T) {
+	g := newGroupOpts(t, Options{Replicas: 2, Hedge: 20 * time.Millisecond})
+	for i := int64(0); i < 20; i++ {
+		v, err := g.Exec(query.Req("q", sel, []any{i % 100})).Pair()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := fmt.Sprintf("v%d", i%100)
+		if rs, ok := v.(interp.Rows); !ok || len(rs) != 1 || rs[0]["val"] != want {
+			t.Fatalf("read %d: got %v, want val=%s", i, interp.Format(v), want)
+		}
+	}
+}
+
+// A read fault trips the replica's breaker; the half-open probe (a Recover)
+// brings it back without any manual intervention, and the obs registry sees
+// the trip, the probe, and the gauge returning to zero.
+func TestBreakerTripsAndProbesBackIn(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := newGroupOpts(t, Options{
+		Replicas: 2,
+		Breaker:  BreakerOptions{Enabled: true, Cooldown: 2 * time.Millisecond},
+	})
+	g.SetMetrics(reg)
+
+	g.Replicas()[0].FailNext(1)
+	for i := int64(0); g.Resilience().BreakerTrips == 0 && i < 10; i++ {
+		if _, err := g.Exec(query.Req("q", sel, []any{i})).Pair(); err != nil {
+			t.Fatalf("read must fail over, got %v", err)
+		}
+	}
+	if g.Resilience().BreakerTrips != 1 {
+		t.Fatalf("trips=%d, want 1", g.Resilience().BreakerTrips)
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for g.Resilience().OpenBreakers != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker never closed: %+v", g.Resilience())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st := g.Resilience(); st.BreakerProbes < 1 {
+		t.Fatalf("probes=%d, want ≥1", st.BreakerProbes)
+	}
+	// The recovered replica serves again: spread reads and check both copies
+	// take some.
+	for i := int64(0); i < 20; i++ {
+		if _, err := g.Exec(query.Req("q", sel, []any{i})).Pair(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	counts := g.ReadCounts()
+	if counts[0] == 0 || counts[1] == 0 {
+		t.Fatalf("recovered replica serves no reads: %v", counts)
+	}
+	if reg.Counter("replica.breaker.trips").Load() != 1 ||
+		reg.Counter("replica.breaker.probes").Load() < 1 {
+		t.Fatalf("obs mirror: trips=%d probes=%d",
+			reg.Counter("replica.breaker.trips").Load(),
+			reg.Counter("replica.breaker.probes").Load())
+	}
+	if reg.Gauge("replica.breaker.open").Load() != 0 {
+		t.Fatalf("open gauge %v, want 0", reg.Gauge("replica.breaker.open").Load())
+	}
+}
+
+// An injected ReplicaCrash fires on a read decision, fails that replica out
+// through the normal machinery, and the read still answers correctly from a
+// surviving copy.
+func TestReplicaCrashInjectionFailsOver(t *testing.T) {
+	inj := fault.New(11).At(fault.ReplicaCrash, 1)
+	g := newGroupOpts(t, Options{
+		Replicas: 2,
+		Breaker:  BreakerOptions{Enabled: true, Cooldown: time.Millisecond},
+		Fault:    inj,
+	})
+	for i := int64(0); i < 10; i++ {
+		v, err := g.Exec(query.Req("q", sel, []any{i})).Pair()
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		want := fmt.Sprintf("v%d", i)
+		if rs, ok := v.(interp.Rows); !ok || len(rs) != 1 || rs[0]["val"] != want {
+			t.Fatalf("read %d answered %v, want val=%s", i, interp.Format(v), want)
+		}
+	}
+	if inj.Fired(fault.ReplicaCrash) != 1 {
+		t.Fatalf("replica-crash fired %d, want 1", inj.Fired(fault.ReplicaCrash))
+	}
+	if g.Resilience().BreakerTrips != 1 {
+		t.Fatalf("trips=%d, want 1 (the crashed attempt)", g.Resilience().BreakerTrips)
+	}
+}
+
+// With the breaker disabled (the zero options), the historical contract
+// holds: a faulted replica stays out of rotation until a manual Recover.
+func TestBreakerDisabledKeepsReplicaDown(t *testing.T) {
+	g := newGroup(t, 2, RoundRobin)
+	g.Replicas()[0].FailNext(1)
+	for i := int64(0); i < 4; i++ {
+		if _, err := g.Exec(query.Req("q", sel, []any{i})).Pair(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(30 * time.Millisecond) // longer than any default cooldown
+	if h := g.Healthy(); h[0] {
+		t.Fatal("replica 0 must stay down without a breaker")
+	}
+	if st := g.Resilience(); st.BreakerTrips != 0 || st.BreakerProbes != 0 {
+		t.Fatalf("breaker activity without a breaker: %+v", st)
+	}
+	if err := g.Recover(0); err != nil {
+		t.Fatal(err)
+	}
+	if h := g.Healthy(); !h[0] {
+		t.Fatal("manual Recover must readmit the replica")
+	}
+}

@@ -27,7 +27,9 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/fault"
 	"repro/internal/interp"
 	"repro/internal/obs"
 	"repro/internal/query"
@@ -91,6 +93,18 @@ type Options struct {
 	Bound int64
 	// SnapshotEvery checkpoints each shard's log every N retained records.
 	SnapshotEvery int64
+	// Hedge arms hedged reads on every shard group: a replica read that has
+	// not answered within this delay races a second attempt on another copy
+	// (only meaningful with Replicas > 0; see replica.Options.Hedge).
+	Hedge time.Duration
+	// Breaker configures each shard group's per-replica circuit breaker
+	// (only meaningful with Replicas > 0; see replica.BreakerOptions).
+	Breaker replica.BreakerOptions
+	// Fault, when set, is shared by every shard group for ReplicaCrash
+	// injection ahead of replica reads (see replica.Options.Fault). The
+	// injector serializes its own decisions, so sharing keeps one global
+	// deterministic decision sequence across shards.
+	Fault *fault.Injector
 }
 
 // tableInfo is the router's routing metadata for one table.
@@ -178,6 +192,9 @@ func New(prof server.Profile, scale float64, opts Options) *Router {
 				Durability: opts.Durability, Async: opts.Async,
 				Consistency: opts.Consistency, Bound: opts.Bound,
 				SnapshotEvery: opts.SnapshotEvery,
+				Hedge:         opts.Hedge,
+				Breaker:       opts.Breaker,
+				Fault:         opts.Fault,
 			})
 		} else {
 			backends[i] = server.New(prof, scale)

@@ -1,0 +1,62 @@
+package wal_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/wal"
+)
+
+// A flaky fsync must delay durability, never corrupt it: every record lands
+// in the store exactly once (the flusher's append watermark), in LSN order,
+// and every Commit still returns only once its record is truly durable.
+func TestFlakySyncNoDuplicateRecords(t *testing.T) {
+	inj := fault.New(20110411).
+		At(fault.SyncErr, 1, 2, 3). // the first fsyncs fail for sure
+		Rate(fault.SyncErr, 0.4)    // and later ones keep failing at random
+	mem := wal.NewMemStore()
+	log := wal.New(wal.Options{Mode: wal.Group, Store: fault.NewStore(mem, inj)})
+	defer log.Close()
+
+	const writers, perWriter = 4, 25
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				lsn := log.Append("q", "insert into t (id) values (?)", [][]any{{int64(w*perWriter + i)}})
+				log.Commit(lsn)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	total := int64(writers * perWriter)
+	if got := log.DurableLSN(); got != total {
+		t.Fatalf("durable LSN %d, want %d", got, total)
+	}
+	if st := log.Stats(); st.SyncErrors < 3 {
+		t.Fatalf("sync errors %d, want ≥ 3 (the scheduled failures)", st.SyncErrors)
+	}
+	_, recs, err := mem.Load()
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	seen := map[int64]bool{}
+	last := int64(0)
+	for _, r := range recs {
+		if seen[r.LSN] {
+			t.Fatalf("store holds LSN %d twice: a failed fsync duplicated its batch", r.LSN)
+		}
+		seen[r.LSN] = true
+		if r.LSN <= last {
+			t.Fatalf("store records out of order: %d after %d", r.LSN, last)
+		}
+		last = r.LSN
+	}
+	if int64(len(recs)) != total {
+		t.Fatalf("store holds %d records, want %d", len(recs), total)
+	}
+}

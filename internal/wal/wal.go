@@ -104,6 +104,7 @@ type Stats struct {
 	Syncs         int64
 	SyncedRecords int64
 	SyncedBytes   int64
+	SyncErrors    int64 // failed fsync attempts (each retried until durable)
 	DurableLSN    int64
 	SnapshotLSN   int64
 }
@@ -134,6 +135,7 @@ func (s Stats) Metrics() map[string]float64 {
 		"syncs":          float64(s.Syncs),
 		"synced.records": float64(s.SyncedRecords),
 		"synced.bytes":   float64(s.SyncedBytes),
+		"sync.errors":    float64(s.SyncErrors),
 		"durable.lsn":    float64(s.DurableLSN),
 		"snapshot.lsn":   float64(s.SnapshotLSN),
 		"avg.group":      s.AvgGroup(),
@@ -159,7 +161,16 @@ type Log struct {
 	closed   bool
 	done     chan struct{}
 
-	appends, syncs, syncedRecs, syncedBytes int64
+	// appended is the highest LSN handed to store.AppendRecords (≥ synced:
+	// a failed Sync leaves records appended but not durable). The flusher's
+	// retry only re-appends records past this watermark, so a flaky fsync
+	// can never duplicate records in the store.
+	appended int64
+	// appendedBytes accumulates encoded bytes appended since the last
+	// successful sync (the stats charge for a sync that needed retries).
+	appendedBytes int64
+
+	appends, syncs, syncedRecs, syncedBytes, syncErrs int64
 
 	metrics atomic.Pointer[obs.Registry]
 }
@@ -279,6 +290,7 @@ func Open(opts Options) (*Log, error) {
 		l.synced = recs[n-1].LSN
 		l.next = l.synced + 1
 	}
+	l.appended = l.synced
 	l.flush.L = &l.mu
 	l.durable.L = &l.mu
 	go l.flusher()
@@ -450,6 +462,11 @@ func (l *Log) Crash() {
 	}
 	l.tail = append([]Record(nil), kept...)
 	l.next = l.synced + 1
+	// Records appended to the store but never fsynced are part of the torn
+	// tail a real crash leaves behind; reset the watermark so re-assigned
+	// LSNs append fresh (recovery reads only the durable prefix).
+	l.appended = l.synced
+	l.appendedBytes = 0
 	l.crashing = false
 	l.flush.Signal()
 	// Wake commit waiters stranded on truncated records; they observe
@@ -467,6 +484,7 @@ func (l *Log) Stats() Stats {
 		Syncs:         l.syncs,
 		SyncedRecords: l.syncedRecs,
 		SyncedBytes:   l.syncedBytes,
+		SyncErrors:    l.syncErrs,
 		DurableLSN:    l.synced,
 	}
 	if l.snap != nil {
@@ -511,12 +529,28 @@ func (l *Log) flusher() {
 		if l.mode == Strict {
 			batch = batch[:1]
 		}
+		// Retry after a failed fsync only re-appends records the store has
+		// not staged yet (LSN > appended); records already handed to
+		// AppendRecords just need the Sync retried. Without the watermark a
+		// flaky fsync would duplicate every record of the batch.
+		var toAppend []Record
+		for _, r := range batch {
+			if r.LSN > l.appended {
+				toAppend = append(toAppend, r)
+			}
+		}
 		l.syncing = true
 		l.mu.Unlock()
 
 		fsyncStart := time.Now()
-		bytes, err := l.store.AppendRecords(batch)
+		var bytes int
+		var err error
+		if len(toAppend) > 0 {
+			bytes, err = l.store.AppendRecords(toAppend)
+		}
+		appended := int64(0)
 		if err == nil {
+			appended = batch[len(batch)-1].LSN
 			err = l.store.Sync()
 		}
 		if l.syncer != nil {
@@ -525,15 +559,38 @@ func (l *Log) flusher() {
 		if reg := l.metrics.Load(); reg != nil {
 			reg.Histogram("wal.fsync.wall").RecordDuration(time.Since(fsyncStart))
 			reg.Histogram("wal.fsync.records").Record(int64(len(batch)))
+			if err != nil {
+				reg.Counter("wal.fsync.errors").Add(1)
+			}
 		}
 
 		l.mu.Lock()
 		l.syncing = false
+		if appended > l.appended {
+			l.appended = appended
+		}
+		l.appendedBytes += int64(bytes)
 		if err == nil {
 			l.synced = batch[len(batch)-1].LSN
 			l.syncs++
 			l.syncedRecs += int64(len(batch))
-			l.syncedBytes += int64(bytes)
+			l.syncedBytes += l.appendedBytes
+			l.appendedBytes = 0
+		} else {
+			l.syncErrs++
+			if l.closed {
+				// Shutdown with a store that will not sync: abandon the
+				// pending records rather than retrying forever.
+				l.durable.Broadcast()
+				l.mu.Unlock()
+				return
+			}
+			// Back off briefly before retrying so a persistently failing
+			// store does not spin the flusher hot. Crash/Close still win:
+			// the loop re-checks both flags after the sleep.
+			l.mu.Unlock()
+			time.Sleep(500 * time.Microsecond)
+			l.mu.Lock()
 		}
 		l.durable.Broadcast()
 	}
