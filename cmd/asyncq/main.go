@@ -6,7 +6,7 @@
 // Usage:
 //
 //	asyncq [-analyze] [-ddg] [-flat] [-run] [-threads N] [-batch N] [-shards N] [-replicas N]
-//	       [-durability off|group|strict] [-stats] [-slowlog 5ms] file.mq
+//	       [-reshard N] [-durability off|group|strict] [-stats] [-slowlog 5ms] file.mq
 //
 // With no flags the transformed program is printed (readable form, §V).
 // With -run -batch N the transformed program's submissions are coalesced
@@ -22,7 +22,14 @@
 // (internal/wal) in the given commit mode and every submission is logged and
 // acknowledged per that mode; the per-shard record/fsync counts show how
 // group commit amortizes durability exactly as batching amortizes round
-// trips.
+// trips. With -reshard N the modeled cluster routes by a live hash-range
+// ownership map (internal/shard's Ranges) instead of the static partitioner:
+// the last shard starts rangeless, and after N routed requests the hottest
+// shard's range is split onto it — a modeled copy window follows during
+// which requests landing in the moving range are counted as double-writes,
+// then routing flips to the new generation. The migration counters
+// (generation, splits, ranges moved, rows copied, double-writes) appear in
+// the unified -stats registry dump.
 //
 // With -stats the run's observability registry — request/queue/batch-wait
 // span histograms, executor counters, and (with -durability) per-shard WAL
@@ -35,6 +42,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/batch"
@@ -60,6 +68,7 @@ func main() {
 	batchSize := flag.Int("batch", 0, "coalesce submissions into batches of up to N requests for -run (0 = off)")
 	shards := flag.Int("shards", 1, "partition -run requests across N shards by first argument (1 = off)")
 	replicas := flag.Int("replicas", 1, "rotate each shard's -run reads over N read replicas (1 = off)")
+	reshardAt := flag.Int64("reshard", 0, "with -run -shards N: route by a live hash-range map and split the hottest shard after this many routed requests (0 = off)")
 	durability := flag.String("durability", "", "log each modeled shard's -run submissions through a WAL in this commit mode (off|group|strict; empty = no WAL)")
 	stats := flag.Bool("stats", false, "after -run, dump the unified metrics registry (span histograms, executor counters, WAL state) to stderr")
 	slowlog := flag.Duration("slowlog", 0, "render -run requests slower than this wall-clock threshold as span trees on stderr (0 = off)")
@@ -146,6 +155,13 @@ func main() {
 		var perShard []int64
 		var perReplica [][]int64
 		var rr []atomic.Int64
+		var mig *reshardModel
+		if *reshardAt > 0 {
+			if *shards < 2 {
+				fatal(fmt.Errorf("-reshard requires -shards >= 2 (the last shard is the split target)"))
+			}
+			mig = newReshardModel(*shards, *reshardAt)
+		}
 		if *shards > 1 || *replicas > 1 {
 			perShard = make([]int64, max(*shards, 1))
 			if *replicas > 1 {
@@ -157,6 +173,9 @@ func main() {
 			}
 			shardOf := func(args []any) int {
 				if len(args) > 0 {
+					if mig != nil {
+						return mig.route(args[0])
+					}
 					return shard.Partition(args[0], len(perShard))
 				}
 				return 0
@@ -210,6 +229,11 @@ func main() {
 			}
 			logOf := func(args []any) *wal.Log {
 				if len(args) > 0 {
+					if mig != nil {
+						// Follow the live range map so a record lands on the
+						// shard that owns its key at commit time.
+						return walLogs[mig.owner(args[0])]
+					}
 					return walLogs[shard.Partition(args[0], len(walLogs))]
 				}
 				return walLogs[0]
@@ -275,11 +299,21 @@ func main() {
 					return l.Stats().Metrics()
 				})
 			}
+			if mig != nil {
+				// Migration counters ride the unified dump like every other
+				// subsystem, not a side-channel printout.
+				obsReg.RegisterSource("shard.migrations", mig.metrics)
+			}
 		}
 		in2 := interp.New(reg, svc)
 		r2, err := in2.Run(trans, args)
 		if err != nil {
 			fatal(fmt.Errorf("run transformed: %w", err))
+		}
+		if mig != nil {
+			// The request stream is over: a copy window still open completes
+			// and flips now, so the reports see the final generation.
+			mig.finish()
 		}
 		same := r1.Output == r2.Output && len(r1.Returned) == len(r2.Returned)
 		for i := range r1.Returned {
@@ -295,6 +329,10 @@ func main() {
 		}
 		if *shards > 1 {
 			fmt.Fprintf(os.Stderr, "-- shards: requests per shard: %v\n", perShard)
+		}
+		if mig != nil && !*stats {
+			// The unified -stats dump carries these counters when requested.
+			fmt.Fprintf(os.Stderr, "-- reshard: %s\n", mig.report())
 		}
 		if perReplica != nil {
 			fmt.Fprintf(os.Stderr, "-- replicas: reads per shard/replica: %v\n", perReplica)
@@ -377,6 +415,144 @@ func printDDGs(proc *ir.Proc) {
 	if n == 0 {
 		fmt.Fprintln(os.Stderr, "asyncq: no loops found")
 	}
+}
+
+// reshardModel routes -run requests by a live hash-range ownership map and
+// walks one split through the migration protocol's phases in miniature:
+// after `trigger` routed requests the hottest shard's widest range is
+// halved onto the reserved last shard, a copy window of copyWindow further
+// requests follows during which requests landing in the moving range still
+// route to the old owner but are counted as double-writes, and then the
+// routing flips to the new generation. "Rows copied" is the number of
+// distinct keys seen so far that the flip hands to the new owner — the
+// modeled population of the moved range.
+type reshardModel struct {
+	mu                                            sync.Mutex
+	rg                                            *shard.Ranges
+	pending                                       *shard.Ranges // built at trigger, installed at flip
+	phase                                         int           // 0 before trigger, 1 copy window, 2 flipped
+	trigger                                       int64
+	flipAt                                        int64
+	routed                                        int64
+	hot                                           int
+	newIdx                                        int
+	counts                                        []int64
+	seen                                          map[uint64]struct{}
+	splits, rangesMoved, rowsCopied, doubleWrites int64
+}
+
+// copyWindow is the modeled length of the copy phase, in routed requests.
+const copyWindow = 32
+
+func newReshardModel(shards int, trigger int64) *reshardModel {
+	// The last shard starts rangeless: it is the split's target, so the
+	// per-shard accounting arrays sized for `shards` stay index-stable
+	// across the migration.
+	return &reshardModel{
+		rg:      shard.NewRanges(shards - 1),
+		trigger: trigger,
+		newIdx:  shards - 1,
+		counts:  make([]int64, shards),
+		seen:    make(map[uint64]struct{}),
+	}
+}
+
+// route returns the owner of arg under the live map, advancing the modeled
+// migration as the request stream crosses its phase boundaries.
+func (m *reshardModel) route(arg any) int {
+	h := shard.Hash64(arg)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.routed++
+	switch m.phase {
+	case 0:
+		if m.routed >= m.trigger {
+			m.begin()
+		}
+	case 1:
+		if m.routed >= m.flipAt {
+			m.flip()
+		}
+	}
+	s := m.rg.Owner(h)
+	m.counts[s]++
+	m.seen[h] = struct{}{}
+	if m.phase == 1 && m.pending.Owner(h) == m.newIdx {
+		// In the copy window a request whose key is moving still executes
+		// on the old owner and is mirrored to the new one.
+		m.doubleWrites++
+	}
+	return s
+}
+
+// owner reports arg's owner under the live map without accounting it.
+func (m *reshardModel) owner(arg any) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.rg.Owner(shard.Hash64(arg))
+}
+
+// begin picks the hottest current owner and stages the split.
+func (m *reshardModel) begin() {
+	hot := 0
+	for _, s := range m.rg.Owners() {
+		if m.counts[s] > m.counts[hot] {
+			hot = s
+		}
+	}
+	next, _, err := m.rg.Split(hot, m.newIdx)
+	if err != nil {
+		m.phase = 2 // unsplittable (degenerate map): stay put
+		return
+	}
+	m.hot, m.pending = hot, next
+	m.flipAt = m.routed + copyWindow
+	m.phase = 1
+}
+
+// flip installs the new generation and books the copy.
+func (m *reshardModel) flip() {
+	for h := range m.seen {
+		if m.pending.Owner(h) == m.newIdx {
+			m.rowsCopied++
+		}
+	}
+	m.rg = m.pending
+	m.pending = nil
+	m.splits++
+	m.rangesMoved++
+	m.phase = 2
+}
+
+// finish completes a copy window left open when the request stream ended.
+func (m *reshardModel) finish() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.phase == 1 {
+		m.flip()
+	}
+}
+
+func (m *reshardModel) metrics() map[string]float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return map[string]float64{
+		"generation":    float64(m.rg.Generation()),
+		"splits":        float64(m.splits),
+		"ranges.moved":  float64(m.rangesMoved),
+		"rows.copied":   float64(m.rowsCopied),
+		"double.writes": float64(m.doubleWrites),
+	}
+}
+
+func (m *reshardModel) report() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.splits == 0 {
+		return fmt.Sprintf("no split: %d requests routed, trigger %d", m.routed, m.trigger)
+	}
+	return fmt.Sprintf("split shard %d onto %d (generation %d): %d ranges moved, %d rows copied, %d double-writes",
+		m.hot, m.newIdx, m.rg.Generation(), m.rangesMoved, m.rowsCopied, m.doubleWrites)
 }
 
 func fatal(err error) {

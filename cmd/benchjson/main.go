@@ -7,6 +7,7 @@
 //	go test -run XXX -bench . ./... | benchjson -o BENCH_6.json
 //	benchjson -text BENCH_6.json > new.txt    # back to benchstat input
 //	benchjson -load LOAD_8.json               # validate a loadgen report
+//	benchjson -reshard RESHARD_10.json        # validate a reshard timeline
 //
 // Values are kept verbatim (no float round-tripping), so
 // `benchjson -text old.json` / `benchjson -text new.json` feed benchstat
@@ -18,9 +19,15 @@
 // the latency percentiles must be ordered. CI gates the loadgen-smoke
 // artifact on this check.
 //
-// A numbered artifact name (-o BENCH_<n>.json, TAIL_<n>.json or
-// LOAD_<n>.json) is validated against the repository's CHANGES.md: n must
-// equal the number of "PR " entries, so an artifact can never silently
+// -reshard validates a cmd/experiments -fig reshard RESHARD_<n>.json
+// artifact instead: the figure array must carry the Reshard timeline,
+// every throughput window must have made progress, and the range-map
+// generation series must show the flip landing. CI gates the
+// reshard-smoke artifact on this check.
+//
+// A numbered artifact name (-o BENCH_<n>.json, TAIL_<n>.json, LOAD_<n>.json
+// or RESHARD_<n>.json) is validated against the repository's CHANGES.md: n
+// must equal the number of "PR " entries, so an artifact can never silently
 // claim another PR's slot.
 package main
 
@@ -36,11 +43,12 @@ import (
 	"strings"
 
 	"repro/internal/benchfmt"
+	"repro/internal/experiments"
 	"repro/internal/net"
 )
 
 // artifactRe matches the numbered per-PR artifact names CI emits.
-var artifactRe = regexp.MustCompile(`^(BENCH|TAIL|LOAD)_(\d+)\.json$`)
+var artifactRe = regexp.MustCompile(`^(BENCH|TAIL|LOAD|RESHARD)_(\d+)\.json$`)
 
 // prCount counts the "PR " entries in the CHANGES.md found at dir or the
 // nearest ancestor. It returns -1 when no CHANGES.md exists (benchjson also
@@ -121,10 +129,49 @@ func validateLoadReport(rep net.LoadReport) error {
 	return nil
 }
 
+// validateReshardFigures checks the invariants of the reshard timeline
+// artifact: the Reshard figure must be present with aligned throughput and
+// generation series, every window must have made progress, and the
+// generation must end past where it started (the flip landed).
+func validateReshardFigures(figs []*experiments.Figure) error {
+	for _, f := range figs {
+		if f == nil || f.ID != "Reshard" {
+			continue
+		}
+		var thr, gen *experiments.Series
+		for i := range f.Series {
+			switch f.Series[i].Label {
+			case "throughput req/s":
+				thr = &f.Series[i]
+			case "generation":
+				gen = &f.Series[i]
+			}
+		}
+		if thr == nil || gen == nil {
+			return fmt.Errorf("reshard figure: missing throughput or generation series")
+		}
+		if len(thr.Points) == 0 || len(thr.Points) != len(gen.Points) {
+			return fmt.Errorf("reshard figure: %d throughput points vs %d generation points",
+				len(thr.Points), len(gen.Points))
+		}
+		for i, p := range thr.Points {
+			if p.Y <= 0 {
+				return fmt.Errorf("reshard figure: window %d served nothing", i)
+			}
+		}
+		if first, last := gen.Points[0].Y, gen.Points[len(gen.Points)-1].Y; last <= first {
+			return fmt.Errorf("reshard figure: generation never advanced (%v -> %v): no split landed", first, last)
+		}
+		return nil
+	}
+	return fmt.Errorf("reshard artifact: no Reshard figure in input")
+}
+
 func main() {
 	out := flag.String("o", "", "write output to `file` (default stdout)")
 	text := flag.Bool("text", false, "input is BENCH_<n>.json; emit benchstat text instead")
 	load := flag.Bool("load", false, "input is LOAD_<n>.json (a cmd/loadgen report); validate it")
+	reshard := flag.Bool("reshard", false, "input is RESHARD_<n>.json (a cmd/experiments -fig reshard artifact); validate it")
 	flag.Parse()
 
 	if *out != "" {
@@ -158,6 +205,22 @@ func main() {
 		}
 		defer f.Close()
 		w = f
+	}
+
+	if *reshard {
+		var figs []*experiments.Figure
+		if err := json.NewDecoder(in).Decode(&figs); err != nil {
+			fatal(fmt.Errorf("reshard artifact: %w", err))
+		}
+		if err := validateReshardFigures(figs); err != nil {
+			fatal(err)
+		}
+		for _, f := range figs {
+			if f != nil && f.ID == "Reshard" {
+				fmt.Fprintf(w, "ok: reshard timeline, %d windows\n", len(f.Series[0].Points))
+			}
+		}
+		return
 	}
 
 	if *load {

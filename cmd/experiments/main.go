@@ -4,7 +4,7 @@
 // Usage:
 //
 //	experiments [-scale 0.2] [-quick] [-seed N] [-durability off|group|strict]
-//	            [-fig 8|..|15|batch-category|batch-rubis|shard-scale|replica-scale|durability|tail-latency|frontdoor|chaos|all]
+//	            [-fig 8|..|15|batch-category|batch-rubis|shard-scale|replica-scale|durability|tail-latency|frontdoor|chaos|reshard|all]
 //	            [-figjson out.json] [-table1] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // With no selection flags, everything runs. Times are reported in simulated
@@ -36,7 +36,7 @@ func main() {
 func run() int {
 	scale := flag.Float64("scale", 0.2, "wall-clock scale for simulated latencies (1.0 = full)")
 	quick := flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
-	fig := flag.String("fig", "", "figure to run: 8..15, batch-category, batch-rubis, shard-scale, replica-scale, durability, tail-latency, frontdoor, chaos or 'all' (default: all)")
+	fig := flag.String("fig", "", "figure to run: 8..15, batch-category, batch-rubis, shard-scale, replica-scale, durability, tail-latency, frontdoor, chaos, reshard or 'all' (default: all)")
 	figjson := flag.String("figjson", "", "also write the selected figures as a JSON array to `file` (CI artifacts)")
 	table1 := flag.Bool("table1", false, "run only Table I")
 	seed := flag.Int64("seed", 0, "workload seed (0: ASYNCQ_SEED env, else the historical fixed seeding)")
@@ -122,6 +122,7 @@ func run() int {
 		"shard-scale": h.FigShardScale, "replica-scale": h.FigReplicaScale,
 		"durability": h.FigDurability, "tail-latency": h.FigTailLatency,
 		"frontdoor": h.FigFrontdoor, "chaos": h.FigChaos,
+		"reshard": h.FigReshard,
 	}
 	label := func(id string) string {
 		if len(id) <= 2 { // numeric paper figures keep their "Fig N" labels
@@ -133,7 +134,7 @@ func run() int {
 	case "", "all":
 		for _, id := range []string{"8", "9", "10", "11", "12", "13", "14", "15",
 			"batch-category", "batch-rubis", "shard-scale", "replica-scale",
-			"durability", "tail-latency", "frontdoor", "chaos"} {
+			"durability", "tail-latency", "frontdoor", "chaos", "reshard"} {
 			if !run(label(id), figs[id]) {
 				return 1
 			}

@@ -1118,6 +1118,19 @@ func (g *Group) IndexKeyCount(table, col string, v any) (int, bool) {
 	return g.Primary().IndexKeyCount(table, col, v)
 }
 
+// NumTableRows returns the primary's row count for a table — the migration
+// copier's cutoff read (see shard.Backend). A crashed primary's catalog
+// stays readable, clamped to its durable prefix.
+func (g *Group) NumTableRows(table string) int {
+	return g.Primary().NumTableRows(table)
+}
+
+// TableRow materializes one row from the primary by local row id — the
+// migration copier's row read (see shard.Backend).
+func (g *Group) TableRow(table string, rid int) []any {
+	return g.Primary().TableRow(table, rid)
+}
+
 // Warm preloads every copy's registered extents.
 func (g *Group) Warm() {
 	for _, s := range g.copies() {

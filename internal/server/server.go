@@ -311,6 +311,28 @@ func (s *Server) InsertRow(table string, row []any) error {
 	return err
 }
 
+// NumTableRows returns the table's current row count, or 0 when the table
+// does not exist — the migration copier's cutoff read (no simulated cost;
+// see shard.Backend).
+func (s *Server) NumTableRows(table string) int {
+	t := s.cat.Table(table)
+	if t == nil {
+		return 0
+	}
+	return t.NumRows()
+}
+
+// TableRow materializes one row by local row id — the migration copier's
+// row read (no simulated cost; see shard.Backend). Storage is append-only,
+// so rows below a cutoff taken earlier are stable under concurrent inserts.
+func (s *Server) TableRow(table string, rid int) []any {
+	t := s.cat.Table(table)
+	if t == nil {
+		return nil
+	}
+	return t.Row(rid)
+}
+
 // IndexKeyCount reports how many rows of table hold value v in the indexed
 // column col; ok is false when the table or index does not exist (no
 // statistics). The scatter planner's pruning fast path reads this without a

@@ -1,0 +1,81 @@
+package shard
+
+import "testing"
+
+// FuzzPartition drives the range map through arbitrary split/merge
+// histories and checks, at every generation, that an arbitrary key hashes
+// into exactly one owned range (by linear scan, independently of the
+// binary-search Owner), that the structural invariants hold, and that
+// deliberately corrupted variants — overlapping or gapped range sets — are
+// rejected by Validate.
+func FuzzPartition(f *testing.F) {
+	f.Add(int64(42), uint8(3), uint64(0xBEEF))
+	f.Add(int64(-1), uint8(1), uint64(0))
+	f.Add(int64(20110411), uint8(6), uint64(^uint64(0)))
+	f.Add(int64(0), uint8(2), uint64(0x123456789ABCDEF0))
+	f.Fuzz(func(t *testing.T, key int64, nSeed uint8, ops uint64) {
+		backends := int(nSeed%6) + 1
+		rg := NewRanges(backends)
+
+		check := func(step int) {
+			if err := rg.Validate(backends); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+			h := Hash64(key)
+			entries := rg.Entries()
+			owned, owner := 0, -1
+			for k, e := range entries {
+				inUpper := k == len(entries)-1 || h < entries[k+1].Start
+				if h >= e.Start && inUpper {
+					owned++
+					owner = e.Owner
+				}
+			}
+			if owned != 1 {
+				t.Fatalf("step %d: key %d (hash %#x) lies in %d ranges, want exactly 1 (%v)",
+					step, key, h, owned, entries)
+			}
+			if got := rg.Owner(h); got != owner {
+				t.Fatalf("step %d: Owner(%#x) = %d, linear scan says %d", step, h, got, owner)
+			}
+			// Corrupted variants must not validate: duplicate a start
+			// (overlap) and drop the ring bottom (gap).
+			if len(entries) > 1 {
+				overlap := &Ranges{entries: rg.Entries()}
+				overlap.entries[1].Start = overlap.entries[0].Start
+				if overlap.Validate(backends) == nil {
+					t.Fatalf("step %d: Validate accepted overlapping ranges", step)
+				}
+				gapped := &Ranges{entries: rg.Entries()[1:]}
+				if gapped.Validate(backends) == nil {
+					t.Fatalf("step %d: Validate accepted a gapped range set", step)
+				}
+			}
+		}
+
+		check(0)
+		for i := 0; i < 16; i++ {
+			op := (ops >> (uint(i) * 4)) & 0xF
+			target := int(op>>1) % backends
+			if op&1 == 0 {
+				next, _, err := rg.Split(target, backends)
+				if err != nil {
+					continue // rangeless or unsplittable target: map unchanged
+				}
+				rg = next
+				backends++
+			} else {
+				other := (target + 1 + int(op>>2)) % backends
+				if other == target {
+					continue
+				}
+				next, _, err := rg.Merge(target, other)
+				if err != nil {
+					continue
+				}
+				rg = next
+			}
+			check(i + 1)
+		}
+	})
+}

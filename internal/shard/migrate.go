@@ -1,0 +1,387 @@
+package shard
+
+import (
+	"fmt"
+
+	"repro/internal/replica"
+)
+
+// This file implements online re-sharding: Router.Split and Router.Merge
+// move hash-range ownership between backends while traffic keeps flowing.
+//
+// Storage is append-only (no row deletion), so a migration never carves
+// rows out of a live backend; it builds replacement backends and retires
+// the old ones whole. The protocol, for either operation:
+//
+//  1. Barrier (mig write lock, no statement in flight): snapshot per-table
+//     row-count cutoffs on the source shards and arm double-write capture.
+//     Every row below a cutoff is a fully acknowledged, position-mapped
+//     row; every insert acknowledged after the barrier is captured, with
+//     its row materialized, in the pending buffer.
+//  2. Copy (no router locks, traffic flowing): build the replacement
+//     backends from the cutoff prefixes — tables in original DDL order,
+//     rows filtered by the next-generation range map, indexes, warm
+//     buffer pools. New backends are invisible to routing.
+//  3. Flip (mig write lock again): apply the pending double-writes to the
+//     replacements in capture order, splice the replacements into the
+//     backend set, install the next-generation range map, disarm capture.
+//     Readers drain before the lock and re-route after it, so no statement
+//     ever observes a partial move.
+//  4. Retire: close the old backends; checkpoint replacement replica
+//     groups so their bulk-loaded state is crash-recoverable.
+//
+// The flip never reads the source backends — pending rows were
+// materialized at capture — so a source primary crash between copy and
+// flip cannot lose or duplicate an acknowledged write: everything
+// acknowledged before the barrier is below a cutoff, everything after is
+// in the pending buffer, and unacknowledged inserts are in neither.
+
+// MigrationStats counts the re-sharding machinery's work to date.
+type MigrationStats struct {
+	Generation   int64 // range-map generation (Split/Merge steps applied)
+	Splits       int64
+	Merges       int64
+	RangesMoved  int64 // hash ranges that changed owner
+	RowsCopied   int64 // rows bulk-copied onto replacement backends
+	DoubleWrites int64 // inserts captured and replayed by migrations
+}
+
+// MigrationStats returns the router's migration counters.
+func (r *Router) MigrationStats() MigrationStats {
+	return MigrationStats{
+		Generation:   r.ranges.Load().Generation(),
+		Splits:       r.splits.Load(),
+		Merges:       r.merges.Load(),
+		RangesMoved:  r.rangesMoved.Load(),
+		RowsCopied:   r.rowsCopied.Load(),
+		DoubleWrites: r.doubleWrites.Load(),
+	}
+}
+
+// SetMigrationHook installs a hook called, with no router locks held, at
+// two points of every migration: "copy" — after the double-write barrier,
+// before the bulk copy — and "flip" — after copy and warmup, just before
+// the atomic routing flip. Tests use it to run traffic against the router
+// or crash a source primary at a deterministic migration point.
+func (r *Router) SetMigrationHook(fn func(phase string)) {
+	r.mig.Lock()
+	r.migHook = fn
+	r.mig.Unlock()
+}
+
+// Split halves the widest hash range of shard s: a fresh backend is
+// appended to the cluster and takes ownership of the upper half, while a
+// rebuilt shard s keeps the lower half (and any other ranges s owns).
+// Traffic keeps flowing throughout; the routing change is atomic under the
+// next range-map generation.
+func (r *Router) Split(s int) error {
+	r.migMu.Lock()
+	defer r.migMu.Unlock()
+	if s < 0 || s >= len(r.backends) {
+		return fmt.Errorf("shard: split: no shard %d", s)
+	}
+	if r.mk == nil {
+		return fmt.Errorf("shard: split: no backend factory (router wraps external backends; call SetBackendFactory)")
+	}
+	newIdx := len(r.backends)
+	cur := r.ranges.Load()
+	next, _, err := cur.Split(s, newIdx)
+	if err != nil {
+		return err
+	}
+	order := r.ddlOrder()
+	newA, newB := r.mk(), r.mk()
+
+	// Barrier: arm double-write capture and take the copy cutoffs with no
+	// statement in flight.
+	r.mig.Lock()
+	cut := r.cutoffs([]int{s}, order)
+	r.migActive = true
+	r.migSources = map[int]bool{s: true}
+	r.pending = nil
+	hook := r.migHook
+	r.mig.Unlock()
+
+	if hook != nil {
+		hook("copy")
+	}
+	globA, nA, err := r.buildBackend(newA, order, []copySrc{
+		{slot: s, keep: func(h uint64) bool { return next.Owner(h) == s }},
+	}, s, cut)
+	if err == nil {
+		var globB map[string][]int
+		var nB int64
+		globB, nB, err = r.buildBackend(newB, order, []copySrc{
+			{slot: s, keep: func(h uint64) bool { return next.Owner(h) == newIdx }},
+		}, s, cut)
+		if err == nil {
+			if hook != nil {
+				hook("flip")
+			}
+			r.mig.Lock()
+			err = r.applyPending(next, map[int]Backend{s: newA, newIdx: newB},
+				map[int]map[string][]int{s: globA, newIdx: globB})
+			if err == nil {
+				for _, name := range order {
+					ti := r.table(name)
+					ti.mu.Lock()
+					if ti.key != "" {
+						ti.global[s] = globA[name]
+						ti.global = append(ti.global, globB[name])
+					} else {
+						ti.global = append(ti.global, nil)
+					}
+					ti.mu.Unlock()
+				}
+				nb := make([]Backend, newIdx+1)
+				copy(nb, r.backends)
+				old := nb[s]
+				nb[s] = newA
+				nb[newIdx] = newB
+				r.backends = nb
+				r.ranges.Store(next)
+				r.migActive, r.migSources, r.pending = false, nil, nil
+				r.splits.Add(1)
+				r.rangesMoved.Add(1)
+				r.rowsCopied.Add(nA + nB)
+				r.registerMetricsLocked()
+				r.mig.Unlock()
+				old.Close()
+				return r.checkpointNew(newA, newB)
+			}
+			r.mig.Unlock()
+		}
+	}
+	r.abortMigration(newA, newB)
+	return err
+}
+
+// Merge folds shard b into shard a: a rebuilt shard a takes ownership of
+// every range b owned (plus its own), and slot b is replaced by a fresh
+// backend holding only the replicated tables — it stays a full broadcast
+// participant but owns no hash range and holds no sharded rows. Traffic
+// keeps flowing throughout; the routing change is atomic under the next
+// range-map generation.
+func (r *Router) Merge(a, b int) error {
+	r.migMu.Lock()
+	defer r.migMu.Unlock()
+	if a < 0 || a >= len(r.backends) || b < 0 || b >= len(r.backends) {
+		return fmt.Errorf("shard: merge: no shard pair (%d,%d)", a, b)
+	}
+	if r.mk == nil {
+		return fmt.Errorf("shard: merge: no backend factory (router wraps external backends; call SetBackendFactory)")
+	}
+	cur := r.ranges.Load()
+	next, moved, err := cur.Merge(a, b)
+	if err != nil {
+		return err
+	}
+	order := r.ddlOrder()
+	newC, newE := r.mk(), r.mk()
+
+	r.mig.Lock()
+	cut := r.cutoffs([]int{a, b}, order)
+	r.migActive = true
+	r.migSources = map[int]bool{a: true, b: true}
+	r.pending = nil
+	hook := r.migHook
+	r.mig.Unlock()
+
+	if hook != nil {
+		hook("copy")
+	}
+	globC, nC, err := r.buildBackend(newC, order, []copySrc{
+		{slot: a}, {slot: b},
+	}, a, cut)
+	if err == nil {
+		var nE int64
+		_, nE, err = r.buildBackend(newE, order, nil, b, cut)
+		if err == nil {
+			if hook != nil {
+				hook("flip")
+			}
+			r.mig.Lock()
+			err = r.applyPending(next, map[int]Backend{a: newC, b: newE},
+				map[int]map[string][]int{a: globC})
+			if err == nil {
+				for _, name := range order {
+					ti := r.table(name)
+					ti.mu.Lock()
+					if ti.key != "" {
+						ti.global[a] = globC[name]
+						ti.global[b] = nil
+					}
+					ti.mu.Unlock()
+				}
+				nb := make([]Backend, len(r.backends))
+				copy(nb, r.backends)
+				oldA, oldB := nb[a], nb[b]
+				nb[a] = newC
+				nb[b] = newE
+				r.backends = nb
+				r.ranges.Store(next)
+				r.migActive, r.migSources, r.pending = false, nil, nil
+				r.merges.Add(1)
+				r.rangesMoved.Add(int64(moved))
+				r.rowsCopied.Add(nC + nE)
+				r.registerMetricsLocked()
+				r.mig.Unlock()
+				oldA.Close()
+				oldB.Close()
+				return r.checkpointNew(newC, newE)
+			}
+			r.mig.Unlock()
+		}
+	}
+	r.abortMigration(newC, newE)
+	return err
+}
+
+// copySrc names one source slot of a migration copy and the hash filter
+// selecting which of its sharded rows move to the destination (nil keeps
+// every row).
+type copySrc struct {
+	slot int
+	keep func(h uint64) bool
+}
+
+// ddlOrder snapshots the tables in original DDL (reference extent) order so
+// replacement backends reproduce identical extent numbering.
+func (r *Router) ddlOrder() []string {
+	r.tmu.RLock()
+	defer r.tmu.RUnlock()
+	return append([]string(nil), r.tableOrder...)
+}
+
+// cutoffs snapshots each source slot's per-table row counts. Called under
+// the mig write lock with no statement in flight, so every row below a
+// cutoff is fully acknowledged and position-mapped, and every insert
+// acknowledged afterward lands in the double-write buffer instead.
+func (r *Router) cutoffs(slots []int, order []string) map[int]map[string]int {
+	out := map[int]map[string]int{}
+	for _, s := range slots {
+		m := map[string]int{}
+		for _, name := range order {
+			m[name] = r.backends[s].NumTableRows(name)
+		}
+		out[s] = m
+	}
+	return out
+}
+
+// buildBackend constructs one replacement backend from cutoff prefixes:
+// every table in DDL order, replicated tables copied whole from replSrc,
+// sharded tables copied from each source filtered by its keep function,
+// then FinishLoad, the original indexes, and a warm buffer pool. It runs
+// with traffic flowing — storage is append-only, so the rows below the
+// barrier's cutoffs are immutable. Returns the global row positions of the
+// copied sharded rows (per table, in destination rid order) and the total
+// rows copied.
+func (r *Router) buildBackend(dst Backend, order []string, srcs []copySrc, replSrc int, cut map[int]map[string]int) (map[string][]int, int64, error) {
+	glob := map[string][]int{}
+	var copied int64
+	for _, name := range order {
+		ti := r.table(name)
+		if err := dst.CreateTable(name, ti.schema, ti.rowsPerPage); err != nil {
+			return nil, 0, fmt.Errorf("shard: migrate: create %s: %w", name, err)
+		}
+		if ti.key == "" {
+			src := r.backends[replSrc]
+			for rid, n := 0, cut[replSrc][name]; rid < n; rid++ {
+				if err := dst.InsertRow(name, src.TableRow(name, rid)); err != nil {
+					return nil, 0, fmt.Errorf("shard: migrate: copy %s: %w", name, err)
+				}
+				copied++
+			}
+			continue
+		}
+		for _, cs := range srcs {
+			src := r.backends[cs.slot]
+			for rid, n := 0, cut[cs.slot][name]; rid < n; rid++ {
+				row := src.TableRow(name, rid)
+				if cs.keep != nil && !cs.keep(Hash64(row[ti.keyPos])) {
+					continue
+				}
+				if err := dst.InsertRow(name, row); err != nil {
+					return nil, 0, fmt.Errorf("shard: migrate: copy %s: %w", name, err)
+				}
+				glob[name] = append(glob[name], ti.globalPos(cs.slot, rid))
+				copied++
+			}
+		}
+	}
+	dst.FinishLoad()
+	for _, name := range order {
+		ti := r.table(name)
+		for _, ix := range ti.indexes {
+			if err := dst.AddIndex(name, ix.Column, ix.Unique); err != nil {
+				return nil, 0, fmt.Errorf("shard: migrate: index %s(%s): %w", name, ix.Column, err)
+			}
+		}
+	}
+	dst.Warm()
+	return glob, copied, nil
+}
+
+// applyPending replays the double-write buffer onto the replacement
+// backends in capture order: replicated-table rows to every replacement,
+// sharded rows to the next-generation owner. Called under the mig write
+// lock — the barrier guarantees every captured insert's position map entry
+// is complete — and never reads a source backend (rows were materialized at
+// capture), so it tolerates a source primary crash during the copy phase.
+// glob accumulates the applied rows' global positions per destination.
+func (r *Router) applyPending(next *Ranges, dsts map[int]Backend, glob map[int]map[string][]int) error {
+	r.pendingMu.Lock()
+	pending := r.pending
+	r.pendingMu.Unlock()
+	for _, p := range pending {
+		if p.repl {
+			for _, dst := range dsts {
+				if err := dst.InsertRow(p.table, p.row); err != nil {
+					return fmt.Errorf("shard: migrate: double-write %s: %w", p.table, err)
+				}
+			}
+			continue
+		}
+		owner := next.Owner(p.h)
+		dst, ok := dsts[owner]
+		if !ok {
+			return fmt.Errorf("shard: migrate: double-write %s routed to unmigrated shard %d", p.table, owner)
+		}
+		if err := dst.InsertRow(p.table, p.row); err != nil {
+			return fmt.Errorf("shard: migrate: double-write %s: %w", p.table, err)
+		}
+		ti := r.table(p.table)
+		g := glob[owner]
+		g[p.table] = append(g[p.table], ti.globalPos(p.src, p.srcRid))
+	}
+	return nil
+}
+
+// abortMigration disarms double-write capture and discards the replacement
+// backends after a failed copy or flip, leaving the cluster exactly as it
+// was.
+func (r *Router) abortMigration(fresh ...Backend) {
+	r.mig.Lock()
+	r.migActive, r.migSources, r.pending = false, nil, nil
+	r.mig.Unlock()
+	for _, b := range fresh {
+		b.Close()
+	}
+}
+
+// checkpointNew snapshots replacement replica groups so their bulk-loaded
+// base state (copy plus applied double-writes) is recoverable: a later
+// primary crash restores from this snapshot plus the WAL tail written
+// since — the snapshot+tail handoff. Bare server backends have no log to
+// recover from and need nothing.
+func (r *Router) checkpointNew(bs ...Backend) error {
+	for _, b := range bs {
+		if g, ok := b.(*replica.Group); ok {
+			if err := g.Checkpoint(); err != nil {
+				return fmt.Errorf("shard: migrate: checkpoint: %w", err)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,238 @@
+package shard
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// Hash64 maps a shard-key value onto the 64-bit hash ring. The base hash
+// folds the value's canonical string form (FNV-1a, with the int64 fast path
+// skipping the formatting allocation), then a splitmix64 finalizer mixes the
+// entropy into the high bits — range ownership (Partition, Ranges.Owner)
+// slices the ring from the top, so the top bits must avalanche as well as
+// the bottom ones FNV feeds modulo reduction.
+func Hash64(v any) uint64 {
+	var h uint64 = 14695981039346656037
+	const prime = 1099511628211
+	if i, ok := v.(int64); ok {
+		u := uint64(i)
+		for b := 0; b < 8; b++ {
+			h ^= u & 0xff
+			h *= prime
+			u >>= 8
+		}
+	} else {
+		s := fmt.Sprintf("%v", v)
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime
+		}
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// Partition returns the shard owning a key value in a fresh n-way cluster.
+// The owner is the high word of Hash64(v)·n — the multiplicative range
+// reduction — so shard s owns the contiguous hash range
+// [⌈s·2⁶⁴/n⌉, ⌈(s+1)·2⁶⁴/n⌉) and Partition agrees exactly with
+// NewRanges(n).Owner(Hash64(v)). Routers consult their live range map
+// instead (it diverges from this static map after Split/Merge); Partition
+// remains the pure function for fresh clusters, tests and modeling.
+func Partition(v any, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	hi, _ := bits.Mul64(Hash64(v), uint64(shards))
+	return int(hi)
+}
+
+// rangeBoundary returns ⌈i·2⁶⁴/n⌉, the inclusive lower bound of shard i's
+// hash range in a fresh n-way map (the point where the high word of h·n
+// first reaches i).
+func rangeBoundary(i, n int) uint64 {
+	if i == 0 {
+		return 0
+	}
+	q, r := bits.Div64(uint64(i), 0, uint64(n))
+	if r > 0 {
+		q++
+	}
+	return q
+}
+
+// RangeEntry is one owned slice of the hash ring: entry k covers
+// [Start_k, Start_{k+1}) — the last entry extends to the top of the ring.
+type RangeEntry struct {
+	Start uint64 // inclusive lower bound
+	Owner int    // backend index owning the range
+}
+
+// Ranges is an immutable snapshot of hash-range ownership: a sorted,
+// gap-free, non-overlapping cover of the full 64-bit ring, plus the
+// generation counter that advances on every Split/Merge. Routers swap
+// whole snapshots atomically, so a reader always sees one consistent
+// generation.
+type Ranges struct {
+	entries []RangeEntry
+	gen     int64
+}
+
+// NewRanges builds the generation-0 map of a fresh n-way cluster: shard i
+// owns [⌈i·2⁶⁴/n⌉, ⌈(i+1)·2⁶⁴/n⌉), matching Partition exactly.
+func NewRanges(n int) *Ranges {
+	if n < 1 {
+		n = 1
+	}
+	entries := make([]RangeEntry, n)
+	for i := range entries {
+		entries[i] = RangeEntry{Start: rangeBoundary(i, n), Owner: i}
+	}
+	return &Ranges{entries: entries}
+}
+
+// Generation returns the number of Split/Merge steps this map is away from
+// its generation-0 ancestor.
+func (rg *Ranges) Generation() int64 { return rg.gen }
+
+// Entries returns a copy of the range set in ring order.
+func (rg *Ranges) Entries() []RangeEntry {
+	out := make([]RangeEntry, len(rg.entries))
+	copy(out, rg.entries)
+	return out
+}
+
+// Owner returns the backend index owning hash h: the last entry whose
+// Start is ≤ h.
+func (rg *Ranges) Owner(h uint64) int {
+	// sort.Search finds the first entry with Start > h; its predecessor owns h.
+	i := sort.Search(len(rg.entries), func(k int) bool { return rg.entries[k].Start > h })
+	return rg.entries[i-1].Owner
+}
+
+// OwnerOf returns the backend index owning a key value.
+func (rg *Ranges) OwnerOf(v any) int { return rg.Owner(Hash64(v)) }
+
+// Owners returns the sorted distinct backend indices that own at least one
+// range — the scatter target set.
+func (rg *Ranges) Owners() []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, e := range rg.entries {
+		if !seen[e.Owner] {
+			seen[e.Owner] = true
+			out = append(out, e.Owner)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Owns reports whether backend s owns at least one range.
+func (rg *Ranges) Owns(s int) bool {
+	for _, e := range rg.entries {
+		if e.Owner == s {
+			return true
+		}
+	}
+	return false
+}
+
+// span returns the width of entry k (0 means the full 2⁶⁴ ring).
+func (rg *Ranges) span(k int) uint64 {
+	var next uint64 // wraps to 0 for the last entry: 0-Start ≡ 2⁶⁴-Start
+	if k+1 < len(rg.entries) {
+		next = rg.entries[k+1].Start
+	}
+	return next - rg.entries[k].Start
+}
+
+// Split halves owner's widest range, keeping the lower half on owner and
+// assigning the upper half to newOwner, and returns the next-generation map
+// plus the split point. The receiver is unchanged.
+func (rg *Ranges) Split(owner, newOwner int) (*Ranges, uint64, error) {
+	widest, found := -1, false
+	var wspan uint64
+	for k := range rg.entries {
+		if rg.entries[k].Owner != owner {
+			continue
+		}
+		sp := rg.span(k)
+		// span 0 is the full ring — wider than any nonzero span.
+		if !found || sp == 0 || (wspan != 0 && sp > wspan) {
+			widest, wspan, found = k, sp, true
+		}
+		if wspan == 0 {
+			break
+		}
+	}
+	if !found {
+		return nil, 0, fmt.Errorf("shard: split: shard %d owns no range", owner)
+	}
+	half := wspan / 2
+	if wspan == 0 {
+		half = 1 << 63
+	}
+	if half == 0 {
+		return nil, 0, fmt.Errorf("shard: split: shard %d's widest range is a single hash", owner)
+	}
+	mid := rg.entries[widest].Start + half
+	entries := make([]RangeEntry, 0, len(rg.entries)+1)
+	entries = append(entries, rg.entries[:widest+1]...)
+	entries = append(entries, RangeEntry{Start: mid, Owner: newOwner})
+	entries = append(entries, rg.entries[widest+1:]...)
+	return &Ranges{entries: entries, gen: rg.gen + 1}, mid, nil
+}
+
+// Merge reassigns every range owned by b to a, coalescing adjacent
+// same-owner ranges, and returns the next-generation map plus the number of
+// ranges that moved. The receiver is unchanged; b owns nothing afterward.
+func (rg *Ranges) Merge(a, b int) (*Ranges, int, error) {
+	if a == b {
+		return nil, 0, fmt.Errorf("shard: merge: shard %d into itself", a)
+	}
+	moved := 0
+	entries := make([]RangeEntry, 0, len(rg.entries))
+	for _, e := range rg.entries {
+		if e.Owner == b {
+			e.Owner = a
+			moved++
+		}
+		if n := len(entries); n > 0 && entries[n-1].Owner == e.Owner {
+			continue // coalesce: previous entry already covers through here
+		}
+		entries = append(entries, e)
+	}
+	if moved == 0 {
+		return nil, 0, fmt.Errorf("shard: merge: shard %d owns no range", b)
+	}
+	return &Ranges{entries: entries, gen: rg.gen + 1}, moved, nil
+}
+
+// Validate checks the structural invariants the router depends on: a
+// non-empty range set starting at hash 0, strictly increasing (no overlap,
+// no gap — entry k ends exactly where entry k+1 starts), every owner a
+// valid backend index below n.
+func (rg *Ranges) Validate(n int) error {
+	if len(rg.entries) == 0 {
+		return fmt.Errorf("shard: ranges: empty range set")
+	}
+	if rg.entries[0].Start != 0 {
+		return fmt.Errorf("shard: ranges: gap below first range start %#x", rg.entries[0].Start)
+	}
+	for k, e := range rg.entries {
+		if k > 0 && e.Start <= rg.entries[k-1].Start {
+			return fmt.Errorf("shard: ranges: entry %d start %#x does not advance past %#x (overlap or disorder)",
+				k, e.Start, rg.entries[k-1].Start)
+		}
+		if e.Owner < 0 || e.Owner >= n {
+			return fmt.Errorf("shard: ranges: entry %d owner %d out of [0,%d)", k, e.Owner, n)
+		}
+	}
+	return nil
+}

@@ -55,6 +55,8 @@ type Backend interface {
 	FinishLoad()
 	AddIndex(table, column string, unique bool) error
 	IndexKeyCount(table, col string, v any) (int, bool)
+	NumTableRows(table string) int
+	TableRow(table string, rid int) []any
 
 	Warm()
 	ColdStart()
@@ -112,6 +114,12 @@ type tableInfo struct {
 	key    string // shard key column; "" = replicated
 	keyPos int    // schema position of key (INSERT routing); -1 when replicated
 
+	// DDL captured at LoadFrom so migrations can recreate the table on
+	// fresh backends without the reference server.
+	schema      *storage.Schema
+	rowsPerPage int
+	indexes     []*storage.Index
+
 	mu sync.RWMutex
 	// global maps, per shard, local row id -> global row position: rows
 	// distributed by LoadFrom carry their original load position, and rows
@@ -168,10 +176,59 @@ type Router struct {
 
 	tmu    sync.RWMutex
 	tables map[string]*tableInfo
+	// tableOrder replays LoadFrom's DDL order (reference extent order) so
+	// migrations recreate tables with identical extent numbering.
+	tableOrder []string
 
 	// pruned counts shard executions skipped by the scatter planner's
 	// index-statistics fast path (see pruneTargets).
 	pruned atomic.Int64
+
+	// ranges is the live hash-range ownership map. Statements route by the
+	// snapshot they load; migrations install the next generation atomically
+	// under the mig write lock.
+	ranges atomic.Pointer[Ranges]
+
+	// mig fences migrations against in-flight statements: every execution
+	// path holds the read side for its full duration, so the migration's
+	// cutoff and flip steps (write side) see no statement mid-dispatch.
+	mig sync.RWMutex
+	// migMu serializes whole migrations (one Split/Merge at a time).
+	migMu sync.Mutex
+	// Double-write capture state, installed and cleared under mig's write
+	// lock, read by execution paths under the read lock.
+	migActive  bool
+	migSources map[int]bool
+	pendingMu  sync.Mutex
+	pending    []pendingWrite
+	migHook    func(phase string)
+
+	// mk builds one more backend identical to the originals (nil when the
+	// router wraps caller-supplied backends; Split/Merge then need
+	// SetBackendFactory).
+	mk func() Backend
+
+	// Migration counters (MigrationStats, shard.migrations metrics).
+	splits, merges, rangesMoved, rowsCopied, doubleWrites atomic.Int64
+
+	// Metrics hookup remembered so migrations can re-register swapped and
+	// appended backends; guarded by mig.
+	reg       *obs.Registry
+	regPrefix string
+}
+
+// pendingWrite is one acknowledged insert captured during a migration's
+// copy phase: the row is double-written — applied to the new backends at
+// flip, in capture order, after the copied prefix. The row is materialized
+// at capture so the flip never has to read the (possibly since-crashed)
+// source backend.
+type pendingWrite struct {
+	table  string
+	row    []any
+	src    int    // source slot the insert landed on
+	srcRid int    // local row id on the source (merge-order key)
+	h      uint64 // shard-key hash (routing between split halves)
+	repl   bool   // replicated-table broadcast: apply to every new backend
 }
 
 // New starts a router over n fresh backends of the given profile; scale is
@@ -184,10 +241,9 @@ func New(prof server.Profile, scale float64, opts Options) *Router {
 	if n < 1 {
 		n = 1
 	}
-	backends := make([]Backend, n)
-	for i := range backends {
+	mk := func() Backend {
 		if opts.Replicas > 0 {
-			backends[i] = replica.NewGroup(prof, scale, replica.Options{
+			return replica.NewGroup(prof, scale, replica.Options{
 				Replicas: opts.Replicas, Policy: opts.ReadPolicy,
 				Durability: opts.Durability, Async: opts.Async,
 				Consistency: opts.Consistency, Bound: opts.Bound,
@@ -196,11 +252,16 @@ func New(prof server.Profile, scale float64, opts Options) *Router {
 				Breaker:       opts.Breaker,
 				Fault:         opts.Fault,
 			})
-		} else {
-			backends[i] = server.New(prof, scale)
 		}
+		return server.New(prof, scale)
 	}
-	return NewWithBackends(backends, opts.Keys)
+	backends := make([]Backend, n)
+	for i := range backends {
+		backends[i] = mk()
+	}
+	r := NewWithBackends(backends, opts.Keys)
+	r.mk = mk
+	return r
 }
 
 // NewWithBackends wraps existing backends (tests, heterogeneous clusters).
@@ -208,22 +269,44 @@ func NewWithBackends(backends []Backend, keys map[string]string) *Router {
 	if keys == nil {
 		keys = map[string]string{}
 	}
-	return &Router{
+	r := &Router{
 		backends: backends,
 		keys:     keys,
 		tables:   map[string]*tableInfo{},
 	}
+	r.ranges.Store(NewRanges(len(backends)))
+	return r
 }
 
-// Shards returns the number of backends.
-func (r *Router) Shards() int { return len(r.backends) }
+// SetBackendFactory installs the constructor migrations use to build fresh
+// backends (tests and NewWithBackends callers; New installs one itself).
+func (r *Router) SetBackendFactory(mk func() Backend) { r.mk = mk }
 
-// Backends exposes the per-shard backends (tests, stats drill-down).
-func (r *Router) Backends() []Backend { return r.backends }
+// Ranges returns the current hash-range ownership snapshot.
+func (r *Router) Ranges() *Ranges { return r.ranges.Load() }
+
+// Shards returns the number of backends (including backends that currently
+// own no hash range after a merge).
+func (r *Router) Shards() int {
+	r.mig.RLock()
+	defer r.mig.RUnlock()
+	return len(r.backends)
+}
+
+// Backends exposes the per-shard backends (tests, stats drill-down). The
+// returned slice is a consistent snapshot; migrations install a fresh slice
+// on flip rather than mutating this one.
+func (r *Router) Backends() []Backend {
+	r.mig.RLock()
+	defer r.mig.RUnlock()
+	return r.backends
+}
 
 // Groups returns the replica groups backing each shard, or nil when the
 // router runs bare servers (Options.Replicas == 0).
 func (r *Router) Groups() []*replica.Group {
+	r.mig.RLock()
+	defer r.mig.RUnlock()
 	out := make([]*replica.Group, 0, len(r.backends))
 	for _, b := range r.backends {
 		g, ok := b.(*replica.Group)
@@ -264,32 +347,6 @@ func (r *Router) ReplicaReads() [][]int64 {
 	return out
 }
 
-// Partition returns the shard owning a key value. The hash folds the value's
-// canonical string form (FNV-1a), so routing and data distribution cannot
-// disagree, and int64 keys avoid the formatting allocation.
-func Partition(v any, shards int) int {
-	if shards <= 1 {
-		return 0
-	}
-	var h uint64 = 14695981039346656037
-	const prime = 1099511628211
-	if i, ok := v.(int64); ok {
-		u := uint64(i)
-		for b := 0; b < 8; b++ {
-			h ^= u & 0xff
-			h *= prime
-			u >>= 8
-		}
-		return int(h % uint64(shards))
-	}
-	s := fmt.Sprintf("%v", v)
-	for i := 0; i < len(s); i++ {
-		h ^= uint64(s[i])
-		h *= prime
-	}
-	return int(h % uint64(shards))
-}
-
 // LoadFrom partitions a fully loaded reference server across the backends:
 // every table is recreated with the same schema, page fanout and indexes;
 // sharded tables send each row to its key's owner (remembering the global
@@ -302,9 +359,13 @@ func (r *Router) LoadFrom(ref *server.Server) error {
 	// extent numbering identical on every shard.
 	sort.Slice(tables, func(i, j int) bool { return tables[i].Extent < tables[j].Extent })
 
+	rg := r.ranges.Load()
 	for _, t := range tables {
 		key := r.keys[t.Name]
-		ti := &tableInfo{key: key, keyPos: -1, global: make([][]int, len(r.backends))}
+		ti := &tableInfo{
+			key: key, keyPos: -1, global: make([][]int, len(r.backends)),
+			schema: t.Schema, rowsPerPage: t.RowsPerPage(),
+		}
 		if key != "" {
 			ti.keyPos = t.Schema.ColIndex(key)
 			if ti.keyPos < 0 {
@@ -327,7 +388,7 @@ func (r *Router) LoadFrom(ref *server.Server) error {
 				}
 				continue
 			}
-			s := Partition(row[ti.keyPos], len(r.backends))
+			s := rg.OwnerOf(row[ti.keyPos])
 			if err := r.backends[s].InsertRow(t.Name, row); err != nil {
 				return fmt.Errorf("shard: distribute %s: %w", t.Name, err)
 			}
@@ -336,13 +397,18 @@ func (r *Router) LoadFrom(ref *server.Server) error {
 		ti.loaded = n
 		r.tmu.Lock()
 		r.tables[t.Name] = ti
+		r.tableOrder = append(r.tableOrder, t.Name)
 		r.tmu.Unlock()
 	}
 	for _, b := range r.backends {
 		b.FinishLoad()
 	}
 	for _, t := range tables {
-		for _, ix := range t.Indexes() {
+		ixs := t.Indexes()
+		r.tmu.RLock()
+		r.tables[t.Name].indexes = ixs
+		r.tmu.RUnlock()
+		for _, ix := range ixs {
 			for _, b := range r.backends {
 				if err := b.AddIndex(t.Name, ix.Column, ix.Unique); err != nil {
 					return fmt.Errorf("shard: index %s(%s): %w", t.Name, ix.Column, err)
@@ -396,14 +462,21 @@ func (r *Router) bexecBatch(req query.BatchRequest, i int) query.BatchResult {
 	return r.backends[i].ExecBatch(req)
 }
 
-// Exec routes one statement: to the owning shard for point statements, to
-// shard 0 for replicated-table reads and statements that will fail
-// validation (any backend produces the identical error), broadcast for
-// replicated-table writes, and scatter-gather for the rest. Every
-// dispatched shard leg hangs a "shard.exec" child (with its shard id) off
-// the request's span, and the backend continues the tree down to RTT, I/O,
-// CPU and WAL commit.
+// Exec routes one statement: to the owning shard (per the live hash-range
+// map) for point statements, to shard 0 for replicated-table reads and
+// statements that will fail validation (any backend produces the identical
+// error), broadcast for replicated-table writes, and scatter-gather for the
+// rest. Every dispatched shard leg hangs a "shard.exec" child (with its
+// shard id) off the request's span, and the backend continues the tree down
+// to RTT, I/O, CPU and WAL commit. The whole call holds the migration read
+// lock, so a routing flip never lands mid-statement.
 func (r *Router) Exec(req query.Request) query.Result {
+	r.mig.RLock()
+	defer r.mig.RUnlock()
+	return r.exec(req)
+}
+
+func (r *Router) exec(req query.Request) query.Result {
 	st, err := r.prep.Prepare(req.SQL)
 	if err != nil {
 		// Ship the malformed statement to a real backend so the round trip
@@ -417,15 +490,21 @@ func (r *Router) Exec(req query.Request) query.Result {
 	}
 	if st.Insert {
 		if ti.key == "" {
-			return r.broadcast(req)
+			res := r.broadcast(req)
+			if res.Err == nil && len(res.Info.Matched) == 1 {
+				r.stagePending(st.Table, 0, res.Info.Matched[0], 0, true)
+			}
+			return res
 		}
 		if v, ok := st.InsertValue(ti.keyPos, req.Args); ok {
-			s := Partition(v, len(r.backends))
+			h := Hash64(v)
+			s := r.ranges.Load().Owner(h)
 			res := r.bexec(req, s)
 			if res.Err == nil && len(res.Info.Matched) == 1 {
 				// Record where the row landed so scatter merges keep the
 				// exact single-server insertion order.
 				ti.notePos(s, res.Info.Matched[0])
+				r.stagePending(st.Table, s, res.Info.Matched[0], h, false)
 			}
 			return res
 		}
@@ -434,12 +513,31 @@ func (r *Router) Exec(req query.Request) query.Result {
 	}
 	if ti.key != "" {
 		if v, ok := st.WhereEqValue(ti.key, req.Args); ok {
-			return r.bexec(req, Partition(v, len(r.backends)))
+			return r.bexec(req, r.ranges.Load().OwnerOf(v))
 		}
 		return r.scatter(req, st, ti)
 	}
 	// Replicated table: every shard holds the full data; read one.
 	return r.bexec(req, 0)
+}
+
+// stagePending captures one acknowledged insert while a migration's copy
+// phase runs: the materialized row joins the pending double-write buffer
+// and is applied to the new backends at flip, after the copied prefix, in
+// capture order. Only acknowledged inserts are staged — a failed insert
+// never reaches the buffer, so the flip cannot manufacture writes. Callers
+// hold the migration read lock, so migActive/migSources are stable.
+func (r *Router) stagePending(table string, src, rid int, h uint64, repl bool) {
+	if !r.migActive || (!repl && !r.migSources[src]) {
+		return
+	}
+	row := r.backends[src].TableRow(table, rid)
+	r.pendingMu.Lock()
+	r.pending = append(r.pending, pendingWrite{
+		table: table, row: row, src: src, srcRid: rid, h: h, repl: repl,
+	})
+	r.pendingMu.Unlock()
+	r.doubleWrites.Add(1)
 }
 
 // broadcast runs a replicated-table write on every shard in parallel so the
@@ -467,12 +565,14 @@ func (r *Router) broadcast(req query.Request) query.Result {
 // bound equality predicate on a secondary-indexed column consults each
 // shard's index key statistics (the rid-count map every insert maintains)
 // and skips shards holding zero matching keys. The peek models a statistics
-// cache on the router — no round trip is charged, which is the point. It
-// returns the shard ids to visit, or nil when no indexed predicate prunes.
-// An empty result still keeps one representative shard so validation errors
-// (which are schema-determined and identical everywhere) surface exactly as
-// a full scatter would, and a zero-match execution stays observable.
-func (r *Router) pruneTargets(st *sqlmini.Stmt, args []any) []int {
+// cache on the router — no round trip is charged, which is the point.
+// Candidates are the range map's active owners (a merged-away backend holds
+// no sharded rows and is never a candidate). It returns the shard ids to
+// visit, or nil when no indexed predicate prunes. An empty result still
+// keeps one representative shard so validation errors (which are
+// schema-determined and identical everywhere) surface exactly as a full
+// scatter would, and a zero-match execution stays observable.
+func (r *Router) pruneTargets(st *sqlmini.Stmt, args []any, owners []int) []int {
 	var targets []int
 	for _, c := range st.Where {
 		v := c.Lit
@@ -486,10 +586,7 @@ func (r *Router) pruneTargets(st *sqlmini.Stmt, args []any) []int {
 			continue // no index on this column: no statistics to prune by
 		}
 		if targets == nil {
-			targets = make([]int, len(r.backends))
-			for i := range targets {
-				targets[i] = i
-			}
+			targets = append([]int(nil), owners...)
 		}
 		kept := targets[:0]
 		for _, s := range targets {
@@ -500,7 +597,7 @@ func (r *Router) pruneTargets(st *sqlmini.Stmt, args []any) []int {
 		targets = kept
 	}
 	if targets != nil && len(targets) == 0 {
-		targets = append(targets, 0)
+		targets = append(targets, owners[0])
 	}
 	return targets
 }
@@ -511,18 +608,18 @@ func (r *Router) ScatterPruned() int64 { return r.pruned.Load() }
 
 // scatter runs one statement on every shard holding candidate rows — in
 // parallel — and merges the partial results into exactly what a single
-// server holding all the data would return. Shards the index statistics
-// prove empty for the predicate are skipped (pruneTargets); an empty shard's
-// contribution to every merge is the identity, so pruning is invisible in
-// the results.
+// server holding all the data would return. The candidate set is the range
+// map's active owners, read from one snapshot so the target list and the
+// pruning accounting agree on a single generation even while a migration
+// runs. Shards the index statistics prove empty for the predicate are
+// skipped (pruneTargets); an empty shard's contribution to every merge is
+// the identity, so pruning is invisible in the results.
 func (r *Router) scatter(req query.Request, st *sqlmini.Stmt, ti *tableInfo) query.Result {
-	targets := r.pruneTargets(st, req.Args)
+	owners := r.ranges.Load().Owners()
+	targets := r.pruneTargets(st, req.Args, owners)
 	if targets == nil {
-		targets = make([]int, len(r.backends))
-		for i := range targets {
-			targets[i] = i
-		}
-	} else if skipped := len(r.backends) - len(targets); skipped > 0 {
+		targets = owners
+	} else if skipped := len(owners) - len(targets); skipped > 0 {
 		r.pruned.Add(int64(skipped))
 	}
 	n := len(targets)
@@ -644,6 +741,8 @@ func mergeRows(ti *tableInfo, targets []int, vals []any, infos []sqlmini.ExecInf
 // request's span, scatter fallbacks hang "shard.exec" legs; session,
 // deadline and consistency fan out with them.
 func (r *Router) ExecBatch(req query.BatchRequest) query.BatchResult {
+	r.mig.RLock()
+	defer r.mig.RUnlock()
 	vals, errs := r.execBatch(req)
 	return query.BatchResult{Values: vals, Errs: errs}
 }
@@ -660,16 +759,21 @@ func (r *Router) execBatch(req query.BatchRequest) ([]any, []error) {
 	}
 	if ti.key == "" {
 		if st.Insert {
-			return r.broadcastBatch(req)
+			return r.broadcastBatch(req, st.Table)
 		}
 		return r.bexecBatch(req, 0).Pair()
 	}
 
+	rg := r.ranges.Load()
 	n := len(argSets)
 	results := make([]any, n)
 	errs := make([]error, n)
 	groups := make([][]int, len(r.backends)) // binding indices per shard
 	var scatterIdx []int
+	var hashes []uint64 // per-binding key hash (insert double-write routing)
+	if st.Insert {
+		hashes = make([]uint64, n)
+	}
 	for i, args := range argSets {
 		var v any
 		var ok bool
@@ -683,8 +787,11 @@ func (r *Router) execBatch(req query.BatchRequest) ([]any, []error) {
 			scatterIdx = append(scatterIdx, i)
 			continue
 		}
-		s := Partition(v, len(r.backends))
-		groups[s] = append(groups[s], i)
+		h := Hash64(v)
+		if hashes != nil {
+			hashes[i] = h
+		}
+		groups[rg.Owner(h)] = append(groups[rg.Owner(h)], i)
 	}
 
 	// landed records, per binding of an insert batch, the shard and local
@@ -744,14 +851,17 @@ func (r *Router) execBatch(req query.BatchRequest) ([]any, []error) {
 	for i := range landed {
 		if landed[i][0] >= 0 {
 			ti.notePos(landed[i][0], landed[i][1])
+			r.stagePending(st.Table, landed[i][0], landed[i][1], hashes[i], false)
 		}
 	}
 	return results, errs
 }
 
 // broadcastBatch applies a replicated-table write batch to every shard in
-// parallel and returns shard 0's per-binding results.
-func (r *Router) broadcastBatch(req query.BatchRequest) ([]any, []error) {
+// parallel and returns shard 0's per-binding results. Acknowledged bindings
+// are staged for double-writing (in binding order) while a migration's copy
+// phase runs.
+func (r *Router) broadcastBatch(req query.BatchRequest, table string) ([]any, []error) {
 	out := make([]query.BatchResult, len(r.backends))
 	var wg sync.WaitGroup
 	for i := range r.backends {
@@ -762,6 +872,11 @@ func (r *Router) broadcastBatch(req query.BatchRequest) ([]any, []error) {
 		}(i)
 	}
 	wg.Wait()
+	for _, rid := range out[0].Info.InsertRids {
+		if rid >= 0 {
+			r.stagePending(table, 0, rid, 0, true)
+		}
+	}
 	return out[0].Pair()
 }
 
@@ -772,6 +887,8 @@ func (r *Router) broadcastBatch(req query.BatchRequest) ([]any, []error) {
 // an optimization only — ExecBatch re-derives the routing per binding, so a
 // mixed batch still executes correctly.
 func (r *Router) BatchGroup(name, sql string, args []any) int {
+	r.mig.RLock()
+	defer r.mig.RUnlock()
 	st, err := r.prep.Prepare(sql)
 	if err != nil {
 		return len(r.backends)
@@ -790,12 +907,14 @@ func (r *Router) BatchGroup(name, sql string, args []any) int {
 	if !ok {
 		return len(r.backends)
 	}
-	return Partition(v, len(r.backends))
+	return r.ranges.Load().OwnerOf(v)
 }
 
 // SetMetrics points every shard's passive instrumentation (WAL fsync
 // histograms) at reg. Safe to call at any time; a nil registry detaches.
 func (r *Router) SetMetrics(reg *obs.Registry) {
+	r.mig.RLock()
+	defer r.mig.RUnlock()
 	for _, b := range r.backends {
 		b.SetMetrics(reg)
 	}
@@ -803,20 +922,50 @@ func (r *Router) SetMetrics(reg *obs.Registry) {
 
 // RegisterMetrics hooks the whole cluster's counters into reg as pull
 // sources: one "shard<i>." subtree per backend (server or replica-group
-// stats plus WAL state) and a router-level source for the scatter planner.
-// It also calls SetMetrics so fsync histograms land in the same registry.
+// stats plus WAL state), a router-level source for the scatter planner, and
+// a "shard.migrations" source for the re-sharding machinery (generation,
+// splits, merges, ranges moved, rows copied, double-writes). It also calls
+// SetMetrics so fsync histograms land in the same registry. The hookup is
+// remembered: a migration re-registers swapped and appended backends under
+// their shard index on flip.
 func (r *Router) RegisterMetrics(reg *obs.Registry, prefix string) {
-	r.SetMetrics(reg)
+	r.mig.Lock()
+	defer r.mig.Unlock()
+	r.reg, r.regPrefix = reg, prefix
+	r.registerMetricsLocked()
+}
+
+// registerMetricsLocked (re)registers every backend and the router sources
+// under the remembered registry; callers hold the mig write lock.
+func (r *Router) registerMetricsLocked() {
+	reg, prefix := r.reg, r.regPrefix
+	if reg == nil {
+		return
+	}
 	for i, b := range r.backends {
+		b.SetMetrics(reg)
 		b.RegisterMetrics(reg, fmt.Sprintf("%sshard%d.", prefix, i))
 	}
 	reg.RegisterSource(prefix+"router", func() map[string]float64 {
 		return map[string]float64{"scatter.pruned": float64(r.pruned.Load())}
 	})
+	reg.RegisterSource(prefix+"shard.migrations", func() map[string]float64 {
+		ms := r.MigrationStats()
+		return map[string]float64{
+			"generation":    float64(ms.Generation),
+			"splits":        float64(ms.Splits),
+			"merges":        float64(ms.Merges),
+			"ranges.moved":  float64(ms.RangesMoved),
+			"rows.copied":   float64(ms.RowsCopied),
+			"double.writes": float64(ms.DoubleWrites),
+		}
+	})
 }
 
 // Warm preloads every shard's registered extents.
 func (r *Router) Warm() {
+	r.mig.RLock()
+	defer r.mig.RUnlock()
 	for _, b := range r.backends {
 		b.Warm()
 	}
@@ -824,6 +973,8 @@ func (r *Router) Warm() {
 
 // ColdStart empties every shard's buffer pool.
 func (r *Router) ColdStart() {
+	r.mig.RLock()
+	defer r.mig.RUnlock()
 	for _, b := range r.backends {
 		b.ColdStart()
 	}
@@ -831,6 +982,8 @@ func (r *Router) ColdStart() {
 
 // SetScale updates the latency scale on every shard's clock.
 func (r *Router) SetScale(scale float64) {
+	r.mig.RLock()
+	defer r.mig.RUnlock()
 	for _, b := range r.backends {
 		b.SetScale(scale)
 	}
@@ -838,6 +991,8 @@ func (r *Router) SetScale(scale float64) {
 
 // Close shuts down every backend.
 func (r *Router) Close() {
+	r.mig.RLock()
+	defer r.mig.RUnlock()
 	for _, b := range r.backends {
 		b.Close()
 	}
@@ -845,6 +1000,8 @@ func (r *Router) Close() {
 
 // ShardStats returns each backend's counters, in shard order.
 func (r *Router) ShardStats() []server.Stats {
+	r.mig.RLock()
+	defer r.mig.RUnlock()
 	out := make([]server.Stats, len(r.backends))
 	for i, b := range r.backends {
 		out[i] = b.Stats()
